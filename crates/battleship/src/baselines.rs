@@ -1,0 +1,142 @@
+//! The non-active-learning extremes of the label-budget spectrum (§4.3):
+//! ZeroER (zero labels) and Full D (the entire training split).
+
+use em_core::{BinaryConfusion, Dataset, EmError, Label, Metrics, Result};
+use em_cluster::{Gmm, GmmConfig};
+use em_matcher::{train_matcher, Featurizer, MatcherConfig};
+use em_vector::Embeddings;
+
+/// ZeroER (Wu et al. 2020), reimplemented on our substrate: fit a
+/// two-component diagonal Gaussian mixture over the *similarity feature
+/// vectors* of the training split — "feature vectors of matching pairs
+/// are distributed in a different way than those of non-matching pairs" —
+/// and label test pairs by posterior component membership.
+///
+/// The match component is identified as the one whose mean whole-record
+/// token-Jaccard feature is higher (matches are more similar by
+/// construction of the feature). Returns test metrics.
+pub fn zeroer_f1(dataset: &Dataset, featurizer: &Featurizer, seed: u64) -> Result<Metrics> {
+    let sims = featurizer.similarity_all(dataset)?;
+    // Fit on the training split only, mirroring how the other methods see
+    // data (the paper evaluates everything on the same held-out test set).
+    let train_sims = sims_subset(&sims, &dataset.split().train)?;
+    let gmm = Gmm::fit(
+        &train_sims,
+        GmmConfig {
+            n_components: 2,
+            seed,
+            ..Default::default()
+        },
+    )?;
+
+    // Whole-record token jaccard lives at sim_dim − 4 (see the featurizer
+    // layout); the component with the higher mean there is "match".
+    let jaccard_feature = featurizer.sim_dim() - 4;
+    let match_component = if gmm.means[0][jaccard_feature] >= gmm.means[1][jaccard_feature] {
+        0
+    } else {
+        1
+    };
+
+    let test = &dataset.split().test;
+    let mut predicted = Vec::with_capacity(test.len());
+    for &idx in test {
+        let resp = gmm.responsibilities(sims.row(idx))?;
+        predicted.push(Label::from_bool(resp[match_component] >= 0.5));
+    }
+    let truth = dataset.ground_truth_of(test);
+    Ok(BinaryConfusion::from_labels(&predicted, &truth)?.metrics())
+}
+
+/// Full D: train the matcher on the *complete* training split, "assuming
+/// no lack of resources", and evaluate on the test split.
+pub fn full_d_f1(
+    dataset: &Dataset,
+    features: &Embeddings,
+    matcher_config: &MatcherConfig,
+) -> Result<Metrics> {
+    let train = &dataset.split().train;
+    let train_labels = dataset.ground_truth_of(train);
+    let valid = &dataset.split().valid;
+    let valid_labels = dataset.ground_truth_of(valid);
+    let matcher = train_matcher(
+        features,
+        train,
+        &train_labels,
+        valid,
+        &valid_labels,
+        matcher_config,
+    )?;
+    let test = &dataset.split().test;
+    let test_labels = dataset.ground_truth_of(test);
+    matcher.evaluate(features, test, &test_labels)
+}
+
+/// Gather a subset of similarity rows.
+fn sims_subset(sims: &Embeddings, idxs: &[usize]) -> Result<Embeddings> {
+    if idxs.is_empty() {
+        return Err(EmError::EmptyInput("similarity subset".into()));
+    }
+    sims.gather(idxs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::Rng;
+    use em_matcher::FeatureConfig;
+    use em_synth::{generate, DatasetProfile};
+
+    fn task() -> (Dataset, Featurizer) {
+        let p = DatasetProfile::walmart_amazon().scaled(0.05);
+        let d = generate(&p, &mut Rng::seed_from_u64(9)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        (d, f)
+    }
+
+    #[test]
+    fn zeroer_beats_trivial_baselines() {
+        let (d, f) = task();
+        let m = zeroer_f1(&d, &f, 1).unwrap();
+        // ZeroER should find real structure: clearly better than labeling
+        // everything as match (F1 ≈ 2·pos/(1+pos) ≈ 0.17 here).
+        assert!(m.f1 > 0.3, "ZeroER F1 {}", m.f1);
+        assert!(m.f1 <= 1.0);
+    }
+
+    #[test]
+    fn full_d_is_competitive_with_zeroer_at_small_scale() {
+        // At the paper's full scale Full D clearly beats ZeroER; on this
+        // 5 %-scale task ZeroER's engineered similarity battery can tie or
+        // edge ahead (its features practically encode the generator), so
+        // the invariant checked here is "within a small margin", with the
+        // full-scale ordering covered by the bench harness (table4_f1).
+        let (d, f) = task();
+        let feats = f.featurize_all(&d).unwrap();
+        let zero = zeroer_f1(&d, &f, 1).unwrap();
+        let full = full_d_f1(
+            &d,
+            &feats,
+            &MatcherConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            full.f1 > zero.f1 - 0.08,
+            "Full D {} far below ZeroER {}",
+            full.f1,
+            zero.f1
+        );
+        assert!(full.f1 > 0.5, "Full D too weak: {}", full.f1);
+    }
+
+    #[test]
+    fn zeroer_is_deterministic() {
+        let (d, f) = task();
+        let a = zeroer_f1(&d, &f, 7).unwrap();
+        let b = zeroer_f1(&d, &f, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

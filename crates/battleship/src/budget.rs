@@ -1,0 +1,154 @@
+//! Budget distribution (paper §3.4).
+//!
+//! The per-iteration budget `B` splits into `B⁺` (expected matches) and
+//! `B⁻ = B − B⁺`. "Since match labels are harder to discover, especially
+//! in the initial active learning iterations, we set the positive budget
+//! B⁺ as B·max(0.8 − i/20, 0.5)" (§4.2). Each side's budget is then
+//! shared across that side's connected components proportionally to size
+//! (Eq. 2), with the rounding residue "randomly distributed among
+//! connected components" — Example 6 is a unit test here.
+
+use em_core::{EmError, Result, Rng};
+
+/// The positively-skewed match budget `B⁺ = ⌊B · max(0.8 − i/20, 0.5)⌋`
+/// for iteration `i` (0-based, matching the paper's indexing).
+pub fn positive_budget(budget: usize, iteration: usize) -> usize {
+    let frac = (0.8 - iteration as f64 / 20.0).max(0.5);
+    (budget as f64 * frac).floor() as usize
+}
+
+/// Distribute `total` units over components of the given `sizes`
+/// proportionally (Eq. 2), allocating the floor residue uniformly at
+/// random among components that still have capacity (a component never
+/// receives more budget than its size).
+///
+/// Returns per-component budgets summing to `min(total, Σ sizes)`.
+pub fn distribute_budget(total: usize, sizes: &[usize], rng: &mut Rng) -> Result<Vec<usize>> {
+    if sizes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if sizes.iter().any(|&s| s == 0) {
+        return Err(EmError::InvalidConfig(
+            "budget distribution over an empty component".into(),
+        ));
+    }
+    let total_size: usize = sizes.iter().sum();
+    let spendable = total.min(total_size);
+
+    // Eq. 2: floor of the proportional share, capped by component size.
+    let mut shares: Vec<usize> = sizes
+        .iter()
+        .map(|&s| {
+            (((spendable as u128) * (s as u128)) / (total_size as u128)) as usize
+        })
+        .map(|raw| raw)
+        .collect();
+    for (share, &size) in shares.iter_mut().zip(sizes) {
+        *share = (*share).min(size);
+    }
+
+    // Random residue allocation among components with remaining capacity.
+    let mut allocated: usize = shares.iter().sum();
+    while allocated < spendable {
+        let open: Vec<usize> = (0..sizes.len())
+            .filter(|&c| shares[c] < sizes[c])
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let c = *rng.choose(&open);
+        shares[c] += 1;
+        allocated += 1;
+    }
+    Ok(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_budget_schedule_matches_paper() {
+        // i=0 → 80, decreasing by 5 per iteration, floored at 50.
+        assert_eq!(positive_budget(100, 0), 80);
+        assert_eq!(positive_budget(100, 1), 75);
+        assert_eq!(positive_budget(100, 2), 70);
+        assert_eq!(positive_budget(100, 5), 55);
+        assert_eq!(positive_budget(100, 6), 50);
+        assert_eq!(positive_budget(100, 7), 50);
+        assert_eq!(positive_budget(100, 100), 50);
+    }
+
+    /// The paper's Example 6: 3,000 match-predicted samples in 10
+    /// components (2×500, 4×300, 4×200), B⁺ = 50 → shares 8/8/5/5/5/5/
+    /// 3/3/3/3 with a residue of 2 randomly allocated.
+    #[test]
+    fn example6_budget_shares_match_paper() {
+        let sizes = [500, 500, 300, 300, 300, 300, 200, 200, 200, 200];
+        let mut rng = Rng::seed_from_u64(1);
+        let shares = distribute_budget(50, &sizes, &mut rng).unwrap();
+        assert_eq!(shares.iter().sum::<usize>(), 50);
+        // Base shares before residue: 8,8,5,5,5,5,3,3,3,3 (sum 48); the
+        // residue of 2 adds at most 2 anywhere.
+        let base = [8, 8, 5, 5, 5, 5, 3, 3, 3, 3];
+        let mut extra = 0;
+        for (s, b) in shares.iter().zip(&base) {
+            assert!(*s >= *b, "share {s} below base {b}");
+            extra += s - b;
+        }
+        assert_eq!(extra, 2, "residue misallocated: {shares:?}");
+    }
+
+    #[test]
+    fn budget_larger_than_population_is_capped() {
+        let mut rng = Rng::seed_from_u64(2);
+        let shares = distribute_budget(100, &[3, 4], &mut rng).unwrap();
+        assert_eq!(shares, vec![3, 4]);
+    }
+
+    #[test]
+    fn share_never_exceeds_component_size() {
+        let mut rng = Rng::seed_from_u64(3);
+        // Highly skewed sizes with one tiny component.
+        let sizes = [1, 999];
+        for _ in 0..20 {
+            let shares = distribute_budget(500, &sizes, &mut rng).unwrap();
+            assert!(shares[0] <= 1);
+            assert_eq!(shares.iter().sum::<usize>(), 500);
+        }
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_shares() {
+        let mut rng = Rng::seed_from_u64(4);
+        let shares = distribute_budget(0, &[10, 20], &mut rng).unwrap();
+        assert_eq!(shares, vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_components_rejected_empty_list_ok() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert!(distribute_budget(5, &[3, 0], &mut rng).is_err());
+        assert!(distribute_budget(5, &[], &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn proportionality_holds_for_large_budgets() {
+        let mut rng = Rng::seed_from_u64(6);
+        let sizes = [100, 200, 700];
+        let shares = distribute_budget(100, &sizes, &mut rng).unwrap();
+        assert_eq!(shares.iter().sum::<usize>(), 100);
+        // Shares within ±1 of the exact proportional values 10/20/70.
+        assert!((shares[0] as i64 - 10).abs() <= 1, "{shares:?}");
+        assert!((shares[1] as i64 - 20).abs() <= 1, "{shares:?}");
+        assert!((shares[2] as i64 - 70).abs() <= 1, "{shares:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sizes = [7, 13, 29, 3];
+        let a = distribute_budget(17, &sizes, &mut Rng::seed_from_u64(9)).unwrap();
+        let b = distribute_budget(17, &sizes, &mut Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! # battleship
+//!
+//! The paper's contribution: a spatially-aware active-learning selection
+//! policy for low-resource entity matching, plus the baselines it is
+//! evaluated against and the experiment runner that reproduces the
+//! paper's figures and tables.
+//!
+//! ## The algorithm in one paragraph (§3)
+//!
+//! Each iteration trains a fresh matcher on the labeled set, extracts a
+//! representation and an (over-confident) match probability for every
+//! candidate pair, and then plays Battleship in the latent space: the
+//! match-predicted and non-match-predicted pools are each clustered with
+//! constrained K-Means and woven into pair graphs whose connected
+//! components receive budget shares proportional to size (Eq. 2,
+//! positively skewed early via `B⁺ = B·max(0.8 − i/20, 0.5)`). Within
+//! each component, pairs are ranked by a blend (Eq. 6, weight `α`) of
+//! spatial-aware uncertainty (Eq. 4, weight `β` between model entropy
+//! and neighbourhood-agreement entropy) and weighted-PageRank centrality
+//! (Eq. 5); the top-ranked pairs go to the oracle, and the spatially most
+//! *certain* pairs augment the train set as weak labels (§3.7).
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — every knob of the algorithm and the experiment
+//!   protocol, mirroring §4.2's published values,
+//! * [`budget`] — Eq. 2 budget distribution and the `B⁺` schedule
+//!   (Example 6 is a unit test),
+//! * [`spatial`] — the cluster→graph→components pipeline shared by
+//!   selection and weak supervision,
+//! * [`selection`] — the battleship scoring and per-component top-k,
+//! * [`weak`] — weak supervision (spatial Eq. 4 and DAL-style Eq. 1
+//!   variants),
+//! * [`strategies`] — [`strategies::SelectionStrategy`] implementations:
+//!   Battleship, DAL, DIAL, Random,
+//! * [`baselines`] — the non-AL extremes: ZeroER (0 labels) and Full D
+//!   (all labels),
+//! * [`runner`] — the iterative protocol (train → predict → select →
+//!   label → repeat) with per-iteration reporting,
+//! * [`report`] — multi-seed aggregation, F1 curves, AUC (Table 5).
+
+pub mod baselines;
+pub mod budget;
+pub mod config;
+pub mod report;
+pub mod runner;
+pub mod selection;
+pub mod spatial;
+pub mod strategies;
+pub mod weak;
+
+pub use baselines::{full_d_f1, zeroer_f1};
+pub use budget::{distribute_budget, positive_budget};
+pub use config::{ALConfig, BattleshipParams, CentralityMeasure, ExperimentConfig, WeakMethod};
+pub use report::{IterationRecord, MultiSeedReport, RunReport};
+pub use runner::{run_active_learning, ActiveLearningRun};
+pub use spatial::{SpatialIndex, SpatialParams};
+pub use strategies::{
+    BattleshipStrategy, DalStrategy, DialStrategy, RandomStrategy, SelectionContext,
+    SelectionStrategy,
+};

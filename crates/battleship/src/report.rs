@@ -1,0 +1,229 @@
+//! Run reports and multi-seed aggregation.
+//!
+//! Everything the paper's figures and tables read off an experiment:
+//! per-iteration F1 (Figure 5), runtime (Figure 6), F1 at fixed label
+//! counts (Table 4) and AUC over the F1 curve (Table 5). Reports are
+//! `serde`-serializable so the bench harness can persist raw results.
+
+use serde::{Deserialize, Serialize};
+
+use em_core::{metrics::mean, EmError, F1Curve, Result};
+
+/// One active-learning iteration's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index; 0 is the seed-only model.
+    pub iteration: usize,
+    /// Cumulative oracle labels consumed after this iteration.
+    pub labels_used: usize,
+    /// Test F1 in percent (the paper's reporting unit).
+    pub test_f1_pct: f64,
+    /// Test precision.
+    pub precision: f64,
+    /// Test recall.
+    pub recall: f64,
+    /// Matcher training wall time (seconds).
+    pub train_secs: f64,
+    /// Selection wall time (seconds) — the Figure 6 quantity; 0 for the
+    /// seed iteration.
+    pub select_secs: f64,
+    /// Positives among the labels acquired in this iteration (selection
+    /// "hit rate" numerator; equals the seed's positive half at
+    /// iteration 0).
+    pub new_positives: usize,
+    /// Total labels acquired in this iteration.
+    pub new_labels: usize,
+    /// Weak pseudo-labels used to train this iteration's model.
+    pub weak_used: usize,
+}
+
+/// A complete single-seed run of one strategy on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Per-iteration records, seed iteration first.
+    pub iterations: Vec<IterationRecord>,
+}
+
+impl RunReport {
+    /// The run's F1-vs-labels curve (F1 in percent).
+    pub fn f1_curve(&self) -> Result<F1Curve> {
+        let mut curve = F1Curve::new();
+        for it in &self.iterations {
+            curve.push(it.labels_used as f64, it.test_f1_pct)?;
+        }
+        Ok(curve)
+    }
+
+    /// Area under the F1 curve (Table 5's measure).
+    pub fn auc(&self) -> Result<f64> {
+        Ok(self.f1_curve()?.auc())
+    }
+
+    /// Final F1 (%) of the run.
+    pub fn final_f1(&self) -> Option<f64> {
+        self.iterations.last().map(|it| it.test_f1_pct)
+    }
+
+    /// Total oracle labels consumed.
+    pub fn total_labels(&self) -> usize {
+        self.iterations.last().map(|it| it.labels_used).unwrap_or(0)
+    }
+}
+
+/// Seed-averaged view of several runs of the same (dataset, strategy)
+/// configuration — the unit every figure/table of the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeedReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Seeds of the aggregated runs.
+    pub seeds: Vec<u64>,
+    /// Mean F1 (%) per iteration point, with the label counts.
+    pub mean_curve: Vec<(f64, f64)>,
+    /// Mean AUC across seeds.
+    pub mean_auc: f64,
+    /// Mean selection seconds per iteration (Figure 6's series).
+    pub mean_select_secs: Vec<f64>,
+}
+
+impl MultiSeedReport {
+    /// Aggregate runs; they must agree on dataset, strategy and
+    /// iteration structure.
+    pub fn aggregate(runs: &[RunReport]) -> Result<Self> {
+        let first = runs
+            .first()
+            .ok_or_else(|| EmError::EmptyInput("runs to aggregate".into()))?;
+        let n_iters = first.iterations.len();
+        for r in runs {
+            if r.dataset != first.dataset
+                || r.strategy != first.strategy
+                || r.iterations.len() != n_iters
+            {
+                return Err(EmError::InvalidConfig(format!(
+                    "incompatible runs: ({}, {}, {} iters) vs ({}, {}, {} iters)",
+                    r.dataset,
+                    r.strategy,
+                    r.iterations.len(),
+                    first.dataset,
+                    first.strategy,
+                    n_iters
+                )));
+            }
+        }
+        let mut mean_curve = Vec::with_capacity(n_iters);
+        let mut mean_select_secs = Vec::with_capacity(n_iters);
+        for i in 0..n_iters {
+            let labels = first.iterations[i].labels_used as f64;
+            let f1s: Vec<f64> = runs.iter().map(|r| r.iterations[i].test_f1_pct).collect();
+            let secs: Vec<f64> = runs.iter().map(|r| r.iterations[i].select_secs).collect();
+            mean_curve.push((labels, mean(&f1s)));
+            mean_select_secs.push(mean(&secs));
+        }
+        let aucs: Vec<f64> = runs
+            .iter()
+            .map(|r| r.auc())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MultiSeedReport {
+            dataset: first.dataset.clone(),
+            strategy: first.strategy.clone(),
+            seeds: runs.iter().map(|r| r.seed).collect(),
+            mean_curve,
+            mean_auc: mean(&aucs),
+            mean_select_secs,
+        })
+    }
+
+    /// Mean F1 (%) at the largest label count ≤ `labels` (Table 4).
+    pub fn f1_at(&self, labels: f64) -> Option<f64> {
+        self.mean_curve
+            .iter()
+            .take_while(|(x, _)| *x <= labels)
+            .last()
+            .map(|&(_, y)| y)
+    }
+
+    /// Final mean F1 (%).
+    pub fn final_f1(&self) -> Option<f64> {
+        self.mean_curve.last().map(|&(_, y)| y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64, f1s: &[f64]) -> RunReport {
+        RunReport {
+            dataset: "toy".into(),
+            strategy: "battleship".into(),
+            seed,
+            iterations: f1s
+                .iter()
+                .enumerate()
+                .map(|(i, &f1)| IterationRecord {
+                    iteration: i,
+                    labels_used: 100 + i * 100,
+                    test_f1_pct: f1,
+                    precision: 0.5,
+                    recall: 0.5,
+                    train_secs: 1.0,
+                    select_secs: i as f64,
+                    new_positives: 10,
+                    new_labels: 100,
+                    weak_used: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn f1_curve_and_auc() {
+        let r = run(1, &[50.0, 60.0, 70.0]);
+        let curve = r.f1_curve().unwrap();
+        assert_eq!(curve.points().len(), 3);
+        // Trapezoid: (100·55 + 100·65)/100 = 120.
+        assert!((r.auc().unwrap() - 120.0).abs() < 1e-9);
+        assert_eq!(r.final_f1(), Some(70.0));
+        assert_eq!(r.total_labels(), 300);
+    }
+
+    #[test]
+    fn aggregate_means_pointwise() {
+        let runs = vec![run(1, &[40.0, 60.0]), run(2, &[60.0, 80.0])];
+        let agg = MultiSeedReport::aggregate(&runs).unwrap();
+        assert_eq!(agg.mean_curve, vec![(100.0, 50.0), (200.0, 70.0)]);
+        assert_eq!(agg.seeds, vec![1, 2]);
+        // AUCs: (100·50)/100 = 50 and (100·70)/100 = 70 → mean 60.
+        assert!((agg.mean_auc - 60.0).abs() < 1e-9);
+        assert_eq!(agg.f1_at(100.0), Some(50.0));
+        assert_eq!(agg.f1_at(199.0), Some(50.0));
+        assert_eq!(agg.final_f1(), Some(70.0));
+        assert_eq!(agg.f1_at(50.0), None);
+    }
+
+    #[test]
+    fn aggregate_rejects_mismatched_runs() {
+        assert!(MultiSeedReport::aggregate(&[]).is_err());
+        let mut other = run(3, &[10.0, 20.0]);
+        other.strategy = "random".into();
+        assert!(MultiSeedReport::aggregate(&[run(1, &[10.0, 20.0]), other]).is_err());
+        let short = run(4, &[10.0]);
+        assert!(MultiSeedReport::aggregate(&[run(1, &[10.0, 20.0]), short]).is_err());
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let r = run(7, &[33.0]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

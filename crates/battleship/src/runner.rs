@@ -1,0 +1,442 @@
+//! The active-learning protocol driver (§3.1 + §4.2).
+//!
+//! One run executes:
+//!
+//! 1. draw the balanced initialisation seed `D_train_0` (50 matches + 50
+//!    non-matches, labeled by the oracle),
+//! 2. train a fresh matcher on the labeled set (plus the weak set picked
+//!    by the previous model, §3.7) and record test F1,
+//! 3. predict over the remaining pool, hand the strategy the
+//!    representations/predictions, and send its `B` selections to the
+//!    oracle,
+//! 4. move the new labels from pool to train and repeat for `I`
+//!    iterations.
+//!
+//! Per-iteration wall-clock for training and selection is recorded — the
+//! selection component is what Figure 6 plots (K-Means dominates it,
+//! §5.2).
+
+use std::time::Instant;
+
+use em_core::{
+    BinaryConfusion, Dataset, EmError, Label, Oracle, PairIdx, Result, Rng,
+};
+use em_matcher::{train_matcher, MatcherConfig, TrainedMatcher};
+use em_vector::Embeddings;
+
+use crate::config::ExperimentConfig;
+use crate::report::{IterationRecord, RunReport};
+use crate::strategies::{SelectionContext, SelectionStrategy};
+
+/// A prepared run: dataset-level constants shared across iterations.
+pub struct ActiveLearningRun<'a> {
+    dataset: &'a Dataset,
+    features: &'a Embeddings,
+    valid_idx: Vec<PairIdx>,
+    valid_labels: Vec<Label>,
+    test_idx: Vec<PairIdx>,
+    test_labels: Vec<Label>,
+}
+
+impl<'a> ActiveLearningRun<'a> {
+    /// Prepare a run over `dataset` with precomputed pair `features`.
+    ///
+    /// Validation labels come from ground truth, mirroring the
+    /// benchmark protocol the paper inherits from DITTO (§4.2: epoch
+    /// selection by validation F1); the test set is only read for
+    /// reporting.
+    pub fn new(dataset: &'a Dataset, features: &'a Embeddings) -> Result<Self> {
+        if features.len() != dataset.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "run features".into(),
+                expected: dataset.len(),
+                actual: features.len(),
+            });
+        }
+        let valid_idx = dataset.split().valid.clone();
+        let valid_labels = dataset.ground_truth_of(&valid_idx);
+        let test_idx = dataset.split().test.clone();
+        let test_labels = dataset.ground_truth_of(&test_idx);
+        Ok(ActiveLearningRun {
+            dataset,
+            features,
+            valid_idx,
+            valid_labels,
+            test_idx,
+            test_labels,
+        })
+    }
+
+    /// Draw the balanced seed: `seed_size/2` matches and non-matches from
+    /// the pool, labeled through the oracle (the standard assumption the
+    /// paper takes from Kasai et al.: a balanced starter set exists).
+    fn draw_seed(
+        &self,
+        pool: &mut Vec<PairIdx>,
+        oracle: &dyn Oracle,
+        seed_size: usize,
+        rng: &mut Rng,
+    ) -> (Vec<PairIdx>, Vec<Label>) {
+        let mut shuffled = pool.clone();
+        rng.shuffle(&mut shuffled);
+        let half = seed_size / 2;
+        let mut chosen = Vec::with_capacity(seed_size);
+        let mut labels = Vec::with_capacity(seed_size);
+        let mut n_pos = 0usize;
+        let mut n_neg = 0usize;
+        let mut leftovers = Vec::new();
+        for &idx in &shuffled {
+            if chosen.len() >= seed_size {
+                break;
+            }
+            let label = self.dataset.ground_truth(idx);
+            let take = if label.is_match() {
+                if n_pos < half {
+                    n_pos += 1;
+                    true
+                } else {
+                    false
+                }
+            } else if n_neg < seed_size - half {
+                n_neg += 1;
+                true
+            } else {
+                false
+            };
+            if take {
+                // Count the oracle query for budget accounting.
+                labels.push(oracle.label(self.dataset, idx));
+                chosen.push(idx);
+            } else {
+                leftovers.push(idx);
+            }
+        }
+        // If one class ran short (tiny pools), fill with whatever remains.
+        for &idx in &leftovers {
+            if chosen.len() >= seed_size {
+                break;
+            }
+            labels.push(oracle.label(self.dataset, idx));
+            chosen.push(idx);
+        }
+        let chosen_set: std::collections::HashSet<_> = chosen.iter().copied().collect();
+        pool.retain(|i| !chosen_set.contains(i));
+        (chosen, labels)
+    }
+
+    /// Train a matcher on `train ∪ weak` and measure test metrics.
+    fn train_and_eval(
+        &self,
+        train: &[PairIdx],
+        train_labels: &[Label],
+        weak: &[(PairIdx, Label)],
+        matcher_config: &MatcherConfig,
+    ) -> Result<(TrainedMatcher, em_core::Metrics)> {
+        let mut idx: Vec<PairIdx> = train.to_vec();
+        let mut labels: Vec<Label> = train_labels.to_vec();
+        for &(p, l) in weak {
+            idx.push(p);
+            labels.push(l);
+        }
+        let matcher = train_matcher(
+            self.features,
+            &idx,
+            &labels,
+            &self.valid_idx,
+            &self.valid_labels,
+            matcher_config,
+        )?;
+        let out = matcher.predict(self.features, &self.test_idx)?;
+        let predicted: Vec<Label> = out.predictions.iter().map(|p| p.label).collect();
+        let metrics = BinaryConfusion::from_labels(&predicted, &self.test_labels)?.metrics();
+        Ok((matcher, metrics))
+    }
+}
+
+/// Execute a full active-learning run.
+///
+/// `seed` drives every random decision (seed draw, matcher init,
+/// residual budget allocation, strategy tie-breaks), making runs exactly
+/// reproducible.
+pub fn run_active_learning(
+    dataset: &Dataset,
+    features: &Embeddings,
+    strategy: &mut dyn SelectionStrategy,
+    oracle: &dyn Oracle,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Result<RunReport> {
+    config.validate()?;
+    let run = ActiveLearningRun::new(dataset, features)?;
+    let mut rng = Rng::seed_from_u64(seed);
+
+    let mut pool: Vec<PairIdx> = dataset.split().train.clone();
+    if pool.len() < config.al.seed_size {
+        return Err(EmError::InvalidConfig(format!(
+            "pool of {} smaller than seed size {}",
+            pool.len(),
+            config.al.seed_size
+        )));
+    }
+
+    let (mut train, mut train_labels) =
+        run.draw_seed(&mut pool, oracle, config.al.seed_size, &mut rng);
+
+    let mut iterations = Vec::with_capacity(config.al.iterations + 1);
+
+    // Iteration 0: seed-only model (no weak set exists yet).
+    let matcher_config = MatcherConfig {
+        seed: rng.next_u64(),
+        ..config.matcher.clone()
+    };
+    let t0 = Instant::now();
+    let (mut matcher, metrics) =
+        run.train_and_eval(&train, &train_labels, &[], &matcher_config)?;
+    let train_secs = t0.elapsed().as_secs_f64();
+    iterations.push(IterationRecord {
+        iteration: 0,
+        labels_used: train.len(),
+        test_f1_pct: metrics.f1_pct(),
+        precision: metrics.precision,
+        recall: metrics.recall,
+        train_secs,
+        select_secs: 0.0,
+        new_positives: train_labels.iter().filter(|l| l.is_match()).count(),
+        new_labels: train.len(),
+        weak_used: 0,
+    });
+
+    for iteration in 0..config.al.iterations {
+        if pool.is_empty() {
+            break;
+        }
+        // Predict over pool and train with the current model.
+        let t_select = Instant::now();
+        let pool_out = matcher.predict(features, &pool)?;
+        let train_out = matcher.predict(features, &train)?;
+
+        let budget = config.al.budget.min(pool.len());
+        let ctx = SelectionContext {
+            dataset,
+            features,
+            pool: &pool,
+            train: &train,
+            train_labels: &train_labels,
+            pool_preds: &pool_out.predictions,
+            pool_reprs: &pool_out.representations,
+            train_reprs: &train_out.representations,
+            budget,
+            iteration,
+            config,
+        };
+        let selection = strategy.select(&ctx, &mut rng)?;
+        let select_secs = t_select.elapsed().as_secs_f64();
+
+        if selection.to_label.len() > budget {
+            return Err(EmError::InvalidConfig(format!(
+                "strategy `{}` exceeded its budget: {} > {budget}",
+                strategy.name(),
+                selection.to_label.len()
+            )));
+        }
+        let pool_set: std::collections::HashSet<_> = pool.iter().copied().collect();
+        for &p in &selection.to_label {
+            if !pool_set.contains(&p) {
+                return Err(EmError::InvalidConfig(format!(
+                    "strategy `{}` selected pair {p} outside the pool",
+                    strategy.name()
+                )));
+            }
+        }
+
+        // Oracle labeling; move from pool to train.
+        let mut new_positives = 0usize;
+        for &p in &selection.to_label {
+            let label = oracle.label(dataset, p);
+            if label.is_match() {
+                new_positives += 1;
+            }
+            train.push(p);
+            train_labels.push(label);
+        }
+        let newly: std::collections::HashSet<_> = selection.to_label.iter().copied().collect();
+        pool.retain(|i| !newly.contains(i));
+
+        // Train the next model on labels + weak pseudo-labels.
+        let matcher_config = MatcherConfig {
+            seed: rng.next_u64(),
+            ..config.matcher.clone()
+        };
+        let t_train = Instant::now();
+        let (next_matcher, metrics) =
+            run.train_and_eval(&train, &train_labels, &selection.weak, &matcher_config)?;
+        let train_secs = t_train.elapsed().as_secs_f64();
+        matcher = next_matcher;
+
+        iterations.push(IterationRecord {
+            iteration: iteration + 1,
+            labels_used: train.len(),
+            test_f1_pct: metrics.f1_pct(),
+            precision: metrics.precision,
+            recall: metrics.recall,
+            train_secs,
+            select_secs,
+            new_positives,
+            new_labels: selection.to_label.len(),
+            weak_used: selection.weak.len(),
+        });
+    }
+
+    Ok(RunReport {
+        dataset: dataset.name.clone(),
+        strategy: strategy.name(),
+        seed,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{BattleshipStrategy, DalStrategy, RandomStrategy};
+    use em_core::PerfectOracle;
+    use em_matcher::{FeatureConfig, Featurizer};
+    use em_synth::{generate, DatasetProfile};
+
+    fn quick_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::default();
+        c.al.budget = 20;
+        c.al.iterations = 2;
+        c.al.seed_size = 20;
+        c.al.weak_budget = 20;
+        c.matcher.epochs = 6;
+        c.battleship.kselect_sample = 128;
+        c
+    }
+
+    fn task() -> (Dataset, Embeddings) {
+        let p = DatasetProfile::amazon_google().scaled(0.04);
+        let d = generate(&p, &mut Rng::seed_from_u64(5)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        let feats = f.featurize_all(&d).unwrap();
+        (d, feats)
+    }
+
+    #[test]
+    fn random_run_produces_complete_report() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = RandomStrategy::new();
+        let config = quick_config();
+        let report =
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).unwrap();
+        assert_eq!(report.iterations.len(), 3); // seed + 2 iterations
+        assert_eq!(report.iterations[0].labels_used, 20);
+        assert_eq!(report.iterations[2].labels_used, 60);
+        assert_eq!(report.strategy, "random");
+        // Oracle accounting: seed 20 + 2×20 selections.
+        assert_eq!(oracle.queries(), 60);
+    }
+
+    #[test]
+    fn battleship_run_consumes_exact_budget() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = BattleshipStrategy::new();
+        let config = quick_config();
+        let report =
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 2).unwrap();
+        for (i, it) in report.iterations.iter().enumerate().skip(1) {
+            assert_eq!(it.new_labels, 20, "iteration {i}");
+            assert!(it.select_secs > 0.0);
+        }
+        // Train set grows monotonically, F1 is finite.
+        for it in &report.iterations {
+            assert!(it.test_f1_pct.is_finite());
+            assert!((0.0..=100.0).contains(&it.test_f1_pct));
+        }
+    }
+
+    #[test]
+    fn dal_weak_supervision_is_recorded() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = DalStrategy::new();
+        let config = quick_config();
+        let report =
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
+        let weak_total: usize = report.iterations.iter().map(|i| i.weak_used).sum();
+        assert!(weak_total > 0, "DAL should produce weak labels");
+        // Weak labels never consume oracle budget.
+        assert_eq!(oracle.queries(), 20 + 2 * 20);
+    }
+
+    #[test]
+    fn weak_supervision_flag_disables_weak() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = DalStrategy::new();
+        let mut config = quick_config();
+        config.al.weak_supervision = false;
+        let report =
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
+        assert!(report.iterations.iter().all(|i| i.weak_used == 0));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let (d, feats) = task();
+        let config = quick_config();
+        let report = |seed| {
+            let oracle = PerfectOracle::new();
+            let mut strategy = BattleshipStrategy::new();
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, seed).unwrap()
+        };
+        // Wall-clock fields naturally differ between runs; everything
+        // else must be bit-identical.
+        let strip = |r: RunReport| -> Vec<(usize, usize, u64, usize, usize, usize)> {
+            r.iterations
+                .iter()
+                .map(|i| {
+                    (
+                        i.iteration,
+                        i.labels_used,
+                        i.test_f1_pct.to_bits(),
+                        i.new_positives,
+                        i.new_labels,
+                        i.weak_used,
+                    )
+                })
+                .collect()
+        };
+        let a = strip(report(7));
+        let b = strip(report(7));
+        assert_eq!(a, b);
+        let c = strip(report(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seed_larger_than_pool_rejected() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = RandomStrategy::new();
+        let mut config = quick_config();
+        config.al.seed_size = d.split().train.len() + 1;
+        assert!(
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn seed_draw_is_balanced() {
+        let (d, feats) = task();
+        let oracle = PerfectOracle::new();
+        let mut strategy = RandomStrategy::new();
+        let config = quick_config();
+        let report =
+            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 11).unwrap();
+        // Seed iteration: half the labels positive.
+        assert_eq!(report.iterations[0].new_positives, 10);
+    }
+}

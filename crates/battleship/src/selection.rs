@@ -1,0 +1,254 @@
+//! The battleship scoring and per-component selection (§3.5–3.6).
+//!
+//! Given the three spatial indexes of an iteration (`G⁺`, `G⁻`, `G`),
+//! this module computes per-node certainty (Eq. 4) and centrality
+//! (Eq. 5), blends their *ranks* (Eq. 6 — ranks rather than raw scores
+//! "to overcome possible scaling issues"), and takes the top pairs of
+//! every connected component under its Eq. 2 budget share.
+
+use em_core::{EmError, Result, Rng};
+use em_graph::{betweenness, certainty_score, pagerank, PageRankConfig, PairGraph};
+
+use crate::budget::distribute_budget;
+use crate::config::CentralityMeasure;
+use crate::spatial::SpatialIndex;
+
+/// Rank positions (0 = best) of items sorted descending by score, ties
+/// broken by index for determinism.
+pub(crate) fn descending_ranks(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0usize; scores.len()];
+    for (rank, &item) in order.iter().enumerate() {
+        ranks[item] = rank;
+    }
+    ranks
+}
+
+/// Select pairs from one prediction-side index (`G⁺` or `G⁻`).
+///
+/// * `side` — the spatial index over this side's pool nodes,
+/// * `hetero` — the heterogeneous index over pool ∪ labeled nodes,
+/// * `to_hetero[i]` — node id in `hetero` of side node `i`,
+/// * `side_budget` — this side's share of `B`,
+/// * `alpha`, `beta` — Eq. 6 / Eq. 4 weights,
+/// * `rho` — PageRank damping.
+///
+/// Returns *side-node indices* (the caller maps them back to pool
+/// positions / global pair ids).
+#[allow(clippy::too_many_arguments)]
+pub fn select_side(
+    side: &SpatialIndex,
+    hetero: &PairGraph,
+    to_hetero: &[usize],
+    side_budget: usize,
+    alpha: f64,
+    beta: f64,
+    rho: f64,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    select_side_with(
+        side,
+        hetero,
+        to_hetero,
+        side_budget,
+        alpha,
+        beta,
+        rho,
+        CentralityMeasure::PageRank,
+        rng,
+    )
+}
+
+/// [`select_side`] with an explicit centrality measure (the
+/// PageRank-vs-betweenness ablation knob).
+#[allow(clippy::too_many_arguments)]
+pub fn select_side_with(
+    side: &SpatialIndex,
+    hetero: &PairGraph,
+    to_hetero: &[usize],
+    side_budget: usize,
+    alpha: f64,
+    beta: f64,
+    rho: f64,
+    centrality: CentralityMeasure,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    if to_hetero.len() != side.len() {
+        return Err(EmError::DimensionMismatch {
+            context: "select_side to_hetero map".into(),
+            expected: side.len(),
+            actual: to_hetero.len(),
+        });
+    }
+    if side_budget == 0 || side.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Budget per connected component (Eq. 2 + random residue).
+    let sizes: Vec<usize> = side.components.iter().map(Vec::len).collect();
+    let shares = distribute_budget(side_budget, &sizes, rng)?;
+
+    let pr_config = PageRankConfig {
+        rho,
+        ..Default::default()
+    };
+
+    let mut selected = Vec::with_capacity(side_budget);
+    for (comp, &share) in side.components.iter().zip(&shares) {
+        if share == 0 {
+            continue;
+        }
+        // Certainty scores from the heterogeneous graph (§3.5.1).
+        let unc: Vec<f64> = comp
+            .iter()
+            .map(|&v| certainty_score(hetero, to_hetero[v], beta))
+            .collect::<Result<_>>()?;
+        // Centrality from this side's graph (§3.5.2).
+        let cen = match centrality {
+            CentralityMeasure::PageRank => pagerank(&side.graph, comp, pr_config)?,
+            CentralityMeasure::Betweenness => betweenness(&side.graph, comp)?,
+        };
+
+        // Eq. 6: blend the descending ranks; smaller blended rank wins.
+        let unc_ranks = descending_ranks(&unc);
+        let cen_ranks = descending_ranks(&cen);
+        let mut order: Vec<usize> = (0..comp.len()).collect();
+        let blended: Vec<f64> = (0..comp.len())
+            .map(|i| alpha * unc_ranks[i] as f64 + (1.0 - alpha) * cen_ranks[i] as f64)
+            .collect();
+        order.sort_by(|&a, &b| {
+            blended[a]
+                .partial_cmp(&blended[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(comp[a].cmp(&comp[b]))
+        });
+        selected.extend(order.iter().take(share).map(|&i| comp[i]));
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::{SpatialIndex, SpatialParams};
+    use em_graph::NodeKind;
+    use em_vector::Embeddings;
+
+    fn tiny_index(n: usize, kind: NodeKind, conf: f32, seed: u64) -> SpatialIndex {
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.normal() as f32, rng.normal() as f32, 1.0])
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        SpatialIndex::build(
+            &data,
+            &vec![kind; n],
+            &vec![conf; n],
+            &SpatialParams {
+                q: 2,
+                extra_ratio: 0.05,
+                cluster_min_frac: 0.05,
+                cluster_max_frac: 0.5,
+                kselect_sample: 64,
+                seed,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descending_ranks_basic() {
+        assert_eq!(descending_ranks(&[0.1, 0.9, 0.5]), vec![2, 0, 1]);
+        // Ties break toward the smaller index.
+        assert_eq!(descending_ranks(&[0.5, 0.5]), vec![0, 1]);
+        assert!(descending_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn select_side_respects_budget() {
+        let side = tiny_index(30, NodeKind::PredictedMatch, 0.9, 1);
+        // Heterogeneous graph = same node set here (no labeled nodes).
+        let mut rng = Rng::seed_from_u64(2);
+        let to_hetero: Vec<usize> = (0..30).collect();
+        let picked = select_side(&side, &side.graph, &to_hetero, 10, 0.5, 0.5, 0.85, &mut rng)
+            .unwrap();
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "duplicate selections");
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let side = tiny_index(10, NodeKind::PredictedMatch, 0.9, 3);
+        let to_hetero: Vec<usize> = (0..10).collect();
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(select_side(&side, &side.graph, &to_hetero, 0, 0.5, 0.5, 0.85, &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn budget_exceeding_pool_takes_everything() {
+        let side = tiny_index(8, NodeKind::PredictedNonMatch, 0.8, 5);
+        let to_hetero: Vec<usize> = (0..8).collect();
+        let mut rng = Rng::seed_from_u64(6);
+        let picked =
+            select_side(&side, &side.graph, &to_hetero, 100, 0.5, 0.5, 0.85, &mut rng).unwrap();
+        assert_eq!(picked.len(), 8);
+    }
+
+    #[test]
+    fn map_length_checked() {
+        let side = tiny_index(5, NodeKind::PredictedMatch, 0.9, 7);
+        let mut rng = Rng::seed_from_u64(8);
+        let bad_map = vec![0usize; 3];
+        assert!(
+            select_side(&side, &side.graph, &bad_map, 2, 0.5, 0.5, 0.85, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn alpha_one_prefers_uncertain_alpha_zero_prefers_central() {
+        // Hand-built single component: node 0 is a hub whose
+        // neighbourhood unanimously agrees (spatial entropy 0, centrality
+        // high); node 4 sits exactly between camps (ϕ̃ = 0.5 → spatial
+        // entropy 1, the Eq. 4 maximum) with low centrality. Note the
+        // Eq. 3/4 semantics: a *fully disagreeing* neighbourhood (node 6,
+        // ϕ̃ = 0) is just as low-entropy as a fully agreeing one — only
+        // ambivalent neighbourhoods are uncertain.
+        let mut kinds = vec![NodeKind::PredictedMatch; 7];
+        kinds[6] = NodeKind::PredictedNonMatch;
+        let mut g = PairGraph::new(kinds, vec![0.99; 7]).unwrap();
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(0, 2, 0.9).unwrap();
+        g.add_edge(0, 3, 0.9).unwrap();
+        g.add_edge(3, 5, 0.1).unwrap(); // weak bridge keeps one component
+        g.add_edge(4, 5, 0.9).unwrap();
+        g.add_edge(4, 6, 0.9).unwrap();
+        g.add_edge(5, 6, 0.9).unwrap();
+        let side = SpatialIndex {
+            graph: g,
+            components: vec![(0..7).collect()],
+            clusters: vec![0; 7],
+            k: 1,
+        };
+        let to_hetero: Vec<usize> = (0..7).collect();
+        let mut rng = Rng::seed_from_u64(9);
+        // α = 0: pure centrality → the hub (node 0) first.
+        let central =
+            select_side(&side, &side.graph, &to_hetero, 1, 0.0, 0.5, 0.85, &mut rng).unwrap();
+        assert_eq!(central, vec![0]);
+        // α = 1, β = 0: pure spatial uncertainty → node 4 (ϕ̃ = 0.5).
+        let uncertain =
+            select_side(&side, &side.graph, &to_hetero, 1, 1.0, 0.0, 0.85, &mut rng).unwrap();
+        assert_eq!(uncertain, vec![4]);
+    }
+}

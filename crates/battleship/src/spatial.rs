@@ -1,0 +1,305 @@
+//! The cluster → graph → connected-components pipeline (§3.3).
+//!
+//! [`SpatialIndex::build`] turns a set of pair representations into the
+//! paper's spatial structure: constrained K-Means clusters (k chosen by
+//! Kneedle with silhouette fallback), a pair graph with q-NN plus
+//! top-ratio edges, and its connected components. The battleship
+//! strategy builds three of these per iteration — over the
+//! match-predicted pool (`G⁺`), the non-match-predicted pool (`G⁻`) and
+//! the full heterogeneous set (`G`) — and the weak-supervision component
+//! reuses them.
+
+use em_core::{EmError, Result, Rng};
+use em_cluster::{constrained_kmeans, select_k, ConstrainedConfig, KSelectConfig};
+use em_graph::{build_graph, connected_components, DotSim, EdgeConfig, NodeKind, PairGraph};
+use em_vector::Embeddings;
+
+/// Parameters of the spatial pipeline (a projection of
+/// [`crate::BattleshipParams`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialParams {
+    /// q-NN edges per node.
+    pub q: usize,
+    /// Extra-edge ratio.
+    pub extra_ratio: f64,
+    /// Min cluster size fraction.
+    pub cluster_min_frac: f64,
+    /// Max cluster size fraction.
+    pub cluster_max_frac: f64,
+    /// Sample cap for the k-selection sweep.
+    pub kselect_sample: usize,
+    /// Seed for clustering and sweep sampling.
+    pub seed: u64,
+}
+
+impl From<(&crate::config::BattleshipParams, u64)> for SpatialParams {
+    fn from((p, seed): (&crate::config::BattleshipParams, u64)) -> Self {
+        SpatialParams {
+            q: p.q,
+            extra_ratio: p.extra_ratio,
+            cluster_min_frac: p.cluster_min_frac,
+            cluster_max_frac: p.cluster_max_frac,
+            kselect_sample: p.kselect_sample,
+            seed,
+        }
+    }
+}
+
+/// The spatial structure over one node set.
+pub struct SpatialIndex {
+    /// The pair graph (node `i` = row `i` of the input embeddings).
+    pub graph: PairGraph,
+    /// Connected components (sorted node lists).
+    pub components: Vec<Vec<usize>>,
+    /// Cluster assignment per node.
+    pub clusters: Vec<usize>,
+    /// The `k` used for clustering (1 when the node set was too small to
+    /// cluster).
+    pub k: usize,
+}
+
+impl SpatialIndex {
+    /// Build the spatial structure over `reprs` (which this function
+    /// L2-normalizes internally for cosine-as-dot similarity).
+    ///
+    /// `kinds[i]`/`confidences[i]` describe node `i` per §3.3.3.
+    pub fn build(
+        reprs: &Embeddings,
+        kinds: &[NodeKind],
+        confidences: &[f32],
+        params: &SpatialParams,
+    ) -> Result<Self> {
+        let n = reprs.len();
+        if n == 0 {
+            return Err(EmError::EmptyInput("spatial index nodes".into()));
+        }
+        if kinds.len() != n || confidences.len() != n {
+            return Err(EmError::DimensionMismatch {
+                context: "spatial index kinds/confidences".into(),
+                expected: n,
+                actual: kinds.len().min(confidences.len()),
+            });
+        }
+
+        let mut normalized = reprs.clone();
+        normalized.normalize_rows();
+
+        // --- Cluster. -----------------------------------------------------
+        // Feasible k range follows from the size-fraction constraints:
+        // k·min ≤ n ≤ k·max ⇒ k ∈ [⌈1/max_frac⌉, ⌊1/min_frac⌋]. With the
+        // paper's 0.05–0.15 fractions that is k ∈ [7, 20].
+        let k_lo = (1.0 / params.cluster_max_frac).ceil() as usize;
+        let k_hi = (1.0 / params.cluster_min_frac).floor() as usize;
+        let (clusters, k) = if n < k_lo.max(4) * 2 || k_lo + 2 > k_hi.min(n) {
+            // Too few nodes to cluster meaningfully: single cluster.
+            (vec![0usize; n], 1)
+        } else {
+            let k_hi = k_hi.min(n);
+            // Sweep k on a subsample (curve shape is stable), then run
+            // the constrained assignment on the full node set.
+            let sweep_data = if n > params.kselect_sample {
+                let mut rng = Rng::seed_from_u64(params.seed ^ 0x5A5A);
+                let sample = rng.sample_indices(n, params.kselect_sample);
+                normalized.gather(&sample)?
+            } else {
+                normalized.clone()
+            };
+            let selection = select_k(
+                &sweep_data,
+                KSelectConfig {
+                    k_min: k_lo.max(2),
+                    k_max: k_hi,
+                    kmeans_iters: 6,
+                    silhouette_sample: 256,
+                    seed: params.seed,
+                    ..Default::default()
+                },
+            )?;
+            let k = selection.k;
+            let mut config = ConstrainedConfig::from_fractions(
+                n,
+                k,
+                params.cluster_min_frac,
+                params.cluster_max_frac,
+                params.seed,
+            )?;
+            // Fraction-derived bounds can be infeasible after flooring on
+            // small n; relax toward feasibility rather than failing.
+            if config.min_size * k > n {
+                config.min_size = n / k;
+            }
+            if config.max_size * k < n {
+                config.max_size = n.div_ceil(k);
+            }
+            let result = constrained_kmeans(&normalized, config)?;
+            (result.assignment, k)
+        };
+
+        // --- Graph + components. -------------------------------------------
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in clusters.iter().enumerate() {
+            members[c].push(i);
+        }
+        let sim = DotSim::new(&normalized);
+        let graph = build_graph(
+            &sim,
+            kinds,
+            confidences,
+            &members,
+            EdgeConfig {
+                q: params.q,
+                extra_ratio: params.extra_ratio,
+            },
+        )?;
+        let components = connected_components(&graph);
+
+        Ok(SpatialIndex {
+            graph,
+            components,
+            clusters,
+            k,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` iff the index has no nodes (unreachable via `build`).
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> SpatialParams {
+        SpatialParams {
+            q: 3,
+            extra_ratio: 0.03,
+            cluster_min_frac: 0.05,
+            cluster_max_frac: 0.15,
+            kselect_sample: 400,
+            seed,
+        }
+    }
+
+    fn blobs(n_per: usize, n_blobs: usize, seed: u64) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for b in 0..n_blobs {
+            let cx = (b % 4) as f32 * 8.0;
+            let cy = (b / 4) as f32 * 8.0 + 1.0;
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.normal() as f32 * 0.4,
+                    cy + rng.normal() as f32 * 0.4,
+                    1.0,
+                ]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn builds_on_clustered_data() {
+        let data = blobs(30, 8, 1);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedMatch; n];
+        let conf = vec![0.9f32; n];
+        let idx = SpatialIndex::build(&data, &kinds, &conf, &params(7)).unwrap();
+        assert_eq!(idx.len(), n);
+        assert!(idx.k >= 7 && idx.k <= 20, "k = {}", idx.k);
+        // Every node has at least q neighbours or its whole cluster.
+        for v in 0..n {
+            assert!(idx.graph.degree(v) >= 1, "isolated node {v}");
+        }
+        // Components partition nodes.
+        let total: usize = idx.components.iter().map(Vec::len).sum();
+        assert_eq!(total, n);
+        // Components never bridge clusters.
+        for comp in &idx.components {
+            let c0 = idx.clusters[comp[0]];
+            assert!(comp.iter().all(|&v| idx.clusters[v] == c0));
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_respect_fractions() {
+        let data = blobs(25, 8, 2);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedNonMatch; n];
+        let conf = vec![0.8f32; n];
+        let idx = SpatialIndex::build(&data, &kinds, &conf, &params(3)).unwrap();
+        if idx.k > 1 {
+            let mut sizes = vec![0usize; idx.k];
+            for &c in &idx.clusters {
+                sizes[c] += 1;
+            }
+            let min = (n as f64 * 0.05).floor() as usize;
+            let max = (n as f64 * 0.15).ceil() as usize + 1;
+            for (c, &s) in sizes.iter().enumerate() {
+                assert!(
+                    s >= min.min(n / idx.k) && s <= max.max(n.div_ceil(idx.k)),
+                    "cluster {c} size {s} outside [{min},{max}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_node_sets_fall_back_to_single_cluster() {
+        let data = blobs(3, 2, 3);
+        let kinds = vec![NodeKind::PredictedMatch; 6];
+        let conf = vec![0.9f32; 6];
+        let idx = SpatialIndex::build(&data, &kinds, &conf, &params(1)).unwrap();
+        assert_eq!(idx.k, 1);
+        assert!(idx.components.len() <= 6);
+    }
+
+    #[test]
+    fn heterogeneous_nodes_respect_labeled_exclusion() {
+        let data = blobs(10, 2, 4);
+        let n = data.len();
+        let mut kinds = vec![NodeKind::PredictedMatch; n];
+        let mut conf = vec![0.9f32; n];
+        // Make half the nodes labeled.
+        for i in 0..n / 2 {
+            kinds[i] = NodeKind::LabeledMatch;
+            conf[i] = 1.0;
+        }
+        let idx = SpatialIndex::build(&data, &kinds, &conf, &params(5)).unwrap();
+        for (u, v, _) in idx.graph.edges() {
+            assert!(
+                !(kinds[u].is_labeled() && kinds[v].is_labeled()),
+                "labeled–labeled edge ({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let data = blobs(5, 1, 6);
+        let kinds = vec![NodeKind::PredictedMatch; 2];
+        let conf = vec![0.9f32; 5];
+        assert!(SpatialIndex::build(&data, &kinds, &conf, &params(1)).is_err());
+        let empty = Embeddings::new(3).unwrap();
+        assert!(SpatialIndex::build(&empty, &[], &[], &params(1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(20, 6, 8);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedMatch; n];
+        let conf = vec![0.7f32; n];
+        let a = SpatialIndex::build(&data, &kinds, &conf, &params(11)).unwrap();
+        let b = SpatialIndex::build(&data, &kinds, &conf, &params(11)).unwrap();
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.components, b.components);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+    }
+}

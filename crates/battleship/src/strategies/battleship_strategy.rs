@@ -1,0 +1,181 @@
+//! The battleship selection strategy (§3 end-to-end).
+
+use em_core::{EmError, Result, Rng};
+use em_graph::NodeKind;
+use em_vector::Embeddings;
+
+use crate::budget::positive_budget;
+use crate::selection::select_side_with;
+use crate::spatial::{SpatialIndex, SpatialParams};
+use crate::strategies::{
+    split_budget_with_spill, split_by_prediction, Selection, SelectionContext, SelectionStrategy,
+};
+use crate::weak::weak_side;
+
+/// The paper's approach: correspondence via per-side graphs and Eq. 2
+/// budgets, certainty via spatial entropy (Eq. 4), centrality via
+/// weighted PageRank (Eq. 5), rank-blended by `α` (Eq. 6), plus
+/// spatially-confident weak supervision (§3.7).
+#[derive(Debug, Default)]
+pub struct BattleshipStrategy;
+
+impl BattleshipStrategy {
+    /// Create the strategy (all parameters come from the
+    /// [`SelectionContext`]'s config).
+    pub fn new() -> Self {
+        BattleshipStrategy
+    }
+}
+
+/// One prediction side's spatial machinery, ready for selection.
+struct Side {
+    /// Spatial index over the side's nodes.
+    index: SpatialIndex,
+    /// Side node → heterogeneous node id (= pool position).
+    to_hetero: Vec<usize>,
+    /// Side node → pool position.
+    pool_positions: Vec<usize>,
+}
+
+impl SelectionStrategy for BattleshipStrategy {
+    fn name(&self) -> String {
+        "battleship".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+        let params = &ctx.config.battleship;
+        let n_pool = ctx.pool.len();
+        if n_pool == 0 {
+            return Ok(Selection::default());
+        }
+        if ctx.pool_preds.len() != n_pool || ctx.pool_reprs.len() != n_pool {
+            return Err(EmError::DimensionMismatch {
+                context: "battleship pool inputs".into(),
+                expected: n_pool,
+                actual: ctx.pool_preds.len().min(ctx.pool_reprs.len()),
+            });
+        }
+
+        // --- Heterogeneous graph over pool ∪ labeled (§3.3.3). ------------
+        let n_train = ctx.train.len();
+        let mut hetero_reprs = Embeddings::new(ctx.pool_reprs.dim())?;
+        let mut kinds = Vec::with_capacity(n_pool + n_train);
+        let mut confs = Vec::with_capacity(n_pool + n_train);
+        for i in 0..n_pool {
+            hetero_reprs.push(ctx.pool_reprs.row(i))?;
+            kinds.push(if ctx.pool_preds[i].label.is_match() {
+                NodeKind::PredictedMatch
+            } else {
+                NodeKind::PredictedNonMatch
+            });
+            confs.push(ctx.pool_preds[i].confidence_in_label());
+        }
+        for j in 0..n_train {
+            hetero_reprs.push(ctx.train_reprs.row(j))?;
+            kinds.push(if ctx.train_labels[j].is_match() {
+                NodeKind::LabeledMatch
+            } else {
+                NodeKind::LabeledNonMatch
+            });
+            confs.push(1.0);
+        }
+        let spatial_seed = rng.next_u64();
+        let hetero = SpatialIndex::build(
+            &hetero_reprs,
+            &kinds,
+            &confs,
+            &SpatialParams::from((params, spatial_seed)),
+        )?;
+
+        // --- Per-side graphs over the pool (G⁺ / G⁻). ----------------------
+        let (pos_nodes, neg_nodes) = split_by_prediction(ctx.pool_preds);
+        let build_side = |positions: &[usize], kind: NodeKind, seed: u64| -> Result<Option<Side>> {
+            if positions.is_empty() {
+                return Ok(None);
+            }
+            let reprs = ctx.pool_reprs.gather(positions)?;
+            let confs: Vec<f32> = positions
+                .iter()
+                .map(|&p| ctx.pool_preds[p].confidence_in_label())
+                .collect();
+            let index = SpatialIndex::build(
+                &reprs,
+                &vec![kind; positions.len()],
+                &confs,
+                &SpatialParams::from((params, seed)),
+            )?;
+            Ok(Some(Side {
+                index,
+                to_hetero: positions.to_vec(),
+                pool_positions: positions.to_vec(),
+            }))
+        };
+        let plus = build_side(&pos_nodes, NodeKind::PredictedMatch, rng.next_u64())?;
+        let minus = build_side(&neg_nodes, NodeKind::PredictedNonMatch, rng.next_u64())?;
+
+        // --- Budgets (correspondence, §3.4). --------------------------------
+        let b_pos_target = positive_budget(ctx.budget, ctx.iteration);
+        let (b_pos, b_neg) = split_budget_with_spill(
+            b_pos_target,
+            ctx.budget,
+            pos_nodes.len(),
+            neg_nodes.len(),
+        );
+
+        // --- Selection per side (§3.5–3.6). ----------------------------------
+        let mut to_label = Vec::with_capacity(ctx.budget);
+        for (side, side_budget) in [(&plus, b_pos), (&minus, b_neg)] {
+            let Some(side) = side else { continue };
+            let picked = select_side_with(
+                &side.index,
+                &hetero.graph,
+                &side.to_hetero,
+                side_budget,
+                params.alpha,
+                params.beta,
+                params.rho,
+                params.centrality,
+                rng,
+            )?;
+            to_label.extend(picked.iter().map(|&local| ctx.pool[side.pool_positions[local]]));
+        }
+
+        // --- Weak supervision (§3.7). -----------------------------------------
+        let mut weak = Vec::new();
+        if ctx.config.al.weak_supervision && ctx.config.al.weak_budget > 0 {
+            let half = ctx.config.al.weak_budget / 2;
+            let (w_pos, w_neg) =
+                split_budget_with_spill(half, ctx.config.al.weak_budget, pos_nodes.len(), neg_nodes.len());
+            for (side, side_budget) in [(&plus, w_pos), (&minus, w_neg)] {
+                let Some(side) = side else { continue };
+                let preds: Vec<_> = side
+                    .pool_positions
+                    .iter()
+                    .map(|&p| ctx.pool_preds[p])
+                    .collect();
+                let pairs: Vec<_> = side
+                    .pool_positions
+                    .iter()
+                    .map(|&p| ctx.pool[p])
+                    .collect();
+                weak.extend(weak_side(
+                    &side.index,
+                    &hetero.graph,
+                    &side.to_hetero,
+                    &preds,
+                    &pairs,
+                    side_budget,
+                    params.weak_method,
+                    params.beta,
+                    rng,
+                )?);
+            }
+            // Pairs picked for oracle labeling get real labels; drop their
+            // weak duplicates.
+            let labeled: std::collections::HashSet<_> = to_label.iter().copied().collect();
+            weak.retain(|(p, _)| !labeled.contains(p));
+        }
+
+        Ok(Selection { to_label, weak })
+    }
+}

@@ -1,0 +1,121 @@
+//! DAL — Deep Active Learning (Kasai et al. 2019), reimplemented per the
+//! paper's §4.3 description.
+//!
+//! "In each active learning iteration, B/2 no match predictions and B/2
+//! match predictions are labeled. Selected samples are the most uncertain
+//! (those maximizing the value of Eq. 1). In addition, DAL uses a
+//! weak-supervision mechanism, augmenting the training set with k/2 match
+//! and no match high-confidence samples, with their assigned prediction."
+//! (The adversarial transfer-learning component is omitted, as in the
+//! paper's own reimplementation, since no source domain is available.)
+
+use em_core::{Label, PairIdx, Result, Rng};
+use em_graph::binary_entropy;
+
+use crate::strategies::{
+    split_budget_with_spill, split_by_prediction, Selection, SelectionContext, SelectionStrategy,
+};
+
+/// Entropy-based uncertainty sampling with confidence-based weak
+/// supervision.
+#[derive(Debug, Default)]
+pub struct DalStrategy;
+
+impl DalStrategy {
+    /// Create the strategy.
+    pub fn new() -> Self {
+        DalStrategy
+    }
+}
+
+/// Sort pool positions by entropy; `descending = true` gives
+/// most-uncertain-first (selection), `false` most-confident-first (weak
+/// supervision).
+fn by_entropy(
+    positions: &[usize],
+    entropies: &[f64],
+    descending: bool,
+) -> Vec<usize> {
+    let mut order = positions.to_vec();
+    order.sort_by(|&a, &b| {
+        let cmp = entropies[a]
+            .partial_cmp(&entropies[b])
+            .unwrap_or(std::cmp::Ordering::Equal);
+        (if descending { cmp.reverse() } else { cmp }).then(a.cmp(&b))
+    });
+    order
+}
+
+impl SelectionStrategy for DalStrategy {
+    fn name(&self) -> String {
+        "dal".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, _rng: &mut Rng) -> Result<Selection> {
+        let entropies: Vec<f64> = ctx
+            .pool_preds
+            .iter()
+            .map(|p| binary_entropy(p.prob as f64))
+            .collect();
+        let (pos_nodes, neg_nodes) = split_by_prediction(ctx.pool_preds);
+
+        // B/2 : B/2 with spill when one side runs short.
+        let (b_pos, b_neg) = split_budget_with_spill(
+            ctx.budget / 2,
+            ctx.budget,
+            pos_nodes.len(),
+            neg_nodes.len(),
+        );
+
+        let mut to_label: Vec<PairIdx> = Vec::with_capacity(ctx.budget);
+        for (nodes, b) in [(&pos_nodes, b_pos), (&neg_nodes, b_neg)] {
+            let ranked = by_entropy(nodes, &entropies, true);
+            to_label.extend(ranked.iter().take(b).map(|&p| ctx.pool[p]));
+        }
+
+        // Weak supervision: k/2 most confident per side.
+        let mut weak: Vec<(PairIdx, Label)> = Vec::new();
+        if ctx.config.al.weak_supervision && ctx.config.al.weak_budget > 0 {
+            let half = ctx.config.al.weak_budget / 2;
+            let (w_pos, w_neg) = split_budget_with_spill(
+                half,
+                ctx.config.al.weak_budget,
+                pos_nodes.len(),
+                neg_nodes.len(),
+            );
+            for (nodes, b) in [(&pos_nodes, w_pos), (&neg_nodes, w_neg)] {
+                let ranked = by_entropy(nodes, &entropies, false);
+                weak.extend(
+                    ranked
+                        .iter()
+                        .take(b)
+                        .map(|&p| (ctx.pool[p], ctx.pool_preds[p].label)),
+                );
+            }
+            let labeled: std::collections::HashSet<_> = to_label.iter().copied().collect();
+            weak.retain(|(p, _)| !labeled.contains(p));
+        }
+
+        Ok(Selection { to_label, weak })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_ordering() {
+        let entropies = vec![0.1, 0.9, 0.5, 0.99];
+        let positions = vec![0, 1, 2, 3];
+        assert_eq!(by_entropy(&positions, &entropies, true), vec![3, 1, 2, 0]);
+        assert_eq!(by_entropy(&positions, &entropies, false), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn subset_ordering_only_considers_given_positions() {
+        let entropies = vec![0.1, 0.9, 0.5, 0.99];
+        let positions = vec![0, 2];
+        assert_eq!(by_entropy(&positions, &entropies, true), vec![2, 0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! DIAL — Deep Indexed Active Learning (Jain et al. 2021), simplified to
+//! the trait the paper's comparison actually exercises.
+//!
+//! DIAL's distinguishing feature among the baselines is
+//! *index-by-committee* uncertainty: multiple matchers are trained and
+//! pairs are selected by committee disagreement. (DIAL also co-learns its
+//! own blocker; the paper's setting hands every method the same fixed
+//! candidate set, so the blocking half does not participate in the
+//! comparison — see §4.3, where DIAL is simply "tested with the published
+//! implementation" on the same pools.)
+
+use em_core::{PairIdx, Result, Rng};
+use em_matcher::{Committee, CommitteeConfig, MatcherConfig};
+
+use crate::strategies::{Selection, SelectionContext, SelectionStrategy};
+
+/// Query-by-committee selection: train `n_members` matchers per
+/// iteration and label the pairs they disagree on most.
+#[derive(Debug)]
+pub struct DialStrategy {
+    /// Committee size (5 by default).
+    pub n_members: usize,
+    /// Epochs for committee members — fewer than the main matcher, since
+    /// five are trained per iteration.
+    pub member_epochs: usize,
+}
+
+impl Default for DialStrategy {
+    fn default() -> Self {
+        DialStrategy {
+            n_members: 5,
+            member_epochs: 15,
+        }
+    }
+}
+
+impl DialStrategy {
+    /// Create with default committee parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SelectionStrategy for DialStrategy {
+    fn name(&self) -> String {
+        "dial".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+        if ctx.pool.is_empty() {
+            return Ok(Selection::default());
+        }
+        let committee = Committee::train(
+            ctx.features,
+            ctx.train,
+            ctx.train_labels,
+            &[],
+            &[],
+            &CommitteeConfig {
+                n_members: self.n_members,
+                matcher: MatcherConfig {
+                    epochs: self.member_epochs,
+                    seed: rng.next_u64(),
+                    ..ctx.config.matcher.clone()
+                },
+            },
+        )?;
+        let disagreement = committee.disagreement(ctx.features, ctx.pool)?;
+
+        // Shuffle first so zero-disagreement ties (common early on, when
+        // the committee is unanimous almost everywhere) break randomly
+        // rather than by pool order.
+        let mut order: Vec<usize> = (0..ctx.pool.len()).collect();
+        rng.shuffle(&mut order);
+        order.sort_by(|&a, &b| {
+            disagreement[b]
+                .partial_cmp(&disagreement[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let to_label: Vec<PairIdx> = order
+            .iter()
+            .take(ctx.budget)
+            .map(|&p| ctx.pool[p])
+            .collect();
+        Ok(Selection {
+            to_label,
+            weak: Vec::new(),
+        })
+    }
+}

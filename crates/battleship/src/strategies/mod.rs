@@ -1,0 +1,127 @@
+//! Selection strategies: the battleship approach and the active-learning
+//! baselines it is compared against (§4.3).
+
+mod battleship_strategy;
+mod dal;
+mod dial;
+mod random;
+
+pub use battleship_strategy::BattleshipStrategy;
+pub use dal::DalStrategy;
+pub use dial::DialStrategy;
+pub use random::RandomStrategy;
+
+use em_core::{Dataset, Label, PairIdx, Prediction, Result, Rng};
+use em_vector::Embeddings;
+
+use crate::config::ExperimentConfig;
+
+/// Everything a strategy may consult when choosing pairs to label.
+///
+/// All slices are aligned: `pool[i]` has prediction `pool_preds[i]` and
+/// representation `pool_reprs.row(i)`; likewise for `train`.
+pub struct SelectionContext<'a> {
+    /// The dataset (strategies must not touch ground truth).
+    pub dataset: &'a Dataset,
+    /// Static pair features (for strategies that train auxiliary models,
+    /// e.g. DIAL's committee).
+    pub features: &'a Embeddings,
+    /// Unlabeled pool, as global pair indices.
+    pub pool: &'a [PairIdx],
+    /// Labeled pairs so far, as global pair indices.
+    pub train: &'a [PairIdx],
+    /// Oracle labels aligned with `train`.
+    pub train_labels: &'a [Label],
+    /// Current model's predictions over the pool.
+    pub pool_preds: &'a [Prediction],
+    /// Current model's representations over the pool.
+    pub pool_reprs: &'a Embeddings,
+    /// Current model's representations over the train set.
+    pub train_reprs: &'a Embeddings,
+    /// Labeling budget for this iteration (`B`).
+    pub budget: usize,
+    /// Active-learning iteration index (0-based).
+    pub iteration: usize,
+    /// The experiment configuration.
+    pub config: &'a ExperimentConfig,
+}
+
+/// A strategy's decision for one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Pool pairs to send to the oracle (global indices, ≤ budget).
+    pub to_label: Vec<PairIdx>,
+    /// Weak-supervision set: pool pairs with pseudo-labels to add to the
+    /// next training round without consuming oracle budget (§3.7). Empty
+    /// when the strategy doesn't use weak supervision or it is disabled.
+    pub weak: Vec<(PairIdx, Label)>,
+}
+
+/// An active-learning sample-selection policy.
+pub trait SelectionStrategy {
+    /// Display name used in reports and plots.
+    fn name(&self) -> String;
+
+    /// Choose pairs to label (and optionally weak pseudo-labels) for one
+    /// iteration.
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection>;
+}
+
+/// Split pool positions by the model's predicted side.
+pub(crate) fn split_by_prediction(preds: &[Prediction]) -> (Vec<usize>, Vec<usize>) {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (i, p) in preds.iter().enumerate() {
+        if p.label.is_match() {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    (pos, neg)
+}
+
+/// Split a budget `b` into match/non-match halves, spilling surplus when
+/// one side has too few candidates. Returns `(b_pos, b_neg)`.
+pub(crate) fn split_budget_with_spill(
+    b_pos_target: usize,
+    b: usize,
+    n_pos: usize,
+    n_neg: usize,
+) -> (usize, usize) {
+    let b_pos = b_pos_target.min(n_pos);
+    let b_neg = (b - b_pos).min(n_neg);
+    // Spill unspent negative budget back to the positive side if room.
+    let unspent = b - b_pos - b_neg;
+    let b_pos = (b_pos + unspent).min(n_pos);
+    (b_pos, b_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_by_prediction_partitions() {
+        let preds = vec![
+            Prediction::from_prob(0.9),
+            Prediction::from_prob(0.1),
+            Prediction::from_prob(0.7),
+        ];
+        let (pos, neg) = split_by_prediction(&preds);
+        assert_eq!(pos, vec![0, 2]);
+        assert_eq!(neg, vec![1]);
+    }
+
+    #[test]
+    fn budget_spill_logic() {
+        // Plenty of both: exact split.
+        assert_eq!(split_budget_with_spill(80, 100, 1000, 1000), (80, 20));
+        // Few positives: surplus goes negative.
+        assert_eq!(split_budget_with_spill(80, 100, 10, 1000), (10, 90));
+        // Few negatives: surplus returns to positives.
+        assert_eq!(split_budget_with_spill(80, 100, 1000, 5), (95, 5));
+        // Pool smaller than budget: take everything available.
+        assert_eq!(split_budget_with_spill(80, 100, 30, 40), (30, 40));
+    }
+}

@@ -1,0 +1,33 @@
+//! The naïve baseline: uniform random selection from the pool,
+//! "considering neither the predictions of the model nor the benefits of
+//! pair representations" (§4.3).
+
+use em_core::{PairIdx, Result, Rng};
+
+use crate::strategies::{Selection, SelectionContext, SelectionStrategy};
+
+/// Uniform random sampling without replacement.
+#[derive(Debug, Default)]
+pub struct RandomStrategy;
+
+impl RandomStrategy {
+    /// Create the strategy.
+    pub fn new() -> Self {
+        RandomStrategy
+    }
+}
+
+impl SelectionStrategy for RandomStrategy {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+        let picks = rng.sample_indices(ctx.pool.len(), ctx.budget);
+        let to_label: Vec<PairIdx> = picks.into_iter().map(|p| ctx.pool[p]).collect();
+        Ok(Selection {
+            to_label,
+            weak: Vec::new(),
+        })
+    }
+}

@@ -1,0 +1,199 @@
+//! Criterion micro-benchmarks of the performance-critical substrate
+//! pieces behind Figure 6's runtime profile (§5.2: "the K-Means
+//! clustering step consumes the majority of the running time"), plus the
+//! ablation comparisons DESIGN.md calls out: exact vs LSH vs HNSW
+//! nearest-neighbour search and greedy vs min-cost-flow constrained
+//! assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use em_cluster::constrained::AssignmentMode;
+use em_cluster::{constrained_kmeans, kmeans, ConstrainedConfig, Gmm, GmmConfig, KMeansConfig};
+use em_core::Rng;
+use em_graph::{build_graph, pagerank, DotSim, EdgeConfig, NodeKind, PageRankConfig};
+use em_vector::{top_k, Embeddings, Hnsw, HnswConfig, LshConfig, LshIndex};
+
+fn gaussian(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.normal() as f32).collect())
+        .collect();
+    Embeddings::from_rows(&rows).unwrap()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = gaussian(2000, 96, 1);
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("plain_k10_n2000_d96", |b| {
+        b.iter(|| {
+            kmeans(
+                black_box(&data),
+                KMeansConfig {
+                    k: 10,
+                    max_iters: 10,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("constrained_greedy_k10_n2000_d96", |b| {
+        b.iter(|| {
+            constrained_kmeans(
+                black_box(&data),
+                ConstrainedConfig {
+                    k: 10,
+                    min_size: 100,
+                    max_size: 300,
+                    max_iters: 10,
+                    seed: 1,
+                    mode: AssignmentMode::Greedy,
+                },
+            )
+            .unwrap()
+        })
+    });
+    // The exact flow assignment is far costlier per iteration — bench on
+    // a smaller instance (the greedy-vs-flow ablation DESIGN.md names).
+    let small = gaussian(300, 32, 2);
+    group.bench_function("constrained_flow_k5_n300_d32", |b| {
+        b.iter(|| {
+            constrained_kmeans(
+                black_box(&small),
+                ConstrainedConfig {
+                    k: 5,
+                    min_size: 30,
+                    max_size: 90,
+                    max_iters: 3,
+                    seed: 1,
+                    mode: AssignmentMode::Flow,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_knn_indexes(c: &mut Criterion) {
+    let data = gaussian(5000, 96, 3);
+    let lsh = LshIndex::build(&data, LshConfig::default()).unwrap();
+    let hnsw = Hnsw::build(&data, HnswConfig::default()).unwrap();
+    let mut group = c.benchmark_group("knn_indexes");
+    for k in [15usize] {
+        group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, &k| {
+            b.iter(|| top_k(black_box(&data), data.row(17), k, Some(17)))
+        });
+        group.bench_with_input(BenchmarkId::new("lsh", k), &k, |b, &k| {
+            b.iter(|| {
+                lsh.search(black_box(&data), data.row(17), k, Some(17))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hnsw", k), &k, |b, &k| {
+            b.iter(|| hnsw.search(data.row(17), k, Some(17)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let data = {
+        let mut d = gaussian(1500, 96, 4);
+        d.normalize_rows();
+        d
+    };
+    let kinds = vec![NodeKind::PredictedMatch; 1500];
+    let confs = vec![0.9f32; 1500];
+    // Ten equal clusters.
+    let clusters: Vec<Vec<usize>> = (0..10)
+        .map(|c| (c * 150..(c + 1) * 150).collect())
+        .collect();
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.bench_function("build_q15_n1500", |b| {
+        b.iter(|| {
+            build_graph(
+                &DotSim::new(black_box(&data)),
+                &kinds,
+                &confs,
+                &clusters,
+                EdgeConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    let graph = build_graph(
+        &DotSim::new(&data),
+        &kinds,
+        &confs,
+        &clusters,
+        EdgeConfig::default(),
+    )
+    .unwrap();
+    let comp: Vec<usize> = clusters[0].clone();
+    group.bench_function("pagerank_one_component", |b| {
+        b.iter(|| pagerank(black_box(&graph), &comp, PageRankConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let data = gaussian(3000, 22, 5);
+    let mut group = c.benchmark_group("gmm");
+    group.sample_size(10);
+    group.bench_function("em_2comp_n3000_d22", |b| {
+        b.iter(|| {
+            Gmm::fit(
+                black_box(&data),
+                GmmConfig {
+                    max_iters: 25,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_matcher_step(c: &mut Criterion) {
+    use em_matcher::{train_matcher, MatcherConfig};
+    let data = gaussian(512, 848, 6);
+    let mut rng = Rng::seed_from_u64(7);
+    let labels: Vec<em_core::Label> = (0..512)
+        .map(|_| em_core::Label::from_bool(rng.bool(0.2)))
+        .collect();
+    let idx: Vec<usize> = (0..512).collect();
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(10);
+    group.bench_function("train_1epoch_n512_d848_h96", |b| {
+        b.iter(|| {
+            train_matcher(
+                black_box(&data),
+                &idx,
+                &labels,
+                &[],
+                &[],
+                &MatcherConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_knn_indexes,
+    bench_graph,
+    bench_gmm,
+    bench_matcher_step
+);
+criterion_main!(benches);

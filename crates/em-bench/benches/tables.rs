@@ -1,0 +1,51 @@
+//! `cargo bench` entry point that regenerates the paper's headline tables
+//! and figures at smoke scale (a custom harness, not criterion — these
+//! are experiment reproductions, not timing benchmarks; use the
+//! `em-bench` binaries directly for larger scales).
+
+use std::process::Command;
+
+fn main() {
+    println!("regenerating headline tables and figures at smoke scale…\n");
+    // target/release/deps/tables-<hash> → target/release
+    let exe_dir = std::env::current_exe().ok().and_then(|p| {
+        p.parent()
+            .and_then(std::path::Path::parent)
+            .map(std::path::Path::to_path_buf)
+    });
+    let bins = [
+        "table3_stats",
+        "fig5_f1_curves",
+        "fig6_runtime",
+        "table4_f1",
+        "table5_auc",
+    ];
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = match &exe_dir {
+            Some(dir) if dir.join(bin).exists() => Command::new(dir.join(bin))
+                .args(["--scale", "smoke", "--out", "bench-results-smoke"])
+                .status(),
+            _ => Command::new("cargo")
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "em-bench",
+                    "--bin",
+                    bin,
+                    "--",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    "bench-results-smoke",
+                ])
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("[tables] {bin} exited with {s}"),
+            Err(e) => eprintln!("[tables] failed to launch {bin}: {e}"),
+        }
+    }
+}

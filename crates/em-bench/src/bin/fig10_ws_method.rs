@@ -1,0 +1,69 @@
+//! Figure 10: weak-supervision method comparison. The battleship
+//! selection mechanism is held fixed (α = β = 0.5); only the weak-label
+//! scoring changes — spatial certainty (Eq. 4) vs DAL-style conditional
+//! entropy (Eq. 1). The paper finds the spatial variant slightly but
+//! consistently ahead in AUC.
+
+use battleship::WeakMethod;
+use em_bench::{prepare, run_battleship_variant, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let config = args.scale.experiment_config();
+
+    for profile in [
+        em_synth::DatasetProfile::walmart_amazon(),
+        em_synth::DatasetProfile::amazon_google(),
+    ] {
+        eprintln!("[fig10] {} …", profile.name);
+        let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
+        println!("\nFigure 10 — {} (F1 % per iteration, α = β = 0.5)", profile.name);
+
+        let spatial = run_battleship_variant(
+            &prepared,
+            &config,
+            0.5,
+            0.5,
+            true,
+            WeakMethod::Spatial,
+            &args.seeds,
+        )
+        .expect("spatial runs");
+        let entropy = run_battleship_variant(
+            &prepared,
+            &config,
+            0.5,
+            0.5,
+            true,
+            WeakMethod::Entropy,
+            &args.seeds,
+        )
+        .expect("entropy runs");
+
+        let labels: Vec<String> = spatial
+            .mean_curve
+            .iter()
+            .map(|(x, _)| format!("{x:.0}"))
+            .collect();
+        em_bench::print_row("labels", &labels);
+        for (name, report) in [
+            ("battleship (Eq.4)", &spatial),
+            ("with WS_DAL (Eq.1)", &entropy),
+        ] {
+            let cells: Vec<String> = report
+                .mean_curve
+                .iter()
+                .map(|(_, y)| format!("{y:.2}"))
+                .collect();
+            em_bench::print_row(name, &cells);
+        }
+        println!(
+            "AUC: spatial {:.2} vs entropy {:.2}",
+            spatial.mean_auc, entropy.mean_auc
+        );
+        let _ = args.write_json(
+            &format!("fig10_{}.json", profile.name),
+            &vec![("spatial", &spatial), ("entropy", &entropy)],
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 5: F1 vs cumulative labeled samples, per dataset, for the four
+//! active-learning methods plus the ZeroER and Full-D reference lines.
+
+use em_bench::{fig5_cached, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let results = fig5_cached(&args).expect("fig5 sweep");
+
+    for profile in em_synth::all_profiles() {
+        let name = profile.name;
+        println!("\nFigure 5 — {name} (F1 % vs labeled samples)");
+        // Header: the label counts.
+        if let Some(any) = results.report(name, "battleship") {
+            let labels: Vec<String> = any
+                .mean_curve
+                .iter()
+                .map(|(x, _)| format!("{x:.0}"))
+                .collect();
+            em_bench::print_row("labels", &labels);
+        }
+        for method in ["battleship", "dal", "dial", "random"] {
+            if let Some(r) = results.report(name, method) {
+                let cells: Vec<String> =
+                    r.mean_curve.iter().map(|(_, y)| format!("{y:.2}")).collect();
+                em_bench::print_row(method, &cells);
+            }
+        }
+        if let Some(z) = results.zeroer.get(name) {
+            em_bench::print_row("zeroer (0 labels)", &[format!("{z:.2}")]);
+        }
+        if let Some(f) = results.full_d.get(name) {
+            em_bench::print_row("full-d (all labels)", &[format!("{f:.2}")]);
+        }
+    }
+    println!(
+        "\n(results cached in {}; shape to compare with the paper: battleship \
+         above the AL baselines, approaching full-d)",
+        args.out_dir.display()
+    );
+}

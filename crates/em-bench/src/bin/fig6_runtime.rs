@@ -1,0 +1,29 @@
+//! Figure 6: battleship selection runtime per active-learning iteration.
+//!
+//! The paper shows runtimes *decreasing* across iterations because the
+//! pool — and therefore the K-Means input — shrinks as labels move to
+//! the train set; K-Means dominates the cost (§5.2). The same shape
+//! should appear here.
+
+use em_bench::{fig5_cached, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let results = fig5_cached(&args).expect("fig5 sweep");
+
+    println!("Figure 6 — battleship selection seconds per iteration\n");
+    for profile in em_synth::all_profiles() {
+        // The paper excludes DBLP-Scholar from the figure for axis-scale
+        // reasons; we print it anyway, labeled.
+        if let Some(r) = results.report(profile.name, "battleship") {
+            let cells: Vec<String> = r
+                .mean_select_secs
+                .iter()
+                .skip(1) // iteration 0 has no selection phase
+                .map(|s| format!("{s:.2}s"))
+                .collect();
+            em_bench::print_row(profile.name, &cells);
+        }
+    }
+    println!("\n(expected shape: mostly decreasing left→right as the pool shrinks)");
+}

@@ -1,0 +1,57 @@
+//! Figure 7: local vs spatial certainty — β ∈ {0, 0.5, 1} on
+//! Walmart-Amazon and Amazon-Google (α fixed at 0.5).
+//!
+//! β = 0 uses only the spatial (neighbourhood-agreement) entropy, β = 1
+//! only the model's own entropy; the paper finds the β = 0.5 fusion ahead
+//! once labels exceed ~500 and more stable throughout.
+
+use battleship::WeakMethod;
+use em_bench::{prepare, run_battleship_variant, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let config = args.scale.experiment_config();
+
+    for profile in [
+        em_synth::DatasetProfile::walmart_amazon(),
+        em_synth::DatasetProfile::amazon_google(),
+    ] {
+        eprintln!("[fig7] {} …", profile.name);
+        let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
+        println!("\nFigure 7 — {} (F1 % per iteration, α = 0.5)", profile.name);
+        let mut header_done = false;
+        let mut results = Vec::new();
+        for beta in [0.0, 0.5, 1.0] {
+            let report = run_battleship_variant(
+                &prepared,
+                &config,
+                0.5,
+                beta,
+                config.al.weak_supervision,
+                WeakMethod::Spatial,
+                &args.seeds,
+            )
+            .expect("run");
+            if !header_done {
+                let labels: Vec<String> = report
+                    .mean_curve
+                    .iter()
+                    .map(|(x, _)| format!("{x:.0}"))
+                    .collect();
+                em_bench::print_row("labels", &labels);
+                header_done = true;
+            }
+            let cells: Vec<String> = report
+                .mean_curve
+                .iter()
+                .map(|(_, y)| format!("{y:.2}"))
+                .collect();
+            em_bench::print_row(&format!("beta={beta}"), &cells);
+            results.push((beta, report));
+        }
+        let _ = args.write_json(
+            &format!("fig7_{}.json", profile.name),
+            &results.iter().map(|(b, r)| (b, r)).collect::<Vec<_>>(),
+        );
+    }
+}

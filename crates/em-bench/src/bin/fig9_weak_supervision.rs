@@ -1,0 +1,73 @@
+//! Figure 9: weak supervision on/off for both the battleship approach and
+//! DAL on Walmart-Amazon and Amazon-Google. The paper finds weak
+//! supervision gives both methods a large, stabilizing boost.
+
+use battleship::{DalStrategy, ExperimentConfig, MultiSeedReport, WeakMethod};
+use em_bench::{prepare, run_battleship_variant, run_one, BenchArgs};
+
+fn dal_with(
+    prepared: &em_bench::PreparedDataset,
+    config: &ExperimentConfig,
+    weak: bool,
+    seeds: &[u64],
+) -> MultiSeedReport {
+    let mut cfg = config.clone();
+    cfg.al.weak_supervision = weak;
+    let runs: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_one(prepared, &mut DalStrategy::new(), &cfg, s).expect("dal run"))
+        .collect();
+    MultiSeedReport::aggregate(&runs).expect("aggregate")
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let config = args.scale.experiment_config();
+
+    for profile in [
+        em_synth::DatasetProfile::walmart_amazon(),
+        em_synth::DatasetProfile::amazon_google(),
+    ] {
+        eprintln!("[fig9] {} …", profile.name);
+        let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
+        println!("\nFigure 9 — {} (F1 % per iteration)", profile.name);
+
+        let bs = |ws: bool| {
+            run_battleship_variant(
+                &prepared,
+                &config,
+                0.5,
+                0.5,
+                ws,
+                WeakMethod::Spatial,
+                &args.seeds,
+            )
+            .expect("battleship runs")
+        };
+        let rows = [
+            ("battleship", bs(true)),
+            ("battleship -WS", bs(false)),
+            ("dal", dal_with(&prepared, &config, true, &args.seeds)),
+            ("dal -WS", dal_with(&prepared, &config, false, &args.seeds)),
+        ];
+        let labels: Vec<String> = rows[0]
+            .1
+            .mean_curve
+            .iter()
+            .map(|(x, _)| format!("{x:.0}"))
+            .collect();
+        em_bench::print_row("labels", &labels);
+        for (name, report) in &rows {
+            let cells: Vec<String> = report
+                .mean_curve
+                .iter()
+                .map(|(_, y)| format!("{y:.2}"))
+                .collect();
+            em_bench::print_row(name, &cells);
+        }
+        let _ = args.write_json(
+            &format!("fig9_{}.json", profile.name),
+            &rows.iter().map(|(n, r)| (n, r)).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! One-shot driver: regenerate every table and figure in sequence.
+//!
+//! ```sh
+//! cargo run --release -p em-bench --bin run_all -- --scale smoke
+//! ```
+//!
+//! Each experiment is also available as its own binary (fig1_tsne,
+//! fig5_f1_curves, …) for selective reruns; fig5's sweep results are
+//! cached in the out dir and reused by fig6/table4/table5.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table3_stats",
+        "fig1_tsne",
+        "fig5_f1_curves",
+        "fig6_runtime",
+        "table4_f1",
+        "table5_auc",
+        "fig7_beta",
+        "fig8_correspondence",
+        "fig9_weak_supervision",
+        "fig10_ws_method",
+        "table6_alpha",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf));
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        // Prefer the sibling binary next to run_all (same build profile).
+        let status = match &exe_dir {
+            Some(dir) if dir.join(bin).exists() => {
+                Command::new(dir.join(bin)).args(&args).status()
+            }
+            _ => Command::new("cargo")
+                .args(["run", "--release", "-p", "em-bench", "--bin", bin, "--"])
+                .args(&args)
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("[run_all] {bin} exited with {s}"),
+            Err(e) => eprintln!("[run_all] failed to launch {bin}: {e}"),
+        }
+    }
+}

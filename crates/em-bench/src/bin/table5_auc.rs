@@ -1,0 +1,28 @@
+//! Table 5: area under the F1-vs-labels curve for every method and
+//! dataset. The paper's dominant method on every dataset is battleship.
+
+use em_bench::{fig5_cached, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let results = fig5_cached(&args).expect("fig5 sweep");
+
+    println!("Table 5 — AUC of the F1 learning curves\n");
+    let datasets: Vec<&str> = em_synth::all_profiles().iter().map(|p| p.name).collect();
+    em_bench::print_row(
+        "method",
+        &datasets.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+    );
+    for method in ["random", "dal", "dial", "battleship"] {
+        let cells: Vec<String> = datasets
+            .iter()
+            .map(|d| {
+                results
+                    .report(d, method)
+                    .map(|r| format!("{:.2}", r.mean_auc))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        em_bench::print_row(method, &cells);
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 6: the α ablation — final F1 per dataset for
+//! α ∈ {0, 0.25, 0.5, 0.75, 1} (β fixed at 0.5). α = 0 is pure
+//! centrality ("Battleship (cen)"), α = 1 pure certainty
+//! ("Battleship (unc)"); the paper finds interior values win everywhere.
+
+use battleship::WeakMethod;
+use em_bench::{prepare, run_battleship_variant, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let config = args.scale.experiment_config();
+    const ALPHAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    println!("Table 6 — final F1 (%) for varying α (β = 0.5)\n");
+    em_bench::print_row(
+        "dataset",
+        &ALPHAS.iter().map(|a| format!("α={a}")).collect::<Vec<_>>(),
+    );
+    let mut dump = Vec::new();
+    for profile in em_synth::all_profiles() {
+        eprintln!("[table6] {} …", profile.name);
+        let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
+        let mut cells = Vec::new();
+        for alpha in ALPHAS {
+            let report = run_battleship_variant(
+                &prepared,
+                &config,
+                alpha,
+                0.5,
+                config.al.weak_supervision,
+                WeakMethod::Spatial,
+                &args.seeds,
+            )
+            .expect("run");
+            cells.push(format!("{:.2}", report.final_f1().unwrap_or(0.0)));
+            dump.push((profile.name.to_string(), alpha, report));
+        }
+        em_bench::print_row(profile.name, &cells);
+    }
+    let _ = args.write_json("table6_results.json", &dump);
+}

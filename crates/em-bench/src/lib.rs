@@ -1,0 +1,442 @@
+//! # em-bench
+//!
+//! The benchmark harness: one binary per table and figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index), plus criterion
+//! micro-benchmarks of the performance-critical substrate pieces.
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --scale smoke|quick|paper   experiment size (default: quick)
+//! --seeds N                   seeds to average over (default: per scale)
+//! --out DIR                   where JSON results are written
+//! ```
+//!
+//! `smoke` finishes in tens of seconds, `quick` in minutes, `paper` runs
+//! the full Table 3 sizes with 3 seeds (the paper's protocol) and is CPU
+//! hours. Scales change dataset size and budgets proportionally — the
+//! *shape* of every comparison (who wins, where the curves sit relative
+//! to each other) is preserved, which is what the reproduction tracks.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use battleship::{
+    run_active_learning, BattleshipStrategy, DalStrategy, DialStrategy, ExperimentConfig,
+    MultiSeedReport, RandomStrategy, RunReport, SelectionStrategy, WeakMethod,
+};
+use em_core::{Dataset, PerfectOracle, Result, Rng};
+use em_matcher::{FeatureConfig, Featurizer};
+use em_synth::{generate, DatasetProfile};
+use em_vector::Embeddings;
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~6 % of the paper's dataset sizes, 1 seed, 4 iterations.
+    Smoke,
+    /// ~25 % sizes, 2 seeds, 8 iterations (default).
+    Quick,
+    /// Full Table 3 sizes, 3 seeds, 8 iterations (the paper's protocol).
+    Paper,
+}
+
+impl Scale {
+    /// Dataset scale factor.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.06,
+            Scale::Quick => 0.25,
+            Scale::Paper => 1.0,
+        }
+    }
+
+    /// Default number of seeds.
+    pub fn default_seeds(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Paper => 3,
+        }
+    }
+
+    /// The experiment protocol at this scale.
+    pub fn experiment_config(self) -> ExperimentConfig {
+        let mut c = ExperimentConfig::default();
+        match self {
+            Scale::Smoke => {
+                c.al.budget = 40;
+                c.al.seed_size = 40;
+                c.al.weak_budget = 40;
+                c.al.iterations = 4;
+                c.matcher.epochs = 12;
+                c.battleship.kselect_sample = 256;
+            }
+            Scale::Quick => {
+                c.al.budget = 50;
+                c.al.seed_size = 50;
+                c.al.weak_budget = 50;
+                c.al.iterations = 8;
+                c.matcher.epochs = 20;
+                c.battleship.kselect_sample = 512;
+            }
+            Scale::Paper => {
+                // §4.2: B = 100, 8 iterations, 100-sample seed, weak
+                // budget = B.
+                c.matcher.epochs = 25;
+            }
+        }
+        c
+    }
+
+    /// Battleship α values averaged into the headline "Battleship" row
+    /// (§5.1 averages α ∈ {0.25, 0.5, 0.75}; smaller scales use 0.5).
+    pub fn battleship_alphas(self) -> Vec<f64> {
+        match self {
+            Scale::Paper => vec![0.25, 0.5, 0.75],
+            _ => vec![0.5],
+        }
+    }
+}
+
+/// Parsed command-line options shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Experiment size.
+    pub scale: Scale,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        let mut scale = Scale::Quick;
+        let mut seeds_n: Option<usize> = None;
+        let mut out_dir = PathBuf::from("bench-results");
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = match args.get(i).map(String::as_str) {
+                        Some("smoke") => Scale::Smoke,
+                        Some("quick") => Scale::Quick,
+                        Some("paper") => Scale::Paper,
+                        other => {
+                            eprintln!("unknown scale {other:?} (smoke|quick|paper)");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--seeds" => {
+                    i += 1;
+                    seeds_n = args.get(i).and_then(|s| s.parse().ok());
+                    if seeds_n.is_none() {
+                        eprintln!("--seeds expects a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+                "--out" => {
+                    i += 1;
+                    out_dir = PathBuf::from(args.get(i).cloned().unwrap_or_default());
+                }
+                other => {
+                    eprintln!("unknown argument `{other}`");
+                    eprintln!("usage: --scale smoke|quick|paper --seeds N --out DIR");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        let n = seeds_n.unwrap_or(scale.default_seeds()).max(1);
+        BenchArgs {
+            scale,
+            seeds: (1..=n as u64).collect(),
+            out_dir,
+        }
+    }
+
+    /// Write a serializable result as pretty JSON under the out dir.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", serde_json::to_string_pretty(value)?)?;
+        Ok(path)
+    }
+}
+
+/// A generated dataset with its precomputed features, shared across
+/// strategies and seeds.
+pub struct PreparedDataset {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// The featurizer (ZeroER needs it).
+    pub featurizer: Featurizer,
+    /// Feature matrix, one row per candidate pair.
+    pub features: Embeddings,
+}
+
+/// Generate and featurize one profile at the given scale.
+pub fn prepare(profile: &DatasetProfile, scale: Scale, gen_seed: u64) -> Result<PreparedDataset> {
+    let scaled = profile.clone().scaled(scale.factor());
+    let dataset = generate(&scaled, &mut Rng::seed_from_u64(gen_seed))?;
+    let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
+    let features = featurizer.featurize_all(&dataset)?;
+    Ok(PreparedDataset {
+        dataset,
+        featurizer,
+        features,
+    })
+}
+
+/// Generate and featurize all six benchmark profiles.
+pub fn prepare_all(scale: Scale, gen_seed: u64) -> Result<BTreeMap<String, PreparedDataset>> {
+    let mut out = BTreeMap::new();
+    for profile in em_synth::all_profiles() {
+        let prepared = prepare(&profile, scale, gen_seed)?;
+        out.insert(profile.name.to_string(), prepared);
+    }
+    Ok(out)
+}
+
+/// The active-learning methods compared in Figure 5 / Tables 4–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// The paper's approach (α averaged per scale).
+    Battleship,
+    /// Kasai et al.'s entropy-based selection.
+    Dal,
+    /// Jain et al.'s committee-based selection.
+    Dial,
+    /// Uniform random selection.
+    Random,
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Battleship => "battleship",
+            Method::Dal => "dal",
+            Method::Dial => "dial",
+            Method::Random => "random",
+        }
+    }
+
+    /// All four AL methods.
+    pub fn all() -> [Method; 4] {
+        [Method::Battleship, Method::Dal, Method::Dial, Method::Random]
+    }
+}
+
+/// Run `method` on a prepared dataset for every seed with the given
+/// config, returning the seed-aggregated report.
+///
+/// For `Method::Battleship`, runs one pass per α in
+/// `scale.battleship_alphas()` and aggregates across (α, seed) — the
+/// paper's §5.1 reporting convention.
+pub fn run_method(
+    prepared: &PreparedDataset,
+    method: Method,
+    config: &ExperimentConfig,
+    alphas: &[f64],
+    seeds: &[u64],
+) -> Result<MultiSeedReport> {
+    let mut runs: Vec<RunReport> = Vec::new();
+    match method {
+        Method::Battleship => {
+            for &alpha in alphas {
+                let mut cfg = config.clone();
+                cfg.battleship.alpha = alpha;
+                for &seed in seeds {
+                    runs.push(run_one(
+                        prepared,
+                        &mut BattleshipStrategy::new(),
+                        &cfg,
+                        seed,
+                    )?);
+                }
+            }
+        }
+        Method::Dal => {
+            for &seed in seeds {
+                runs.push(run_one(prepared, &mut DalStrategy::new(), config, seed)?);
+            }
+        }
+        Method::Dial => {
+            for &seed in seeds {
+                runs.push(run_one(prepared, &mut DialStrategy::new(), config, seed)?);
+            }
+        }
+        Method::Random => {
+            for &seed in seeds {
+                runs.push(run_one(prepared, &mut RandomStrategy::new(), config, seed)?);
+            }
+        }
+    }
+    MultiSeedReport::aggregate(&runs)
+}
+
+/// One (strategy, seed) run.
+pub fn run_one(
+    prepared: &PreparedDataset,
+    strategy: &mut dyn SelectionStrategy,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Result<RunReport> {
+    let oracle = PerfectOracle::new();
+    run_active_learning(
+        &prepared.dataset,
+        &prepared.features,
+        strategy,
+        &oracle,
+        config,
+        seed,
+    )
+}
+
+/// Run a battleship variant with explicit parameter overrides (the
+/// ablation figures).
+pub fn run_battleship_variant(
+    prepared: &PreparedDataset,
+    config: &ExperimentConfig,
+    alpha: f64,
+    beta: f64,
+    weak_supervision: bool,
+    weak_method: WeakMethod,
+    seeds: &[u64],
+) -> Result<MultiSeedReport> {
+    let mut cfg = config.clone();
+    cfg.battleship.alpha = alpha;
+    cfg.battleship.beta = beta;
+    cfg.battleship.weak_method = weak_method;
+    cfg.al.weak_supervision = weak_supervision;
+    let mut runs = Vec::new();
+    for &seed in seeds {
+        runs.push(run_one(prepared, &mut BattleshipStrategy::new(), &cfg, seed)?);
+    }
+    MultiSeedReport::aggregate(&runs)
+}
+
+/// The serialized output of the Figure 5 sweep, reused by Tables 4/5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Results {
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// Per (dataset, method) aggregated curves.
+    pub reports: Vec<MultiSeedReport>,
+    /// ZeroER test F1 (%) per dataset.
+    pub zeroer: BTreeMap<String, f64>,
+    /// Full-D test F1 (%) per dataset.
+    pub full_d: BTreeMap<String, f64>,
+}
+
+impl Fig5Results {
+    /// Look up a (dataset, method) aggregate.
+    pub fn report(&self, dataset: &str, method: &str) -> Option<&MultiSeedReport> {
+        self.reports
+            .iter()
+            .find(|r| r.dataset == dataset && r.strategy == method)
+    }
+}
+
+/// Run the full Figure 5 sweep (all datasets × all methods + the two
+/// extremes). This is the workhorse shared by `fig5_f1_curves`,
+/// `fig6_runtime`, `table4_f1` and `table5_auc`.
+pub fn run_fig5(args: &BenchArgs) -> Result<Fig5Results> {
+    let config = args.scale.experiment_config();
+    let alphas = args.scale.battleship_alphas();
+    let mut reports = Vec::new();
+    let mut zeroer = BTreeMap::new();
+    let mut full_d = BTreeMap::new();
+    for profile in em_synth::all_profiles() {
+        eprintln!("[fig5] preparing {} …", profile.name);
+        let prepared = prepare(&profile, args.scale, 0xDA7A)?;
+        for method in Method::all() {
+            eprintln!("[fig5]   running {} …", method.name());
+            let report = run_method(&prepared, method, &config, &alphas, &args.seeds)?;
+            reports.push(report);
+        }
+        eprintln!("[fig5]   running zeroer + full-d …");
+        let z = battleship::zeroer_f1(&prepared.dataset, &prepared.featurizer, 1)?;
+        zeroer.insert(profile.name.to_string(), z.f1 * 100.0);
+        let f = battleship::full_d_f1(&prepared.dataset, &prepared.features, &config.matcher)?;
+        full_d.insert(profile.name.to_string(), f.f1 * 100.0);
+    }
+    Ok(Fig5Results {
+        scale: args.scale,
+        reports,
+        zeroer,
+        full_d,
+    })
+}
+
+/// Load cached Figure 5 results from the out dir, or run the sweep and
+/// cache it.
+pub fn fig5_cached(args: &BenchArgs) -> Result<Fig5Results> {
+    let path = args.out_dir.join("fig5_results.json");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(cached) = serde_json::from_str::<Fig5Results>(&text) {
+            if cached.scale == args.scale {
+                eprintln!("[fig5] using cached results from {}", path.display());
+                return Ok(cached);
+            }
+        }
+    }
+    let results = run_fig5(args)?;
+    if let Err(e) = args.write_json("fig5_results.json", &results) {
+        eprintln!("[fig5] warning: could not cache results: {e}");
+    }
+    Ok(results)
+}
+
+/// Fixed-width table printing helper.
+pub fn print_row(label: &str, cells: &[String]) {
+    let mut line = format!("{label:<22}");
+    for c in cells {
+        line.push_str(&format!("{c:>12}"));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_sane_configs() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            let c = scale.experiment_config();
+            c.validate().unwrap();
+            assert!(scale.factor() > 0.0 && scale.factor() <= 1.0);
+            assert!(scale.default_seeds() >= 1);
+            assert!(!scale.battleship_alphas().is_empty());
+        }
+        // Paper scale matches §4.2 exactly.
+        let paper = Scale::Paper.experiment_config();
+        assert_eq!(paper.al.budget, 100);
+        assert_eq!(paper.al.iterations, 8);
+        assert_eq!(Scale::Paper.battleship_alphas(), vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn prepare_smoke_dataset() {
+        let p = em_synth::DatasetProfile::wdc_shoes();
+        let prepared = prepare(&p, Scale::Smoke, 1).unwrap();
+        assert_eq!(prepared.features.len(), prepared.dataset.len());
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(Method::Battleship.name(), "battleship");
+        assert_eq!(Method::all().len(), 4);
+    }
+}

@@ -1,0 +1,546 @@
+//! Constrained K-Means: Lloyd iterations with min/max cluster sizes.
+//!
+//! "We apply a constrained version of K-Means \[6\] to avoid small clusters
+//! that cannot be represented under budget limitations, or alternatively,
+//! large clusters that demand multiple similarity comparisons. We set a
+//! minimal and maximal size for a cluster" (§3.3.1). The paper cites
+//! Bradley, Bennett & Demiriz (2000), who solve the constrained
+//! assignment step exactly as a min-cost flow. We provide both:
+//!
+//! * [`AssignmentMode::Greedy`] — a regret-ordered greedy assignment with
+//!   a repair pass; `O(n·k log n)` per iteration, the default at
+//!   benchmark scale;
+//! * [`AssignmentMode::Flow`] — the exact BBD formulation via
+//!   [`crate::flow::MinCostFlow`]; used in tests and available for small
+//!   instances (see the `ablation_assignment` bench for the trade-off).
+
+use em_core::{EmError, Result, Rng};
+use em_vector::embeddings::sq_euclidean;
+use em_vector::Embeddings;
+
+use crate::flow::MinCostFlow;
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+
+/// How the size-constrained assignment step is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignmentMode {
+    /// Regret-ordered greedy with min-size repair (scalable).
+    #[default]
+    Greedy,
+    /// Exact min-cost-flow assignment (Bradley–Bennett–Demiriz).
+    Flow,
+}
+
+/// Configuration for constrained K-Means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstrainedConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Minimum points per cluster.
+    pub min_size: usize,
+    /// Maximum points per cluster.
+    pub max_size: usize,
+    /// Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed (initialisation reuses unconstrained k-means++).
+    pub seed: u64,
+    /// Assignment solver.
+    pub mode: AssignmentMode,
+}
+
+impl ConstrainedConfig {
+    /// Derive cluster-size bounds from fractions of `n`, the way the paper
+    /// configures it: "the size of a cluster ranges from 0.05 to 0.15 of
+    /// the number of samples against which the graph is created" (§4.2).
+    pub fn from_fractions(
+        n: usize,
+        k: usize,
+        min_frac: f64,
+        max_frac: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&min_frac) || !(0.0..=1.0).contains(&max_frac) {
+            return Err(EmError::InvalidConfig(
+                "cluster size fractions must be in [0,1]".into(),
+            ));
+        }
+        if min_frac > max_frac {
+            return Err(EmError::InvalidConfig(
+                "min_frac must be <= max_frac".into(),
+            ));
+        }
+        let min_size = (n as f64 * min_frac).floor() as usize;
+        let max_size = ((n as f64 * max_frac).ceil() as usize).max(1);
+        Ok(ConstrainedConfig {
+            k,
+            min_size,
+            max_size,
+            max_iters: 30,
+            seed,
+            mode: AssignmentMode::Greedy,
+        })
+    }
+
+    fn validate(&self, n: usize) -> Result<()> {
+        if self.k == 0 || self.k > n {
+            return Err(EmError::InvalidConfig(format!(
+                "constrained kmeans k={} must be in 1..={n}",
+                self.k
+            )));
+        }
+        if self.min_size > self.max_size {
+            return Err(EmError::InvalidConfig(format!(
+                "min_size {} > max_size {}",
+                self.min_size, self.max_size
+            )));
+        }
+        if self.k * self.min_size > n {
+            return Err(EmError::InvalidConfig(format!(
+                "infeasible: k({}) * min_size({}) > n({n})",
+                self.k, self.min_size
+            )));
+        }
+        if self.k * self.max_size < n {
+            return Err(EmError::InvalidConfig(format!(
+                "infeasible: k({}) * max_size({}) < n({n})",
+                self.k, self.max_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Run size-constrained K-Means.
+///
+/// The returned clustering satisfies
+/// `min_size <= |cluster| <= max_size` for every cluster.
+pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Result<KMeansResult> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("constrained kmeans data".into()));
+    }
+    config.validate(n)?;
+    let dim = data.dim();
+    let k = config.k;
+
+    // Initialise centroids from a short unconstrained run.
+    let init = kmeans(
+        data,
+        KMeansConfig {
+            k,
+            max_iters: 5,
+            tol: 1e-4,
+            seed: config.seed,
+        },
+    )?;
+    let mut centroids: Vec<f32> = init.centroids.flat().to_vec();
+    let mut assignment = vec![usize::MAX; n];
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0xBADC_0FFE);
+
+    for _iter in 0..config.max_iters {
+        let new_assignment = match config.mode {
+            AssignmentMode::Greedy => greedy_assign(data, &centroids, k, config, &mut rng)?,
+            AssignmentMode::Flow => flow_assign(data, &centroids, k, config)?,
+        };
+
+        let converged = new_assignment == assignment;
+        assignment = new_assignment;
+
+        // Centroid update.
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (acc, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                for x in &mut sums[c * dim..(c + 1) * dim] {
+                    *x *= inv;
+                }
+            } else {
+                sums[c * dim..(c + 1) * dim]
+                    .copy_from_slice(&centroids[c * dim..(c + 1) * dim]);
+            }
+        }
+        centroids = sums;
+        if converged {
+            break;
+        }
+    }
+
+    let mut sse = 0.0f32;
+    let mut sizes = vec![0usize; k];
+    for i in 0..n {
+        let c = assignment[i];
+        sizes[c] += 1;
+        sse += sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+    }
+
+    Ok(KMeansResult {
+        centroids: Embeddings::from_flat(dim, centroids)?,
+        assignment,
+        sse,
+        sizes,
+    })
+}
+
+/// Greedy capacity-respecting assignment with min-size repair.
+fn greedy_assign(
+    data: &Embeddings,
+    centroids: &[f32],
+    k: usize,
+    config: ConstrainedConfig,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    let n = data.len();
+    let dim = data.dim();
+    let dist = |i: usize, c: usize| -> f32 {
+        sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim])
+    };
+
+    // Regret ordering: points whose best choice matters most go first.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut regret = vec![0.0f32; n];
+    for i in 0..n {
+        let mut best = f32::INFINITY;
+        let mut second = f32::INFINITY;
+        for c in 0..k {
+            let d = dist(i, c);
+            if d < best {
+                second = best;
+                best = d;
+            } else if d < second {
+                second = d;
+            }
+        }
+        regret[i] = if second.is_finite() { second - best } else { 0.0 };
+    }
+    // Shuffle first so equal-regret ties don't follow input order.
+    rng.shuffle(&mut order);
+    order.sort_by(|&a, &b| {
+        regret[b]
+            .partial_cmp(&regret[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut sizes = vec![0usize; k];
+    for &i in &order {
+        let mut best_c = usize::MAX;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            if sizes[c] >= config.max_size {
+                continue;
+            }
+            let d = dist(i, c);
+            if d < best_d {
+                best_d = d;
+                best_c = c;
+            }
+        }
+        if best_c == usize::MAX {
+            // config.validate guarantees k*max_size >= n, so a slot exists.
+            return Err(EmError::NoSolution(
+                "greedy assignment ran out of capacity".into(),
+            ));
+        }
+        assignment[i] = best_c;
+        sizes[best_c] += 1;
+    }
+
+    // Repair pass: lift clusters below min_size by stealing the
+    // cheapest-to-move points from clusters that can spare them.
+    loop {
+        let Some(under) = (0..k).find(|&c| sizes[c] < config.min_size) else {
+            break;
+        };
+        let mut best: Option<(usize, f32)> = None; // (point, added cost)
+        for i in 0..n {
+            let cur = assignment[i];
+            if cur == under || sizes[cur] <= config.min_size {
+                continue;
+            }
+            let added = dist(i, under) - dist(i, cur);
+            if best.map(|(_, a)| added < a).unwrap_or(true) {
+                best = Some((i, added));
+            }
+        }
+        let Some((steal, _)) = best else {
+            return Err(EmError::NoSolution(
+                "min-size repair found no donor cluster".into(),
+            ));
+        };
+        sizes[assignment[steal]] -= 1;
+        assignment[steal] = under;
+        sizes[under] += 1;
+    }
+
+    Ok(assignment)
+}
+
+/// Exact assignment by min-cost flow (Bradley–Bennett–Demiriz).
+///
+/// Network: `source → point_i` (cap 1), `point_i → cluster_c`
+/// (cap 1, cost = scaled distance), `cluster_c → sink` twice — the first
+/// `min_size` units at a large negative cost (forcing the optimum to fill
+/// every cluster's minimum), the remainder at cost 0.
+fn flow_assign(
+    data: &Embeddings,
+    centroids: &[f32],
+    k: usize,
+    config: ConstrainedConfig,
+) -> Result<Vec<usize>> {
+    let n = data.len();
+    let dim = data.dim();
+    const SCALE: f64 = 1_000_000.0;
+
+    let source = 0usize;
+    let sink = 1usize;
+    let point_node = |i: usize| 2 + i;
+    let cluster_node = |c: usize| 2 + n + c;
+    let mut net = MinCostFlow::new(2 + n + k);
+
+    // The forcing bonus must dominate any sum of distance costs.
+    let mut max_cost = 0i64;
+    let mut edge_ids = vec![(0usize, 0usize); n * k];
+    for i in 0..n {
+        net.add_edge(source, point_node(i), 1, 0)?;
+        for c in 0..k {
+            let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]) as f64;
+            let cost = (d * SCALE) as i64;
+            max_cost = max_cost.max(cost);
+            edge_ids[i * k + c] = net.add_edge(point_node(i), cluster_node(c), 1, cost)?;
+        }
+    }
+    let bonus = max_cost
+        .saturating_mul(n as i64)
+        .saturating_add(1)
+        .max(1);
+    for c in 0..k {
+        if config.min_size > 0 {
+            net.add_edge(cluster_node(c), sink, config.min_size as i64, -bonus)?;
+        }
+        let slack = config.max_size.saturating_sub(config.min_size);
+        if slack > 0 {
+            net.add_edge(cluster_node(c), sink, slack as i64, 0)?;
+        }
+    }
+
+    let result = net.run(source, sink, n as i64)?;
+    if result.flow != n as i64 {
+        return Err(EmError::NoSolution(format!(
+            "flow assignment routed {} of {n} points",
+            result.flow
+        )));
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for i in 0..n {
+        for c in 0..k {
+            if net.edge_flow(edge_ids[i * k + c]) > 0 {
+                assignment[i] = c;
+                break;
+            }
+        }
+        if assignment[i] == usize::MAX {
+            return Err(EmError::NoSolution(format!(
+                "flow assignment left point {i} unrouted"
+            )));
+        }
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    c[0] + rng.normal() as f32 * spread,
+                    c[1] + rng.normal() as f32 * spread,
+                ]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    fn check_bounds(res: &KMeansResult, min: usize, max: usize) {
+        for (c, &s) in res.sizes.iter().enumerate() {
+            assert!(
+                (min..=max).contains(&s),
+                "cluster {c} size {s} outside [{min},{max}]; all sizes {:?}",
+                res.sizes
+            );
+        }
+    }
+
+    #[test]
+    fn validates_feasibility() {
+        let data = blobs(10, &[[0.0, 0.0]], 0.1, 1);
+        // k*min > n
+        let bad = ConstrainedConfig {
+            k: 3,
+            min_size: 5,
+            max_size: 10,
+            max_iters: 5,
+            seed: 0,
+            mode: AssignmentMode::Greedy,
+        };
+        assert!(constrained_kmeans(&data, bad).is_err());
+        // k*max < n
+        let bad = ConstrainedConfig {
+            k: 2,
+            min_size: 0,
+            max_size: 4,
+            max_iters: 5,
+            seed: 0,
+            mode: AssignmentMode::Greedy,
+        };
+        assert!(constrained_kmeans(&data, bad).is_err());
+        // min > max
+        let bad = ConstrainedConfig {
+            k: 2,
+            min_size: 6,
+            max_size: 5,
+            max_iters: 5,
+            seed: 0,
+            mode: AssignmentMode::Greedy,
+        };
+        assert!(constrained_kmeans(&data, bad).is_err());
+    }
+
+    #[test]
+    fn greedy_respects_bounds_on_skewed_data() {
+        // One huge blob and one tiny blob; unconstrained k-means with k=3
+        // would produce very uneven sizes.
+        let mut rows = blobs(80, &[[0.0, 0.0]], 0.5, 2).flat().to_vec();
+        rows.extend_from_slice(blobs(10, &[[9.0, 9.0]], 0.2, 3).flat());
+        let data = Embeddings::from_flat(2, rows).unwrap();
+        let cfg = ConstrainedConfig {
+            k: 3,
+            min_size: 20,
+            max_size: 40,
+            max_iters: 20,
+            seed: 5,
+            mode: AssignmentMode::Greedy,
+        };
+        let res = constrained_kmeans(&data, cfg).unwrap();
+        check_bounds(&res, 20, 40);
+        assert_eq!(res.sizes.iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn flow_respects_bounds_and_beats_or_ties_greedy() {
+        let data = blobs(15, &[[0.0, 0.0], [4.0, 0.0], [2.0, 3.0]], 0.8, 7);
+        let base = ConstrainedConfig {
+            k: 3,
+            min_size: 10,
+            max_size: 20,
+            max_iters: 15,
+            seed: 9,
+            mode: AssignmentMode::Greedy,
+        };
+        let greedy = constrained_kmeans(&data, base).unwrap();
+        let flow = constrained_kmeans(
+            &data,
+            ConstrainedConfig {
+                mode: AssignmentMode::Flow,
+                ..base
+            },
+        )
+        .unwrap();
+        check_bounds(&greedy, 10, 20);
+        check_bounds(&flow, 10, 20);
+        // The exact assignment can only improve the final objective given
+        // identical centroid trajectories — allow small slack because the
+        // trajectories may diverge.
+        assert!(flow.sse <= greedy.sse * 1.10, "flow {} vs greedy {}", flow.sse, greedy.sse);
+    }
+
+    #[test]
+    fn exact_sizes_when_bounds_are_tight() {
+        let data = blobs(12, &[[0.0, 0.0], [5.0, 5.0]], 1.0, 11);
+        for mode in [AssignmentMode::Greedy, AssignmentMode::Flow] {
+            let cfg = ConstrainedConfig {
+                k: 4,
+                min_size: 6,
+                max_size: 6,
+                max_iters: 10,
+                seed: 1,
+                mode,
+            };
+            let res = constrained_kmeans(&data, cfg).unwrap();
+            assert!(res.sizes.iter().all(|&s| s == 6), "{mode:?}: {:?}", res.sizes);
+        }
+    }
+
+    #[test]
+    fn separated_blobs_stay_intact_when_feasible() {
+        let data = blobs(20, &[[0.0, 0.0], [10.0, 10.0]], 0.3, 13);
+        let cfg = ConstrainedConfig {
+            k: 2,
+            min_size: 10,
+            max_size: 30,
+            max_iters: 20,
+            seed: 3,
+            mode: AssignmentMode::Greedy,
+        };
+        let res = constrained_kmeans(&data, cfg).unwrap();
+        // Each blob should map to exactly one cluster.
+        let first = res.assignment[0];
+        assert!(res.assignment[..20].iter().all(|&c| c == first));
+        let second = res.assignment[20];
+        assert_ne!(first, second);
+        assert!(res.assignment[20..].iter().all(|&c| c == second));
+    }
+
+    #[test]
+    fn from_fractions_maps_paper_config() {
+        let cfg = ConstrainedConfig::from_fractions(1000, 10, 0.05, 0.15, 0).unwrap();
+        assert_eq!(cfg.min_size, 50);
+        assert_eq!(cfg.max_size, 150);
+        assert!(ConstrainedConfig::from_fractions(10, 2, 0.5, 0.2, 0).is_err());
+        assert!(ConstrainedConfig::from_fractions(10, 2, -0.1, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(20, &[[0.0, 0.0], [6.0, 0.0]], 1.0, 17);
+        let cfg = ConstrainedConfig {
+            k: 2,
+            min_size: 15,
+            max_size: 25,
+            max_iters: 10,
+            seed: 21,
+            mode: AssignmentMode::Greedy,
+        };
+        let a = constrained_kmeans(&data, cfg).unwrap();
+        let b = constrained_kmeans(&data, cfg).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn min_size_zero_reduces_to_capped_kmeans() {
+        let data = blobs(10, &[[0.0, 0.0], [8.0, 8.0]], 0.4, 19);
+        let cfg = ConstrainedConfig {
+            k: 2,
+            min_size: 0,
+            max_size: 20,
+            max_iters: 10,
+            seed: 23,
+            mode: AssignmentMode::Greedy,
+        };
+        let res = constrained_kmeans(&data, cfg).unwrap();
+        assert_eq!(res.sizes.iter().sum::<usize>(), 20);
+    }
+}

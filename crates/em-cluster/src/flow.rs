@@ -1,0 +1,270 @@
+//! Min-cost max-flow solver (successive shortest augmenting paths).
+//!
+//! Bradley, Bennett & Demiriz (2000) show that the constrained K-Means
+//! assignment step is exactly a minimum-cost flow problem. This module
+//! provides the solver used by [`crate::constrained`]'s exact assignment
+//! mode; it is a classic SPFA-based successive-shortest-paths
+//! implementation, adequate for the point×cluster bipartite graphs of
+//! small-to-medium instances.
+
+use em_core::{EmError, Result};
+
+/// Edge of the residual network.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    /// Remaining capacity.
+    cap: i64,
+    cost: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A min-cost max-flow instance on a fixed node set.
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<Edge>>,
+}
+
+/// Result of a flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Units of flow pushed from source to sink.
+    pub flow: i64,
+    /// Total cost of the pushed flow.
+    pub cost: i64,
+}
+
+impl MinCostFlow {
+    /// Create a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` iff the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Add a directed edge `from → to`; returns an id usable with
+    /// [`MinCostFlow::edge_flow`].
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> Result<(usize, usize)> {
+        let n = self.graph.len();
+        if from >= n || to >= n {
+            return Err(EmError::IndexOutOfBounds {
+                context: "flow edge endpoint".into(),
+                index: from.max(to),
+                len: n,
+            });
+        }
+        if cap < 0 {
+            return Err(EmError::InvalidConfig("flow capacity must be >= 0".into()));
+        }
+        let fwd = self.graph[from].len();
+        let bwd = self.graph[to].len();
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            cost,
+            rev: bwd,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: fwd,
+        });
+        Ok((from, fwd))
+    }
+
+    /// Flow currently pushed through edge `(node, edge_index)` as returned
+    /// by [`MinCostFlow::add_edge`] — the residual of the reverse edge.
+    pub fn edge_flow(&self, id: (usize, usize)) -> i64 {
+        let e = &self.graph[id.0][id.1];
+        self.graph[e.to][e.rev].cap
+    }
+
+    /// Push up to `max_flow` units from `source` to `sink` at minimum
+    /// cost. Handles negative edge costs (no negative cycles reachable
+    /// from the source are permitted).
+    pub fn run(&mut self, source: usize, sink: usize, max_flow: i64) -> Result<FlowResult> {
+        let n = self.graph.len();
+        if source >= n || sink >= n {
+            return Err(EmError::IndexOutOfBounds {
+                context: "flow terminal".into(),
+                index: source.max(sink),
+                len: n,
+            });
+        }
+        if source == sink {
+            return Err(EmError::InvalidConfig("source == sink".into()));
+        }
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+
+        while total_flow < max_flow {
+            // SPFA shortest path by cost in the residual graph.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[source] = 0;
+            queue.push_back(source);
+            in_queue[source] = true;
+            let mut relaxations = 0usize;
+            let relax_budget = n
+                .saturating_mul(self.graph.iter().map(Vec::len).sum::<usize>())
+                .saturating_add(1);
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                for (ei, e) in self.graph[u].iter().enumerate() {
+                    if e.cap <= 0 || dist[u] == i64::MAX {
+                        continue;
+                    }
+                    let nd = dist[u] + e.cost;
+                    if nd < dist[e.to] {
+                        relaxations += 1;
+                        if relaxations > relax_budget {
+                            return Err(EmError::NoSolution(
+                                "negative cycle detected in flow network".into(),
+                            ));
+                        }
+                        dist[e.to] = nd;
+                        prev[e.to] = Some((u, ei));
+                        if !in_queue[e.to] {
+                            queue.push_back(e.to);
+                            in_queue[e.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[sink] == i64::MAX {
+                break; // No more augmenting paths.
+            }
+
+            // Bottleneck along the path.
+            let mut bottleneck = max_flow - total_flow;
+            let mut v = sink;
+            while let Some((u, ei)) = prev[v] {
+                bottleneck = bottleneck.min(self.graph[u][ei].cap);
+                v = u;
+            }
+            // Apply.
+            let mut v = sink;
+            while let Some((u, ei)) = prev[v] {
+                let rev = self.graph[u][ei].rev;
+                self.graph[u][ei].cap -= bottleneck;
+                self.graph[v][rev].cap += bottleneck;
+                v = u;
+            }
+            total_flow += bottleneck;
+            total_cost += bottleneck * dist[sink];
+        }
+
+        Ok(FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        // 0 → 1 → 2, caps 5 and 3, costs 1 and 2.
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 5, 1).unwrap();
+        f.add_edge(1, 2, 3, 2).unwrap();
+        let r = f.run(0, 2, i64::MAX).unwrap();
+        assert_eq!(r.flow, 3);
+        assert_eq!(r.cost, 3 * 3);
+    }
+
+    #[test]
+    fn chooses_cheaper_path_first() {
+        // Two parallel paths 0→1→3 (cost 1+1) and 0→2→3 (cost 5+5),
+        // each capacity 1. Asking for 1 unit must take the cheap one.
+        let mut f = MinCostFlow::new(4);
+        let cheap = f.add_edge(0, 1, 1, 1).unwrap();
+        f.add_edge(1, 3, 1, 1).unwrap();
+        let dear = f.add_edge(0, 2, 1, 5).unwrap();
+        f.add_edge(2, 3, 1, 5).unwrap();
+        let r = f.run(0, 3, 1).unwrap();
+        assert_eq!(r.flow, 1);
+        assert_eq!(r.cost, 2);
+        assert_eq!(f.edge_flow(cheap), 1);
+        assert_eq!(f.edge_flow(dear), 0);
+    }
+
+    #[test]
+    fn respects_max_flow_cap() {
+        let mut f = MinCostFlow::new(2);
+        f.add_edge(0, 1, 100, 1).unwrap();
+        let r = f.run(0, 1, 7).unwrap();
+        assert_eq!(r.flow, 7);
+        assert_eq!(r.cost, 7);
+    }
+
+    #[test]
+    fn disconnected_yields_zero_flow() {
+        let mut f = MinCostFlow::new(3);
+        f.add_edge(0, 1, 5, 1).unwrap();
+        let r = f.run(0, 2, 10).unwrap();
+        assert_eq!(r.flow, 0);
+        assert_eq!(r.cost, 0);
+    }
+
+    #[test]
+    fn negative_costs_preferred() {
+        // Negative-cost edge should be used even though a zero-cost route
+        // exists (this is the mechanism the constrained assignment uses to
+        // enforce minimum cluster sizes).
+        let mut f = MinCostFlow::new(4);
+        let neg = f.add_edge(0, 1, 1, -10).unwrap();
+        f.add_edge(1, 3, 1, 0).unwrap();
+        f.add_edge(0, 2, 1, 0).unwrap();
+        f.add_edge(2, 3, 1, 0).unwrap();
+        let r = f.run(0, 3, 1).unwrap();
+        assert_eq!(r.cost, -10);
+        assert_eq!(f.edge_flow(neg), 1);
+    }
+
+    #[test]
+    fn assignment_problem_exact() {
+        // 2 workers × 2 jobs; costs [[1, 10], [10, 1]] — optimum is the
+        // diagonal with total cost 2.
+        let mut f = MinCostFlow::new(6); // 0 src, 1-2 workers, 3-4 jobs, 5 sink
+        f.add_edge(0, 1, 1, 0).unwrap();
+        f.add_edge(0, 2, 1, 0).unwrap();
+        let w1j1 = f.add_edge(1, 3, 1, 1).unwrap();
+        f.add_edge(1, 4, 1, 10).unwrap();
+        f.add_edge(2, 3, 1, 10).unwrap();
+        let w2j2 = f.add_edge(2, 4, 1, 1).unwrap();
+        f.add_edge(3, 5, 1, 0).unwrap();
+        f.add_edge(4, 5, 1, 0).unwrap();
+        let r = f.run(0, 5, 2).unwrap();
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, 2);
+        assert_eq!(f.edge_flow(w1j1), 1);
+        assert_eq!(f.edge_flow(w2j2), 1);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut f = MinCostFlow::new(2);
+        assert!(f.add_edge(0, 5, 1, 1).is_err());
+        assert!(f.add_edge(0, 1, -1, 1).is_err());
+        assert!(f.run(0, 0, 1).is_err());
+        assert!(f.run(0, 9, 1).is_err());
+    }
+}

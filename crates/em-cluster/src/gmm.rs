@@ -1,0 +1,348 @@
+//! Diagonal-covariance Gaussian mixture models fitted by EM.
+//!
+//! The ZeroER baseline (Wu et al. 2020) "relies on the assumption that
+//! similarity vectors for match pairs should differ from that of no match
+//! pairs": it fits a two-component generative model over similarity
+//! feature vectors and reads match probabilities off the responsibilities.
+//! This module is that substrate — a standard EM fit of `K` diagonal
+//! Gaussians, kept general (any `K`) because it is also useful for
+//! latent-space diagnostics.
+
+use em_core::{EmError, Result, Rng};
+use em_vector::Embeddings;
+
+/// GMM hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub n_components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f64,
+    /// Variance floor — keeps components from collapsing onto single
+    /// points.
+    pub min_var: f64,
+    /// Seed for responsibility initialisation.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            n_components: 2,
+            max_iters: 100,
+            tol: 1e-6,
+            min_var: 1e-6,
+            seed: 0x6E_E4,
+        }
+    }
+}
+
+/// A fitted mixture.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    /// Mixing weights, sum to 1.
+    pub weights: Vec<f64>,
+    /// Component means, `n_components × dim` row-major.
+    pub means: Vec<Vec<f64>>,
+    /// Component diagonal variances, same shape as `means`.
+    pub variances: Vec<Vec<f64>>,
+    /// Mean log-likelihood of the training data at convergence.
+    pub log_likelihood: f64,
+    /// EM iterations actually run.
+    pub iterations: usize,
+}
+
+impl Gmm {
+    /// Fit a mixture to `data` by EM.
+    ///
+    /// Initialisation assigns soft responsibilities from a k-means-like
+    /// seeding (distinct random points as means), which keeps the fit
+    /// deterministic per seed.
+    pub fn fit(data: &Embeddings, config: GmmConfig) -> Result<Gmm> {
+        let n = data.len();
+        let k = config.n_components;
+        if n == 0 {
+            return Err(EmError::EmptyInput("gmm data".into()));
+        }
+        if k == 0 || k > n {
+            return Err(EmError::InvalidConfig(format!(
+                "gmm n_components={k} must be in 1..={n}"
+            )));
+        }
+        if config.min_var <= 0.0 {
+            return Err(EmError::InvalidConfig("gmm min_var must be > 0".into()));
+        }
+        let dim = data.dim();
+        let mut rng = Rng::seed_from_u64(config.seed);
+
+        // Init: means at distinct sample points, shared global variance,
+        // uniform weights.
+        let seeds = rng.sample_indices(n, k);
+        let mut means: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&i| data.row(i).iter().map(|&x| x as f64).collect())
+            .collect();
+        let global_mean: Vec<f64> = {
+            let c = data.centroid()?;
+            c.into_iter().map(|x| x as f64).collect()
+        };
+        let mut global_var = vec![0.0f64; dim];
+        for i in 0..n {
+            for (d, &x) in data.row(i).iter().enumerate() {
+                let diff = x as f64 - global_mean[d];
+                global_var[d] += diff * diff;
+            }
+        }
+        for v in &mut global_var {
+            *v = (*v / n as f64).max(config.min_var);
+        }
+        let mut variances: Vec<Vec<f64>> = (0..k).map(|_| global_var.clone()).collect();
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // E step: responsibilities via log-sum-exp.
+            let mut ll = 0.0f64;
+            for i in 0..n {
+                let x = data.row(i);
+                let mut logp = vec![0.0f64; k];
+                for c in 0..k {
+                    logp[c] = weights[c].max(1e-300).ln()
+                        + log_gaussian_diag(x, &means[c], &variances[c]);
+                }
+                let max_lp = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logp.iter().map(|&lp| (lp - max_lp).exp()).sum();
+                let log_norm = max_lp + sum_exp.ln();
+                ll += log_norm;
+                for c in 0..k {
+                    resp[i * k + c] = (logp[c] - log_norm).exp();
+                }
+            }
+            ll /= n as f64;
+
+            // M step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+                let nk_safe = nk.max(1e-12);
+                weights[c] = nk / n as f64;
+                for d in 0..dim {
+                    let mut m = 0.0f64;
+                    for i in 0..n {
+                        m += resp[i * k + c] * data.row(i)[d] as f64;
+                    }
+                    means[c][d] = m / nk_safe;
+                }
+                for d in 0..dim {
+                    let mut v = 0.0f64;
+                    for i in 0..n {
+                        let diff = data.row(i)[d] as f64 - means[c][d];
+                        v += resp[i * k + c] * diff * diff;
+                    }
+                    variances[c][d] = (v / nk_safe).max(config.min_var);
+                }
+            }
+
+            if (ll - prev_ll).abs() < config.tol {
+                prev_ll = ll;
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Ok(Gmm {
+            weights,
+            means,
+            variances,
+            log_likelihood: prev_ll,
+            iterations,
+        })
+    }
+
+    /// Posterior responsibilities `p(component | x)` for one vector.
+    pub fn responsibilities(&self, x: &[f32]) -> Result<Vec<f64>> {
+        let k = self.weights.len();
+        if x.len() != self.means[0].len() {
+            return Err(EmError::DimensionMismatch {
+                context: "gmm responsibilities".into(),
+                expected: self.means[0].len(),
+                actual: x.len(),
+            });
+        }
+        let mut logp = vec![0.0f64; k];
+        for c in 0..k {
+            logp[c] = self.weights[c].max(1e-300).ln()
+                + log_gaussian_diag(x, &self.means[c], &self.variances[c]);
+        }
+        let max_lp = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum_exp: f64 = logp.iter().map(|&lp| (lp - max_lp).exp()).sum();
+        let log_norm = max_lp + sum_exp.ln();
+        Ok(logp.into_iter().map(|lp| (lp - log_norm).exp()).collect())
+    }
+
+    /// Index of the most likely component for `x`.
+    pub fn predict(&self, x: &[f32]) -> Result<usize> {
+        let r = self.responsibilities(x)?;
+        Ok(r.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+}
+
+/// Log density of a diagonal Gaussian at `x`.
+fn log_gaussian_diag(x: &[f32], mean: &[f64], var: &[f64]) -> f64 {
+    const LOG_2PI: f64 = 1.8378770664093453;
+    let mut acc = 0.0f64;
+    for d in 0..x.len() {
+        let diff = x[d] as f64 - mean[d];
+        acc += -0.5 * (LOG_2PI + var[d].ln() + diff * diff / var[d]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gaussians(n_per: usize, sep: f32, seed: u64) -> (Embeddings, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let cx = if c == 0 { -sep } else { sep };
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.normal() as f32 * 0.5,
+                    rng.normal() as f32 * 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        (Embeddings::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn recovers_two_separated_components() {
+        let (data, labels) = two_gaussians(150, 3.0, 1);
+        let gmm = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        // Means should sit near ±3 on the x axis (order unknown).
+        let mut xs: Vec<f64> = gmm.means.iter().map(|m| m[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] + 3.0).abs() < 0.3, "mean {}", xs[0]);
+        assert!((xs[1] - 3.0).abs() < 0.3, "mean {}", xs[1]);
+        // Predictions should agree with ground truth up to label swap.
+        let preds: Vec<usize> = (0..data.len())
+            .map(|i| gmm.predict(data.row(i)).unwrap())
+            .collect();
+        let agree = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        let acc = agree.max(data.len() - agree) as f64 / data.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_reflect_imbalance() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut rows = Vec::new();
+        for _ in 0..180 {
+            rows.push(vec![rng.normal() as f32 * 0.4 - 3.0]);
+        }
+        for _ in 0..20 {
+            rows.push(vec![rng.normal() as f32 * 0.4 + 3.0]);
+        }
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let gmm = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        let total: f64 = gmm.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let minor = gmm.weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((minor - 0.1).abs() < 0.05, "minor weight {minor}");
+    }
+
+    #[test]
+    fn responsibilities_are_probabilities() {
+        let (data, _) = two_gaussians(50, 2.0, 3);
+        let gmm = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        for i in 0..data.len() {
+            let r = gmm.responsibilities(data.row(i)).unwrap();
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_components_on_multimodal_data() {
+        let (data, _) = two_gaussians(100, 4.0, 4);
+        let one = Gmm::fit(
+            &data,
+            GmmConfig {
+                n_components: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let two = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        assert!(
+            two.log_likelihood > one.log_likelihood + 0.1,
+            "2-comp {} vs 1-comp {}",
+            two.log_likelihood,
+            one.log_likelihood
+        );
+    }
+
+    #[test]
+    fn variance_floor_prevents_collapse() {
+        // Duplicated points would otherwise drive a variance to zero.
+        let rows = vec![vec![1.0f32], vec![1.0], vec![1.0], vec![5.0], vec![5.0]];
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let gmm = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        for c in &gmm.variances {
+            assert!(c.iter().all(|&v| v >= 1e-6));
+        }
+    }
+
+    #[test]
+    fn validates_config() {
+        let (data, _) = two_gaussians(5, 1.0, 5);
+        assert!(Gmm::fit(
+            &data,
+            GmmConfig {
+                n_components: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Gmm::fit(
+            &data,
+            GmmConfig {
+                n_components: 99,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Gmm::fit(
+            &data,
+            GmmConfig {
+                min_var: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let gmm = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        assert!(gmm.responsibilities(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = two_gaussians(40, 2.5, 6);
+        let a = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        let b = Gmm::fit(&data, GmmConfig::default()).unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.means, b.means);
+    }
+}

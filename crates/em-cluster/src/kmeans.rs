@@ -1,0 +1,395 @@
+//! Lloyd's K-Means with k-means++ seeding.
+//!
+//! The unconstrained base algorithm. The battleship pipeline always runs
+//! the constrained variant on top (see [`crate::constrained`]), but the
+//! plain version is kept public both as the ablation baseline
+//! (`ablation_clustering` bench) and for `k` selection sweeps, which the
+//! paper performs on the unconstrained SSE curve.
+
+use em_core::{EmError, Result, Rng};
+use em_vector::embeddings::sq_euclidean;
+use em_vector::Embeddings;
+
+/// K-Means parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f32,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 50,
+            tol: 1e-4,
+            seed: 0xC1_05,
+        }
+    }
+}
+
+/// A clustering: centroids, per-point assignment and quality numbers.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k` centroid vectors.
+    pub centroids: Embeddings,
+    /// Cluster id per input row.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub sse: f32,
+    /// Number of points per cluster.
+    pub sizes: Vec<usize>,
+}
+
+impl KMeansResult {
+    /// Row indices of each cluster's members.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c].push(i);
+        }
+        out
+    }
+
+    /// Mean SSE per point — the "average sum of squared distance between
+    /// the centroid of each cluster to its members" curve the paper feeds
+    /// to Kneedle (§3.3.1).
+    pub fn mean_sse(&self) -> f32 {
+        if self.assignment.is_empty() {
+            0.0
+        } else {
+            self.sse / self.assignment.len() as f32
+        }
+    }
+}
+
+/// k-means++ seeding: spread initial centroids proportionally to squared
+/// distance from the nearest already-chosen centroid.
+fn kmeanspp_init(data: &Embeddings, k: usize, rng: &mut Rng) -> Vec<usize> {
+    let n = data.len();
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(rng.below(n));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_euclidean(data.row(i), data.row(chosen[0])) as f64)
+        .collect();
+    while chosen.len() < k {
+        let next = match rng.weighted_index(&d2) {
+            Some(i) => i,
+            // All residual distances zero (duplicate points): pick any.
+            None => rng.below(n),
+        };
+        chosen.push(next);
+        for i in 0..n {
+            let d = sq_euclidean(data.row(i), data.row(next)) as f64;
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    chosen
+}
+
+/// Run Lloyd's algorithm.
+///
+/// Requires `1 <= k <= n`. Empty clusters are re-seeded with the point
+/// farthest from its centroid, so the returned clustering always has `k`
+/// non-empty clusters when the data has at least `k` distinct points.
+pub fn kmeans(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
+    let n = data.len();
+    let k = config.k;
+    if n == 0 {
+        return Err(EmError::EmptyInput("kmeans data".into()));
+    }
+    if k == 0 || k > n {
+        return Err(EmError::InvalidConfig(format!(
+            "kmeans k={k} must be in 1..={n}"
+        )));
+    }
+    let dim = data.dim();
+    let mut rng = Rng::seed_from_u64(config.seed);
+
+    let seeds = kmeanspp_init(data, k, &mut rng);
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for &s in &seeds {
+        centroids.extend_from_slice(data.row(s));
+    }
+
+    let mut assignment = vec![0usize; n];
+
+    for _iter in 0..config.max_iters {
+        // Assignment step.
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignment[i] = best;
+        }
+
+        // Update step.
+        let mut new_centroids = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (acc, &x) in new_centroids[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(data.row(i))
+            {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the point farthest from
+                // its current centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_euclidean(
+                            data.row(a),
+                            &centroids[assignment[a] * dim..(assignment[a] + 1) * dim],
+                        );
+                        let db = sq_euclidean(
+                            data.row(b),
+                            &centroids[assignment[b] * dim..(assignment[b] + 1) * dim],
+                        );
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n > 0");
+                new_centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for x in &mut new_centroids[c * dim..(c + 1) * dim] {
+                    *x *= inv;
+                }
+            }
+        }
+
+        // Convergence check.
+        let movement: f32 = (0..k)
+            .map(|c| {
+                sq_euclidean(
+                    &centroids[c * dim..(c + 1) * dim],
+                    &new_centroids[c * dim..(c + 1) * dim],
+                )
+            })
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tol {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    let mut sse = 0.0f32;
+    let mut sizes = vec![0usize; k];
+    for i in 0..n {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignment[i] = best;
+        sizes[best] += 1;
+        sse += best_d;
+    }
+
+    Ok(KMeansResult {
+        centroids: Embeddings::from_flat(dim, centroids)?,
+        assignment,
+        sse,
+        sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn blobs(n_per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    c[0] + rng.normal() as f32 * spread,
+                    c[1] + rng.normal() as f32 * spread,
+                ]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let data = blobs(5, &[[0.0, 0.0]], 0.1, 1);
+        assert!(kmeans(
+            &data,
+            KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(
+            &data,
+            KMeansConfig {
+                k: 6,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs(30, &[[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]], 0.3, 2);
+        let res = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every blob maps to a single cluster.
+        for blob in 0..3 {
+            let ids: Vec<usize> = (blob * 30..(blob + 1) * 30)
+                .map(|i| res.assignment[i])
+                .collect();
+            assert!(
+                ids.iter().all(|&c| c == ids[0]),
+                "blob {blob} split across clusters"
+            );
+        }
+        assert_eq!(res.sizes.iter().sum::<usize>(), 90);
+        assert!(res.sizes.iter().all(|&s| s == 30), "{:?}", res.sizes);
+    }
+
+    #[test]
+    fn sse_decreases_with_k() {
+        let data = blobs(25, &[[0.0, 0.0], [8.0, 0.0], [0.0, 8.0], [8.0, 8.0]], 0.5, 3);
+        let sse_of = |k: usize| {
+            kmeans(
+                &data,
+                KMeansConfig {
+                    k,
+                    seed: 11,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .sse
+        };
+        let s1 = sse_of(1);
+        let s2 = sse_of(2);
+        let s4 = sse_of(4);
+        assert!(s1 > s2, "{s1} !> {s2}");
+        assert!(s2 > s4, "{s2} !> {s4}");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let data = blobs(1, &[[0.0, 0.0], [5.0, 5.0], [9.0, 1.0]], 0.0, 4);
+        let res = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.sse < 1e-9);
+        assert!(res.sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let data = blobs(20, &[[0.0, 0.0], [6.0, 6.0]], 0.4, 5);
+        let res = kmeans(
+            &data,
+            KMeansConfig {
+                k: 2,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..data.len() {
+            let assigned = res.assignment[i];
+            for c in 0..2 {
+                let d_assigned = sq_euclidean(data.row(i), res.centroids.row(assigned));
+                let d_other = sq_euclidean(data.row(i), res.centroids.row(c));
+                assert!(d_assigned <= d_other + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(15, &[[0.0, 0.0], [4.0, 4.0]], 0.6, 6);
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = kmeans(&data, cfg).unwrap();
+        let b = kmeans(&data, cfg).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.sse, b.sse);
+    }
+
+    #[test]
+    fn members_partitions_rows() {
+        let data = blobs(10, &[[0.0, 0.0], [7.0, 7.0]], 0.3, 8);
+        let res = kmeans(
+            &data,
+            KMeansConfig {
+                k: 2,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let members = res.members();
+        let mut all: Vec<usize> = members.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        // All points identical: k-means++ falls back to arbitrary picks,
+        // and Lloyd must still terminate with a valid partition.
+        let rows = vec![vec![1.0f32, 2.0]; 12];
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let res = kmeans(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.assignment.len(), 12);
+        assert!(res.sse < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! Kneedle knee-point detection (Satopaa, Albrecht, Irwin & Raghavan,
+//! "Finding a 'Kneedle' in a Haystack", 2011).
+//!
+//! The paper selects the number of clusters `k` "according to the Kneedle
+//! algorithm over the average sum of squared distance between the centroid
+//! of each cluster to its members" (§3.3.1). The SSE-vs-`k` curve is
+//! decreasing and convex-ish; the knee is the point of maximum curvature,
+//! i.e. where adding clusters stops paying.
+//!
+//! This is the offline variant: normalize both axes to the unit square,
+//! flip decreasing curves into increasing ones, form the difference curve
+//! `d(x) = y_norm(x) − x`, and accept a local maximum of `d` as a knee if
+//! the curve then drops below a sensitivity-scaled threshold before
+//! rising again.
+
+use em_core::{EmError, Result};
+
+/// Find the knee of a *decreasing* curve given as `(x, y)` points sorted
+/// by ascending `x`.
+///
+/// Returns the x-index (into the input slice) of the detected knee, or
+/// `None` when no knee clears the sensitivity threshold. `sensitivity`
+/// is the Kneedle `S` parameter; 1.0 is the paper-recommended default,
+/// larger values demand more pronounced knees.
+pub fn kneedle_decreasing(points: &[(f64, f64)], sensitivity: f64) -> Result<Option<usize>> {
+    if points.len() < 3 {
+        return Err(EmError::EmptyInput(
+            "kneedle needs at least 3 points".into(),
+        ));
+    }
+    if sensitivity <= 0.0 {
+        return Err(EmError::InvalidConfig(
+            "kneedle sensitivity must be > 0".into(),
+        ));
+    }
+    for w in points.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err(EmError::InvalidConfig(
+                "kneedle x values must be strictly increasing".into(),
+            ));
+        }
+    }
+
+    let n = points.len();
+    let (x_min, x_max) = (points[0].0, points[n - 1].0);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, y) in points {
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        return Ok(None); // Flat curve: no knee.
+    }
+
+    // Normalize to the unit square; flip the decreasing curve so the knee
+    // becomes a local max of the difference curve.
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|&(x, _)| (x - x_min) / (x_max - x_min))
+        .collect();
+    let ys: Vec<f64> = points
+        .iter()
+        .map(|&(_, y)| 1.0 - (y - y_min) / (y_max - y_min))
+        .collect();
+    let diff: Vec<f64> = xs.iter().zip(&ys).map(|(x, y)| y - x).collect();
+
+    // Mean spacing for the threshold decay.
+    let mean_dx = xs.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (n - 1) as f64;
+
+    // Scan local maxima of the difference curve.
+    let mut best_knee: Option<usize> = None;
+    let mut i = 1;
+    while i + 1 < n {
+        let is_local_max = diff[i] > diff[i - 1] && diff[i] >= diff[i + 1];
+        if is_local_max {
+            let threshold = diff[i] - sensitivity * mean_dx;
+            // Knee confirmed if the difference curve drops below the
+            // threshold before the next local maximum.
+            let mut j = i + 1;
+            let mut confirmed = false;
+            while j < n {
+                if diff[j] > diff[i] {
+                    break; // A higher max supersedes this candidate.
+                }
+                if diff[j] < threshold {
+                    confirmed = true;
+                    break;
+                }
+                j += 1;
+            }
+            // The final candidate of a curve that never rises again also
+            // counts (standard Kneedle end-of-data handling).
+            if !confirmed && j == n && diff[i] - sensitivity * mean_dx > 0.0 {
+                confirmed = true;
+            }
+            if confirmed {
+                // Keep the most pronounced knee.
+                if best_knee.map(|b| diff[i] > diff[b]).unwrap_or(true) {
+                    best_knee = Some(i);
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(best_knee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An L-shaped curve with an obvious knee at x = 3.
+    fn elbow_curve() -> Vec<(f64, f64)> {
+        vec![
+            (1.0, 100.0),
+            (2.0, 55.0),
+            (3.0, 20.0),
+            (4.0, 15.0),
+            (5.0, 12.0),
+            (6.0, 10.0),
+            (7.0, 9.0),
+            (8.0, 8.5),
+        ]
+    }
+
+    #[test]
+    fn finds_obvious_elbow() {
+        let knee = kneedle_decreasing(&elbow_curve(), 1.0).unwrap();
+        assert_eq!(knee, Some(2), "expected knee at x=3 (index 2)");
+    }
+
+    #[test]
+    fn straight_line_has_no_knee() {
+        let line: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 100.0 - 10.0 * i as f64)).collect();
+        let knee = kneedle_decreasing(&line, 1.0).unwrap();
+        assert_eq!(knee, None);
+    }
+
+    #[test]
+    fn flat_curve_has_no_knee() {
+        let flat: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 3.0)).collect();
+        assert_eq!(kneedle_decreasing(&flat, 1.0).unwrap(), None);
+    }
+
+    #[test]
+    fn smooth_hyperbola_knee_near_origin_bend() {
+        // y = 1/x over x in [1, 10]: knee in the low-x bend region.
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 1.0 / i as f64)).collect();
+        let knee = kneedle_decreasing(&pts, 1.0).unwrap().expect("knee expected");
+        assert!((1..=3).contains(&knee), "knee index {knee}");
+    }
+
+    #[test]
+    fn higher_sensitivity_rejects_weak_knees() {
+        // A very gentle bend.
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 100.0 - 5.0 * x + 0.05 * x * x)
+            })
+            .collect();
+        let relaxed = kneedle_decreasing(&pts, 0.1).unwrap();
+        let strict = kneedle_decreasing(&pts, 25.0).unwrap();
+        assert!(strict.is_none() || relaxed.is_some());
+        assert_eq!(strict, None, "sensitivity 25 should reject a gentle bend");
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(kneedle_decreasing(&[(0.0, 1.0), (1.0, 0.5)], 1.0).is_err());
+        assert!(kneedle_decreasing(&elbow_curve(), 0.0).is_err());
+        let unsorted = vec![(1.0, 3.0), (1.0, 2.0), (2.0, 1.0)];
+        assert!(kneedle_decreasing(&unsorted, 1.0).is_err());
+    }
+}

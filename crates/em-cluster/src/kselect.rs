@@ -1,0 +1,232 @@
+//! The paper's `k`-selection policy.
+//!
+//! "\[We\] select the k value according to the Kneedle algorithm over the
+//! average sum of squared distance between the centroid of each cluster to
+//! its members. If the Kneedle algorithm fails to find a target value we
+//! select k as the one that maximizes the silhouette score" (§3.3.1).
+
+use em_core::{EmError, Result};
+use em_vector::Embeddings;
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::kneedle::kneedle_decreasing;
+use crate::silhouette::silhouette_score;
+
+/// Configuration for the `k` sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KSelectConfig {
+    /// Smallest `k` to try (inclusive), at least 2.
+    pub k_min: usize,
+    /// Largest `k` to try (inclusive).
+    pub k_max: usize,
+    /// Kneedle sensitivity (`S`), 1.0 per the Kneedle paper.
+    pub sensitivity: f64,
+    /// Lloyd iterations per candidate `k` (the sweep only needs curve
+    /// shape, not converged clusterings).
+    pub kmeans_iters: usize,
+    /// Point-sample cap for the silhouette fallback.
+    pub silhouette_sample: usize,
+    /// Seed for all sweep randomness.
+    pub seed: u64,
+}
+
+impl Default for KSelectConfig {
+    fn default() -> Self {
+        KSelectConfig {
+            k_min: 2,
+            k_max: 12,
+            sensitivity: 1.0,
+            kmeans_iters: 15,
+            silhouette_sample: 512,
+            seed: 0x5E1E_C7,
+        }
+    }
+}
+
+/// How the returned `k` was chosen — reported in experiment logs so runs
+/// can be audited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KSelectionMethod {
+    /// Kneedle found a knee on the mean-SSE curve.
+    Kneedle,
+    /// Kneedle failed; maximum silhouette was used.
+    Silhouette,
+}
+
+/// Outcome of [`select_k`].
+#[derive(Debug, Clone)]
+pub struct KSelection {
+    /// The selected number of clusters.
+    pub k: usize,
+    /// Which rule produced it.
+    pub method: KSelectionMethod,
+    /// The swept `(k, mean SSE)` curve, for logging/inspection.
+    pub sse_curve: Vec<(f64, f64)>,
+}
+
+/// Sweep `k` over the configured range and pick per the paper's policy.
+///
+/// The range is clamped to `[2, n]`; errors if fewer than 3 candidate
+/// values remain (Kneedle needs 3 points).
+pub fn select_k(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> {
+    let n = data.len();
+    if n < 4 {
+        return Err(EmError::EmptyInput(
+            "k selection needs at least 4 points".into(),
+        ));
+    }
+    if config.k_min < 2 {
+        return Err(EmError::InvalidConfig("k_min must be >= 2".into()));
+    }
+    let k_max = config.k_max.min(n);
+    if config.k_min + 2 > k_max {
+        return Err(EmError::InvalidConfig(format!(
+            "k range [{}, {k_max}] too narrow for kneedle (need 3 candidates)",
+            config.k_min
+        )));
+    }
+
+    let mut curve = Vec::with_capacity(k_max - config.k_min + 1);
+    let mut clusterings = Vec::with_capacity(k_max - config.k_min + 1);
+    for k in config.k_min..=k_max {
+        let res = kmeans(
+            data,
+            KMeansConfig {
+                k,
+                max_iters: config.kmeans_iters,
+                tol: 1e-4,
+                seed: config.seed ^ (k as u64) << 32,
+            },
+        )?;
+        curve.push((k as f64, res.mean_sse() as f64));
+        clusterings.push(res);
+    }
+
+    if let Some(idx) = kneedle_decreasing(&curve, config.sensitivity)? {
+        return Ok(KSelection {
+            k: config.k_min + idx,
+            method: KSelectionMethod::Kneedle,
+            sse_curve: curve,
+        });
+    }
+
+    // Fallback: maximize silhouette.
+    let mut best_k = config.k_min;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, res) in clusterings.iter().enumerate() {
+        let k = config.k_min + i;
+        let score = silhouette_score(
+            data,
+            &res.assignment,
+            k,
+            config.silhouette_sample,
+            config.seed,
+        )?;
+        if score > best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    Ok(KSelection {
+        k: best_k,
+        method: KSelectionMethod::Silhouette,
+        sse_curve: curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::Rng;
+
+    fn blobs(n_per: usize, n_blobs: usize, spread: f32, seed: u64) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for b in 0..n_blobs {
+            let cx = (b % 3) as f32 * 12.0;
+            let cy = (b / 3) as f32 * 12.0;
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.normal() as f32 * spread,
+                    cy + rng.normal() as f32 * spread,
+                ]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn finds_k_near_truth_on_clear_blobs() {
+        let data = blobs(40, 4, 0.4, 1);
+        let sel = select_k(
+            &data,
+            KSelectConfig {
+                k_min: 2,
+                k_max: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (3..=5).contains(&sel.k),
+            "selected k={} (method {:?})",
+            sel.k,
+            sel.method
+        );
+    }
+
+    #[test]
+    fn sse_curve_is_monotone_decreasing_mostly() {
+        let data = blobs(30, 3, 0.6, 2);
+        let sel = select_k(&data, KSelectConfig::default()).unwrap();
+        // Allow small non-monotonicity from local optima, but the start
+        // must dominate the end.
+        let first = sel.sse_curve.first().unwrap().1;
+        let last = sel.sse_curve.last().unwrap().1;
+        assert!(first > last);
+    }
+
+    #[test]
+    fn silhouette_fallback_on_structureless_data() {
+        // Uniform noise: Kneedle on a near-linear SSE curve usually fails,
+        // silhouette then decides. Either way a valid k must come back.
+        let mut rng = Rng::seed_from_u64(3);
+        let rows: Vec<Vec<f32>> = (0..120)
+            .map(|_| vec![rng.f32() * 10.0, rng.f32() * 10.0])
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let sel = select_k(&data, KSelectConfig::default()).unwrap();
+        assert!((2..=12).contains(&sel.k));
+    }
+
+    #[test]
+    fn validates_range() {
+        let data = blobs(10, 2, 0.3, 4);
+        assert!(select_k(
+            &data,
+            KSelectConfig {
+                k_min: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(select_k(
+            &data,
+            KSelectConfig {
+                k_min: 5,
+                k_max: 6,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(25, 3, 0.5, 5);
+        let a = select_k(&data, KSelectConfig::default()).unwrap();
+        let b = select_k(&data, KSelectConfig::default()).unwrap();
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.method, b.method);
+    }
+}

@@ -1,0 +1,178 @@
+//! Silhouette score (Rousseeuw 1987).
+//!
+//! The paper's fallback `k`-selection criterion: "If the Kneedle algorithm
+//! fails to find a target value we select k as the one that maximizes the
+//! silhouette score, a common clustering evaluation metric measuring
+//! intra-cluster cohesiveness comparing to inter-cluster separation"
+//! (§3.3.1).
+
+use em_core::{EmError, Result, Rng};
+use em_vector::embeddings::sq_euclidean;
+use em_vector::Embeddings;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+///
+/// For each sampled point `i` with cluster `c`:
+/// `a(i)` = mean distance to other members of `c`,
+/// `b(i)` = min over other clusters of the mean distance to members,
+/// `s(i) = (b − a) / max(a, b)`; singleton clusters contribute `s = 0`.
+///
+/// The exact score is O(n²); `sample_cap` bounds the cost by evaluating
+/// `s(i)` on a seeded sample of points (distances still go to *all*
+/// points, so the estimate is unbiased over the sampled set).
+pub fn silhouette_score(
+    data: &Embeddings,
+    assignment: &[usize],
+    k: usize,
+    sample_cap: usize,
+    seed: u64,
+) -> Result<f64> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("silhouette data".into()));
+    }
+    if assignment.len() != n {
+        return Err(EmError::DimensionMismatch {
+            context: "silhouette assignment".into(),
+            expected: n,
+            actual: assignment.len(),
+        });
+    }
+    if k < 2 {
+        return Err(EmError::InvalidConfig(
+            "silhouette needs at least 2 clusters".into(),
+        ));
+    }
+    if let Some(&bad) = assignment.iter().find(|&&c| c >= k) {
+        return Err(EmError::IndexOutOfBounds {
+            context: "silhouette cluster id".into(),
+            index: bad,
+            len: k,
+        });
+    }
+    if sample_cap == 0 {
+        return Err(EmError::InvalidConfig("sample_cap must be > 0".into()));
+    }
+
+    let mut cluster_sizes = vec![0usize; k];
+    for &c in assignment {
+        cluster_sizes[c] += 1;
+    }
+
+    let sample: Vec<usize> = if n <= sample_cap {
+        (0..n).collect()
+    } else {
+        Rng::seed_from_u64(seed).sample_indices(n, sample_cap)
+    };
+
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    let mut sums = vec![0.0f64; k];
+    for &i in &sample {
+        let own = assignment[i];
+        if cluster_sizes[own] <= 1 {
+            // Singleton: defined as 0.
+            counted += 1;
+            continue;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            sums[assignment[j]] += (sq_euclidean(data.row(i), data.row(j)) as f64).sqrt();
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c == own || cluster_sizes[c] == 0 {
+                continue;
+            }
+            b = b.min(sums[c] / cluster_sizes[c] as f64);
+        }
+        if !b.is_finite() {
+            // All other clusters empty: degenerate, treat as 0.
+            counted += 1;
+            continue;
+        }
+        let denom = a.max(b);
+        total += if denom > 0.0 { (b - a) / denom } else { 0.0 };
+        counted += 1;
+    }
+    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> (Embeddings, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    c[0] + rng.normal() as f32 * spread,
+                    c[1] + rng.normal() as f32 * spread,
+                ]);
+                labels.push(ci);
+            }
+        }
+        (Embeddings::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (data, labels) = blobs(30, &[[0.0, 0.0], [20.0, 0.0]], 0.5, 1);
+        let s = silhouette_score(&data, &labels, 2, 1000, 0).unwrap();
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn random_assignment_scores_low() {
+        let (data, _) = blobs(30, &[[0.0, 0.0], [20.0, 0.0]], 0.5, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let random: Vec<usize> = (0..60).map(|_| rng.below(2)).collect();
+        let s = silhouette_score(&data, &random, 2, 1000, 0).unwrap();
+        assert!(s < 0.2, "score {s}");
+    }
+
+    #[test]
+    fn correct_beats_wrong_k() {
+        let (data, labels) = blobs(25, &[[0.0, 0.0], [10.0, 0.0], [5.0, 9.0]], 0.5, 4);
+        let s3 = silhouette_score(&data, &labels, 3, 1000, 0).unwrap();
+        // Merge clusters 1 and 2 into one: a worse explanation.
+        let merged: Vec<usize> = labels.iter().map(|&c| if c == 2 { 1 } else { c }).collect();
+        let s2 = silhouette_score(&data, &merged, 2, 1000, 0).unwrap();
+        assert!(s3 > s2, "s3 {s3} <= s2 {s2}");
+    }
+
+    #[test]
+    fn sampled_estimate_close_to_exact() {
+        let (data, labels) = blobs(100, &[[0.0, 0.0], [8.0, 0.0]], 1.0, 5);
+        let exact = silhouette_score(&data, &labels, 2, usize::MAX, 0).unwrap();
+        let sampled = silhouette_score(&data, &labels, 2, 60, 7).unwrap();
+        assert!((exact - sampled).abs() < 0.1, "exact {exact} sampled {sampled}");
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let data = Embeddings::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![10.1, 0.0]])
+            .unwrap();
+        // Cluster 0 is a singleton.
+        let s = silhouette_score(&data, &[0, 1, 1], 2, 10, 0).unwrap();
+        // Points 1,2: a tiny, b huge → s ≈ 1 each; singleton 0 → 0.
+        assert!((s - 2.0 / 3.0).abs() < 0.05, "score {s}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (data, labels) = blobs(5, &[[0.0, 0.0], [5.0, 5.0]], 0.3, 6);
+        assert!(silhouette_score(&data, &labels[..4], 2, 10, 0).is_err());
+        assert!(silhouette_score(&data, &labels, 1, 10, 0).is_err());
+        assert!(silhouette_score(&data, &labels, 2, 0, 0).is_err());
+        let bad = vec![7usize; 10];
+        assert!(silhouette_score(&data, &bad, 2, 10, 0).is_err());
+    }
+}

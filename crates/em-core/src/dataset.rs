@@ -1,0 +1,438 @@
+//! Datasets: two tables, a candidate pair set, ground truth and splits.
+//!
+//! A [`Dataset`] bundles everything an experiment needs: the two record
+//! tables, the blocked candidate pairs, hidden ground-truth labels (visible
+//! only through an [`crate::Oracle`]), and a train/validation/test split.
+//! The active-learning loop operates exclusively on the *train* portion —
+//! `D` in the paper's notation — which it further partitions into
+//! `D_train_i` (labeled so far) and `D_pool_i` (§3.1). The test portion is
+//! used only for reporting F1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EmError, Result};
+use crate::pair::{CandidatePair, Label, PairIdx};
+use crate::record::Table;
+use crate::rng::Rng;
+
+/// Ratios used to split the candidate set, e.g. `3:1:1` for
+/// Walmart-Amazon/Amazon-Google/ABT-Buy/DBLP-Scholar or `4:1` + fixed test
+/// for the WDC datasets (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Relative weight of the training portion.
+    pub train: f64,
+    /// Relative weight of the validation portion.
+    pub valid: f64,
+    /// Relative weight of the test portion.
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// The 3:1:1 split used by the Magellan benchmarks.
+    pub const MAGELLAN: SplitRatios = SplitRatios {
+        train: 3.0,
+        valid: 1.0,
+        test: 1.0,
+    };
+
+    /// Validate that all parts are non-negative and the total is positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.train < 0.0 || self.valid < 0.0 || self.test < 0.0 {
+            return Err(EmError::InvalidConfig("split ratios must be >= 0".into()));
+        }
+        if self.train + self.valid + self.test <= 0.0 {
+            return Err(EmError::InvalidConfig("split ratios sum to zero".into()));
+        }
+        if self.train <= 0.0 {
+            return Err(EmError::InvalidConfig("train ratio must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A disjoint partition of the candidate pair indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Pairs available to active learning (`D` in the paper).
+    pub train: Vec<PairIdx>,
+    /// Pairs used for epoch selection / early stopping.
+    pub valid: Vec<PairIdx>,
+    /// Held-out pairs used only for the reported F1.
+    pub test: Vec<PairIdx>,
+}
+
+impl Split {
+    /// Total number of pairs across the three parts.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+}
+
+/// Summary statistics in the shape of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of candidate pairs in the training split ("Size" in Table 3).
+    pub train_size: usize,
+    /// Fraction of positives among training pairs ("%Pos").
+    pub train_pos_rate: f64,
+    /// Number of attributes per record ("#Atts").
+    pub n_attrs: usize,
+    /// Total candidate pairs across all splits.
+    pub total_pairs: usize,
+    /// Total positives across all splits.
+    pub total_matches: usize,
+}
+
+/// A complete entity-matching task instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"walmart-amazon"`).
+    pub name: String,
+    /// Left table (`D1`).
+    pub left: Table,
+    /// Right table (`D2`).
+    pub right: Table,
+    pairs: Vec<CandidatePair>,
+    truth: Vec<Label>,
+    split: Split,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset.
+    ///
+    /// Checks referential integrity of every pair, label/pair alignment and
+    /// that the split is a disjoint cover of the pair indices.
+    pub fn new(
+        name: impl Into<String>,
+        left: Table,
+        right: Table,
+        pairs: Vec<CandidatePair>,
+        truth: Vec<Label>,
+        split: Split,
+    ) -> Result<Self> {
+        let name = name.into();
+        if pairs.is_empty() {
+            return Err(EmError::EmptyInput(format!("candidate pairs of `{name}`")));
+        }
+        if pairs.len() != truth.len() {
+            return Err(EmError::InconsistentDataset(format!(
+                "`{name}`: {} pairs but {} labels",
+                pairs.len(),
+                truth.len()
+            )));
+        }
+        for (i, p) in pairs.iter().enumerate() {
+            if p.left.index() >= left.len() || p.right.index() >= right.len() {
+                return Err(EmError::InconsistentDataset(format!(
+                    "`{name}`: pair {i} references missing record \
+                     (left {} of {}, right {} of {})",
+                    p.left.0,
+                    left.len(),
+                    p.right.0,
+                    right.len()
+                )));
+            }
+        }
+        if split.total() != pairs.len() {
+            return Err(EmError::InconsistentDataset(format!(
+                "`{name}`: split covers {} of {} pairs",
+                split.total(),
+                pairs.len()
+            )));
+        }
+        let mut seen = vec![false; pairs.len()];
+        for &i in split.train.iter().chain(&split.valid).chain(&split.test) {
+            if i >= pairs.len() {
+                return Err(EmError::IndexOutOfBounds {
+                    context: format!("split of `{name}`"),
+                    index: i,
+                    len: pairs.len(),
+                });
+            }
+            if seen[i] {
+                return Err(EmError::InconsistentDataset(format!(
+                    "`{name}`: pair {i} appears in more than one split part"
+                )));
+            }
+            seen[i] = true;
+        }
+        Ok(Dataset {
+            name,
+            left,
+            right,
+            pairs,
+            truth,
+            split,
+        })
+    }
+
+    /// Build the canonical split by seeded shuffling of all pair indices.
+    pub fn random_split(n_pairs: usize, ratios: SplitRatios, rng: &mut Rng) -> Result<Split> {
+        ratios.validate()?;
+        if n_pairs == 0 {
+            return Err(EmError::EmptyInput("pairs to split".into()));
+        }
+        let mut idx: Vec<PairIdx> = (0..n_pairs).collect();
+        rng.shuffle(&mut idx);
+        let total = ratios.train + ratios.valid + ratios.test;
+        let n_train = ((ratios.train / total) * n_pairs as f64).round() as usize;
+        let n_valid = ((ratios.valid / total) * n_pairs as f64).round() as usize;
+        let n_train = n_train.min(n_pairs);
+        let n_valid = n_valid.min(n_pairs - n_train);
+        let train = idx[..n_train].to_vec();
+        let valid = idx[n_train..n_train + n_valid].to_vec();
+        let test = idx[n_train + n_valid..].to_vec();
+        Ok(Split { train, valid, test })
+    }
+
+    /// All candidate pairs, indexable by [`PairIdx`].
+    #[inline]
+    pub fn pairs(&self) -> &[CandidatePair] {
+        &self.pairs
+    }
+
+    /// Number of candidate pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff there are no pairs (unreachable via `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The split into train/valid/test pair indices.
+    #[inline]
+    pub fn split(&self) -> &Split {
+        &self.split
+    }
+
+    /// Ground-truth label of a pair.
+    ///
+    /// Algorithm code must not call this — it is for oracles and for
+    /// evaluation. The type system cannot enforce that, so the name is
+    /// deliberately explicit.
+    #[inline]
+    pub fn ground_truth(&self, idx: PairIdx) -> Label {
+        self.truth[idx]
+    }
+
+    /// Ground-truth labels for a list of pair indices.
+    pub fn ground_truth_of(&self, idxs: &[PairIdx]) -> Vec<Label> {
+        idxs.iter().map(|&i| self.truth[i]).collect()
+    }
+
+    /// The two records of pair `idx`.
+    pub fn pair_records(&self, idx: PairIdx) -> Result<(&crate::Record, &crate::Record)> {
+        let p = self
+            .pairs
+            .get(idx)
+            .ok_or_else(|| EmError::IndexOutOfBounds {
+                context: format!("pairs of `{}`", self.name),
+                index: idx,
+                len: self.pairs.len(),
+            })?;
+        Ok((self.left.get(p.left)?, self.right.get(p.right)?))
+    }
+
+    /// Table-3-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let train_matches = self
+            .split
+            .train
+            .iter()
+            .filter(|&&i| self.truth[i].is_match())
+            .count();
+        let total_matches = self.truth.iter().filter(|l| l.is_match()).count();
+        DatasetStats {
+            train_size: self.split.train.len(),
+            train_pos_rate: if self.split.train.is_empty() {
+                0.0
+            } else {
+                train_matches as f64 / self.split.train.len() as f64
+            },
+            n_attrs: self.left.schema.len(),
+            total_pairs: self.pairs.len(),
+            total_matches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordId, Schema};
+
+    fn tiny_tables() -> (Table, Table) {
+        let schema = Schema::new(["title"]).unwrap();
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        for i in 0..4 {
+            l.push([format!("left {i}")]).unwrap();
+            r.push([format!("right {i}")]).unwrap();
+        }
+        (l, r)
+    }
+
+    fn tiny_dataset() -> Dataset {
+        let (l, r) = tiny_tables();
+        let pairs = vec![
+            CandidatePair::new(RecordId(0), RecordId(0)),
+            CandidatePair::new(RecordId(1), RecordId(1)),
+            CandidatePair::new(RecordId(2), RecordId(3)),
+            CandidatePair::new(RecordId(3), RecordId(2)),
+        ];
+        let truth = vec![Label::Match, Label::Match, Label::NonMatch, Label::NonMatch];
+        let split = Split {
+            train: vec![0, 2],
+            valid: vec![1],
+            test: vec![3],
+        };
+        Dataset::new("tiny", l, r, pairs, truth, split).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_label_count() {
+        let (l, r) = tiny_tables();
+        let pairs = vec![CandidatePair::new(RecordId(0), RecordId(0))];
+        let err = Dataset::new(
+            "bad",
+            l,
+            r,
+            pairs,
+            vec![],
+            Split {
+                train: vec![0],
+                valid: vec![],
+                test: vec![],
+            },
+        );
+        assert!(matches!(err, Err(EmError::InconsistentDataset(_))));
+    }
+
+    #[test]
+    fn construction_validates_record_refs() {
+        let (l, r) = tiny_tables();
+        let pairs = vec![CandidatePair::new(RecordId(99), RecordId(0))];
+        let err = Dataset::new(
+            "bad",
+            l,
+            r,
+            pairs,
+            vec![Label::Match],
+            Split {
+                train: vec![0],
+                valid: vec![],
+                test: vec![],
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn construction_validates_split_cover() {
+        let (l, r) = tiny_tables();
+        let pairs = vec![
+            CandidatePair::new(RecordId(0), RecordId(0)),
+            CandidatePair::new(RecordId(1), RecordId(1)),
+        ];
+        let truth = vec![Label::Match, Label::NonMatch];
+        // Split misses pair 1.
+        let err = Dataset::new(
+            "bad",
+            l.clone(),
+            r.clone(),
+            pairs.clone(),
+            truth.clone(),
+            Split {
+                train: vec![0],
+                valid: vec![],
+                test: vec![],
+            },
+        );
+        assert!(err.is_err());
+        // Split duplicates pair 0.
+        let err = Dataset::new(
+            "bad",
+            l,
+            r,
+            pairs,
+            truth,
+            Split {
+                train: vec![0, 0],
+                valid: vec![],
+                test: vec![],
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn stats_match_construction() {
+        let d = tiny_dataset();
+        let s = d.stats();
+        assert_eq!(s.train_size, 2);
+        assert_eq!(s.n_attrs, 1);
+        assert_eq!(s.total_pairs, 4);
+        assert_eq!(s.total_matches, 2);
+        assert!((s.train_pos_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_split_is_disjoint_cover() {
+        let mut rng = Rng::seed_from_u64(1);
+        let split = Dataset::random_split(100, SplitRatios::MAGELLAN, &mut rng).unwrap();
+        assert_eq!(split.total(), 100);
+        let mut all: Vec<_> = split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // 3:1:1 over 100 → 60/20/20.
+        assert_eq!(split.train.len(), 60);
+        assert_eq!(split.valid.len(), 20);
+        assert_eq!(split.test.len(), 20);
+    }
+
+    #[test]
+    fn random_split_rejects_bad_ratios() {
+        let mut rng = Rng::seed_from_u64(1);
+        let bad = SplitRatios {
+            train: 0.0,
+            valid: 1.0,
+            test: 1.0,
+        };
+        assert!(Dataset::random_split(10, bad, &mut rng).is_err());
+        let neg = SplitRatios {
+            train: 1.0,
+            valid: -1.0,
+            test: 0.0,
+        };
+        assert!(Dataset::random_split(10, neg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pair_records_resolves_both_sides() {
+        let d = tiny_dataset();
+        let (a, b) = d.pair_records(2).unwrap();
+        assert_eq!(a.value(0), Some("left 2"));
+        assert_eq!(b.value(0), Some("right 3"));
+        assert!(d.pair_records(17).is_err());
+    }
+
+    #[test]
+    fn ground_truth_of_projects() {
+        let d = tiny_dataset();
+        assert_eq!(
+            d.ground_truth_of(&[0, 3]),
+            vec![Label::Match, Label::NonMatch]
+        );
+    }
+}

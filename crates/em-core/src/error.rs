@@ -1,0 +1,104 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the workspace returns [`Result<T>`]. The
+//! error enum is deliberately small: most algorithmic code validates its
+//! inputs up front and then runs infallibly.
+
+use std::fmt;
+
+/// Errors produced across the `battleship-em` workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmError {
+    /// A configuration value is outside its legal domain.
+    InvalidConfig(String),
+    /// Two inputs that must agree in dimension/length do not.
+    DimensionMismatch {
+        /// Description of what was being matched up.
+        context: String,
+        /// Dimension expected by the callee.
+        expected: usize,
+        /// Dimension actually provided.
+        actual: usize,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    EmptyInput(String),
+    /// An index referred to an element that does not exist.
+    IndexOutOfBounds {
+        /// Description of the indexed collection.
+        context: String,
+        /// The offending index.
+        index: usize,
+        /// Number of elements in the collection.
+        len: usize,
+    },
+    /// An algorithm failed to converge or find a solution.
+    NoSolution(String),
+    /// Dataset-level consistency violation (dangling record ids, label
+    /// count mismatch, overlapping splits, ...).
+    InconsistentDataset(String),
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EmError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            EmError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            EmError::IndexOutOfBounds {
+                context,
+                index,
+                len,
+            } => write!(f, "index {index} out of bounds in {context} (len {len})"),
+            EmError::NoSolution(msg) => write!(f, "no solution: {msg}"),
+            EmError::InconsistentDataset(msg) => write!(f, "inconsistent dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, EmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EmError::DimensionMismatch {
+            context: "cosine".into(),
+            expected: 3,
+            actual: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("cosine"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EmError::EmptyInput("pairs".into()),
+            EmError::EmptyInput("pairs".into())
+        );
+        assert_ne!(
+            EmError::EmptyInput("pairs".into()),
+            EmError::EmptyInput("records".into())
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(EmError::NoSolution("kneedle".into()));
+        assert!(e.to_string().contains("kneedle"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Evaluation metrics.
+//!
+//! The paper reports F1 on a held-out test set (Figure 5, Table 4) and the
+//! area under the F1-vs-labeled-samples curve (Table 5, following Baram et
+//! al.). This module implements both, plus the confusion-matrix plumbing
+//! and small statistical helpers used in reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EmError, Result};
+use crate::pair::Label;
+
+/// Binary confusion counts with `Match` as the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Predicted match, truly match.
+    pub tp: usize,
+    /// Predicted match, truly non-match.
+    pub fp: usize,
+    /// Predicted non-match, truly non-match.
+    pub tn: usize,
+    /// Predicted non-match, truly match.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Tally predictions against ground truth. Lengths must agree.
+    pub fn from_labels(predicted: &[Label], truth: &[Label]) -> Result<Self> {
+        if predicted.len() != truth.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "confusion matrix inputs".into(),
+                expected: truth.len(),
+                actual: predicted.len(),
+            });
+        }
+        let mut c = BinaryConfusion::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p.is_match(), t.is_match()) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, predicted: Label, truth: Label) {
+        match (predicted.is_match(), truth.is_match()) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Derived precision/recall/F1/accuracy.
+    pub fn metrics(&self) -> Metrics {
+        let precision = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let accuracy = if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        };
+        Metrics {
+            precision,
+            recall,
+            f1,
+            accuracy,
+        }
+    }
+}
+
+/// Precision, recall, F1 and accuracy, all in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// `tp / (tp + fp)`; 0 when no positive predictions.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; 0 when no true positives exist.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of correct decisions.
+    pub accuracy: f64,
+}
+
+impl Metrics {
+    /// F1 as the percentage the paper's tables print (e.g. `77.98`).
+    pub fn f1_pct(&self) -> f64 {
+        self.f1 * 100.0
+    }
+}
+
+/// An F1 learning curve: (cumulative labeled samples, F1 %) points.
+///
+/// Table 5 summarizes each method by the area under this curve, "calculated
+/// against the F1 plot" — i.e. trapezoidal integration over the
+/// labeled-samples axis with F1 in percent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct F1Curve {
+    points: Vec<(f64, f64)>,
+}
+
+impl F1Curve {
+    /// Empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit points; x must be non-decreasing.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self> {
+        for w in points.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(EmError::InvalidConfig(
+                    "F1 curve x-axis must be non-decreasing".into(),
+                ));
+            }
+        }
+        Ok(F1Curve { points })
+    }
+
+    /// Append a `(labeled samples, F1 %)` point.
+    ///
+    /// Errors if the x value moves backwards.
+    pub fn push(&mut self, labeled: f64, f1_pct: f64) -> Result<()> {
+        if let Some(&(last, _)) = self.points.last() {
+            if labeled < last {
+                return Err(EmError::InvalidConfig(format!(
+                    "F1 curve x went backwards: {labeled} after {last}"
+                )));
+            }
+        }
+        self.points.push((labeled, f1_pct));
+        Ok(())
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Trapezoidal area under the curve over the labeled-samples axis,
+    /// normalized by 100 labeled samples per unit — this reproduces the
+    /// magnitude of the paper's Table 5 values (hundreds, e.g. 491.15 for
+    /// an 8-iteration run ending at 900 labels).
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                (x1 - x0) * (y0 + y1) / 2.0
+            })
+            .sum::<f64>()
+            / 100.0
+    }
+
+    /// F1 (%) at the largest x not exceeding `labeled`, if any point
+    /// qualifies. Used to read "F1 @ 500 labels" off a curve (Table 4).
+    pub fn f1_at(&self, labeled: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|(x, _)| *x <= labeled)
+            .last()
+            .map(|&(_, y)| y)
+    }
+
+    /// Final F1 (%) of the curve.
+    pub fn final_f1(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_tallies_all_cells() {
+        let pred = vec![Label::Match, Label::Match, Label::NonMatch, Label::NonMatch];
+        let truth = vec![Label::Match, Label::NonMatch, Label::Match, Label::NonMatch];
+        let c = BinaryConfusion::from_labels(&pred, &truth).unwrap();
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn confusion_length_mismatch() {
+        let e = BinaryConfusion::from_labels(&[Label::Match], &[]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn perfect_prediction_metrics() {
+        let truth = vec![Label::Match, Label::NonMatch, Label::Match];
+        let c = BinaryConfusion::from_labels(&truth, &truth).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn all_negative_predictions_give_zero_f1() {
+        let pred = vec![Label::NonMatch; 4];
+        let truth = vec![Label::Match, Label::Match, Label::NonMatch, Label::NonMatch];
+        let m = BinaryConfusion::from_labels(&pred, &truth).unwrap().metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn known_f1_value() {
+        // tp=3, fp=1, fn=2 → P=0.75, R=0.6, F1=2*0.45/1.35 = 2/3.
+        let c = BinaryConfusion {
+            tp: 3,
+            fp: 1,
+            tn: 10,
+            fn_: 2,
+        };
+        let m = c.metrics();
+        assert!((m.precision - 0.75).abs() < 1e-12);
+        assert!((m.recall - 0.6).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1_pct() - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_matches_batch() {
+        let pred = vec![Label::Match, Label::NonMatch, Label::Match];
+        let truth = vec![Label::NonMatch, Label::NonMatch, Label::Match];
+        let batch = BinaryConfusion::from_labels(&pred, &truth).unwrap();
+        let mut inc = BinaryConfusion::default();
+        for (&p, &t) in pred.iter().zip(&truth) {
+            inc.observe(p, t);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn f1_curve_auc_rectangle() {
+        // Constant 50% over 100..900 labels → area 50 * 800 / 100 = 400.
+        let mut c = F1Curve::new();
+        c.push(100.0, 50.0).unwrap();
+        c.push(900.0, 50.0).unwrap();
+        assert!((c.auc() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_curve_auc_trapezoid() {
+        let mut c = F1Curve::new();
+        c.push(0.0, 0.0).unwrap();
+        c.push(100.0, 100.0).unwrap();
+        assert!((c.auc() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_curve_rejects_backwards_x() {
+        let mut c = F1Curve::new();
+        c.push(100.0, 10.0).unwrap();
+        assert!(c.push(50.0, 20.0).is_err());
+        assert!(F1Curve::from_points(vec![(2.0, 1.0), (1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn f1_at_reads_step_values() {
+        let c = F1Curve::from_points(vec![(100.0, 30.0), (500.0, 60.0), (900.0, 70.0)]).unwrap();
+        assert_eq!(c.f1_at(99.0), None);
+        assert_eq!(c.f1_at(100.0), Some(30.0));
+        assert_eq!(c.f1_at(500.0), Some(60.0));
+        assert_eq!(c.f1_at(899.0), Some(60.0));
+        assert_eq!(c.f1_at(2000.0), Some(70.0));
+        assert_eq!(c.final_f1(), Some(70.0));
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+}

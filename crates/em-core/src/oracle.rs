@@ -1,0 +1,177 @@
+//! Labeling oracles.
+//!
+//! Active learning sends selected pairs to an oracle for labeling (§2.2).
+//! "Similar to previous works, we assume the existence of a perfect
+//! labeling oracle, recognizing that in real-world settings a labeler
+//! might be exposed to biases" (§3.6) — [`PerfectOracle`] implements the
+//! paper's assumption; [`NoisyOracle`] implements the acknowledged
+//! real-world deviation so robustness to label noise can be studied.
+//!
+//! Oracles count their queries, which is how experiment budgets are
+//! audited: a strategy cannot cheat its labeling budget without the count
+//! exposing it.
+
+use std::cell::Cell;
+
+use crate::dataset::Dataset;
+use crate::pair::{Label, PairIdx};
+use crate::rng::Rng;
+
+/// A source of labels for candidate pairs, with query accounting.
+pub trait Oracle {
+    /// Label pair `idx`, incrementing the query counter.
+    fn label(&self, dataset: &Dataset, idx: PairIdx) -> Label;
+
+    /// Number of labels served so far.
+    fn queries(&self) -> usize;
+}
+
+/// The paper's perfect oracle: returns ground truth.
+#[derive(Debug, Default)]
+pub struct PerfectOracle {
+    queries: Cell<usize>,
+}
+
+impl PerfectOracle {
+    /// Fresh oracle with a zeroed query counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for PerfectOracle {
+    fn label(&self, dataset: &Dataset, idx: PairIdx) -> Label {
+        self.queries.set(self.queries.get() + 1);
+        dataset.ground_truth(idx)
+    }
+
+    fn queries(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+/// An oracle that flips each label independently with probability
+/// `flip_prob` — a simple model of annotator error.
+///
+/// The flip decision is a deterministic function of the pair index and the
+/// oracle's seed, so repeated queries for the same pair return the same
+/// (possibly wrong) label, like a consistent but fallible annotator.
+#[derive(Debug)]
+pub struct NoisyOracle {
+    flip_prob: f64,
+    seed: u64,
+    queries: Cell<usize>,
+}
+
+impl NoisyOracle {
+    /// Create a noisy oracle; `flip_prob` must be in `[0, 1]`.
+    pub fn new(flip_prob: f64, seed: u64) -> crate::Result<Self> {
+        if !(0.0..=1.0).contains(&flip_prob) {
+            return Err(crate::EmError::InvalidConfig(format!(
+                "flip_prob must be in [0,1], got {flip_prob}"
+            )));
+        }
+        Ok(NoisyOracle {
+            flip_prob,
+            seed,
+            queries: Cell::new(0),
+        })
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&self, dataset: &Dataset, idx: PairIdx) -> Label {
+        self.queries.set(self.queries.get() + 1);
+        let truth = dataset.ground_truth(idx);
+        // Per-pair deterministic coin: hash (seed, idx) into a fresh RNG.
+        let mut rng = Rng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0x2545F4914F6CDD1D));
+        if rng.bool(self.flip_prob) {
+            truth.flipped()
+        } else {
+            truth
+        }
+    }
+
+    fn queries(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Split, SplitRatios};
+    use crate::pair::CandidatePair;
+    use crate::record::{RecordId, Schema, Table};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(["t"]).unwrap();
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        for i in 0..10 {
+            l.push([format!("a{i}")]).unwrap();
+            r.push([format!("b{i}")]).unwrap();
+        }
+        let pairs: Vec<_> = (0..10u32)
+            .map(|i| CandidatePair::new(RecordId(i), RecordId(i)))
+            .collect();
+        let truth: Vec<_> = (0..10)
+            .map(|i| Label::from_bool(i % 2 == 0))
+            .collect();
+        let mut rng = Rng::seed_from_u64(0);
+        let split = Dataset::random_split(10, SplitRatios::MAGELLAN, &mut rng).unwrap();
+        let _ = Split {
+            train: vec![],
+            valid: vec![],
+            test: vec![],
+        };
+        Dataset::new("d", l, r, pairs, truth, split).unwrap()
+    }
+
+    #[test]
+    fn perfect_oracle_returns_truth_and_counts() {
+        let d = dataset();
+        let o = PerfectOracle::new();
+        for i in 0..10 {
+            assert_eq!(o.label(&d, i), d.ground_truth(i));
+        }
+        assert_eq!(o.queries(), 10);
+    }
+
+    #[test]
+    fn noisy_oracle_zero_noise_is_perfect() {
+        let d = dataset();
+        let o = NoisyOracle::new(0.0, 7).unwrap();
+        for i in 0..10 {
+            assert_eq!(o.label(&d, i), d.ground_truth(i));
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_full_noise_always_flips() {
+        let d = dataset();
+        let o = NoisyOracle::new(1.0, 7).unwrap();
+        for i in 0..10 {
+            assert_eq!(o.label(&d, i), d.ground_truth(i).flipped());
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_is_consistent_per_pair() {
+        let d = dataset();
+        let o = NoisyOracle::new(0.5, 99).unwrap();
+        for i in 0..10 {
+            let first = o.label(&d, i);
+            for _ in 0..5 {
+                assert_eq!(o.label(&d, i), first);
+            }
+        }
+        assert_eq!(o.queries(), 60);
+    }
+
+    #[test]
+    fn noisy_oracle_rejects_bad_prob() {
+        assert!(NoisyOracle::new(-0.1, 0).is_err());
+        assert!(NoisyOracle::new(1.1, 0).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Candidate pairs, labels and predictions.
+//!
+//! The unit the whole system operates on is a *candidate tuple pair*
+//! `(r1, r2) ∈ D1 × D2` (paper §2.1), assumed to come out of a blocking
+//! phase. Labels are binary: `Match` / `NonMatch`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::RecordId;
+
+/// Index of a candidate pair inside a [`crate::Dataset`]'s pair list.
+///
+/// All pool/train bookkeeping in the active-learning loop is done in terms
+/// of `PairIdx` values, never by re-hashing record ids.
+pub type PairIdx = usize;
+
+/// A candidate tuple pair produced by blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// Record in the left table (`D1`).
+    pub left: RecordId,
+    /// Record in the right table (`D2`).
+    pub right: RecordId,
+}
+
+impl CandidatePair {
+    /// Construct a candidate pair.
+    #[inline]
+    pub fn new(left: RecordId, right: RecordId) -> Self {
+        CandidatePair { left, right }
+    }
+}
+
+/// Ground-truth (or oracle-provided) binary label of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The two records refer to the same real-world entity.
+    Match,
+    /// The two records refer to different entities.
+    NonMatch,
+}
+
+impl Label {
+    /// `Label::Match` for `true`.
+    #[inline]
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+
+    /// `true` iff this is a match.
+    #[inline]
+    pub fn is_match(self) -> bool {
+        matches!(self, Label::Match)
+    }
+
+    /// The 0/1 encoding used in loss computation.
+    #[inline]
+    pub fn as_f32(self) -> f32 {
+        if self.is_match() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// The opposite label.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            Label::Match => Label::NonMatch,
+            Label::NonMatch => Label::Match,
+        }
+    }
+}
+
+/// A matcher's output for a single pair: the match probability and the
+/// thresholded decision.
+///
+/// The paper extracts both the prediction `ŷ` and the confidence `ϕ(v)`
+/// from the matcher each iteration (§3.2); this struct is that pair of
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Model confidence that the pair is a match, in `[0, 1]`.
+    pub prob: f32,
+    /// Decision at the 0.5 threshold.
+    pub label: Label,
+}
+
+impl Prediction {
+    /// Build a prediction from a probability, thresholding at 0.5.
+    #[inline]
+    pub fn from_prob(prob: f32) -> Self {
+        Prediction {
+            prob,
+            label: Label::from_bool(prob >= 0.5),
+        }
+    }
+
+    /// Confidence in the *assigned* label: `prob` for match predictions,
+    /// `1 − prob` for non-match predictions.
+    ///
+    /// This is the `ϕ(v)` the certainty computation (paper Eq. 3) consumes
+    /// for unlabeled nodes.
+    #[inline]
+    pub fn confidence_in_label(&self) -> f32 {
+        match self.label {
+            Label::Match => self.prob,
+            Label::NonMatch => 1.0 - self.prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrips() {
+        assert_eq!(Label::from_bool(true), Label::Match);
+        assert_eq!(Label::from_bool(false), Label::NonMatch);
+        assert!(Label::Match.is_match());
+        assert!(!Label::NonMatch.is_match());
+        assert_eq!(Label::Match.as_f32(), 1.0);
+        assert_eq!(Label::NonMatch.as_f32(), 0.0);
+        assert_eq!(Label::Match.flipped(), Label::NonMatch);
+        assert_eq!(Label::NonMatch.flipped(), Label::Match);
+    }
+
+    #[test]
+    fn prediction_threshold() {
+        assert_eq!(Prediction::from_prob(0.72).label, Label::Match);
+        assert_eq!(Prediction::from_prob(0.5).label, Label::Match);
+        assert_eq!(Prediction::from_prob(0.49).label, Label::NonMatch);
+    }
+
+    #[test]
+    fn confidence_in_label_is_symmetric() {
+        let m = Prediction::from_prob(0.9);
+        let n = Prediction::from_prob(0.1);
+        assert!((m.confidence_in_label() - 0.9).abs() < 1e-6);
+        assert!((n.confidence_in_label() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pair_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = CandidatePair::new(RecordId(1), RecordId(2));
+        let b = CandidatePair::new(RecordId(1), RecordId(2));
+        let c = CandidatePair::new(RecordId(2), RecordId(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "pairs are ordered (left table, right table)");
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

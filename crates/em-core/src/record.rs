@@ -1,0 +1,255 @@
+//! Records, schemas and tables.
+//!
+//! The paper follows the clean–clean entity matching formulation (§2.1):
+//! two datasets `D1`, `D2` of entities, each tuple structured as a set of
+//! attribute–value pairs `{(Attr_i, Val_i)}`. This module provides that
+//! relational layer. Missing values are represented as empty strings, which
+//! matches how the Magellan/WDC benchmarks serialize absent attributes
+//! (see Example 3 in the paper, where `manufacturer` is empty).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{EmError, Result};
+
+/// Identifies a record within one side (table) of a dataset.
+///
+/// Stored as `u32`: the candidate sets in the paper's benchmarks are in the
+/// thousands-to-tens-of-thousands range, and halving the footprint of ids
+/// keeps pair lists cache-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An ordered list of attribute names shared by all records of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names. Names must be unique.
+    pub fn new<S: Into<String>>(attrs: impl IntoIterator<Item = S>) -> Result<Self> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.is_empty() {
+            return Err(EmError::EmptyInput("schema attributes".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &attrs {
+            if !seen.insert(a.as_str()) {
+                return Err(EmError::InvalidConfig(format!(
+                    "duplicate attribute name `{a}` in schema"
+                )));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` iff the schema has no attributes (unreachable via `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute names in declaration order.
+    #[inline]
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of an attribute by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// A tuple: one value per schema attribute (empty string = missing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Identifier unique within the owning table.
+    pub id: RecordId,
+    /// Attribute values, aligned with the table schema.
+    pub values: Vec<String>,
+}
+
+impl Record {
+    /// Build a record; values must align with the intended schema length.
+    pub fn new<S: Into<String>>(id: RecordId, values: impl IntoIterator<Item = S>) -> Self {
+        Record {
+            id,
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Value at attribute position `i`, if present.
+    #[inline]
+    pub fn value(&self, i: usize) -> Option<&str> {
+        self.values.get(i).map(String::as_str)
+    }
+
+    /// Concatenation of all values separated by single spaces.
+    ///
+    /// Used for whole-record similarity features and blocking keys.
+    pub fn full_text(&self) -> String {
+        let mut out = String::with_capacity(self.values.iter().map(|v| v.len() + 1).sum());
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 && !v.is_empty() && !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+}
+
+/// One side of a clean–clean matching task: a named, schema-ful collection
+/// of records indexed by position (`RecordId(i)` is the record at index
+/// `i`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Human-readable table name (e.g. `"amazon"`).
+    pub name: String,
+    /// Shared attribute schema.
+    pub schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record built from values; returns the assigned id.
+    ///
+    /// Errors if the number of values does not match the schema.
+    pub fn push<S: Into<String>>(&mut self, values: impl IntoIterator<Item = S>) -> Result<RecordId> {
+        let id = RecordId(self.records.len() as u32);
+        let rec = Record::new(id, values);
+        if rec.values.len() != self.schema.len() {
+            return Err(EmError::DimensionMismatch {
+                context: format!("record values for table `{}`", self.name),
+                expected: self.schema.len(),
+                actual: rec.values.len(),
+            });
+        }
+        self.records.push(rec);
+        Ok(id)
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the table holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record lookup by id.
+    pub fn get(&self, id: RecordId) -> Result<&Record> {
+        self.records
+            .get(id.index())
+            .ok_or_else(|| EmError::IndexOutOfBounds {
+                context: format!("table `{}`", self.name),
+                index: id.index(),
+                len: self.records.len(),
+            })
+    }
+
+    /// All records in id order.
+    #[inline]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product_schema() -> Schema {
+        Schema::new(["title", "manufacturer", "price"]).unwrap()
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_empty() {
+        assert!(Schema::new(["a", "a"]).is_err());
+        assert!(Schema::new(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn schema_position() {
+        let s = product_schema();
+        assert_eq!(s.position("price"), Some(2));
+        assert_eq!(s.position("nope"), None);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn table_push_and_get_roundtrip() {
+        let mut t = Table::new("amazon", product_schema());
+        let id = t
+            .push(["sims 2 glamour life stuff pack", "aspyr media", "24.99"])
+            .unwrap();
+        assert_eq!(id, RecordId(0));
+        let r = t.get(id).unwrap();
+        assert_eq!(r.value(1), Some("aspyr media"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_push_arity_checked() {
+        let mut t = Table::new("amazon", product_schema());
+        assert!(t.push(["only-title"]).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_get_out_of_bounds() {
+        let t = Table::new("x", product_schema());
+        assert!(matches!(
+            t.get(RecordId(3)),
+            Err(EmError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn full_text_skips_missing_values() {
+        let r = Record::new(RecordId(0), ["alpha", "", "beta"]);
+        assert_eq!(r.full_text(), "alpha beta");
+    }
+
+    #[test]
+    fn full_text_all_missing_is_empty() {
+        let r = Record::new(RecordId(0), ["", "", ""]);
+        assert_eq!(r.full_text(), "");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut t = Table::new("t", Schema::new(["a"]).unwrap());
+        for i in 0..5u32 {
+            assert_eq!(t.push([format!("v{i}")]).unwrap(), RecordId(i));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! DITTO-style serialization of records and pairs.
+//!
+//! The paper (§2.1, following Li et al.'s DITTO) serializes a tuple as a
+//! sequence of `[COL] attr [VAL] value` segments and a pair as the two
+//! serializations joined by `[SEP]`, with a leading `[CLS]`:
+//!
+//! > "[CLS] [COL] title [VAL] sims 2 glamour life stuff pack [COL]
+//! > manufacturer [VAL] aspyr media [COL] price [VAL] 24.99 [SEP] [COL]
+//! > title [VAL] aspyr media inc sims 2 glamour life stuff pack [COL]
+//! > manufacturer [VAL] [COL] price [VAL] 23.44"  (Example 3)
+//!
+//! The serialized string is the matcher's raw input; the featurizer in
+//! `em-matcher` hashes its tokens.
+
+use crate::record::{Record, Schema};
+
+/// Special token opening an attribute name segment.
+pub const COL: &str = "[COL]";
+/// Special token opening an attribute value segment.
+pub const VAL: &str = "[VAL]";
+/// Special token separating the two records of a pair.
+pub const SEP: &str = "[SEP]";
+/// Special classification token heading the sequence.
+pub const CLS: &str = "[CLS]";
+
+/// Serialize one record against its schema:
+/// `[COL] a1 [VAL] v1 [COL] a2 [VAL] v2 …`.
+///
+/// Missing (empty) values keep their `[COL] attr [VAL]` header with no
+/// value tokens, exactly as in the paper's Example 3 (the empty
+/// `manufacturer` of the Google record).
+pub fn serialize_record(schema: &Schema, record: &Record) -> String {
+    let mut out = String::new();
+    for (attr, value) in schema.attrs().iter().zip(&record.values) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(COL);
+        out.push(' ');
+        out.push_str(attr);
+        out.push(' ');
+        out.push_str(VAL);
+        if !value.is_empty() {
+            out.push(' ');
+            out.push_str(value);
+        }
+    }
+    out
+}
+
+/// Serialize a candidate pair:
+/// `[CLS] <left serialization> [SEP] <right serialization>`.
+pub fn serialize_pair(
+    left_schema: &Schema,
+    left: &Record,
+    right_schema: &Schema,
+    right: &Record,
+) -> String {
+    let l = serialize_record(left_schema, left);
+    let r = serialize_record(right_schema, right);
+    let mut out = String::with_capacity(l.len() + r.len() + CLS.len() + SEP.len() + 3);
+    out.push_str(CLS);
+    out.push(' ');
+    out.push_str(&l);
+    out.push(' ');
+    out.push_str(SEP);
+    out.push(' ');
+    out.push_str(&r);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordId, Schema};
+
+    fn product_schema() -> Schema {
+        Schema::new(["title", "manufacturer", "price"]).unwrap()
+    }
+
+    /// Reproduces the paper's Example 3 verbatim.
+    #[test]
+    fn serialize_example3_matches_paper() {
+        let schema = product_schema();
+        let amazon = Record::new(
+            RecordId(0),
+            ["sims 2 glamour life stuff pack", "aspyr media", "24.99"],
+        );
+        let google = Record::new(
+            RecordId(1),
+            ["aspyr media inc sims 2 glamour life stuff pack", "", "23.44"],
+        );
+        let got = serialize_pair(&schema, &amazon, &schema, &google);
+        let expected = "[CLS] [COL] title [VAL] sims 2 glamour life stuff pack \
+                        [COL] manufacturer [VAL] aspyr media [COL] price [VAL] 24.99 \
+                        [SEP] [COL] title [VAL] aspyr media inc sims 2 glamour life stuff pack \
+                        [COL] manufacturer [VAL] [COL] price [VAL] 23.44";
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn serialize_record_single_attr() {
+        let schema = Schema::new(["title"]).unwrap();
+        let rec = Record::new(RecordId(0), ["nikon d750"]);
+        assert_eq!(
+            serialize_record(&schema, &rec),
+            "[COL] title [VAL] nikon d750"
+        );
+    }
+
+    #[test]
+    fn serialize_record_all_missing() {
+        let schema = product_schema();
+        let rec = Record::new(RecordId(0), ["", "", ""]);
+        assert_eq!(
+            serialize_record(&schema, &rec),
+            "[COL] title [VAL] [COL] manufacturer [VAL] [COL] price [VAL]"
+        );
+    }
+
+    #[test]
+    fn pair_serialization_contains_both_sides_and_structure() {
+        let schema = Schema::new(["a"]).unwrap();
+        let l = Record::new(RecordId(0), ["x"]);
+        let r = Record::new(RecordId(0), ["y"]);
+        let s = serialize_pair(&schema, &l, &schema, &r);
+        assert!(s.starts_with("[CLS] "));
+        assert_eq!(s.matches(SEP).count(), 1);
+        assert_eq!(s.matches(COL).count(), 2);
+        let sep_pos = s.find(SEP).unwrap();
+        assert!(s[..sep_pos].contains('x'));
+        assert!(s[sep_pos..].contains('y'));
+    }
+}

@@ -1,0 +1,194 @@
+//! Betweenness centrality (Brandes 2001).
+//!
+//! The paper's background section names betweenness (Freeman 1977) as the
+//! classic alternative centrality measure before settling on PageRank
+//! (§2.2: "Centrality can \[be\] computed in multiple ways (e.g.,
+//! betweenness centrality)"). This module provides it so the choice can
+//! be ablated: `battleship::BattleshipParams::centrality` switches the
+//! selection criterion between the two (see the `ablation_centrality`
+//! bench).
+//!
+//! Implementation: Brandes' accumulation algorithm on the unweighted
+//! graph topology, O(V·E) per component. Edge weights are deliberately
+//! ignored — betweenness over similarity-weighted shortest paths would
+//! invert the semantics (high similarity = short edge needs a weight
+//! transform), and the paper's reference is to the classic unweighted
+//! measure.
+
+use em_core::{EmError, Result};
+
+use crate::graph::PairGraph;
+
+/// Betweenness centrality for the nodes of one connected component.
+///
+/// `component` lists node ids; the returned vector is aligned with it.
+/// Scores are normalized to `[0, 1]` by the pair count
+/// `(n−1)(n−2)/2` (undirected convention); singleton and two-node
+/// components yield zeros.
+pub fn betweenness(graph: &PairGraph, component: &[usize]) -> Result<Vec<f64>> {
+    let m = component.len();
+    if m == 0 {
+        return Err(EmError::EmptyInput("betweenness component".into()));
+    }
+    let mut local = std::collections::HashMap::with_capacity(m);
+    for (li, &v) in component.iter().enumerate() {
+        local.insert(v, li);
+    }
+    // Validate closure while building the local adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (li, &v) in component.iter().enumerate() {
+        for &(u, _) in graph.neighbors(v) {
+            match local.get(&(u as usize)) {
+                Some(&lu) => adj[li].push(lu),
+                None => {
+                    return Err(EmError::InvalidConfig(format!(
+                        "node {v} has neighbour {u} outside its component"
+                    )))
+                }
+            }
+        }
+    }
+    if m < 3 {
+        return Ok(vec![0.0; m]);
+    }
+
+    let mut centrality = vec![0.0f64; m];
+    // Reusable per-source buffers.
+    let mut sigma = vec![0.0f64; m];
+    let mut dist = vec![-1i64; m];
+    let mut delta = vec![0.0f64; m];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); m];
+
+    for s in 0..m {
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        dist.iter_mut().for_each(|x| *x = -1);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        preds.iter_mut().for_each(Vec::clear);
+
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut stack: Vec<usize> = Vec::with_capacity(m);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in &adj[v] {
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // Accumulation in reverse BFS order.
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+
+    // Undirected normalization: each pair counted twice; scale to [0,1].
+    let norm = ((m - 1) * (m - 2)) as f64;
+    for c in &mut centrality {
+        *c /= norm;
+    }
+    Ok(centrality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn pool_graph(n: usize) -> PairGraph {
+        PairGraph::new(vec![NodeKind::PredictedMatch; n], vec![0.9; n]).unwrap()
+    }
+
+    #[test]
+    fn path_graph_middle_is_most_central() {
+        // 0 — 1 — 2 — 3 — 4: node 2 lies on the most shortest paths.
+        let mut g = pool_graph(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let comp: Vec<usize> = (0..5).collect();
+        let bc = betweenness(&g, &comp).unwrap();
+        assert!(bc[2] > bc[1] && bc[2] > bc[3], "{bc:?}");
+        assert!(bc[1] > bc[0] && bc[3] > bc[4], "{bc:?}");
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[4], 0.0);
+        // Known value: middle of a 5-path has betweenness 4/((4)(3)) per
+        // undirected normalization with both directions counted:
+        // pairs through node 2: (0,3),(0,4),(1,3),(1,4) = 4 of 6 pairs,
+        // counted in both directions → 8/12 = 2/3.
+        assert!((bc[2] - 2.0 / 3.0).abs() < 1e-9, "{}", bc[2]);
+    }
+
+    #[test]
+    fn star_center_takes_everything() {
+        let mut g = pool_graph(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf, 0.9).unwrap();
+        }
+        let comp: Vec<usize> = (0..6).collect();
+        let bc = betweenness(&g, &comp).unwrap();
+        assert!((bc[0] - 1.0).abs() < 1e-9, "center {}", bc[0]);
+        for leaf in 1..6 {
+            assert_eq!(bc[leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_all_zero() {
+        let mut g = pool_graph(4);
+        for a in 0..4 {
+            for b in a + 1..4 {
+                g.add_edge(a, b, 0.5).unwrap();
+            }
+        }
+        let comp: Vec<usize> = (0..4).collect();
+        let bc = betweenness(&g, &comp).unwrap();
+        assert!(bc.iter().all(|&x| x.abs() < 1e-12), "{bc:?}");
+    }
+
+    #[test]
+    fn tiny_components_are_zero() {
+        let mut g = pool_graph(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        assert_eq!(betweenness(&g, &[2]).unwrap(), vec![0.0]);
+        assert_eq!(betweenness(&g, &[0, 1]).unwrap(), vec![0.0, 0.0]);
+        assert!(betweenness(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_cross_component_neighbours() {
+        let mut g = pool_graph(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        assert!(betweenness(&g, &[0]).is_err());
+    }
+
+    #[test]
+    fn bridge_node_dominates_two_cliques() {
+        // Two triangles joined through node 3.
+        let mut g = pool_graph(7);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        g.add_edge(0, 2, 0.5).unwrap();
+        g.add_edge(2, 3, 0.5).unwrap();
+        g.add_edge(3, 4, 0.5).unwrap();
+        g.add_edge(4, 5, 0.5).unwrap();
+        g.add_edge(5, 6, 0.5).unwrap();
+        g.add_edge(4, 6, 0.5).unwrap();
+        let comp: Vec<usize> = (0..7).collect();
+        let bc = betweenness(&g, &comp).unwrap();
+        let max = bc.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(bc[3], max, "{bc:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Certainty: binary entropy, spatial confidence and their blend
+//! (paper Eqs. 1, 3, 4).
+//!
+//! Transformer matchers "tend to produce an uncalibrated confidence
+//! value, assigning mostly dichotomous values close to either 0 or 1"
+//! (§3.5.1), which starves conditional entropy of signal. The battleship
+//! fix is *spatial* confidence: agreement of a node's prediction with its
+//! graph neighbourhood (Eq. 3), blended with the model's own entropy via
+//! the `β` parameter (Eq. 4). Figure 7 of the paper ablates `β`; the
+//! worked Example 7 (ϕ̃(s₁) ≈ 0.51) is a test in this module.
+
+use em_core::{EmError, Result};
+
+use crate::graph::PairGraph;
+
+/// Binary (Shannon) entropy `H(p) = −p·log₂ p − (1−p)·log₂(1−p)` (Eq. 1).
+///
+/// Defined to be 0 at `p ∈ {0, 1}`; maximal (1.0) at `p = 0.5`.
+pub fn binary_entropy(p: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) {
+        // Clamp minor float drift instead of poisoning scores with NaN.
+        return binary_entropy(p.clamp(0.0, 1.0));
+    }
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Spatial confidence `ϕ̃(v)` (Eq. 3): the weight-and-confidence mass of
+/// the neighbours that agree with `v`'s side, over the mass of all
+/// neighbours.
+///
+/// ```text
+/// ϕ̃(v) = Σ_{v'∈N*(v)} π(v,v')·ϕ(v')  /  Σ_{v'∈N(v)} π(v,v')·ϕ(v')
+/// ```
+///
+/// where `N*(v)` keeps the neighbours whose prediction/label side matches
+/// `v`'s. A node with no neighbours falls back to its own model
+/// confidence `ϕ(v)` (the graph carries no spatial evidence about it).
+pub fn spatial_confidence(graph: &PairGraph, v: usize) -> Result<f64> {
+    if v >= graph.len() {
+        return Err(EmError::IndexOutOfBounds {
+            context: "spatial_confidence node".into(),
+            index: v,
+            len: graph.len(),
+        });
+    }
+    let v_side = graph.kind(v).is_match_side();
+    let mut agree = 0.0f64;
+    let mut total = 0.0f64;
+    for &(u, w) in graph.neighbors(v) {
+        let u = u as usize;
+        let mass = w as f64 * graph.confidence(u) as f64;
+        total += mass;
+        if graph.kind(u).is_match_side() == v_side {
+            agree += mass;
+        }
+    }
+    if total <= 0.0 {
+        return Ok(graph.confidence(v) as f64);
+    }
+    Ok(agree / total)
+}
+
+/// The certainty (uncertainty) score `S_unc(v)` (Eq. 4):
+///
+/// ```text
+/// S_unc(v) = β·H(ϕ(v)) + (1−β)·H(ϕ̃(v))
+/// ```
+///
+/// Higher values mean *more uncertain* — the active-learning selection
+/// ranks descending by this score, while the weak-supervision component
+/// picks its pseudo-labels by *minimizing* it (§3.7).
+pub fn certainty_score(graph: &PairGraph, v: usize, beta: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(EmError::InvalidConfig(format!(
+            "beta {beta} outside [0,1]"
+        )));
+    }
+    let local = binary_entropy(graph.confidence(v) as f64);
+    let spatial = binary_entropy(spatial_confidence(graph, v)?);
+    Ok(beta * local + (1.0 - beta) * spatial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, EdgeConfig};
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn entropy_shape() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        // Symmetric.
+        assert!((binary_entropy(0.2) - binary_entropy(0.8)).abs() < 1e-12);
+        // Monotone toward 0.5.
+        assert!(binary_entropy(0.3) < binary_entropy(0.4));
+        // Out-of-range inputs are clamped, not NaN.
+        assert_eq!(binary_entropy(-0.1), 0.0);
+        assert_eq!(binary_entropy(1.1), 0.0);
+    }
+
+    /// The paper's Example 7: ϕ̃(s₁) = (0.9·0.92 + 0.9·1) /
+    /// (0.9·0.92 + 0.9·1 + 0.85·0.98 + 0.82·1) ≈ 0.51.
+    #[test]
+    fn example7_spatial_confidence_matches_paper() {
+        let sim = crate::build::tests::paper_example_sim();
+        let g = build_graph(
+            &sim,
+            &crate::build::tests::paper_example_kinds(),
+            &crate::build::tests::paper_example_confidences(),
+            &[(0..8).collect()],
+            EdgeConfig {
+                q: 2,
+                extra_ratio: 0.15,
+            },
+        )
+        .unwrap();
+        let phi = spatial_confidence(&g, 0).unwrap();
+        let expected = (0.9 * 0.92 + 0.9 * 1.0)
+            / (0.9 * 0.92 + 0.9 * 1.0 + 0.85 * 0.98 + 0.82 * 1.0);
+        // Graph weights/confidences are f32, so compare at f32 precision.
+        assert!((phi - expected).abs() < 1e-6, "got {phi}, want {expected}");
+        assert!((phi - 0.51).abs() < 0.005, "paper rounds to 0.51, got {phi}");
+    }
+
+    #[test]
+    fn unanimous_neighbourhood_gives_full_confidence() {
+        let mut g = PairGraph::new(
+            vec![NodeKind::PredictedMatch; 4],
+            vec![0.9, 0.8, 0.7, 0.6],
+        )
+        .unwrap();
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(0, 2, 0.5).unwrap();
+        g.add_edge(0, 3, 0.5).unwrap();
+        assert!((spatial_confidence(&g, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hostile_neighbourhood_gives_zero_confidence() {
+        let mut g = PairGraph::new(
+            vec![
+                NodeKind::PredictedMatch,
+                NodeKind::PredictedNonMatch,
+                NodeKind::LabeledNonMatch,
+            ],
+            vec![0.9, 0.8, 1.0],
+        )
+        .unwrap();
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(0, 2, 0.5).unwrap();
+        assert_eq!(spatial_confidence(&g, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn isolated_node_falls_back_to_model_confidence() {
+        let g = PairGraph::new(vec![NodeKind::PredictedMatch], vec![0.73]).unwrap();
+        assert!((spatial_confidence(&g, 0).unwrap() - 0.73).abs() < 1e-6);
+        assert!(spatial_confidence(&g, 5).is_err());
+    }
+
+    #[test]
+    fn certainty_score_blends_with_beta() {
+        let sim = crate::build::tests::paper_example_sim();
+        let g = build_graph(
+            &sim,
+            &crate::build::tests::paper_example_kinds(),
+            &crate::build::tests::paper_example_confidences(),
+            &[(0..8).collect()],
+            EdgeConfig {
+                q: 2,
+                extra_ratio: 0.15,
+            },
+        )
+        .unwrap();
+        let local = binary_entropy(g.confidence(0) as f64);
+        let spatial = binary_entropy(spatial_confidence(&g, 0).unwrap());
+        let s_half = certainty_score(&g, 0, 0.5).unwrap();
+        assert!((s_half - 0.5 * (local + spatial)).abs() < 1e-12);
+        // β = 1 is pure model entropy; β = 0 is pure spatial entropy.
+        assert!((certainty_score(&g, 0, 1.0).unwrap() - local).abs() < 1e-12);
+        assert!((certainty_score(&g, 0, 0.0).unwrap() - spatial).abs() < 1e-12);
+        assert!(certainty_score(&g, 0, 1.5).is_err());
+    }
+
+    #[test]
+    fn disagreeing_node_is_more_uncertain_than_agreeing_node() {
+        // s1 (node 0) sits between camps (ϕ̃ ≈ 0.51 → high spatial
+        // entropy); s3 (node 2) has match-predicted neighbours only.
+        let sim = crate::build::tests::paper_example_sim();
+        let g = build_graph(
+            &sim,
+            &crate::build::tests::paper_example_kinds(),
+            &crate::build::tests::paper_example_confidences(),
+            &[(0..8).collect()],
+            EdgeConfig {
+                q: 2,
+                extra_ratio: 0.15,
+            },
+        )
+        .unwrap();
+        let s1 = certainty_score(&g, 0, 0.0).unwrap();
+        let s4 = certainty_score(&g, 3, 0.0).unwrap();
+        assert!(
+            s1 > s4,
+            "boundary node s1 ({s1}) should be more uncertain than interior s4 ({s4})"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Connected components of pair graphs.
+//!
+//! The battleship approach treats every connected component as a
+//! sampling region: budgets are distributed across components
+//! proportionally to size (§3.4) and the top-ranked pairs are taken
+//! per component (§3.6).
+
+use crate::graph::PairGraph;
+
+/// Connected components of the graph, as sorted node-index lists.
+///
+/// Components are returned in ascending order of their smallest member,
+/// so the output is deterministic. Isolated nodes form singleton
+/// components.
+pub fn connected_components(graph: &PairGraph) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited[start] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for &(u, _) in graph.neighbors(v) {
+                let u = u as usize;
+                if !visited[u] {
+                    visited[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn pool_graph(n: usize) -> PairGraph {
+        PairGraph::new(vec![NodeKind::PredictedMatch; n], vec![0.9; n]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = pool_graph(0);
+        assert!(connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = pool_graph(3);
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = pool_graph(6);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        g.add_edge(4, 5, 0.5).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn single_component_chain() {
+        let mut g = pool_graph(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let cc = connected_components(&g);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let mut g = pool_graph(10);
+        g.add_edge(0, 9, 0.5).unwrap();
+        g.add_edge(2, 5, 0.5).unwrap();
+        g.add_edge(5, 7, 0.5).unwrap();
+        let cc = connected_components(&g);
+        let mut all: Vec<usize> = cc.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

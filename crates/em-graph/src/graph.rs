@@ -1,0 +1,283 @@
+//! The pair-graph data structure.
+//!
+//! `G = (V, E)` where each node represents a candidate tuple pair, carries
+//! the model confidence `ϕ(v)` in its assigned label, and each weighted
+//! edge `π(e)` holds the cosine similarity of the two pair representations
+//! (§3.3). Node identity is positional: node `i` of the graph corresponds
+//! to element `i` of whatever slice of pairs the caller built the graph
+//! over (the battleship runner keeps the mapping to global pair indices).
+
+use em_core::{EmError, Result};
+
+/// The role of a node in the heterogeneous graph of §3.3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Unlabeled, model-predicted match (pool).
+    PredictedMatch,
+    /// Unlabeled, model-predicted non-match (pool).
+    PredictedNonMatch,
+    /// Labeled match (train set).
+    LabeledMatch,
+    /// Labeled non-match (train set).
+    LabeledNonMatch,
+}
+
+impl NodeKind {
+    /// `true` for nodes already labeled by the oracle.
+    #[inline]
+    pub fn is_labeled(self) -> bool {
+        matches!(self, NodeKind::LabeledMatch | NodeKind::LabeledNonMatch)
+    }
+
+    /// `true` for nodes on the match side (predicted or labeled).
+    #[inline]
+    pub fn is_match_side(self) -> bool {
+        matches!(self, NodeKind::PredictedMatch | NodeKind::LabeledMatch)
+    }
+}
+
+/// An undirected weighted pair graph.
+///
+/// Adjacency is stored per node; every undirected edge appears in both
+/// endpoint lists (which is also how PageRank consumes it, the paper
+/// producing "two inversely directed edges for each edge", §3.5.2).
+#[derive(Debug, Clone)]
+pub struct PairGraph {
+    kinds: Vec<NodeKind>,
+    /// `ϕ(v)`: confidence in the node's assigned label; 1.0 for labeled
+    /// nodes (§3.5.1).
+    confidence: Vec<f32>,
+    adj: Vec<Vec<(u32, f32)>>,
+    n_edges: usize,
+}
+
+impl PairGraph {
+    /// Create an edgeless graph over nodes with the given kinds and
+    /// confidences.
+    ///
+    /// Labeled nodes must carry confidence 1.0 (enforced here rather than
+    /// silently rewritten, so construction bugs surface early);
+    /// confidences must lie in `[0, 1]`.
+    pub fn new(kinds: Vec<NodeKind>, confidence: Vec<f32>) -> Result<Self> {
+        if kinds.len() != confidence.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "PairGraph kinds vs confidences".into(),
+                expected: kinds.len(),
+                actual: confidence.len(),
+            });
+        }
+        for (i, (&k, &c)) in kinds.iter().zip(&confidence).enumerate() {
+            if !(0.0..=1.0).contains(&c) {
+                return Err(EmError::InvalidConfig(format!(
+                    "node {i} confidence {c} outside [0,1]"
+                )));
+            }
+            if k.is_labeled() && (c - 1.0).abs() > 1e-6 {
+                return Err(EmError::InvalidConfig(format!(
+                    "labeled node {i} must have confidence 1.0, got {c}"
+                )));
+            }
+        }
+        let n = kinds.len();
+        Ok(PairGraph {
+            kinds,
+            confidence,
+            adj: vec![Vec::new(); n],
+            n_edges: 0,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` iff the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Kind of node `v`.
+    #[inline]
+    pub fn kind(&self, v: usize) -> NodeKind {
+        self.kinds[v]
+    }
+
+    /// `ϕ(v)` — confidence in the node's assigned label.
+    #[inline]
+    pub fn confidence(&self, v: usize) -> f32 {
+        self.confidence[v]
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[(u32, f32)] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Add an undirected edge with weight `w`.
+    ///
+    /// Rejects self-loops, duplicate edges, labeled–labeled edges (the
+    /// §3.3.2 exclusion: "we do not directly connect two labeled pairs")
+    /// and non-positive weights (similarities of connected pairs are
+    /// positive by construction; PageRank requires positive weights).
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f32) -> Result<()> {
+        let n = self.len();
+        if u >= n || v >= n {
+            return Err(EmError::IndexOutOfBounds {
+                context: "PairGraph edge endpoint".into(),
+                index: u.max(v),
+                len: n,
+            });
+        }
+        if u == v {
+            return Err(EmError::InvalidConfig(format!("self-loop on node {u}")));
+        }
+        if self.kinds[u].is_labeled() && self.kinds[v].is_labeled() {
+            return Err(EmError::InvalidConfig(format!(
+                "edge ({u},{v}) would connect two labeled nodes"
+            )));
+        }
+        if !(w > 0.0) || !w.is_finite() {
+            return Err(EmError::InvalidConfig(format!(
+                "edge ({u},{v}) weight {w} must be positive and finite"
+            )));
+        }
+        if self.has_edge(u, v) {
+            return Err(EmError::InvalidConfig(format!(
+                "duplicate edge ({u},{v})"
+            )));
+        }
+        self.adj[u].push((v as u32, w));
+        self.adj[v].push((u as u32, w));
+        self.n_edges += 1;
+        Ok(())
+    }
+
+    /// `true` iff an edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        let (probe, other) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[probe].iter().any(|&(x, _)| x as usize == other)
+    }
+
+    /// Weight of edge `{u, v}`, if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f32> {
+        self.adj[u]
+            .iter()
+            .find(|&&(x, _)| x as usize == v)
+            .map(|&(_, w)| w)
+    }
+
+    /// All undirected edges as `(u, v, w)` with `u < v`, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.n_edges);
+        for u in 0..self.len() {
+            for &(v, w) in &self.adj[u] {
+                let v = v as usize;
+                if u < v {
+                    out.push((u, v, w));
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_graph(n: usize) -> PairGraph {
+        PairGraph::new(vec![NodeKind::PredictedMatch; n], vec![0.9; n]).unwrap()
+    }
+
+    #[test]
+    fn kinds_and_flags() {
+        assert!(NodeKind::LabeledMatch.is_labeled());
+        assert!(NodeKind::LabeledNonMatch.is_labeled());
+        assert!(!NodeKind::PredictedMatch.is_labeled());
+        assert!(NodeKind::PredictedMatch.is_match_side());
+        assert!(NodeKind::LabeledMatch.is_match_side());
+        assert!(!NodeKind::PredictedNonMatch.is_match_side());
+    }
+
+    #[test]
+    fn construction_validates_confidences() {
+        assert!(PairGraph::new(vec![NodeKind::PredictedMatch], vec![1.5]).is_err());
+        assert!(PairGraph::new(vec![NodeKind::LabeledMatch], vec![0.7]).is_err());
+        assert!(PairGraph::new(vec![NodeKind::PredictedMatch], vec![0.7, 0.8]).is_err());
+        assert!(PairGraph::new(vec![NodeKind::LabeledMatch], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn add_edge_symmetric() {
+        let mut g = pool_graph(3);
+        g.add_edge(0, 1, 0.8).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_weight(0, 1), Some(0.8));
+        assert_eq!(g.edge_weight(1, 0), Some(0.8));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = pool_graph(3);
+        assert!(g.add_edge(0, 0, 0.5).is_err()); // self-loop
+        assert!(g.add_edge(0, 9, 0.5).is_err()); // out of bounds
+        assert!(g.add_edge(0, 1, 0.0).is_err()); // non-positive weight
+        assert!(g.add_edge(0, 1, f32::NAN).is_err());
+        g.add_edge(0, 1, 0.5).unwrap();
+        assert!(g.add_edge(1, 0, 0.6).is_err()); // duplicate
+    }
+
+    #[test]
+    fn rejects_labeled_labeled_edges() {
+        let mut g = PairGraph::new(
+            vec![
+                NodeKind::LabeledMatch,
+                NodeKind::LabeledNonMatch,
+                NodeKind::PredictedMatch,
+            ],
+            vec![1.0, 1.0, 0.6],
+        )
+        .unwrap();
+        assert!(g.add_edge(0, 1, 0.9).is_err());
+        assert!(g.add_edge(0, 2, 0.9).is_ok());
+        assert!(g.add_edge(1, 2, 0.9).is_ok());
+    }
+
+    #[test]
+    fn edges_lists_canonical_order() {
+        let mut g = pool_graph(4);
+        g.add_edge(2, 0, 0.3).unwrap();
+        g.add_edge(3, 1, 0.4).unwrap();
+        g.add_edge(0, 1, 0.5).unwrap();
+        assert_eq!(
+            g.edges(),
+            vec![(0, 1, 0.5), (0, 2, 0.3), (1, 3, 0.4)]
+        );
+    }
+}

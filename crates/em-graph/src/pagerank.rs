@@ -1,0 +1,262 @@
+//! Weighted PageRank centrality (paper Eq. 5).
+//!
+//! "We use PageRank, a well-known centrality measure for node's
+//! importance in a graph ... Since edge directionality is important for
+//! PageRank, we produce two inversely directed edges for each edge in a
+//! connected component with the same edge weight" (§3.5.2). Our
+//! [`crate::PairGraph`] adjacency is already symmetric, which is exactly
+//! that construction. The update implemented here is Eq. 5:
+//!
+//! ```text
+//! S_cen(v) = ρ · Σ_{v'∈N(v)} A(v,v') · S_cen(v') / Σ_{v''} A(v',v'')
+//!            + (1 − ρ) / |V_cc|
+//! ```
+//!
+//! computed per connected component by power iteration.
+
+use em_core::{EmError, Result};
+
+use crate::graph::PairGraph;
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor ρ (the paper's "sampling parameter ... to avoid
+    /// dead-end situations"). 0.85 is the classic value.
+    pub rho: f64,
+    /// Maximum power iterations.
+    pub max_iters: usize,
+    /// L1 convergence threshold.
+    pub tol: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            rho: 0.85,
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+impl PageRankConfig {
+    fn validate(&self) -> Result<()> {
+        if !(0.0..1.0).contains(&self.rho) {
+            return Err(EmError::InvalidConfig(format!(
+                "PageRank rho {} must be in [0,1)",
+                self.rho
+            )));
+        }
+        if self.max_iters == 0 {
+            return Err(EmError::InvalidConfig(
+                "PageRank needs at least one iteration".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// PageRank scores for the nodes of one connected component.
+///
+/// `component` lists the node ids of the component; the returned vector is
+/// aligned with it and sums to 1. Nodes with no neighbours inside the
+/// component (possible only for singleton components) get score 1.
+pub fn pagerank(
+    graph: &PairGraph,
+    component: &[usize],
+    config: PageRankConfig,
+) -> Result<Vec<f64>> {
+    config.validate()?;
+    let m = component.len();
+    if m == 0 {
+        return Err(EmError::EmptyInput("pagerank component".into()));
+    }
+
+    // Local index lookup.
+    let mut local = std::collections::HashMap::with_capacity(m);
+    for (li, &v) in component.iter().enumerate() {
+        local.insert(v, li);
+    }
+
+    // Out-weight totals (= in-weight totals, the graph is symmetric).
+    let mut out_weight = vec![0.0f64; m];
+    for (li, &v) in component.iter().enumerate() {
+        for &(u, w) in graph.neighbors(v) {
+            if local.contains_key(&(u as usize)) {
+                out_weight[li] += w as f64;
+            } else {
+                return Err(EmError::InvalidConfig(format!(
+                    "node {v} has neighbour {u} outside its component"
+                )));
+            }
+        }
+    }
+    if m == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    let teleport = (1.0 - config.rho) / m as f64;
+    let mut rank = vec![1.0 / m as f64; m];
+    let mut next = vec![0.0f64; m];
+
+    for _ in 0..config.max_iters {
+        next.iter_mut().for_each(|x| *x = teleport);
+        let mut dangling_mass = 0.0f64;
+        for (li, &v) in component.iter().enumerate() {
+            if out_weight[li] <= 0.0 {
+                dangling_mass += rank[li];
+                continue;
+            }
+            let share = config.rho * rank[li] / out_weight[li];
+            for &(u, w) in graph.neighbors(v) {
+                let lu = local[&(u as usize)];
+                next[lu] += share * w as f64;
+            }
+        }
+        // Dangling nodes spread their mass uniformly (standard fix; only
+        // relevant for degenerate components).
+        if dangling_mass > 0.0 {
+            let spread = config.rho * dangling_mass / m as f64;
+            for x in next.iter_mut() {
+                *x += spread;
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tol {
+            break;
+        }
+    }
+    Ok(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn pool_graph(n: usize) -> PairGraph {
+        PairGraph::new(vec![NodeKind::PredictedMatch; n], vec![0.9; n]).unwrap()
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut g = pool_graph(5);
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(1, 2, 0.8).unwrap();
+        g.add_edge(2, 3, 0.7).unwrap();
+        g.add_edge(3, 4, 0.6).unwrap();
+        g.add_edge(4, 0, 0.5).unwrap();
+        let pr = pagerank(&g, &[0, 1, 2, 3, 4], PageRankConfig::default()).unwrap();
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn star_center_is_most_central() {
+        let mut g = pool_graph(6);
+        for leaf in 1..6 {
+            g.add_edge(0, leaf, 0.8).unwrap();
+        }
+        let pr = pagerank(&g, &[0, 1, 2, 3, 4, 5], PageRankConfig::default()).unwrap();
+        for leaf in 1..6 {
+            assert!(pr[0] > pr[leaf], "center {} leaf {}", pr[0], pr[leaf]);
+        }
+        // Leaves are symmetric.
+        for leaf in 2..6 {
+            assert!((pr[1] - pr[leaf]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_ring_is_uniform() {
+        let mut g = pool_graph(4);
+        g.add_edge(0, 1, 0.5).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap();
+        g.add_edge(2, 3, 0.5).unwrap();
+        g.add_edge(3, 0, 0.5).unwrap();
+        let pr = pagerank(&g, &[0, 1, 2, 3], PageRankConfig::default()).unwrap();
+        for &x in &pr {
+            assert!((x - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heavier_edges_attract_rank() {
+        // Triangle where node 2's incident edges are heavier.
+        let mut g = pool_graph(3);
+        g.add_edge(0, 1, 0.1).unwrap();
+        g.add_edge(1, 2, 0.9).unwrap();
+        g.add_edge(0, 2, 0.9).unwrap();
+        let pr = pagerank(&g, &[0, 1, 2], PageRankConfig::default()).unwrap();
+        assert!(pr[2] > pr[0]);
+        assert!(pr[2] > pr[1]);
+    }
+
+    #[test]
+    fn singleton_component_scores_one() {
+        let g = pool_graph(3);
+        let pr = pagerank(&g, &[1], PageRankConfig::default()).unwrap();
+        assert_eq!(pr, vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_cross_component_neighbours() {
+        let mut g = pool_graph(3);
+        g.add_edge(0, 1, 0.5).unwrap();
+        // Component listing only node 0 is wrong — 1 is its neighbour.
+        assert!(pagerank(&g, &[0], PageRankConfig::default()).is_err());
+    }
+
+    #[test]
+    fn validates_config() {
+        let g = pool_graph(2);
+        assert!(pagerank(
+            &g,
+            &[0, 1],
+            PageRankConfig {
+                rho: 1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(pagerank(
+            &g,
+            &[0, 1],
+            PageRankConfig {
+                max_iters: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(pagerank(&g, &[], PageRankConfig::default()).is_err());
+    }
+
+    #[test]
+    fn paper_example_component_ranks_s5_central() {
+        // On the Example 4 graph, s5 (node 4) has the highest degree (6
+        // incident edges) and should out-rank the periphery.
+        use crate::build::{build_graph, EdgeConfig};
+        let sim = crate::build::tests::paper_example_sim();
+        let g = build_graph(
+            &sim,
+            &crate::build::tests::paper_example_kinds(),
+            &crate::build::tests::paper_example_confidences(),
+            &[(0..8).collect()],
+            EdgeConfig {
+                q: 2,
+                extra_ratio: 0.15,
+            },
+        )
+        .unwrap();
+        let comp: Vec<usize> = (0..8).collect();
+        let pr = pagerank(&g, &comp, PageRankConfig::default()).unwrap();
+        let max_node = (0..8).max_by(|&a, &b| pr[a].partial_cmp(&pr[b]).unwrap()).unwrap();
+        assert_eq!(max_node, 4, "ranks: {pr:?}");
+    }
+}

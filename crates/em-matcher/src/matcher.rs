@@ -1,0 +1,418 @@
+//! The matcher training loop and prediction interface.
+//!
+//! Follows the paper's protocol (§4.2): each active-learning iteration
+//! trains a *fresh* model ("the parameters of DITTO in an active learning
+//! iteration are initialized without using the values of previous
+//! iterations") for a fixed number of epochs, keeping the parameters of
+//! the epoch with the best validation F1. Prediction produces, per pair,
+//! the match probability (temperature-sharpened, see
+//! [`crate::calibration`]) and the pair representation.
+
+use serde::{Deserialize, Serialize};
+
+use em_core::{BinaryConfusion, EmError, Label, Prediction, Result, Rng};
+use em_vector::Embeddings;
+
+use crate::adamw::AdamW;
+use crate::calibration::apply_temperature;
+use crate::mlp::{sigmoid, Mlp};
+
+/// Matcher hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Hidden layer widths; the last one is the representation dimension
+    /// (the paper's `[CLS]` vector is 768-d; 96 is plenty for the MLP
+    /// substrate — see DESIGN.md on this substitution).
+    pub hidden: Vec<usize>,
+    /// Training epochs per active-learning iteration. The paper uses 12
+    /// (8 for DBLP-Scholar) when *fine-tuning* a pretrained RoBERTa; a
+    /// from-scratch MLP needs more optimizer steps to reach its
+    /// asymptote, so the default is higher (see DESIGN.md on the matcher
+    /// substitution).
+    pub epochs: usize,
+    /// Mini-batch size (the paper uses 12; 16 gives the MLP more steps
+    /// per epoch at equal cost).
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Prediction-time logit temperature; < 1 sharpens, emulating PLM
+    /// over-confidence (§3.5.1). Set to 1.0 for raw probabilities.
+    pub temperature: f32,
+    /// Weight initialisation / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            hidden: vec![96],
+            epochs: 40,
+            batch_size: 16,
+            lr: 8e-3,
+            weight_decay: 1e-4,
+            temperature: 0.25,
+            seed: 0xD1_77_0,
+        }
+    }
+}
+
+impl MatcherConfig {
+    fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(EmError::InvalidConfig("epochs must be > 0".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(EmError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if self.temperature <= 0.0 {
+            return Err(EmError::InvalidConfig("temperature must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A trained matcher ready for prediction.
+#[derive(Debug, Clone)]
+pub struct TrainedMatcher {
+    mlp: Mlp,
+    temperature: f32,
+    /// Best validation F1 seen during training (0 if no validation data).
+    pub best_valid_f1: f64,
+    /// Epoch (0-based) whose parameters were kept.
+    pub best_epoch: usize,
+}
+
+/// Batched prediction output over a set of pairs.
+#[derive(Debug, Clone)]
+pub struct MatcherOutput {
+    /// Per-pair prediction (sharpened probability + thresholded label).
+    pub predictions: Vec<Prediction>,
+    /// Per-pair representation (last hidden activation).
+    pub representations: Embeddings,
+}
+
+impl TrainedMatcher {
+    /// Predict one feature vector: `(prediction, representation)`.
+    pub fn predict_one(&self, features: &[f32]) -> Result<(Prediction, Vec<f32>)> {
+        let (logit, repr) = self.mlp.forward(features)?;
+        let raw = sigmoid(logit);
+        let prob = apply_temperature(raw, self.temperature)?;
+        Ok((Prediction::from_prob(prob), repr))
+    }
+
+    /// Predict rows `indices` of the feature matrix.
+    pub fn predict(&self, features: &Embeddings, indices: &[usize]) -> Result<MatcherOutput> {
+        let mut predictions = Vec::with_capacity(indices.len());
+        let mut representations = Embeddings::new(self.mlp.repr_dim())?;
+        for &i in indices {
+            if i >= features.len() {
+                return Err(EmError::IndexOutOfBounds {
+                    context: "matcher predict".into(),
+                    index: i,
+                    len: features.len(),
+                });
+            }
+            let (pred, repr) = self.predict_one(features.row(i))?;
+            predictions.push(pred);
+            representations.push(&repr)?;
+        }
+        Ok(MatcherOutput {
+            predictions,
+            representations,
+        })
+    }
+
+    /// Predict every row of the feature matrix.
+    pub fn predict_all(&self, features: &Embeddings) -> Result<MatcherOutput> {
+        let all: Vec<usize> = (0..features.len()).collect();
+        self.predict(features, &all)
+    }
+
+    /// F1 against ground truth over the given rows.
+    pub fn evaluate(
+        &self,
+        features: &Embeddings,
+        indices: &[usize],
+        truth: &[Label],
+    ) -> Result<em_core::Metrics> {
+        let out = self.predict(features, indices)?;
+        let predicted: Vec<Label> = out.predictions.iter().map(|p| p.label).collect();
+        Ok(BinaryConfusion::from_labels(&predicted, truth)?.metrics())
+    }
+}
+
+/// Train a matcher on rows `train_idx` (with `train_labels`) of
+/// `features`, selecting the best epoch by F1 on `valid_idx`.
+///
+/// An empty validation set keeps the final epoch's parameters.
+pub fn train_matcher(
+    features: &Embeddings,
+    train_idx: &[usize],
+    train_labels: &[Label],
+    valid_idx: &[usize],
+    valid_labels: &[Label],
+    config: &MatcherConfig,
+) -> Result<TrainedMatcher> {
+    config.validate()?;
+    if train_idx.is_empty() {
+        return Err(EmError::EmptyInput("matcher training set".into()));
+    }
+    if train_idx.len() != train_labels.len() {
+        return Err(EmError::DimensionMismatch {
+            context: "matcher train labels".into(),
+            expected: train_idx.len(),
+            actual: train_labels.len(),
+        });
+    }
+    if valid_idx.len() != valid_labels.len() {
+        return Err(EmError::DimensionMismatch {
+            context: "matcher valid labels".into(),
+            expected: valid_idx.len(),
+            actual: valid_labels.len(),
+        });
+    }
+
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut mlp = Mlp::new(features.dim(), &config.hidden, &mut rng)?;
+    let mut opt = AdamW::new(mlp.n_params(), config.lr, config.weight_decay)?;
+    let decay_mask = mlp.decay_mask().to_vec();
+
+    let mut order: Vec<usize> = (0..train_idx.len()).collect();
+    let mut grads: Vec<f32> = Vec::new();
+    let mut best_snapshot = mlp.snapshot();
+    let mut best_f1 = f64::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+
+    for epoch in 0..config.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(config.batch_size) {
+            let xs: Vec<&[f32]> = chunk.iter().map(|&o| features.row(train_idx[o])).collect();
+            let ys: Vec<f32> = chunk.iter().map(|&o| train_labels[o].as_f32()).collect();
+            let ws = vec![1.0f32; xs.len()];
+            mlp.backward_batch(&xs, &ys, &ws, &mut grads)?;
+            opt.step(mlp.params_mut(), &grads, &decay_mask)?;
+        }
+        // Best-epoch selection on validation F1 (paper §4.2). Raw
+        // (untempered) probabilities — temperature only affects reported
+        // confidence, not the argmax label, so F1 is unchanged by it; we
+        // evaluate through the same path for simplicity.
+        if !valid_idx.is_empty() {
+            let probe = TrainedMatcher {
+                mlp: mlp.clone(),
+                temperature: config.temperature,
+                best_valid_f1: 0.0,
+                best_epoch: 0,
+            };
+            let f1 = probe.evaluate(features, valid_idx, valid_labels)?.f1;
+            if f1 > best_f1 {
+                best_f1 = f1;
+                best_snapshot = mlp.snapshot();
+                best_epoch = epoch;
+            }
+        } else {
+            best_snapshot = mlp.snapshot();
+            best_epoch = epoch;
+        }
+    }
+    mlp.restore(&best_snapshot)?;
+
+    Ok(TrainedMatcher {
+        mlp,
+        temperature: config.temperature,
+        best_valid_f1: if best_f1.is_finite() { best_f1 } else { 0.0 },
+        best_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureConfig, Featurizer};
+    use em_synth::{generate, DatasetProfile};
+
+    fn small_task() -> (Embeddings, Vec<usize>, Vec<Label>, Vec<usize>, Vec<Label>) {
+        let p = DatasetProfile::amazon_google().scaled(0.03);
+        let d = generate(&p, &mut Rng::seed_from_u64(7)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        let feats = f.featurize_all(&d).unwrap();
+        let train = d.split().train.clone();
+        let train_labels = d.ground_truth_of(&train);
+        let test = d.split().test.clone();
+        let test_labels = d.ground_truth_of(&test);
+        (feats, train, train_labels, test, test_labels)
+    }
+
+    #[test]
+    fn trains_to_useful_f1_on_synthetic_benchmark() {
+        // Walmart-Amazon at 15 % scale (~1k train pairs): the MLP should
+        // clear 0.5 (the full-size Full-D lands above 0.8).
+        let p = DatasetProfile::walmart_amazon().scaled(0.15);
+        let d = generate(&p, &mut Rng::seed_from_u64(7)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        let feats = f.featurize_all(&d).unwrap();
+        let train = d.split().train.clone();
+        let train_labels = d.ground_truth_of(&train);
+        let test = d.split().test.clone();
+        let test_labels = d.ground_truth_of(&test);
+        let m = train_matcher(
+            &feats,
+            &train,
+            &train_labels,
+            &[],
+            &[],
+            &MatcherConfig::default(),
+        )
+        .unwrap();
+        let f1 = m.evaluate(&feats, &test, &test_labels).unwrap().f1;
+        assert!(f1 > 0.5, "full-train F1 {f1}");
+    }
+
+    #[test]
+    fn more_data_beats_tiny_data() {
+        let (feats, train, train_labels, test, test_labels) = small_task();
+        let cfg = MatcherConfig::default();
+        let small = train_matcher(
+            &feats,
+            &train[..12],
+            &train_labels[..12],
+            &[],
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        let large = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
+        let f1_small = small.evaluate(&feats, &test, &test_labels).unwrap().f1;
+        let f1_large = large.evaluate(&feats, &test, &test_labels).unwrap().f1;
+        assert!(
+            f1_large >= f1_small,
+            "more data hurt: {f1_large} < {f1_small}"
+        );
+    }
+
+    #[test]
+    fn sharpened_confidences_are_dichotomous() {
+        // The PLM-overconfidence emulation: most predictions should sit
+        // near 0 or 1 after temperature sharpening.
+        let (feats, train, train_labels, test, _) = small_task();
+        let m = train_matcher(
+            &feats,
+            &train,
+            &train_labels,
+            &[],
+            &[],
+            &MatcherConfig::default(),
+        )
+        .unwrap();
+        let out = m.predict(&feats, &test).unwrap();
+        let extreme = out
+            .predictions
+            .iter()
+            .filter(|p| p.prob < 0.05 || p.prob > 0.95)
+            .count();
+        let frac = extreme as f64 / out.predictions.len() as f64;
+        assert!(frac > 0.7, "only {frac:.2} of confidences are extreme");
+    }
+
+    #[test]
+    fn representations_have_configured_dim_and_separate_classes() {
+        // Walmart-Amazon at 10% scale: enough data for the hidden layer
+        // to develop class structure (the Figure 1 phenomenon).
+        let p = DatasetProfile::walmart_amazon().scaled(0.1);
+        let d = generate(&p, &mut Rng::seed_from_u64(7)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        let feats = f.featurize_all(&d).unwrap();
+        let train = d.split().train.clone();
+        let train_labels = d.ground_truth_of(&train);
+        let test = d.split().test.clone();
+        let test_labels = d.ground_truth_of(&test);
+        let cfg = MatcherConfig {
+            hidden: vec![32, 16],
+            ..Default::default()
+        };
+        let m = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
+        let out = m.predict(&feats, &test).unwrap();
+        assert_eq!(out.representations.dim(), 16);
+        assert_eq!(out.representations.len(), test.len());
+        // Match-pair representations should be more similar to each other
+        // than to non-match representations (Figure 1's phenomenon).
+        let pos: Vec<usize> = (0..test.len()).filter(|&i| test_labels[i].is_match()).collect();
+        let neg: Vec<usize> = (0..test.len()).filter(|&i| !test_labels[i].is_match()).collect();
+        if pos.len() >= 2 && !neg.is_empty() {
+            let mut intra = 0.0f64;
+            let mut n_intra = 0;
+            for i in 0..pos.len().min(20) {
+                for j in i + 1..pos.len().min(20) {
+                    intra += out.representations.cosine(pos[i], pos[j]) as f64;
+                    n_intra += 1;
+                }
+            }
+            let mut inter = 0.0f64;
+            let mut n_inter = 0;
+            for &i in pos.iter().take(20) {
+                for &j in neg.iter().take(20) {
+                    inter += out.representations.cosine(i, j) as f64;
+                    n_inter += 1;
+                }
+            }
+            assert!(
+                intra / n_intra as f64 > inter / n_inter as f64,
+                "no class structure in representations"
+            );
+        }
+    }
+
+    #[test]
+    fn best_epoch_selection_uses_validation() {
+        // A mid-sized Walmart-Amazon task where the matcher reliably gets
+        // off the ground, so the best validation F1 is strictly positive.
+        let p = DatasetProfile::walmart_amazon().scaled(0.1);
+        let d = generate(&p, &mut Rng::seed_from_u64(7)).unwrap();
+        let f = Featurizer::new(&d, FeatureConfig::default()).unwrap();
+        let feats = f.featurize_all(&d).unwrap();
+        let train = d.split().train.clone();
+        let train_labels = d.ground_truth_of(&train);
+        let test = d.split().test.clone();
+        let test_labels = d.ground_truth_of(&test);
+        let m = train_matcher(
+            &feats,
+            &train,
+            &train_labels,
+            &test,
+            &test_labels,
+            &MatcherConfig::default(),
+        )
+        .unwrap();
+        assert!(m.best_valid_f1 > 0.0);
+        assert!(m.best_epoch < MatcherConfig::default().epochs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (feats, train, train_labels, _, _) = small_task();
+        let cfg = MatcherConfig::default();
+        let a = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
+        let b = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
+        let pa = a.predict(&feats, &[0, 1, 2]).unwrap();
+        let pb = b.predict(&feats, &[0, 1, 2]).unwrap();
+        for (x, y) in pa.predictions.iter().zip(&pb.predictions) {
+            assert_eq!(x.prob, y.prob);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (feats, train, train_labels, _, _) = small_task();
+        let cfg = MatcherConfig::default();
+        assert!(train_matcher(&feats, &[], &[], &[], &[], &cfg).is_err());
+        assert!(train_matcher(&feats, &train, &train_labels[..3], &[], &[], &cfg).is_err());
+        let bad = MatcherConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(train_matcher(&feats, &train, &train_labels, &[], &[], &bad).is_err());
+        let m = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
+        assert!(m.predict(&feats, &[999_999]).is_err());
+    }
+}

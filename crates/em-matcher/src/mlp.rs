@@ -1,0 +1,436 @@
+//! A multi-layer perceptron with manual backpropagation.
+//!
+//! Architecture: `input → [hidden ReLU]* → 1 logit`, sigmoid head,
+//! binary cross-entropy loss. The activation of the **last hidden layer**
+//! is exposed as the pair representation — the structural analogue of
+//! DITTO's `[CLS]` embedding that the battleship algorithm clusters,
+//! graphs and searches (§3.2).
+//!
+//! Parameters are stored flat (one contiguous `Vec<f32>`) so the AdamW
+//! optimizer treats the whole network uniformly and snapshots for
+//! best-epoch selection are a single memcpy.
+
+use em_core::{EmError, Result, Rng};
+
+/// Layer shape metadata over the flat parameter buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LayerSpec {
+    in_dim: usize,
+    out_dim: usize,
+    /// Offset of the weight block (`out_dim × in_dim`, row-major).
+    w_off: usize,
+    /// Offset of the bias block (`out_dim`).
+    b_off: usize,
+}
+
+/// The MLP: flat parameters plus layer specs.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    params: Vec<f32>,
+    layers: Vec<LayerSpec>,
+    /// `true` for weights (decayed), `false` for biases.
+    decay_mask: Vec<bool>,
+}
+
+impl Mlp {
+    /// Build an MLP `input_dim → hidden[0] → … → hidden[n-1] → 1` with
+    /// He-initialized weights.
+    pub fn new(input_dim: usize, hidden: &[usize], rng: &mut Rng) -> Result<Self> {
+        if input_dim == 0 {
+            return Err(EmError::InvalidConfig("MLP input_dim must be > 0".into()));
+        }
+        if hidden.is_empty() {
+            return Err(EmError::InvalidConfig(
+                "MLP needs at least one hidden layer (it provides the pair representation)"
+                    .into(),
+            ));
+        }
+        if hidden.contains(&0) {
+            return Err(EmError::InvalidConfig("hidden layer of width 0".into()));
+        }
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut offset = 0usize;
+        let mut prev = input_dim;
+        for &h in hidden.iter().chain(std::iter::once(&1)) {
+            layers.push(LayerSpec {
+                in_dim: prev,
+                out_dim: h,
+                w_off: offset,
+                b_off: offset + h * prev,
+            });
+            offset += h * prev + h;
+            prev = h;
+        }
+        let mut params = vec![0.0f32; offset];
+        let mut decay_mask = vec![false; offset];
+        for spec in &layers {
+            // He init: N(0, 2/in_dim) for ReLU layers.
+            let std = (2.0 / spec.in_dim as f64).sqrt();
+            for i in 0..spec.out_dim * spec.in_dim {
+                params[spec.w_off + i] = (rng.normal() * std) as f32;
+                decay_mask[spec.w_off + i] = true;
+            }
+            // Biases stay zero and undecayed.
+        }
+        Ok(Mlp {
+            params,
+            layers,
+            decay_mask,
+        })
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Width of the representation (last hidden layer).
+    pub fn repr_dim(&self) -> usize {
+        self.layers[self.layers.len() - 2].out_dim
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Flat parameter access for the optimizer.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Weight-decay mask aligned with [`Mlp::params_mut`].
+    pub fn decay_mask(&self) -> &[bool] {
+        &self.decay_mask
+    }
+
+    /// Snapshot the parameters (for best-epoch selection).
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.params.clone()
+    }
+
+    /// Restore a snapshot taken from this network.
+    pub fn restore(&mut self, snapshot: &[f32]) -> Result<()> {
+        if snapshot.len() != self.params.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "MLP restore".into(),
+                expected: self.params.len(),
+                actual: snapshot.len(),
+            });
+        }
+        self.params.copy_from_slice(snapshot);
+        Ok(())
+    }
+
+    /// Forward pass for one input; returns `(logit, representation)`.
+    ///
+    /// The representation is the post-ReLU activation of the last hidden
+    /// layer.
+    pub fn forward(&self, x: &[f32]) -> Result<(f32, Vec<f32>)> {
+        if x.len() != self.input_dim() {
+            return Err(EmError::DimensionMismatch {
+                context: "MLP forward".into(),
+                expected: self.input_dim(),
+                actual: x.len(),
+            });
+        }
+        let mut activation = x.to_vec();
+        let mut repr = Vec::new();
+        for (li, spec) in self.layers.iter().enumerate() {
+            let mut next = vec![0.0f32; spec.out_dim];
+            for o in 0..spec.out_dim {
+                let row = &self.params[spec.w_off + o * spec.in_dim..][..spec.in_dim];
+                let mut acc = self.params[spec.b_off + o];
+                for (w, a) in row.iter().zip(&activation) {
+                    acc += w * a;
+                }
+                next[o] = acc;
+            }
+            let is_output = li == self.layers.len() - 1;
+            if !is_output {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+                if li == self.layers.len() - 2 {
+                    repr = next.clone();
+                }
+            }
+            activation = next;
+        }
+        Ok((activation[0], repr))
+    }
+
+    /// Forward + backward over a mini-batch; accumulates the mean BCE
+    /// gradient into `grads` (zeroed here) and returns the mean loss.
+    ///
+    /// `targets[i] ∈ {0.0, 1.0}`; `sample_weights` rescales individual
+    /// samples (all-ones for the standard loss).
+    pub fn backward_batch(
+        &self,
+        xs: &[&[f32]],
+        targets: &[f32],
+        sample_weights: &[f32],
+        grads: &mut Vec<f32>,
+    ) -> Result<f32> {
+        if xs.len() != targets.len() || xs.len() != sample_weights.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "MLP backward_batch".into(),
+                expected: xs.len(),
+                actual: targets.len().min(sample_weights.len()),
+            });
+        }
+        if xs.is_empty() {
+            return Err(EmError::EmptyInput("MLP batch".into()));
+        }
+        grads.clear();
+        grads.resize(self.params.len(), 0.0);
+
+        let n_layers = self.layers.len();
+        let batch_inv = 1.0 / xs.len() as f32;
+        let mut total_loss = 0.0f32;
+
+        // Per-sample forward with cached activations, then backward.
+        for (si, &x) in xs.iter().enumerate() {
+            if x.len() != self.input_dim() {
+                return Err(EmError::DimensionMismatch {
+                    context: "MLP backward_batch input".into(),
+                    expected: self.input_dim(),
+                    actual: x.len(),
+                });
+            }
+            // Forward, caching post-activation outputs per layer.
+            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(n_layers + 1);
+            acts.push(x.to_vec());
+            for (li, spec) in self.layers.iter().enumerate() {
+                let prev = &acts[li];
+                let mut next = vec![0.0f32; spec.out_dim];
+                for o in 0..spec.out_dim {
+                    let row = &self.params[spec.w_off + o * spec.in_dim..][..spec.in_dim];
+                    let mut acc = self.params[spec.b_off + o];
+                    for (w, a) in row.iter().zip(prev) {
+                        acc += w * a;
+                    }
+                    next[o] = acc;
+                }
+                if li != n_layers - 1 {
+                    for v in &mut next {
+                        *v = v.max(0.0);
+                    }
+                }
+                acts.push(next);
+            }
+
+            let logit = acts[n_layers][0];
+            let prob = sigmoid(logit);
+            let y = targets[si];
+            let w = sample_weights[si];
+            // Numerically stable BCE-with-logits.
+            let loss = logit.max(0.0) - logit * y + (1.0 + (-logit.abs()).exp()).ln();
+            total_loss += w * loss;
+
+            // Backward: delta at the logit.
+            let mut delta = vec![w * (prob - y)];
+            for li in (0..n_layers).rev() {
+                let spec = self.layers[li];
+                let prev_act = &acts[li];
+                // Accumulate gradients of this layer.
+                for o in 0..spec.out_dim {
+                    let d = delta[o] * batch_inv;
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let wrow = spec.w_off + o * spec.in_dim;
+                    for (g, a) in grads[wrow..wrow + spec.in_dim].iter_mut().zip(prev_act) {
+                        *g += d * a;
+                    }
+                    grads[spec.b_off + o] += d;
+                }
+                if li == 0 {
+                    break;
+                }
+                // Propagate delta to the previous layer through Wᵀ, gated
+                // by the ReLU derivative (prev activation > 0).
+                let mut prev_delta = vec![0.0f32; spec.in_dim];
+                for o in 0..spec.out_dim {
+                    let d = delta[o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let wrow = spec.w_off + o * spec.in_dim;
+                    for (pd, w) in prev_delta.iter_mut().zip(&self.params[wrow..wrow + spec.in_dim])
+                    {
+                        *pd += d * w;
+                    }
+                }
+                for (pd, &a) in prev_delta.iter_mut().zip(prev_act) {
+                    if a <= 0.0 {
+                        *pd = 0.0;
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+        Ok(total_loss * batch_inv)
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adamw::AdamW;
+
+    #[test]
+    fn construction_validates() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert!(Mlp::new(0, &[4], &mut rng).is_err());
+        assert!(Mlp::new(4, &[], &mut rng).is_err());
+        assert!(Mlp::new(4, &[4, 0], &mut rng).is_err());
+        let mlp = Mlp::new(10, &[8, 4], &mut rng).unwrap();
+        assert_eq!(mlp.input_dim(), 10);
+        assert_eq!(mlp.repr_dim(), 4);
+        // (10·8+8) + (8·4+4) + (4·1+1) = 88 + 36 + 5.
+        assert_eq!(mlp.n_params(), 129);
+    }
+
+    #[test]
+    fn forward_shapes_and_dim_check() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mlp = Mlp::new(5, &[7], &mut rng).unwrap();
+        let (logit, repr) = mlp.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        assert!(logit.is_finite());
+        assert_eq!(repr.len(), 7);
+        assert!(repr.iter().all(|&x| x >= 0.0), "ReLU output negative");
+        assert!(mlp.forward(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut mlp = Mlp::new(3, &[4], &mut rng).unwrap();
+        let x: Vec<f32> = vec![0.5, -0.3, 0.8];
+        let y = 1.0f32;
+        let mut grads = Vec::new();
+        mlp.backward_batch(&[&x], &[y], &[1.0], &mut grads).unwrap();
+
+        let loss_of = |m: &Mlp| -> f32 {
+            let (logit, _) = m.forward(&x).unwrap();
+            logit.max(0.0) - logit * y + (1.0 + (-logit.abs()).exp()).ln()
+        };
+        let eps = 1e-3f32;
+        let snapshot = mlp.snapshot();
+        let mut checked = 0;
+        for p in (0..mlp.n_params()).step_by(4) {
+            let mut plus = snapshot.clone();
+            plus[p] += eps;
+            mlp.restore(&plus).unwrap();
+            let lp = loss_of(&mlp);
+            let mut minus = snapshot.clone();
+            minus[p] -= eps;
+            mlp.restore(&minus).unwrap();
+            let lm = loss_of(&mlp);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads[p]).abs() < 1e-2,
+                "param {p}: numeric {numeric} vs analytic {}",
+                grads[p]
+            );
+            checked += 1;
+        }
+        assert!(checked > 3);
+        mlp.restore(&snapshot).unwrap();
+    }
+
+    #[test]
+    fn learns_a_linearly_separable_problem() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut mlp = Mlp::new(2, &[8], &mut rng).unwrap();
+        let mut opt = AdamW::new(mlp.n_params(), 0.01, 0.0).unwrap();
+        // y = 1 iff x0 > x1.
+        let data: Vec<(Vec<f32>, f32)> = (0..200)
+            .map(|_| {
+                let a = rng.f32() * 2.0 - 1.0;
+                let b = rng.f32() * 2.0 - 1.0;
+                (vec![a, b], if a > b { 1.0 } else { 0.0 })
+            })
+            .collect();
+        let mut grads = Vec::new();
+        for _epoch in 0..60 {
+            for chunk in data.chunks(32) {
+                let xs: Vec<&[f32]> = chunk.iter().map(|(x, _)| x.as_slice()).collect();
+                let ys: Vec<f32> = chunk.iter().map(|(_, y)| *y).collect();
+                let ws = vec![1.0f32; xs.len()];
+                mlp.backward_batch(&xs, &ys, &ws, &mut grads).unwrap();
+                let mask = mlp.decay_mask().to_vec();
+                opt.step(mlp.params_mut(), &grads, &mask).unwrap();
+            }
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| {
+                let (logit, _) = mlp.forward(x).unwrap();
+                (sigmoid(logit) >= 0.5) == (*y == 1.0)
+            })
+            .count();
+        assert!(correct >= 190, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut mlp = Mlp::new(2, &[16], &mut rng).unwrap();
+        let mut opt = AdamW::new(mlp.n_params(), 0.02, 0.0).unwrap();
+        let data: [(Vec<f32>, f32); 4] = [
+            (vec![0.0, 0.0], 0.0),
+            (vec![0.0, 1.0], 1.0),
+            (vec![1.0, 0.0], 1.0),
+            (vec![1.0, 1.0], 0.0),
+        ];
+        let mut grads = Vec::new();
+        for _ in 0..800 {
+            let xs: Vec<&[f32]> = data.iter().map(|(x, _)| x.as_slice()).collect();
+            let ys: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
+            mlp.backward_batch(&xs, &ys, &[1.0; 4], &mut grads).unwrap();
+            let mask = mlp.decay_mask().to_vec();
+            opt.step(mlp.params_mut(), &grads, &mask).unwrap();
+        }
+        for (x, y) in &data {
+            let (logit, _) = mlp.forward(x).unwrap();
+            assert_eq!(sigmoid(logit) >= 0.5, *y == 1.0, "failed on {x:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut mlp = Mlp::new(4, &[3], &mut rng).unwrap();
+        let snap = mlp.snapshot();
+        let (before, _) = mlp.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        mlp.params_mut()[0] += 1.0;
+        let (changed, _) = mlp.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_ne!(before, changed);
+        mlp.restore(&snap).unwrap();
+        let (after, _) = mlp.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(before, after);
+        assert!(mlp.restore(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+}

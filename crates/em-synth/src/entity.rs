@@ -1,0 +1,351 @@
+//! Ground-truth entities and their rendering into records.
+//!
+//! An [`Entity`] is the hidden real-world object both sides of a match
+//! pair describe. The [`EntityFactory`] draws entities per domain and
+//! renders them into attribute values; `render` is then perturbed
+//! independently per table side to create matching records, while
+//! [`EntityFactory::sibling`] derives a *near-duplicate different* entity
+//! (same brand and category, different model/title) used for hard
+//! negatives.
+
+use em_core::Rng;
+
+use crate::vocab;
+
+/// The data domain a dataset profile draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Structured product offers (Walmart-Amazon: 5 attrs,
+    /// Amazon-Google: 3 attrs).
+    Product,
+    /// Title-only product offers (WDC Cameras / Shoes).
+    ProductTitleOnly,
+    /// Products with a long free-text description attribute (ABT-Buy).
+    ProductLongText,
+    /// Bibliographic records (DBLP-Scholar).
+    Bibliographic,
+}
+
+impl Domain {
+    /// Attribute names of this domain, matching the Table 3 attribute
+    /// counts (5 / 3 / 1 / 3 / 4).
+    pub fn attrs(self, n_attrs: usize) -> Vec<&'static str> {
+        match self {
+            Domain::Product => {
+                let all = ["title", "category", "brand", "modelno", "price"];
+                all[..n_attrs.min(5)].to_vec()
+            }
+            Domain::ProductTitleOnly => vec!["title"],
+            Domain::ProductLongText => vec!["name", "description", "price"],
+            Domain::Bibliographic => vec!["title", "authors", "venue", "year"],
+        }
+    }
+}
+
+/// A hidden ground-truth entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Unique id within the generated universe.
+    pub id: u64,
+    /// Brand (products) or lead-author surname (bibliographic).
+    pub brand: String,
+    /// Product line / research topic group.
+    pub line: String,
+    /// Category noun (products) / venue (bibliographic).
+    pub category: String,
+    /// Distinguishing model number / title tail.
+    pub model: String,
+    /// Title body tokens.
+    pub title_words: Vec<String>,
+    /// Extra tokens (specs, author list, description phrases).
+    pub extras: Vec<String>,
+    /// Numeric attribute (price / year).
+    pub numeric: f64,
+}
+
+/// Draws entities for a domain.
+#[derive(Debug, Clone)]
+pub struct EntityFactory {
+    domain: Domain,
+    /// Target length of the title body (tokens), before brand/model.
+    title_len: usize,
+    next_id: u64,
+}
+
+impl EntityFactory {
+    /// Create a factory for a domain. `title_len` controls title verbosity
+    /// (WDC-style titles are long, Magellan titles shorter).
+    pub fn new(domain: Domain, title_len: usize) -> Self {
+        EntityFactory {
+            domain,
+            title_len: title_len.max(1),
+            next_id: 0,
+        }
+    }
+
+    /// Draw a fresh entity.
+    pub fn draw(&mut self, rng: &mut Rng) -> Entity {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.domain {
+            Domain::Bibliographic => self.draw_paper(id, rng),
+            _ => self.draw_product(id, rng),
+        }
+    }
+
+    fn draw_product(&mut self, id: u64, rng: &mut Rng) -> Entity {
+        let brand = rng.choose(vocab::BRANDS).to_string();
+        let line = rng.choose(vocab::LINES).to_string();
+        let category = rng.choose(vocab::CATEGORIES).to_string();
+        let model = vocab::model_number(rng);
+        let mut title_words = Vec::with_capacity(self.title_len);
+        for _ in 0..self.title_len {
+            title_words.push(rng.choose(vocab::ADJECTIVES).to_string());
+        }
+        let mut extras = vec![vocab::spec_token(rng)];
+        if matches!(self.domain, Domain::ProductLongText) {
+            for _ in 0..3 + rng.below(3) {
+                extras.push(rng.choose(vocab::DESCRIPTION_PHRASES).to_string());
+            }
+        }
+        Entity {
+            id,
+            brand,
+            line,
+            category,
+            model,
+            title_words,
+            extras,
+            numeric: vocab::price(rng),
+        }
+    }
+
+    fn draw_paper(&mut self, id: u64, rng: &mut Rng) -> Entity {
+        let n_authors = 1 + rng.below(4);
+        let mut extras = Vec::with_capacity(n_authors);
+        for _ in 0..n_authors {
+            extras.push(format!(
+                "{} {}",
+                rng.choose(vocab::FIRST_NAMES),
+                rng.choose(vocab::SURNAMES)
+            ));
+        }
+        let brand = extras[0]
+            .split(' ')
+            .nth(1)
+            .unwrap_or("anon")
+            .to_string();
+        let mut title_words = Vec::with_capacity(self.title_len.max(4));
+        for _ in 0..self.title_len.max(4) {
+            title_words.push(rng.choose(vocab::TOPIC_WORDS).to_string());
+        }
+        Entity {
+            id,
+            brand,
+            line: rng.choose(vocab::TOPIC_WORDS).to_string(),
+            category: rng.choose(vocab::VENUES).to_string(),
+            model: format!("p{}", vocab::model_number(rng)),
+            title_words,
+            extras,
+            numeric: vocab::pub_year(rng) as f64,
+        }
+    }
+
+    /// Derive a *sibling* of `base`: same brand, line and category, but a
+    /// different model and partially different title — a hard negative
+    /// that shares most blocking tokens with the original.
+    pub fn sibling(&mut self, base: &Entity, rng: &mut Rng) -> Entity {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut sib = base.clone();
+        sib.id = id;
+        // New model number; guaranteed different from the base's.
+        loop {
+            sib.model = match self.domain {
+                Domain::Bibliographic => format!("p{}", vocab::model_number(rng)),
+                _ => vocab::model_number(rng),
+            };
+            if sib.model != base.model {
+                break;
+            }
+        }
+        // Variable hardness: each sibling replaces a random fraction of
+        // its title words, from nearly-identical (only the model number
+        // differs — the hardest possible negative) to moderately
+        // different. A hardness *continuum* keeps the match/non-match
+        // similarity distributions overlapping instead of separable by a
+        // single threshold.
+        let pool: &[&str] = match self.domain {
+            Domain::Bibliographic => vocab::TOPIC_WORDS,
+            _ => vocab::ADJECTIVES,
+        };
+        let replace_frac = 0.05 + rng.f64() * 0.45;
+        for w in sib.title_words.iter_mut() {
+            if rng.bool(replace_frac) {
+                *w = rng.choose(pool).to_string();
+            }
+        }
+        // The numeric attribute stays *near* the base's: sibling products
+        // are priced like their product line, sibling papers appear within
+        // a couple of years. A clearly-different numeric value would make
+        // hard negatives separable by one feature.
+        sib.numeric = match self.domain {
+            Domain::Bibliographic => {
+                let shift = 1.0 + rng.below(3) as f64;
+                let sign = if rng.bool(0.5) { 1.0 } else { -1.0 };
+                (base.numeric + sign * shift).clamp(1985.0, 2022.0)
+            }
+            _ => {
+                let rel = 0.05 + rng.f64() * 0.25;
+                let sign = if rng.bool(0.5) { 1.0 } else { -1.0 };
+                ((base.numeric * (1.0 + sign * rel)).max(0.01) * 100.0).round() / 100.0
+            }
+        };
+        sib
+    }
+
+    /// Render the entity into attribute values for `attrs` (as produced by
+    /// [`Domain::attrs`]).
+    pub fn render(&self, entity: &Entity, attrs: &[&str]) -> Vec<String> {
+        attrs
+            .iter()
+            .map(|&attr| self.render_attr(entity, attr))
+            .collect()
+    }
+
+    fn render_attr(&self, e: &Entity, attr: &str) -> String {
+        match (self.domain, attr) {
+            (Domain::Bibliographic, "title") => {
+                format!("{} {} for {} data", e.title_words.join(" "), e.model, e.line)
+            }
+            (Domain::Bibliographic, "authors") => e.extras.join(" and "),
+            (Domain::Bibliographic, "venue") => e.category.clone(),
+            (Domain::Bibliographic, "year") => format!("{}", e.numeric as u32),
+            (Domain::ProductLongText, "name") => self.product_title(e),
+            (Domain::ProductLongText, "description") => {
+                format!(
+                    "{} {} {} {}",
+                    self.product_title(e),
+                    e.extras.join(" "),
+                    e.category,
+                    e.line
+                )
+            }
+            (_, "title") => self.product_title(e),
+            (_, "category") => e.category.clone(),
+            (_, "brand") | (_, "manufacturer") => e.brand.clone(),
+            (_, "modelno") => e.model.clone(),
+            (_, "price") => format!("{:.2}", e.numeric),
+            // Unknown attribute: conservative fallback to the title.
+            _ => self.product_title(e),
+        }
+    }
+
+    fn product_title(&self, e: &Entity) -> String {
+        let mut parts = Vec::with_capacity(4 + e.title_words.len());
+        parts.push(e.brand.clone());
+        parts.push(e.line.clone());
+        parts.extend(e.title_words.iter().cloned());
+        parts.push(e.category.clone());
+        parts.push(e.model.clone());
+        if let Some(spec) = e.extras.first() {
+            parts.push(spec.clone());
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_attrs_match_table3_counts() {
+        assert_eq!(Domain::Product.attrs(5).len(), 5); // Walmart-Amazon
+        assert_eq!(Domain::Product.attrs(3).len(), 3); // Amazon-Google
+        assert_eq!(Domain::ProductTitleOnly.attrs(1).len(), 1); // WDC
+        assert_eq!(Domain::ProductLongText.attrs(3).len(), 3); // ABT-Buy
+        assert_eq!(Domain::Bibliographic.attrs(4).len(), 4); // DBLP-Scholar
+    }
+
+    #[test]
+    fn draw_assigns_unique_ids() {
+        let mut f = EntityFactory::new(Domain::Product, 3);
+        let mut rng = Rng::seed_from_u64(1);
+        let a = f.draw(&mut rng);
+        let b = f.draw(&mut rng);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn product_render_has_all_attrs() {
+        let mut f = EntityFactory::new(Domain::Product, 3);
+        let mut rng = Rng::seed_from_u64(2);
+        let e = f.draw(&mut rng);
+        let attrs = Domain::Product.attrs(5);
+        let vals = f.render(&e, &attrs);
+        assert_eq!(vals.len(), 5);
+        assert!(vals.iter().all(|v| !v.is_empty()));
+        // Title contains brand, category and model.
+        assert!(vals[0].contains(&e.brand));
+        assert!(vals[0].contains(&e.category));
+        assert!(vals[0].contains(&e.model));
+        // Price renders with two decimals.
+        assert!(vals[4].contains('.'));
+    }
+
+    #[test]
+    fn paper_render_shapes() {
+        let mut f = EntityFactory::new(Domain::Bibliographic, 6);
+        let mut rng = Rng::seed_from_u64(3);
+        let e = f.draw(&mut rng);
+        let attrs = Domain::Bibliographic.attrs(4);
+        let vals = f.render(&e, &attrs);
+        assert_eq!(vals.len(), 4);
+        let year: u32 = vals[3].parse().expect("year numeric");
+        assert!((1985..=2022).contains(&year));
+        assert!(!vals[1].is_empty(), "authors empty");
+    }
+
+    #[test]
+    fn sibling_shares_brand_but_differs() {
+        let mut f = EntityFactory::new(Domain::Product, 4);
+        let mut rng = Rng::seed_from_u64(4);
+        let base = f.draw(&mut rng);
+        let sib = f.sibling(&base, &mut rng);
+        assert_eq!(sib.brand, base.brand);
+        assert_eq!(sib.category, base.category);
+        assert_ne!(sib.model, base.model);
+        assert_ne!(sib.id, base.id);
+        // Sibling titles share tokens (hard negative) but differ.
+        let attrs = Domain::Product.attrs(5);
+        let tv = f.render(&base, &attrs)[0].clone();
+        let sv = f.render(&sib, &attrs)[0].clone();
+        assert_ne!(tv, sv);
+        let base_tokens: std::collections::HashSet<&str> = tv.split(' ').collect();
+        let shared = sv.split(' ').filter(|t| base_tokens.contains(t)).count();
+        assert!(shared >= 3, "sibling shares only {shared} tokens");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut f1 = EntityFactory::new(Domain::Bibliographic, 5);
+        let mut f2 = EntityFactory::new(Domain::Bibliographic, 5);
+        let mut r1 = Rng::seed_from_u64(11);
+        let mut r2 = Rng::seed_from_u64(11);
+        for _ in 0..10 {
+            assert_eq!(f1.draw(&mut r1), f2.draw(&mut r2));
+        }
+    }
+
+    #[test]
+    fn long_text_description_is_long() {
+        let mut f = EntityFactory::new(Domain::ProductLongText, 3);
+        let mut rng = Rng::seed_from_u64(5);
+        let e = f.draw(&mut rng);
+        let attrs = Domain::ProductLongText.attrs(3);
+        let vals = f.render(&e, &attrs);
+        let desc_tokens = vals[1].split(' ').count();
+        assert!(desc_tokens >= 15, "description only {desc_tokens} tokens");
+    }
+}

@@ -1,0 +1,386 @@
+//! The dataset generator.
+//!
+//! Produces a complete [`Dataset`] from a [`DatasetProfile`]: two clean
+//! tables (every record describes exactly one entity), a candidate pair
+//! set of the profile's size and positive rate, and a stratified
+//! train/valid/test split matching the paper's protocol (§4.1).
+//!
+//! Pair construction mirrors what a blocking stage feeding a matcher
+//! would emit:
+//!
+//! * **matches** — two independently perturbed renderings of one entity,
+//!   one per table;
+//! * **hard negatives** — an entity paired against a *sibling* (same
+//!   brand/category, different model), the near-boundary cases blocking
+//!   cannot filter;
+//! * **random negatives** — records of unrelated entities that survived
+//!   blocking by chance.
+
+use std::collections::HashSet;
+
+use em_core::{
+    CandidatePair, Dataset, EmError, Label, PairIdx, RecordId, Result, Rng, Schema,
+    Split, Table,
+};
+
+use crate::entity::{Entity, EntityFactory};
+use crate::perturb::{perturb_price, perturb_text, PerturbConfig};
+use crate::profile::{DatasetProfile, SplitSpec};
+
+/// Generate a synthetic dataset from a profile.
+///
+/// Deterministic in `(profile, rng seed)`.
+pub fn generate(profile: &DatasetProfile, rng: &mut Rng) -> Result<Dataset> {
+    profile.validate()?;
+
+    let attrs = profile.domain.attrs(profile.n_attrs);
+    let schema = Schema::new(attrs.clone())?;
+    let mut left = Table::new(format!("{}-left", profile.name), schema.clone());
+    let mut right = Table::new(format!("{}-right", profile.name), schema);
+
+    let total = profile.total_pairs();
+    let n_pos = ((total as f64) * profile.pos_rate).round() as usize;
+    let n_neg = total - n_pos;
+    let n_hard = ((n_neg as f64) * profile.hard_negative_frac).round() as usize;
+    let n_rand = n_neg - n_hard;
+    if n_pos == 0 {
+        return Err(EmError::InvalidConfig(format!(
+            "{}: profile yields zero positives",
+            profile.name
+        )));
+    }
+
+    let mut factory = EntityFactory::new(profile.domain, profile.title_len);
+    let left_noise = profile.left_noise.config();
+    let right_noise = profile.right_noise.config();
+
+    let mut pairs: Vec<CandidatePair> = Vec::with_capacity(total);
+    let mut truth: Vec<Label> = Vec::with_capacity(total);
+
+    // --- Matches: one entity, two perturbed views. -----------------------
+    let mut matched_entities: Vec<Entity> = Vec::with_capacity(n_pos);
+    let mut left_of: Vec<RecordId> = Vec::with_capacity(n_pos);
+    let mut right_of: Vec<RecordId> = Vec::with_capacity(n_pos);
+    for _ in 0..n_pos {
+        let entity = factory.draw(rng);
+        let l = push_record(&mut left, &factory, &entity, &attrs, &left_noise, rng)?;
+        let r = push_record(&mut right, &factory, &entity, &attrs, &right_noise, rng)?;
+        pairs.push(CandidatePair::new(l, r));
+        truth.push(Label::Match);
+        left_of.push(l);
+        right_of.push(r);
+        matched_entities.push(entity);
+    }
+
+    // --- Hard negatives: entity vs sibling. ------------------------------
+    for h in 0..n_hard {
+        let base_idx = rng.below(matched_entities.len());
+        let sibling = factory.sibling(&matched_entities[base_idx], rng);
+        if h % 2 == 0 {
+            // Fresh sibling record on the right, paired with the base's
+            // left record.
+            let r = push_record(&mut right, &factory, &sibling, &attrs, &right_noise, rng)?;
+            pairs.push(CandidatePair::new(left_of[base_idx], r));
+        } else {
+            let l = push_record(&mut left, &factory, &sibling, &attrs, &left_noise, rng)?;
+            pairs.push(CandidatePair::new(l, right_of[base_idx]));
+        }
+        truth.push(Label::NonMatch);
+    }
+
+    // --- Random negatives: unrelated existing records. -------------------
+    let mut used: HashSet<(u32, u32)> = pairs.iter().map(|p| (p.left.0, p.right.0)).collect();
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    let attempt_cap = n_rand.saturating_mul(50) + 1000;
+    while produced < n_rand && attempts < attempt_cap {
+        attempts += 1;
+        let a = rng.below(matched_entities.len());
+        let b = rng.below(matched_entities.len());
+        if a == b {
+            continue;
+        }
+        let key = (left_of[a].0, right_of[b].0);
+        if used.contains(&key) {
+            continue;
+        }
+        used.insert(key);
+        pairs.push(CandidatePair::new(left_of[a], right_of[b]));
+        truth.push(Label::NonMatch);
+        produced += 1;
+    }
+    // Tiny datasets can exhaust unique cross pairs — fall back to fresh
+    // distractor entities so the pair count always hits the profile.
+    while produced < n_rand {
+        let ea = factory.draw(rng);
+        let eb = factory.draw(rng);
+        let l = push_record(&mut left, &factory, &ea, &attrs, &left_noise, rng)?;
+        let r = push_record(&mut right, &factory, &eb, &attrs, &right_noise, rng)?;
+        pairs.push(CandidatePair::new(l, r));
+        truth.push(Label::NonMatch);
+        produced += 1;
+    }
+
+    // --- Stratified split. ------------------------------------------------
+    let split = stratified_split(profile, total, &truth, rng)?;
+
+    Dataset::new(profile.name, left, right, pairs, truth, split)
+}
+
+/// Render an entity and push a perturbed record into `table`.
+fn push_record(
+    table: &mut Table,
+    factory: &EntityFactory,
+    entity: &Entity,
+    attrs: &[&str],
+    noise: &PerturbConfig,
+    rng: &mut Rng,
+) -> Result<RecordId> {
+    let raw = factory.render(entity, attrs);
+    let mut values = Vec::with_capacity(raw.len());
+    for (i, (attr, value)) in attrs.iter().zip(raw).enumerate() {
+        // The first attribute (title/name) is never blanked: records with
+        // no identifying text exist in real data but make degenerate
+        // candidates that blocking would drop anyway.
+        if i > 0 && rng.bool(noise.missing_value) {
+            values.push(String::new());
+            continue;
+        }
+        let perturbed = if *attr == "price" {
+            let parsed: f64 = value.parse().unwrap_or(0.0);
+            format!("{:.2}", perturb_price(parsed, noise, rng))
+        } else if *attr == "year" {
+            // Years survive perturbation intact: even dirty bibliographic
+            // sources rarely corrupt the year digits.
+            value
+        } else {
+            perturb_text(&value, noise, rng)
+        };
+        values.push(perturbed);
+    }
+    table.push(values)
+}
+
+/// Split pair indices into train/valid/test, stratified by label so the
+/// training positive rate matches the profile's Table 3 value.
+fn stratified_split(
+    profile: &DatasetProfile,
+    total: usize,
+    truth: &[Label],
+    rng: &mut Rng,
+) -> Result<Split> {
+    let (n_train, n_test) = match profile.split {
+        SplitSpec::Ratios { train, valid, test } => {
+            let sum = train + valid + test;
+            let n_test = ((total as f64) * test / sum).round() as usize;
+            (profile.train_pairs.min(total), n_test)
+        }
+        SplitSpec::FixedTest { test_pairs, .. } => {
+            (profile.train_pairs.min(total), test_pairs.min(total))
+        }
+    };
+    if n_train + n_test > total {
+        return Err(EmError::InvalidConfig(format!(
+            "{}: train {n_train} + test {n_test} exceed total {total}",
+            profile.name
+        )));
+    }
+    let n_valid = total - n_train - n_test;
+
+    let mut pos_idx: Vec<PairIdx> = Vec::new();
+    let mut neg_idx: Vec<PairIdx> = Vec::new();
+    for (i, l) in truth.iter().enumerate() {
+        if l.is_match() {
+            pos_idx.push(i);
+        } else {
+            neg_idx.push(i);
+        }
+    }
+    rng.shuffle(&mut pos_idx);
+    rng.shuffle(&mut neg_idx);
+
+    let n_pos = pos_idx.len();
+    let global_rate = n_pos as f64 / total as f64;
+    let train_pos = ((n_train as f64) * global_rate).round() as usize;
+    let test_pos = (((n_test as f64) * global_rate).round() as usize)
+        .min(n_pos.saturating_sub(train_pos));
+    let valid_pos = n_pos - train_pos - test_pos;
+    if valid_pos > n_valid {
+        return Err(EmError::InvalidConfig(format!(
+            "{}: stratification impossible (valid_pos {valid_pos} > n_valid {n_valid})",
+            profile.name
+        )));
+    }
+
+    let mut train: Vec<PairIdx> = Vec::with_capacity(n_train);
+    let mut valid: Vec<PairIdx> = Vec::with_capacity(n_valid);
+    let mut test: Vec<PairIdx> = Vec::with_capacity(n_test);
+
+    train.extend(&pos_idx[..train_pos]);
+    test.extend(&pos_idx[train_pos..train_pos + test_pos]);
+    valid.extend(&pos_idx[train_pos + test_pos..]);
+
+    let train_neg = n_train - train_pos;
+    let test_neg = n_test - test_pos;
+    train.extend(&neg_idx[..train_neg]);
+    test.extend(&neg_idx[train_neg..train_neg + test_neg]);
+    valid.extend(&neg_idx[train_neg + test_neg..]);
+
+    // Shuffle within parts so index order carries no label signal.
+    rng.shuffle(&mut train);
+    rng.shuffle(&mut valid);
+    rng.shuffle(&mut test);
+    Ok(Split { train, valid, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::all_profiles;
+
+    #[test]
+    fn scaled_profiles_hit_table3_statistics() {
+        // Scaled-down versions keep the positive-rate and attribute
+        // structure; full-size generation is exercised by the bench
+        // harness (table3_stats) to keep unit tests fast.
+        for profile in all_profiles() {
+            let p = profile.scaled(0.05);
+            let mut rng = Rng::seed_from_u64(42);
+            let d = generate(&p, &mut rng).unwrap();
+            let stats = d.stats();
+            assert_eq!(stats.train_size, p.train_pairs, "{}", p.name);
+            assert_eq!(stats.n_attrs, p.n_attrs, "{}", p.name);
+            assert!(
+                (stats.train_pos_rate - p.pos_rate).abs() < 0.02,
+                "{}: pos rate {} vs profile {}",
+                p.name,
+                stats.train_pos_rate,
+                p.pos_rate
+            );
+        }
+    }
+
+    #[test]
+    fn full_walmart_amazon_counts() {
+        let p = DatasetProfile::walmart_amazon();
+        let mut rng = Rng::seed_from_u64(1);
+        let d = generate(&p, &mut rng).unwrap();
+        assert_eq!(d.len(), 10240);
+        let s = d.stats();
+        assert_eq!(s.train_size, 6144);
+        assert!((s.train_pos_rate - 0.094).abs() < 0.005, "{}", s.train_pos_rate);
+        // 3:1:1 → test ≈ 2048.
+        assert_eq!(d.split().test.len(), 2048);
+    }
+
+    #[test]
+    fn wdc_fixed_test_protocol() {
+        let p = DatasetProfile::wdc_cameras().scaled(0.2);
+        let mut rng = Rng::seed_from_u64(2);
+        let d = generate(&p, &mut rng).unwrap();
+        if let SplitSpec::FixedTest { test_pairs, .. } = p.split {
+            assert_eq!(d.split().test.len(), test_pairs);
+        } else {
+            panic!("profile must be fixed-test");
+        }
+        assert_eq!(d.split().train.len(), p.train_pairs);
+    }
+
+    #[test]
+    fn matches_share_tokens_nonmatches_less() {
+        let p = DatasetProfile::amazon_google().scaled(0.05);
+        let mut rng = Rng::seed_from_u64(3);
+        let d = generate(&p, &mut rng).unwrap();
+        let mut match_sim = 0.0f64;
+        let mut match_n = 0usize;
+        let mut neg_sim = 0.0f64;
+        let mut neg_n = 0usize;
+        for i in 0..d.len() {
+            let (l, r) = d.pair_records(i).unwrap();
+            let a = em_core::TokenSet::from_text(&l.full_text());
+            let b = em_core::TokenSet::from_text(&r.full_text());
+            let s = em_core::jaccard(&a, &b);
+            if d.ground_truth(i).is_match() {
+                match_sim += s;
+                match_n += 1;
+            } else {
+                neg_sim += s;
+                neg_n += 1;
+            }
+        }
+        let match_avg = match_sim / match_n as f64;
+        let neg_avg = neg_sim / neg_n as f64;
+        assert!(
+            match_avg > neg_avg + 0.15,
+            "match avg {match_avg:.3} vs negative avg {neg_avg:.3}"
+        );
+    }
+
+    #[test]
+    fn hard_negatives_are_harder_than_random() {
+        // Regenerate with full hard fraction vs zero and compare negative
+        // similarity distributions.
+        let mut hard_p = DatasetProfile::walmart_amazon().scaled(0.03);
+        hard_p.hard_negative_frac = 1.0;
+        let mut easy_p = DatasetProfile::walmart_amazon().scaled(0.03);
+        easy_p.hard_negative_frac = 0.0;
+        let avg_neg_sim = |p: &DatasetProfile, seed: u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let d = generate(p, &mut rng).unwrap();
+            let mut total = 0.0;
+            let mut n = 0;
+            for i in 0..d.len() {
+                if d.ground_truth(i).is_match() {
+                    continue;
+                }
+                let (l, r) = d.pair_records(i).unwrap();
+                let a = em_core::TokenSet::from_text(&l.full_text());
+                let b = em_core::TokenSet::from_text(&r.full_text());
+                total += em_core::jaccard(&a, &b);
+                n += 1;
+            }
+            total / n as f64
+        };
+        let hard = avg_neg_sim(&hard_p, 7);
+        let easy = avg_neg_sim(&easy_p, 7);
+        assert!(hard > easy + 0.1, "hard {hard:.3} vs easy {easy:.3}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = DatasetProfile::abt_buy().scaled(0.02);
+        let mut r1 = Rng::seed_from_u64(5);
+        let mut r2 = Rng::seed_from_u64(5);
+        let a = generate(&p, &mut r1).unwrap();
+        let b = generate(&p, &mut r2).unwrap();
+        assert_eq!(a.pairs(), b.pairs());
+        assert_eq!(a.split(), b.split());
+        for i in 0..a.len() {
+            assert_eq!(a.ground_truth(i), b.ground_truth(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = DatasetProfile::abt_buy().scaled(0.02);
+        let a = generate(&p, &mut Rng::seed_from_u64(5)).unwrap();
+        let b = generate(&p, &mut Rng::seed_from_u64(6)).unwrap();
+        let (al, _) = a.pair_records(0).unwrap();
+        let (bl, _) = b.pair_records(0).unwrap();
+        assert_ne!(al.full_text(), bl.full_text());
+    }
+
+    #[test]
+    fn bibliographic_domain_renders_years() {
+        let p = DatasetProfile::dblp_scholar().scaled(0.01);
+        let mut rng = Rng::seed_from_u64(8);
+        let d = generate(&p, &mut rng).unwrap();
+        let (l, _) = d.pair_records(0).unwrap();
+        let year_pos = d.left.schema.position("year").unwrap();
+        let year_val = l.value(year_pos).unwrap();
+        if !year_val.is_empty() {
+            let y: u32 = year_val.parse().expect("year should be numeric");
+            assert!((1985..=2022).contains(&y));
+        }
+    }
+}

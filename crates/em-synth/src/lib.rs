@@ -1,0 +1,37 @@
+//! # em-synth
+//!
+//! Synthetic entity-matching benchmark generator.
+//!
+//! The paper evaluates on six public benchmarks (Magellan's
+//! Walmart-Amazon, Amazon-Google, ABT-Buy and DBLP-Scholar; WDC Cameras
+//! and Shoes — Table 3). Those corpora are not shipped here, so this
+//! crate builds *synthetic equivalents*: seeded generators that reproduce
+//! each benchmark's published statistics (candidate-set size, positive
+//! rate, attribute count, text length) and, more importantly, the
+//! phenomena the battleship algorithm's evaluation depends on:
+//!
+//! * **label imbalance** — 9–21 % positives,
+//! * **hard negatives** — sibling products sharing brand/category tokens
+//!   that sit near the decision boundary,
+//! * **heterogeneous noise** — typos, token drops/swaps, abbreviations,
+//!   missing values, price jitter; the "dirty" DBLP-Scholar side gets
+//!   heavier noise, ABT-Buy gets long free-text descriptions,
+//! * **cluster structure** — matches derive from shared underlying
+//!   entities, so their pair representations concentrate (Figure 1's
+//!   premise).
+//!
+//! Every dataset is a deterministic function of a [`DatasetProfile`] and a
+//! seed, so experiments are exactly reproducible.
+
+pub mod blocking;
+pub mod entity;
+pub mod generate;
+pub mod perturb;
+pub mod profile;
+pub mod vocab;
+
+pub use blocking::{block_candidates, BlockingConfig};
+pub use entity::{Domain, Entity, EntityFactory};
+pub use generate::generate;
+pub use perturb::{perturb_text, PerturbConfig};
+pub use profile::{all_profiles, DatasetProfile, SplitSpec};

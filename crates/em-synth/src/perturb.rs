@@ -1,0 +1,264 @@
+//! Text perturbations modeling real-world data entry noise.
+//!
+//! A match pair consists of two independently perturbed views of the same
+//! underlying entity; the perturbation intensity is the per-dataset knob
+//! that controls task difficulty (DBLP-Scholar's crawled side is noisier
+//! than its curated side; WDC titles suffer token drops and reorderings).
+
+use em_core::Rng;
+
+/// Perturbation probabilities, all per-token unless noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfig {
+    /// Probability of a character-level typo in a token.
+    pub typo: f64,
+    /// Probability of dropping a token entirely.
+    pub token_drop: f64,
+    /// Probability (per text) of swapping two adjacent tokens.
+    pub token_swap: f64,
+    /// Probability of abbreviating a token to its first letters.
+    pub abbreviate: f64,
+    /// Probability (per attribute) of blanking the whole value.
+    pub missing_value: f64,
+    /// Relative jitter applied to numeric values (e.g. 0.05 = ±5 %).
+    pub numeric_jitter: f64,
+}
+
+impl PerturbConfig {
+    /// Mild noise: occasional typos, rare drops (curated catalog data).
+    pub fn mild() -> Self {
+        PerturbConfig {
+            typo: 0.02,
+            token_drop: 0.03,
+            token_swap: 0.05,
+            abbreviate: 0.02,
+            missing_value: 0.02,
+            numeric_jitter: 0.02,
+        }
+    }
+
+    /// Medium noise: the default for product feeds from different shops.
+    pub fn medium() -> Self {
+        PerturbConfig {
+            typo: 0.05,
+            token_drop: 0.10,
+            token_swap: 0.15,
+            abbreviate: 0.05,
+            missing_value: 0.08,
+            numeric_jitter: 0.05,
+        }
+    }
+
+    /// Heavy noise: web-crawled, uncleaned data (the Google-Scholar side
+    /// of DBLP-Scholar).
+    pub fn heavy() -> Self {
+        PerturbConfig {
+            typo: 0.09,
+            token_drop: 0.18,
+            token_swap: 0.25,
+            abbreviate: 0.12,
+            missing_value: 0.15,
+            numeric_jitter: 0.10,
+        }
+    }
+
+    /// No noise at all (for tests).
+    pub fn none() -> Self {
+        PerturbConfig {
+            typo: 0.0,
+            token_drop: 0.0,
+            token_swap: 0.0,
+            abbreviate: 0.0,
+            missing_value: 0.0,
+            numeric_jitter: 0.0,
+        }
+    }
+}
+
+/// Apply a character-level typo: swap, delete, duplicate or substitute.
+fn typo(token: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 2 {
+        return token.to_string();
+    }
+    let mut out = chars.clone();
+    match rng.below(4) {
+        0 => {
+            // Swap two adjacent characters.
+            let i = rng.below(out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        1 => {
+            // Delete a character.
+            let i = rng.below(out.len());
+            out.remove(i);
+        }
+        2 => {
+            // Duplicate a character.
+            let i = rng.below(out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+        _ => {
+            // Substitute with a neighbouring letter.
+            let i = rng.below(out.len());
+            let c = out[i];
+            out[i] = match c {
+                'a'..='y' => ((c as u8) + 1) as char,
+                'z' => 'a',
+                '0'..='8' => ((c as u8) + 1) as char,
+                '9' => '0',
+                other => other,
+            };
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate a token: keep a prefix (at least one char).
+fn abbreviate(token: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() <= 3 {
+        return token.to_string();
+    }
+    let keep = 1 + rng.below(3);
+    chars.into_iter().take(keep).collect()
+}
+
+/// Perturb a whitespace-tokenized text per the config.
+///
+/// At least one token always survives, so a non-empty input cannot decay
+/// to an empty value through token drops (missing values are modeled
+/// separately at the attribute level).
+pub fn perturb_text(text: &str, config: &PerturbConfig, rng: &mut Rng) -> String {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.is_empty() {
+        return String::new();
+    }
+    let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+    for t in &tokens {
+        if out.len() + 1 < tokens.len() && rng.bool(config.token_drop) {
+            continue;
+        }
+        let mut tok = (*t).to_string();
+        if rng.bool(config.abbreviate) {
+            tok = abbreviate(&tok, rng);
+        }
+        if rng.bool(config.typo) {
+            tok = typo(&tok, rng);
+        }
+        out.push(tok);
+    }
+    if out.is_empty() {
+        out.push(tokens[0].to_string());
+    }
+    if out.len() >= 2 && rng.bool(config.token_swap) {
+        let i = rng.below(out.len() - 1);
+        out.swap(i, i + 1);
+    }
+    out.join(" ")
+}
+
+/// Jitter a price-like numeric value by the configured relative amount,
+/// keeping two decimals and positivity.
+pub fn perturb_price(value: f64, config: &PerturbConfig, rng: &mut Rng) -> f64 {
+    if config.numeric_jitter <= 0.0 {
+        return value;
+    }
+    let factor = 1.0 + (rng.f64() * 2.0 - 1.0) * config.numeric_jitter;
+    ((value * factor).max(0.01) * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = Rng::seed_from_u64(1);
+        let text = "nikon d750 full frame dslr";
+        assert_eq!(perturb_text(text, &PerturbConfig::none(), &mut rng), text);
+        assert_eq!(perturb_price(24.99, &PerturbConfig::none(), &mut rng), 24.99);
+    }
+
+    #[test]
+    fn heavy_noise_changes_text_but_keeps_overlap() {
+        let mut rng = Rng::seed_from_u64(2);
+        let text = "acera quantum camera dx431 24mp wireless compact professional kit";
+        let mut changed = 0;
+        for _ in 0..50 {
+            let p = perturb_text(text, &PerturbConfig::heavy(), &mut rng);
+            assert!(!p.is_empty());
+            if p != text {
+                changed += 1;
+            }
+            // Perturbed view still shares tokens with the original.
+            let orig: std::collections::HashSet<&str> = text.split(' ').collect();
+            let shared = p.split(' ').filter(|t| orig.contains(t)).count();
+            assert!(shared >= 2, "only {shared} shared tokens in `{p}`");
+        }
+        assert!(changed >= 45, "heavy noise changed only {changed}/50");
+    }
+
+    #[test]
+    fn never_returns_empty_for_nonempty_input() {
+        let mut rng = Rng::seed_from_u64(3);
+        let cfg = PerturbConfig {
+            token_drop: 1.0,
+            ..PerturbConfig::none()
+        };
+        for text in ["single", "two tokens", "a b c d e"] {
+            let p = perturb_text(text, &cfg, &mut rng);
+            assert!(!p.is_empty(), "`{text}` decayed to empty");
+        }
+        assert_eq!(perturb_text("", &cfg, &mut rng), "");
+    }
+
+    #[test]
+    fn typo_preserves_most_characters() {
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let t = typo("keyboard", &mut rng);
+            assert!((7..=9).contains(&t.len()), "typo `{t}`");
+        }
+        // Single chars are left alone.
+        assert_eq!(typo("a", &mut rng), "a");
+    }
+
+    #[test]
+    fn abbreviate_keeps_prefix() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = abbreviate("professional", &mut rng);
+            assert!(a.len() <= 3 && !a.is_empty());
+            assert!("professional".starts_with(&a));
+        }
+        assert_eq!(abbreviate("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn price_jitter_bounded() {
+        let mut rng = Rng::seed_from_u64(6);
+        let cfg = PerturbConfig {
+            numeric_jitter: 0.05,
+            ..PerturbConfig::none()
+        };
+        for _ in 0..200 {
+            let p = perturb_price(100.0, &cfg, &mut rng);
+            assert!((94.9..=105.1).contains(&p), "price {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
+        let cfg = PerturbConfig::heavy();
+        for _ in 0..20 {
+            assert_eq!(
+                perturb_text("alpha beta gamma delta epsilon", &cfg, &mut a),
+                perturb_text("alpha beta gamma delta epsilon", &cfg, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Dataset profiles reproducing the paper's Table 3.
+//!
+//! | Dataset        | Size (train) | %Pos  | #Atts |
+//! |----------------|--------------|-------|-------|
+//! | Walmart-Amazon | 6,144        |  9.4% | 5     |
+//! | Amazon-Google  | 6,874        | 10.2% | 3     |
+//! | Cameras        | 4,081        | 21.0% | 1     |
+//! | Shoes          | 4,505        | 20.9% | 1     |
+//! | ABT-Buy        | 5,743        | 10.7% | 3     |
+//! | DBLP-Scholar   | 17,223       | 18.6% | 4     |
+//!
+//! Magellan datasets use the 3:1:1 split; WDC datasets use a fixed
+//! ~1,100-pair test set with the remainder split 4:1 (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+use em_core::{EmError, Result};
+
+use crate::entity::Domain;
+use crate::perturb::PerturbConfig;
+
+/// How the candidate set is split into train/valid/test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitSpec {
+    /// Proportional split (e.g. 3:1:1 for the Magellan benchmarks).
+    Ratios {
+        /// Train weight.
+        train: f64,
+        /// Validation weight.
+        valid: f64,
+        /// Test weight.
+        test: f64,
+    },
+    /// Fixed-size test set, remainder split `train_frac` : rest (the WDC
+    /// protocol: ~1,100 test pairs, remainder 4:1).
+    FixedTest {
+        /// Absolute number of test pairs.
+        test_pairs: usize,
+        /// Fraction of the remainder that goes to train.
+        train_frac: f64,
+    },
+}
+
+/// Noise intensity shorthand stored in profiles (kept symbolic so
+/// profiles serialize cleanly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NoiseLevel {
+    /// Curated data, few errors.
+    Mild,
+    /// Cross-shop product feeds.
+    Medium,
+    /// Web-crawled, uncleaned.
+    Heavy,
+}
+
+impl NoiseLevel {
+    /// The concrete perturbation probabilities.
+    pub fn config(self) -> PerturbConfig {
+        match self {
+            NoiseLevel::Mild => PerturbConfig::mild(),
+            NoiseLevel::Medium => PerturbConfig::medium(),
+            NoiseLevel::Heavy => PerturbConfig::heavy(),
+        }
+    }
+}
+
+/// Everything needed to generate one synthetic benchmark dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name (matches the paper's naming).
+    pub name: &'static str,
+    /// Data domain.
+    pub domain: Domain,
+    /// Number of candidate pairs in the *training* split (Table 3 "Size").
+    pub train_pairs: usize,
+    /// Fraction of positives (Table 3 "%Pos"), applied globally via a
+    /// stratified split so the train rate matches.
+    pub pos_rate: f64,
+    /// Number of record attributes (Table 3 "#Atts").
+    pub n_attrs: usize,
+    /// Split protocol.
+    pub split: SplitSpec,
+    /// Noise on the left table side.
+    pub left_noise: NoiseLevel,
+    /// Noise on the right table side (heavier for crawled sources).
+    pub right_noise: NoiseLevel,
+    /// Fraction of negatives that are hard (sibling entities).
+    pub hard_negative_frac: f64,
+    /// Title body length in tokens.
+    pub title_len: usize,
+}
+
+impl DatasetProfile {
+    /// Walmart-Amazon: 6,144 train pairs, 9.4 % positive, 5 attributes.
+    pub fn walmart_amazon() -> Self {
+        DatasetProfile {
+            name: "walmart-amazon",
+            domain: Domain::Product,
+            train_pairs: 6144,
+            pos_rate: 0.094,
+            n_attrs: 5,
+            split: SplitSpec::Ratios {
+                train: 3.0,
+                valid: 1.0,
+                test: 1.0,
+            },
+            left_noise: NoiseLevel::Mild,
+            right_noise: NoiseLevel::Medium,
+            hard_negative_frac: 0.85,
+            title_len: 4,
+        }
+    }
+
+    /// Amazon-Google: 6,874 train pairs, 10.2 % positive, 3 attributes.
+    pub fn amazon_google() -> Self {
+        DatasetProfile {
+            name: "amazon-google",
+            domain: Domain::Product,
+            train_pairs: 6874,
+            pos_rate: 0.102,
+            n_attrs: 3,
+            split: SplitSpec::Ratios {
+                train: 3.0,
+                valid: 1.0,
+                test: 1.0,
+            },
+            left_noise: NoiseLevel::Mild,
+            right_noise: NoiseLevel::Medium,
+            hard_negative_frac: 0.85,
+            title_len: 4,
+        }
+    }
+
+    /// WDC Cameras medium: 4,081 train pairs, 21.0 % positive, title only.
+    pub fn wdc_cameras() -> Self {
+        DatasetProfile {
+            name: "wdc-cameras",
+            domain: Domain::ProductTitleOnly,
+            train_pairs: 4081,
+            pos_rate: 0.210,
+            n_attrs: 1,
+            split: SplitSpec::FixedTest {
+                test_pairs: 1100,
+                train_frac: 0.8,
+            },
+            left_noise: NoiseLevel::Mild,
+            right_noise: NoiseLevel::Medium,
+            hard_negative_frac: 0.9,
+            title_len: 6,
+        }
+    }
+
+    /// WDC Shoes medium: 4,505 train pairs, 20.9 % positive, title only.
+    pub fn wdc_shoes() -> Self {
+        DatasetProfile {
+            name: "wdc-shoes",
+            domain: Domain::ProductTitleOnly,
+            train_pairs: 4505,
+            pos_rate: 0.209,
+            n_attrs: 1,
+            split: SplitSpec::FixedTest {
+                test_pairs: 1100,
+                train_frac: 0.8,
+            },
+            left_noise: NoiseLevel::Medium,
+            right_noise: NoiseLevel::Heavy,
+            hard_negative_frac: 0.9,
+            title_len: 6,
+        }
+    }
+
+    /// ABT-Buy: 5,743 train pairs, 10.7 % positive, long text.
+    pub fn abt_buy() -> Self {
+        DatasetProfile {
+            name: "abt-buy",
+            domain: Domain::ProductLongText,
+            train_pairs: 5743,
+            pos_rate: 0.107,
+            n_attrs: 3,
+            split: SplitSpec::Ratios {
+                train: 3.0,
+                valid: 1.0,
+                test: 1.0,
+            },
+            left_noise: NoiseLevel::Mild,
+            right_noise: NoiseLevel::Medium,
+            hard_negative_frac: 0.8,
+            title_len: 4,
+        }
+    }
+
+    /// DBLP-Scholar: 17,223 train pairs, 18.6 % positive, bibliographic;
+    /// the scholar side is crawled and noisy.
+    pub fn dblp_scholar() -> Self {
+        DatasetProfile {
+            name: "dblp-scholar",
+            domain: Domain::Bibliographic,
+            train_pairs: 17223,
+            pos_rate: 0.186,
+            n_attrs: 4,
+            split: SplitSpec::Ratios {
+                train: 3.0,
+                valid: 1.0,
+                test: 1.0,
+            },
+            left_noise: NoiseLevel::Mild,
+            right_noise: NoiseLevel::Medium,
+            hard_negative_frac: 0.75,
+            title_len: 6,
+        }
+    }
+
+    /// Shrink the dataset for smoke tests and examples, preserving rates
+    /// and structure. `factor` in `(0, 1]`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let factor = factor.clamp(1e-3, 1.0);
+        self.train_pairs = ((self.train_pairs as f64 * factor).round() as usize).max(40);
+        if let SplitSpec::FixedTest { test_pairs, .. } = &mut self.split {
+            *test_pairs = ((*test_pairs as f64 * factor).round() as usize).max(10);
+        }
+        self
+    }
+
+    /// Total candidate pairs across all splits implied by the profile.
+    pub fn total_pairs(&self) -> usize {
+        match self.split {
+            SplitSpec::Ratios { train, valid, test } => {
+                ((self.train_pairs as f64) * (train + valid + test) / train).round() as usize
+            }
+            SplitSpec::FixedTest {
+                test_pairs,
+                train_frac,
+            } => (self.train_pairs as f64 / train_frac).round() as usize + test_pairs,
+        }
+    }
+
+    /// Validate profile invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.train_pairs < 10 {
+            return Err(EmError::InvalidConfig(format!(
+                "{}: train_pairs {} too small",
+                self.name, self.train_pairs
+            )));
+        }
+        if !(0.0..1.0).contains(&self.pos_rate) || self.pos_rate <= 0.0 {
+            return Err(EmError::InvalidConfig(format!(
+                "{}: pos_rate {} outside (0,1)",
+                self.name, self.pos_rate
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.hard_negative_frac) {
+            return Err(EmError::InvalidConfig(format!(
+                "{}: hard_negative_frac {} outside [0,1]",
+                self.name, self.hard_negative_frac
+            )));
+        }
+        if self.n_attrs == 0 || self.n_attrs != self.domain.attrs(self.n_attrs).len() {
+            return Err(EmError::InvalidConfig(format!(
+                "{}: n_attrs {} incompatible with domain {:?}",
+                self.name, self.n_attrs, self.domain
+            )));
+        }
+        match self.split {
+            SplitSpec::Ratios { train, valid, test } => {
+                if train <= 0.0 || valid < 0.0 || test < 0.0 {
+                    return Err(EmError::InvalidConfig(format!(
+                        "{}: bad split ratios",
+                        self.name
+                    )));
+                }
+            }
+            SplitSpec::FixedTest {
+                test_pairs,
+                train_frac,
+            } => {
+                if test_pairs == 0 || !(0.0..1.0).contains(&train_frac) || train_frac <= 0.0 {
+                    return Err(EmError::InvalidConfig(format!(
+                        "{}: bad fixed-test split",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All six benchmark profiles in the paper's Table 3 order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![
+        DatasetProfile::walmart_amazon(),
+        DatasetProfile::amazon_google(),
+        DatasetProfile::wdc_cameras(),
+        DatasetProfile::wdc_shoes(),
+        DatasetProfile::abt_buy(),
+        DatasetProfile::dblp_scholar(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_match_table3() {
+        let expected: &[(&str, usize, f64, usize)] = &[
+            ("walmart-amazon", 6144, 0.094, 5),
+            ("amazon-google", 6874, 0.102, 3),
+            ("wdc-cameras", 4081, 0.210, 1),
+            ("wdc-shoes", 4505, 0.209, 1),
+            ("abt-buy", 5743, 0.107, 3),
+            ("dblp-scholar", 17223, 0.186, 4),
+        ];
+        let profiles = all_profiles();
+        assert_eq!(profiles.len(), expected.len());
+        for (p, &(name, size, pos, atts)) in profiles.iter().zip(expected) {
+            assert_eq!(p.name, name);
+            assert_eq!(p.train_pairs, size, "{name}");
+            assert!((p.pos_rate - pos).abs() < 1e-9, "{name}");
+            assert_eq!(p.n_attrs, atts, "{name}");
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn total_pairs_consistent_with_split() {
+        // Magellan 3:1:1 → total = train * 5/3.
+        let wa = DatasetProfile::walmart_amazon();
+        assert_eq!(wa.total_pairs(), 10240);
+        // WDC: train/0.8 + fixed test.
+        let cam = DatasetProfile::wdc_cameras();
+        assert_eq!(cam.total_pairs(), 4081 * 5 / 4 + 1100);
+    }
+
+    #[test]
+    fn scaled_preserves_rates() {
+        let p = DatasetProfile::dblp_scholar().scaled(0.01);
+        assert_eq!(p.pos_rate, DatasetProfile::dblp_scholar().pos_rate);
+        assert!(p.train_pairs >= 40);
+        assert!(p.train_pairs < 300);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_profiles() {
+        let mut p = DatasetProfile::walmart_amazon();
+        p.pos_rate = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::walmart_amazon();
+        p.hard_negative_frac = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::walmart_amazon();
+        p.train_pairs = 3;
+        assert!(p.validate().is_err());
+        let mut p = DatasetProfile::wdc_cameras();
+        p.split = SplitSpec::FixedTest {
+            test_pairs: 0,
+            train_frac: 0.8,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn noise_levels_map_to_configs() {
+        assert_eq!(NoiseLevel::Mild.config(), PerturbConfig::mild());
+        assert_eq!(NoiseLevel::Heavy.config(), PerturbConfig::heavy());
+        assert!(NoiseLevel::Heavy.config().typo > NoiseLevel::Mild.config().typo);
+    }
+}

@@ -1,0 +1,219 @@
+//! Word pools for synthetic entity generation.
+//!
+//! Fixed vocabularies keep generated text realistic-looking and ensure
+//! token collisions between sibling entities (hard negatives share brand
+//! and category words). Pseudo-word generators extend the pools
+//! deterministically where breadth matters (model numbers, surnames).
+
+use em_core::Rng;
+
+/// Product brand names.
+pub const BRANDS: &[&str] = &[
+    "acera", "belkor", "cantrix", "delvon", "epsilon", "fintech", "gorvus", "halcyon", "ironpeak",
+    "jaxxon", "kelvon", "lumetra", "maxtor", "nexora", "optivue", "pinetree", "quarzon", "ravix",
+    "solaria", "tektron", "ultron", "vantura", "wexley", "xandria", "yorvik", "zenalux", "arbiton",
+    "brontec", "corvida", "duramax", "elvetia", "fornax", "graviton", "helixor", "imbrex",
+    "junovia", "kryptos", "lorvane", "mistral", "novatek", "orbitus", "pyrexia", "quantic",
+    "rostek", "sylvane", "tornix", "umbrola", "vexilar", "wintron", "zephyra",
+];
+
+/// Product line / family names.
+pub const LINES: &[&str] = &[
+    "alpha", "bravo", "cosmos", "delta", "echo", "fusion", "galaxy", "horizon", "impulse", "jet",
+    "kinetic", "legacy", "matrix", "nimbus", "omega", "pulse", "quantum", "rapid", "stellar",
+    "titan", "ultra", "vertex", "wave", "xtreme", "yield", "zoom", "apex", "blaze", "core",
+    "drift", "edge", "flux", "glide", "halo", "ion", "jolt", "karma", "lumen", "meteor", "nova",
+];
+
+/// Category / product-type nouns.
+pub const CATEGORIES: &[&str] = &[
+    "camera", "lens", "tripod", "flash", "printer", "scanner", "monitor", "keyboard", "mouse",
+    "headset", "speaker", "router", "modem", "laptop", "tablet", "charger", "adapter", "cable",
+    "battery", "case", "sneaker", "boot", "sandal", "loafer", "trainer", "cleat", "slipper",
+    "moccasin", "software", "game", "console", "drive", "memory", "processor", "toolkit",
+    "blender", "toaster", "kettle", "vacuum", "heater",
+];
+
+/// Descriptive adjectives for product titles.
+pub const ADJECTIVES: &[&str] = &[
+    "professional", "compact", "wireless", "digital", "portable", "premium", "classic", "deluxe",
+    "advanced", "essential", "ergonomic", "lightweight", "rugged", "slim", "smart", "turbo",
+    "silent", "vivid", "crystal", "solar", "hybrid", "carbon", "chrome", "midnight", "arctic",
+    "crimson", "emerald", "golden", "ivory", "jade", "onyx", "pearl", "ruby", "sapphire",
+    "scarlet", "silver", "teal", "violet", "amber", "cobalt",
+];
+
+/// Units and spec tokens appearing in product titles.
+pub const SPEC_UNITS: &[&str] = &[
+    "gb", "tb", "mp", "mm", "inch", "ghz", "mhz", "watt", "mah", "dpi", "rpm", "hz", "kg", "oz",
+    "ml", "cm", "pack", "set", "kit", "bundle",
+];
+
+/// First names for bibliographic authors.
+pub const FIRST_NAMES: &[&str] = &[
+    "alice", "boris", "carla", "dmitri", "elena", "felix", "greta", "hamid", "ingrid", "jorge",
+    "keiko", "liam", "marta", "nadia", "omar", "priya", "quentin", "rosa", "stefan", "tamar",
+    "ursula", "viktor", "wanda", "xiang", "yusuf", "zoe", "amara", "bruno", "celine", "diego",
+];
+
+/// Surnames for bibliographic authors.
+pub const SURNAMES: &[&str] = &[
+    "anderson", "baranov", "chen", "dubois", "eriksen", "fischer", "garcia", "haddad", "ivanova",
+    "jansen", "kowalski", "larsen", "moretti", "nakamura", "okafor", "petrov", "quintero",
+    "rossi", "schmidt", "tanaka", "ulrich", "vasquez", "weber", "xu", "yamada", "zhang",
+    "almeida", "bergman", "castillo", "dimitrov",
+];
+
+/// Research-paper topic words.
+pub const TOPIC_WORDS: &[&str] = &[
+    "scalable", "distributed", "adaptive", "efficient", "robust", "incremental", "probabilistic",
+    "declarative", "streaming", "parallel", "query", "index", "join", "transaction", "schema",
+    "entity", "matching", "integration", "cleaning", "provenance", "optimization", "learning",
+    "clustering", "sampling", "ranking", "caching", "partitioning", "replication", "consensus",
+    "recovery", "workload", "benchmark", "graph", "vector", "semantic", "relational", "temporal",
+    "spatial", "approximate", "federated",
+];
+
+/// Publication venue names.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "cidr", "kdd", "icdm", "wsdm", "www", "cikm", "pods",
+    "sigir", "acl", "emnlp", "neurips", "icml", "aaai", "ijcai", "tods", "tkde",
+];
+
+/// Free-text fragments for long product descriptions (ABT-Buy style).
+pub const DESCRIPTION_PHRASES: &[&str] = &[
+    "designed for everyday use",
+    "backed by a two year warranty",
+    "engineered with precision components",
+    "ideal for home and office",
+    "features an intuitive interface",
+    "built from recycled materials",
+    "delivers outstanding performance",
+    "includes all mounting hardware",
+    "compatible with most standard systems",
+    "tested for durability and reliability",
+    "energy efficient operation",
+    "easy to install and maintain",
+    "award winning industrial design",
+    "trusted by professionals worldwide",
+    "offers seamless connectivity",
+    "supports rapid charging",
+    "crafted with attention to detail",
+    "provides crystal clear output",
+    "low noise high efficiency",
+    "with advanced safety features",
+];
+
+/// A deterministic pseudo model number like `dx431` or `kv72s`.
+pub fn model_number(rng: &mut Rng) -> String {
+    const LETTERS: &[u8] = b"abcdefghjkmnprstvwxz";
+    let mut s = String::with_capacity(6);
+    for _ in 0..2 {
+        s.push(LETTERS[rng.below(LETTERS.len())] as char);
+    }
+    let digits = 2 + rng.below(3);
+    for _ in 0..digits {
+        s.push(char::from(b'0' + rng.below(10) as u8));
+    }
+    if rng.bool(0.3) {
+        s.push(LETTERS[rng.below(LETTERS.len())] as char);
+    }
+    s
+}
+
+/// A pseudo spec token like `24mp` or `512gb`.
+pub fn spec_token(rng: &mut Rng) -> String {
+    let value = [2u32, 4, 8, 12, 16, 24, 32, 50, 64, 75, 100, 128, 200, 256, 512, 1000]
+        [rng.below(16)];
+    format!("{value}{}", SPEC_UNITS[rng.below(SPEC_UNITS.len())])
+}
+
+/// A publication year in 1985..=2022.
+pub fn pub_year(rng: &mut Rng) -> u32 {
+    1985 + rng.below(38) as u32
+}
+
+/// A price with two decimals in `[5, 2500)`.
+pub fn price(rng: &mut Rng) -> f64 {
+    let raw = 5.0 + rng.f64() * 2495.0;
+    (raw * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [
+            BRANDS,
+            LINES,
+            CATEGORIES,
+            ADJECTIVES,
+            SPEC_UNITS,
+            FIRST_NAMES,
+            SURNAMES,
+            TOPIC_WORDS,
+            VENUES,
+            DESCRIPTION_PHRASES,
+        ] {
+            assert!(pool.len() >= 20);
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "pool word `{w}` not lowercase");
+                assert!(!w.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [BRANDS, LINES, CATEGORIES, ADJECTIVES, FIRST_NAMES, SURNAMES, TOPIC_WORDS] {
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn model_number_format() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let m = model_number(&mut rng);
+            assert!((4..=7).contains(&m.len()), "bad model number `{m}`");
+            assert!(m.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(m.chars().any(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(model_number(&mut a), model_number(&mut b));
+            assert_eq!(spec_token(&mut a), spec_token(&mut b));
+            assert_eq!(pub_year(&mut a), pub_year(&mut b));
+        }
+    }
+
+    #[test]
+    fn price_range_and_precision() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = price(&mut rng);
+            assert!((5.0..2500.0).contains(&p));
+            let cents = (p * 100.0).round() / 100.0;
+            assert!((p - cents).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn year_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..200 {
+            let y = pub_year(&mut rng);
+            assert!((1985..=2022).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Hierarchical Navigable Small World (HNSW) approximate nearest
+//! neighbour index.
+//!
+//! Malkov & Yashunin's HNSW is the second approximate-search technique the
+//! paper names (§5.2) for cutting the K-Means/k-NN cost that dominates the
+//! battleship runtime. This is a from-scratch implementation specialised
+//! to cosine similarity (vectors are stored L2-normalized so similarity is
+//! a dot product):
+//!
+//! * nodes get a geometric random level (`p = 1/e` per extra layer),
+//! * insertion descends greedily through upper layers and runs a beam
+//!   search of width `ef_construction` on each layer at or below the
+//!   node's level,
+//! * neighbour lists are truncated to `m` (2·`m` at layer 0) by keeping
+//!   the closest candidates,
+//! * search descends greedily and finishes with a beam of width `ef`.
+
+use std::collections::HashSet;
+
+use em_core::{EmError, Result, Rng};
+
+use crate::embeddings::{dot, normalize, Embeddings};
+use crate::knn::Neighbor;
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search (raise for recall, lower for speed).
+    pub ef_search: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x45_57,
+        }
+    }
+}
+
+impl HnswConfig {
+    fn validate(&self) -> Result<()> {
+        if self.m < 2 {
+            return Err(EmError::InvalidConfig("HNSW m must be >= 2".into()));
+        }
+        if self.ef_construction < self.m {
+            return Err(EmError::InvalidConfig(
+                "HNSW ef_construction must be >= m".into(),
+            ));
+        }
+        if self.ef_search == 0 {
+            return Err(EmError::InvalidConfig("HNSW ef_search must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One inserted element: its vector lives in `vectors`, its adjacency in
+/// `links[layer]`.
+struct Node {
+    /// Per-layer neighbour lists, `links[l]` valid for `l <= level`.
+    links: Vec<Vec<usize>>,
+}
+
+/// The HNSW index. Owns normalized copies of the inserted vectors.
+pub struct Hnsw {
+    config: HnswConfig,
+    dim: usize,
+    vectors: Vec<f32>,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    max_level: usize,
+    rng: Rng,
+}
+
+impl Hnsw {
+    /// Create an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, config: HnswConfig) -> Result<Self> {
+        config.validate()?;
+        if dim == 0 {
+            return Err(EmError::InvalidConfig("HNSW dim must be > 0".into()));
+        }
+        Ok(Hnsw {
+            rng: Rng::seed_from_u64(config.seed),
+            config,
+            dim,
+            vectors: Vec::new(),
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+        })
+    }
+
+    /// Build an index over all rows of `data` (insertion order = row
+    /// order).
+    pub fn build(data: &Embeddings, config: HnswConfig) -> Result<Self> {
+        let mut index = Hnsw::new(data.dim(), config)?;
+        for i in 0..data.len() {
+            index.insert(data.row(i))?;
+        }
+        Ok(index)
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.vectors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn similarity(&self, i: usize, q: &[f32]) -> f32 {
+        dot(self.vector(i), q)
+    }
+
+    /// Geometric level draw with `p = 1/e`, the standard `mL = 1/ln M`
+    /// choice collapsed to its canonical form.
+    fn draw_level(&mut self) -> usize {
+        let mut level = 0usize;
+        while self.rng.f64() < (1.0 / std::f64::consts::E) && level < 24 {
+            level += 1;
+        }
+        level
+    }
+
+    /// Greedy hill-climb toward `q` within `layer`, starting at `start`.
+    fn greedy_closest(&self, q: &[f32], start: usize, layer: usize) -> usize {
+        let mut current = start;
+        let mut current_sim = self.similarity(current, q);
+        loop {
+            let mut improved = false;
+            for &nb in &self.nodes[current].links[layer] {
+                let s = self.similarity(nb, q);
+                if s > current_sim {
+                    current = nb;
+                    current_sim = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return current;
+            }
+        }
+    }
+
+    /// Beam search on `layer`: returns up to `ef` candidates sorted by
+    /// descending similarity.
+    fn search_layer(&self, q: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Neighbor> {
+        let mut visited: HashSet<usize> = HashSet::new();
+        visited.insert(entry);
+        // `results` kept sorted descending by similarity.
+        let mut results = vec![Neighbor {
+            index: entry,
+            similarity: self.similarity(entry, q),
+        }];
+        // Frontier of candidates to expand, sorted descending: simple
+        // vector with pop-from-front keeps the code clear; ef is small.
+        let mut frontier = results.clone();
+        while let Some(cand) = frontier.pop() {
+            let worst = results.last().map(|n| n.similarity).unwrap_or(f32::MIN);
+            if results.len() >= ef && cand.similarity < worst {
+                break;
+            }
+            for &nb in &self.nodes[cand.index].links[layer] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = self.similarity(nb, q);
+                let worst = results.last().map(|n| n.similarity).unwrap_or(f32::MIN);
+                if results.len() < ef || s > worst {
+                    let hit = Neighbor {
+                        index: nb,
+                        similarity: s,
+                    };
+                    let pos = results
+                        .iter()
+                        .position(|r| s > r.similarity)
+                        .unwrap_or(results.len());
+                    results.insert(pos, hit);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                    // Insert into frontier keeping *ascending* order so
+                    // `pop()` yields the best candidate.
+                    let fpos = frontier
+                        .iter()
+                        .position(|r| s < r.similarity)
+                        .unwrap_or(frontier.len());
+                    frontier.insert(fpos, hit);
+                }
+            }
+        }
+        results
+    }
+
+    /// Insert one vector; returns its index.
+    pub fn insert(&mut self, v: &[f32]) -> Result<usize> {
+        if v.len() != self.dim {
+            return Err(EmError::DimensionMismatch {
+                context: "HNSW insert".into(),
+                expected: self.dim,
+                actual: v.len(),
+            });
+        }
+        let mut vn = v.to_vec();
+        normalize(&mut vn);
+
+        let id = self.nodes.len();
+        let level = self.draw_level();
+        self.vectors.extend_from_slice(&vn);
+        self.nodes.push(Node {
+            links: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return Ok(id);
+        };
+
+        // Descend from the top to level+1 greedily.
+        for layer in (level + 1..=self.max_level).rev() {
+            entry = self.greedy_closest(&vn, entry, layer);
+        }
+
+        // Connect on each layer from min(level, max_level) down to 0.
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let candidates = self.search_layer(&vn, entry, self.config.ef_construction, layer);
+            let cap = if layer == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
+            let chosen: Vec<usize> = candidates.iter().take(cap).map(|n| n.index).collect();
+            for &nb in &chosen {
+                self.nodes[id].links[layer].push(nb);
+                self.nodes[nb].links[layer].push(id);
+                // Prune the neighbour's list if it overflowed.
+                if self.nodes[nb].links[layer].len() > cap {
+                    let nbv = self.vector(nb).to_vec();
+                    let mut scored: Vec<Neighbor> = self.nodes[nb].links[layer]
+                        .iter()
+                        .map(|&x| Neighbor {
+                            index: x,
+                            similarity: self.similarity(x, &nbv),
+                        })
+                        .collect();
+                    scored.sort_by(|a, b| {
+                        b.similarity
+                            .partial_cmp(&a.similarity)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    self.nodes[nb].links[layer] =
+                        scored.into_iter().take(cap).map(|n| n.index).collect();
+                }
+            }
+            if let Some(best) = candidates.first() {
+                entry = best.index;
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// Approximate top-`k` most-cosine-similar indexed vectors to `query`.
+    pub fn search(&self, query: &[f32], k: usize, exclude: Option<usize>) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(EmError::DimensionMismatch {
+                context: "HNSW search".into(),
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let Some(mut entry) = self.entry else {
+            return Ok(Vec::new());
+        };
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        for layer in (1..=self.max_level).rev() {
+            entry = self.greedy_closest(&q, entry, layer);
+        }
+        let ef = self.config.ef_search.max(k);
+        let mut hits = self.search_layer(&q, entry, ef, 0);
+        hits.retain(|n| exclude != Some(n.index));
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::top_k;
+
+    fn gaussian_blobs(n_per: usize, n_blobs: usize, dim: usize) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(4242);
+        let centers: Vec<Vec<f32>> = (0..n_blobs)
+            .map(|_| (0..dim).map(|_| rng.normal() as f32 * 3.0).collect())
+            .collect();
+        let mut rows = Vec::new();
+        for c in &centers {
+            for _ in 0..n_per {
+                rows.push(c.iter().map(|&x| x + rng.normal() as f32 * 0.2).collect());
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Hnsw::new(
+            4,
+            HnswConfig {
+                m: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Hnsw::new(
+            4,
+            HnswConfig {
+                ef_construction: 2,
+                m: 8,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Hnsw::new(0, HnswConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = Hnsw::new(3, HnswConfig::default()).unwrap();
+        assert!(idx.search(&[1.0, 0.0, 0.0], 5, None).unwrap().is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn insert_dim_mismatch() {
+        let mut idx = Hnsw::new(3, HnswConfig::default()).unwrap();
+        assert!(idx.insert(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn single_point_found() {
+        let mut idx = Hnsw::new(2, HnswConfig::default()).unwrap();
+        idx.insert(&[1.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.1], 1, None).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 0);
+    }
+
+    #[test]
+    fn recall_against_exact_search() {
+        let data = gaussian_blobs(40, 5, 16);
+        let idx = Hnsw::build(&data, HnswConfig::default()).unwrap();
+        assert_eq!(idx.len(), 200);
+
+        // Normalized copy for ground truth (HNSW stores normalized
+        // vectors; cosine is normalization-invariant anyway).
+        let mut total_hits = 0;
+        let mut total = 0;
+        for q in (0..200).step_by(17) {
+            let exact: Vec<usize> = top_k(&data, data.row(q), 10, Some(q))
+                .into_iter()
+                .map(|n| n.index)
+                .collect();
+            let approx: Vec<usize> = idx
+                .search(data.row(q), 10, Some(q))
+                .unwrap()
+                .into_iter()
+                .map(|n| n.index)
+                .collect();
+            total_hits += approx.iter().filter(|i| exact.contains(i)).count();
+            total += 10;
+        }
+        let recall = total_hits as f64 / total as f64;
+        assert!(recall >= 0.9, "HNSW recall@10 = {recall}");
+    }
+
+    #[test]
+    fn search_excludes_requested_index() {
+        let data = gaussian_blobs(10, 2, 4);
+        let idx = Hnsw::build(&data, HnswConfig::default()).unwrap();
+        let hits = idx.search(data.row(0), 5, Some(0)).unwrap();
+        assert!(hits.iter().all(|n| n.index != 0));
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let data = gaussian_blobs(25, 3, 8);
+        let idx = Hnsw::build(&data, HnswConfig::default()).unwrap();
+        let hits = idx.search(data.row(1), 8, Some(1)).unwrap();
+        for w in hits.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = gaussian_blobs(20, 2, 6);
+        let a = Hnsw::build(&data, HnswConfig::default()).unwrap();
+        let b = Hnsw::build(&data, HnswConfig::default()).unwrap();
+        let ha: Vec<usize> = a
+            .search(data.row(3), 7, Some(3))
+            .unwrap()
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        let hb: Vec<usize> = b
+            .search(data.row(3), 7, Some(3))
+            .unwrap()
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        assert_eq!(ha, hb);
+    }
+}

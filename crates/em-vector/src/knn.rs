@@ -1,0 +1,259 @@
+//! Exact top-k nearest-neighbour search by cosine similarity.
+//!
+//! This is the workspace's FAISS `IndexFlatIP` stand-in (the paper runs
+//! its nearest-neighbour calculations with FAISS, §4.2). Exact search is
+//! affordable because the battleship algorithm only ever searches *within
+//! a cluster* (§3.3.1 motivates clustering precisely as a way to bound
+//! this cost), so the quadratic factor is the cluster size, not the pool
+//! size.
+
+use std::cmp::Ordering;
+
+use crate::embeddings::Embeddings;
+
+/// A search hit: the neighbour's index and its cosine similarity to the
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbour (into whatever index space the search ran
+    /// over — global rows for [`top_k`], the provided subset values for
+    /// [`top_k_among`]).
+    pub index: usize,
+    /// Cosine similarity to the query, in `[-1, 1]`.
+    pub similarity: f32,
+}
+
+impl Neighbor {
+    fn better_than(&self, other: &Neighbor) -> bool {
+        // Deterministic total order: higher similarity wins; ties break
+        // toward the smaller index so results never depend on scan order.
+        match self
+            .similarity
+            .partial_cmp(&other.similarity)
+            .unwrap_or(Ordering::Equal)
+        {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => self.index < other.index,
+        }
+    }
+}
+
+/// Keep the best `k` of a stream of candidates (small `k`, linear scan).
+///
+/// For the `k ≈ 15` neighbourhood sizes used by graph construction, a
+/// simple sorted buffer beats a `BinaryHeap` on both speed and
+/// determinism.
+struct TopBuffer {
+    k: usize,
+    items: Vec<Neighbor>,
+}
+
+impl TopBuffer {
+    fn new(k: usize) -> Self {
+        TopBuffer {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    fn offer(&mut self, n: Neighbor) {
+        if self.k == 0 {
+            return;
+        }
+        if self.items.len() == self.k {
+            // Worst item is last; skip candidates that cannot enter.
+            if !n.better_than(self.items.last().expect("non-empty buffer")) {
+                return;
+            }
+            self.items.pop();
+        }
+        let pos = self
+            .items
+            .iter()
+            .position(|x| n.better_than(x))
+            .unwrap_or(self.items.len());
+        self.items.insert(pos, n);
+    }
+
+    fn into_sorted(self) -> Vec<Neighbor> {
+        self.items
+    }
+}
+
+/// Exact top-`k` cosine neighbours of `query` among all rows of `data`.
+///
+/// `exclude` (typically the query's own row) is skipped. Results are
+/// sorted by descending similarity with index tiebreak.
+pub fn top_k(data: &Embeddings, query: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+    let mut buf = TopBuffer::new(k);
+    for i in 0..data.len() {
+        if exclude == Some(i) {
+            continue;
+        }
+        buf.offer(Neighbor {
+            index: i,
+            similarity: crate::embeddings::cosine(query, data.row(i)),
+        });
+    }
+    buf.into_sorted()
+}
+
+/// Exact top-`k` cosine neighbours of row `query_row` among the candidate
+/// rows `among` (global row indices), skipping the query itself.
+///
+/// This is the in-cluster search used by pair-graph edge creation
+/// (§3.3.2): "our algorithm allows comparisons only for samples that
+/// reside in the same cluster". Returned indices are *global* row
+/// indices.
+pub fn top_k_among(
+    data: &Embeddings,
+    query_row: usize,
+    among: &[usize],
+    k: usize,
+) -> Vec<Neighbor> {
+    let q = data.row(query_row);
+    let mut buf = TopBuffer::new(k);
+    for &i in among {
+        if i == query_row {
+            continue;
+        }
+        buf.offer(Neighbor {
+            index: i,
+            similarity: crate::embeddings::cosine(q, data.row(i)),
+        });
+    }
+    buf.into_sorted()
+}
+
+/// All pairwise cosine similarities among `among` (global row indices),
+/// returned as `(position_a, position_b, similarity)` with
+/// `position_a < position_b` being positions *within `among`*.
+///
+/// Used by the edge-creation second stage, which ranks every remaining
+/// in-cluster pair by similarity (§3.3.2).
+pub fn pairwise_among(data: &Embeddings, among: &[usize]) -> Vec<(usize, usize, f32)> {
+    let m = among.len();
+    let mut out = Vec::with_capacity(m.saturating_sub(1) * m / 2);
+    for a in 0..m {
+        for b in a + 1..m {
+            out.push((a, b, data.cosine(among[a], among[b])));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::Rng;
+
+    fn toy() -> Embeddings {
+        Embeddings::from_rows(&[
+            vec![1.0, 0.0],   // 0
+            vec![0.9, 0.1],   // 1: close to 0
+            vec![0.0, 1.0],   // 2: orthogonal to 0
+            vec![-1.0, 0.0],  // 3: opposite to 0
+            vec![0.7, 0.7],   // 4: diagonal
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let e = toy();
+        let hits = top_k(&e, e.row(0), 3, Some(0));
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 4);
+        assert_eq!(hits[2].index, 2);
+        assert!(hits[0].similarity >= hits[1].similarity);
+        assert!(hits[1].similarity >= hits[2].similarity);
+    }
+
+    #[test]
+    fn top_k_zero_k_is_empty() {
+        let e = toy();
+        assert!(top_k(&e, e.row(0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn top_k_k_larger_than_data() {
+        let e = toy();
+        let hits = top_k(&e, e.row(0), 100, Some(0));
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn top_k_among_restricts_candidates() {
+        let e = toy();
+        // Only rows 2 and 3 are candidates; row 1 (globally closest) must
+        // not appear.
+        let hits = top_k_among(&e, 0, &[2, 3], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].index, 2);
+        assert_eq!(hits[1].index, 3);
+    }
+
+    #[test]
+    fn top_k_among_skips_self() {
+        let e = toy();
+        let hits = top_k_among(&e, 0, &[0, 1], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 1);
+    }
+
+    #[test]
+    fn ties_break_by_smaller_index() {
+        let e = Embeddings::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let hits = top_k(&e, e.row(0), 1, Some(0));
+        assert_eq!(hits[0].index, 1);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_naive_sort() {
+        let mut rng = Rng::seed_from_u64(1234);
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|_| (0..8).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let e = Embeddings::from_rows(&rows).unwrap();
+        for q in 0..10 {
+            let fast = top_k(&e, e.row(q), 7, Some(q));
+            // Naive: sort all.
+            let mut all: Vec<Neighbor> = (0..e.len())
+                .filter(|&i| i != q)
+                .map(|i| Neighbor {
+                    index: i,
+                    similarity: e.cosine(q, i),
+                })
+                .collect();
+            all.sort_by(|a, b| {
+                b.similarity
+                    .partial_cmp(&a.similarity)
+                    .unwrap()
+                    .then(a.index.cmp(&b.index))
+            });
+            let slow: Vec<usize> = all[..7].iter().map(|n| n.index).collect();
+            let fast_idx: Vec<usize> = fast.iter().map(|n| n.index).collect();
+            assert_eq!(fast_idx, slow, "query {q}");
+        }
+    }
+
+    #[test]
+    fn pairwise_among_counts_and_symmetry() {
+        let e = toy();
+        let among = [0, 1, 4];
+        let pw = pairwise_among(&e, &among);
+        assert_eq!(pw.len(), 3);
+        for &(a, b, s) in &pw {
+            assert!(a < b);
+            let expected = e.cosine(among[a], among[b]);
+            assert!((s - expected).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # em-vector
+//!
+//! Vector-space substrate for the `battleship-em` workspace.
+//!
+//! The battleship algorithm lives in the latent space of pair
+//! representations: it measures cosine similarities, finds nearest
+//! neighbours inside clusters (the paper uses FAISS for this, §4.2), and
+//! visualizes the space with t-SNE (Figure 1). This crate provides all of
+//! that from scratch:
+//!
+//! * [`Embeddings`] — a row-major matrix of `f32` vectors with the basic
+//!   linear-algebra kernels (dot, norm, cosine),
+//! * [`knn`] — exact top-k cosine search (the FAISS `IndexFlatIP`
+//!   equivalent), including restricted search over an index subset as
+//!   needed for in-cluster neighbour queries,
+//! * [`lsh`] — random-hyperplane locality-sensitive hashing, and
+//! * [`hnsw`] — a hierarchical navigable small world index; LSH and HNSW
+//!   implement the approximate-search future work the paper names in §5.2,
+//! * [`pca`] — principal component analysis by power iteration (used to
+//!   initialize t-SNE, as is standard practice),
+//! * [`tsne`] — exact O(n²) t-SNE with perplexity calibration and early
+//!   exaggeration, sufficient for the benchmark-sized pair sets of
+//!   Figure 1.
+
+pub mod embeddings;
+pub mod hnsw;
+pub mod knn;
+pub mod lsh;
+pub mod pca;
+pub mod tsne;
+
+pub use embeddings::{cosine, dot, norm, normalize, Embeddings};
+pub use hnsw::{Hnsw, HnswConfig};
+pub use knn::{top_k, top_k_among, Neighbor};
+pub use lsh::{LshConfig, LshIndex};
+pub use pca::Pca;
+pub use tsne::{Tsne, TsneConfig};

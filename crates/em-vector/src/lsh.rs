@@ -1,0 +1,264 @@
+//! Random-hyperplane locality-sensitive hashing for cosine similarity.
+//!
+//! The paper's §5.2 names LSH (Gionis et al.) as a future-work route to
+//! cut the nearest-neighbour cost of graph construction. This module
+//! implements the classic SimHash family: each table hashes a vector to
+//! the sign pattern of `n_bits` random hyperplane projections; candidates
+//! are the union of same-bucket points over `n_tables` tables, re-ranked
+//! exactly.
+
+use std::collections::HashMap;
+
+use em_core::{EmError, Result, Rng};
+
+use crate::embeddings::Embeddings;
+use crate::knn::Neighbor;
+
+/// LSH index parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshConfig {
+    /// Hyperplanes (= hash bits) per table. More bits → smaller buckets,
+    /// higher precision, lower recall per table.
+    pub n_bits: usize,
+    /// Number of independent tables. More tables → higher recall.
+    pub n_tables: usize,
+    /// RNG seed for hyperplane sampling.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        LshConfig {
+            n_bits: 12,
+            n_tables: 8,
+            seed: 0x15AC,
+        }
+    }
+}
+
+impl LshConfig {
+    fn validate(&self) -> Result<()> {
+        if self.n_bits == 0 || self.n_bits > 32 {
+            return Err(EmError::InvalidConfig(format!(
+                "LSH n_bits must be in 1..=32, got {}",
+                self.n_bits
+            )));
+        }
+        if self.n_tables == 0 {
+            return Err(EmError::InvalidConfig("LSH needs >= 1 table".into()));
+        }
+        Ok(())
+    }
+}
+
+struct LshTable {
+    /// `n_bits` hyperplane normals, each of dimension `dim`, concatenated.
+    planes: Vec<f32>,
+    buckets: HashMap<u32, Vec<usize>>,
+}
+
+impl LshTable {
+    fn signature(&self, v: &[f32], n_bits: usize) -> u32 {
+        let dim = v.len();
+        let mut sig = 0u32;
+        for b in 0..n_bits {
+            let plane = &self.planes[b * dim..(b + 1) * dim];
+            if crate::embeddings::dot(plane, v) >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+}
+
+/// An immutable LSH index over a fixed set of embeddings.
+pub struct LshIndex {
+    config: LshConfig,
+    tables: Vec<LshTable>,
+    dim: usize,
+}
+
+impl LshIndex {
+    /// Hash every row of `data` into `config.n_tables` tables.
+    pub fn build(data: &Embeddings, config: LshConfig) -> Result<Self> {
+        config.validate()?;
+        if data.is_empty() {
+            return Err(EmError::EmptyInput("LSH build data".into()));
+        }
+        let dim = data.dim();
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut tables = Vec::with_capacity(config.n_tables);
+        for _ in 0..config.n_tables {
+            let planes: Vec<f32> = (0..config.n_bits * dim)
+                .map(|_| rng.normal() as f32)
+                .collect();
+            let mut table = LshTable {
+                planes,
+                buckets: HashMap::new(),
+            };
+            for i in 0..data.len() {
+                let sig = table.signature(data.row(i), config.n_bits);
+                table.buckets.entry(sig).or_default().push(i);
+            }
+            tables.push(table);
+        }
+        Ok(LshIndex {
+            config,
+            tables,
+            dim,
+        })
+    }
+
+    /// Candidate rows sharing at least one bucket with `query`
+    /// (deduplicated, ascending index order).
+    pub fn candidates(&self, query: &[f32]) -> Result<Vec<usize>> {
+        if query.len() != self.dim {
+            return Err(EmError::DimensionMismatch {
+                context: "LSH query".into(),
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let mut out = Vec::new();
+        for t in &self.tables {
+            let sig = t.signature(query, self.config.n_bits);
+            if let Some(bucket) = t.buckets.get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Approximate top-`k`: exact re-ranking of the LSH candidate set.
+    pub fn search(
+        &self,
+        data: &Embeddings,
+        query: &[f32],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbor>> {
+        let cands = self.candidates(query)?;
+        let mut hits: Vec<Neighbor> = cands
+            .into_iter()
+            .filter(|&i| exclude != Some(i))
+            .map(|i| Neighbor {
+                index: i,
+                similarity: crate::embeddings::cosine(query, data.row(i)),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::top_k;
+
+    fn clustered_data(n_per: usize) -> Embeddings {
+        // Two tight clusters on the unit circle, far apart.
+        let mut rng = Rng::seed_from_u64(77);
+        let mut rows = Vec::new();
+        for c in 0..2 {
+            let center = if c == 0 { 0.0f64 } else { std::f64::consts::PI };
+            for _ in 0..n_per {
+                let angle = center + rng.normal() * 0.05;
+                rows.push(vec![angle.cos() as f32, angle.sin() as f32]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn build_rejects_bad_config() {
+        let e = clustered_data(4);
+        assert!(LshIndex::build(
+            &e,
+            LshConfig {
+                n_bits: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::build(
+            &e,
+            LshConfig {
+                n_tables: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LshIndex::build(
+            &e,
+            LshConfig {
+                n_bits: 40,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn query_dim_checked() {
+        let e = clustered_data(4);
+        let idx = LshIndex::build(&e, LshConfig::default()).unwrap();
+        assert!(idx.candidates(&[1.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn candidates_find_own_cluster() {
+        let e = clustered_data(30);
+        let idx = LshIndex::build(&e, LshConfig::default()).unwrap();
+        // Query with a cluster-0 member: most cluster-0 members should be
+        // candidates.
+        let cands = idx.candidates(e.row(0)).unwrap();
+        let in_cluster0 = cands.iter().filter(|&&i| i < 30).count();
+        assert!(in_cluster0 >= 25, "found only {in_cluster0} of 30");
+    }
+
+    #[test]
+    fn search_recall_against_exact() {
+        let e = clustered_data(50);
+        let idx = LshIndex::build(&e, LshConfig::default()).unwrap();
+        let exact: Vec<usize> = top_k(&e, e.row(0), 10, Some(0))
+            .into_iter()
+            .map(|n| n.index)
+            .collect();
+        let approx: Vec<usize> = idx
+            .search(&e, e.row(0), 10, Some(0))
+            .unwrap()
+            .into_iter()
+            .map(|n| n.index)
+            .collect();
+        let hit = approx.iter().filter(|i| exact.contains(i)).count();
+        assert!(hit >= 8, "recall@10 too low: {hit}/10");
+    }
+
+    #[test]
+    fn search_excludes_query() {
+        let e = clustered_data(10);
+        let idx = LshIndex::build(&e, LshConfig::default()).unwrap();
+        let hits = idx.search(&e, e.row(3), 5, Some(3)).unwrap();
+        assert!(hits.iter().all(|n| n.index != 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let e = clustered_data(20);
+        let a = LshIndex::build(&e, LshConfig::default()).unwrap();
+        let b = LshIndex::build(&e, LshConfig::default()).unwrap();
+        assert_eq!(
+            a.candidates(e.row(5)).unwrap(),
+            b.candidates(e.row(5)).unwrap()
+        );
+    }
+}

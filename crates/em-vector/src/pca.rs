@@ -1,0 +1,260 @@
+//! Principal component analysis by power iteration with deflation.
+//!
+//! Used to initialize t-SNE (standard practice, stabilizes the embedding)
+//! and available as a cheap linear baseline for latent-space inspection.
+//! Power iteration is exact enough here: we only ever need the first
+//! handful of components.
+
+use em_core::{EmError, Result, Rng};
+
+use crate::embeddings::{dot, Embeddings};
+
+/// A fitted PCA model: mean vector and the top principal axes.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// `n_components` rows of length `dim`, orthonormal.
+    components: Vec<Vec<f32>>,
+    /// Variance captured by each component, descending.
+    explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fit the top `n_components` principal axes of `data`.
+    ///
+    /// `data.len()` must be at least 2; `n_components` is clamped to
+    /// `min(dim, n - 1)`.
+    pub fn fit(data: &Embeddings, n_components: usize, seed: u64) -> Result<Self> {
+        let n = data.len();
+        if n < 2 {
+            return Err(EmError::EmptyInput(
+                "PCA needs at least two samples".into(),
+            ));
+        }
+        if n_components == 0 {
+            return Err(EmError::InvalidConfig(
+                "PCA needs n_components >= 1".into(),
+            ));
+        }
+        let dim = data.dim();
+        let k = n_components.min(dim).min(n - 1);
+        let mean = data.centroid()?;
+
+        // Centered copy of the data.
+        let mut centered: Vec<f32> = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for (j, &x) in data.row(i).iter().enumerate() {
+                centered.push(x - mean[j]);
+            }
+        }
+        let row = |i: usize| -> &[f32] { &centered[i * dim..(i + 1) * dim] };
+
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+
+        for _ in 0..k {
+            // Random start, orthogonal to previously found components.
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.normal() as f32).collect();
+            orthogonalize(&mut v, &components);
+            normalize_or_reset(&mut v, &mut rng, &components);
+
+            let mut eigenvalue = 0.0f32;
+            for _iter in 0..100 {
+                // w = Cov · v computed as Xᵀ(X v) / n without forming Cov.
+                let mut xv = vec![0.0f32; n];
+                for i in 0..n {
+                    xv[i] = dot(row(i), &v);
+                }
+                let mut w = vec![0.0f32; dim];
+                for i in 0..n {
+                    let c = xv[i];
+                    for (wj, &xj) in w.iter_mut().zip(row(i)) {
+                        *wj += c * xj;
+                    }
+                }
+                for wj in &mut w {
+                    *wj /= n as f32;
+                }
+                orthogonalize(&mut w, &components);
+                let norm = dot(&w, &w).sqrt();
+                if norm < 1e-12 {
+                    // No variance left in the orthogonal complement.
+                    eigenvalue = 0.0;
+                    break;
+                }
+                for wj in &mut w {
+                    *wj /= norm;
+                }
+                let delta: f32 = v
+                    .iter()
+                    .zip(&w)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f32::max);
+                v = w;
+                eigenvalue = norm;
+                if delta < 1e-7 {
+                    break;
+                }
+            }
+            components.push(v);
+            explained.push(eigenvalue);
+        }
+
+        Ok(Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        })
+    }
+
+    /// Project `data` onto the fitted components.
+    pub fn transform(&self, data: &Embeddings) -> Result<Embeddings> {
+        if data.dim() != self.mean.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "PCA transform".into(),
+                expected: self.mean.len(),
+                actual: data.dim(),
+            });
+        }
+        let k = self.components.len();
+        let mut out = Embeddings::new(k)?;
+        let mut centered = vec![0.0f32; data.dim()];
+        for i in 0..data.len() {
+            for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(&self.mean)) {
+                *c = x - m;
+            }
+            let proj: Vec<f32> = self.components.iter().map(|pc| dot(pc, &centered)).collect();
+            out.push(&proj)?;
+        }
+        Ok(out)
+    }
+
+    /// The fitted principal axes (orthonormal rows).
+    pub fn components(&self) -> &[Vec<f32>] {
+        &self.components
+    }
+
+    /// Variance captured per component, descending.
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained_variance
+    }
+}
+
+/// Remove the projections of `v` onto each of `basis` (Gram–Schmidt step).
+fn orthogonalize(v: &mut [f32], basis: &[Vec<f32>]) {
+    for b in basis {
+        let proj = dot(v, b);
+        for (vi, &bi) in v.iter_mut().zip(b) {
+            *vi -= proj * bi;
+        }
+    }
+}
+
+/// Normalize `v`, re-randomizing if it collapsed to ~zero.
+fn normalize_or_reset(v: &mut [f32], rng: &mut Rng, basis: &[Vec<f32>]) {
+    loop {
+        let n = dot(v, v).sqrt();
+        if n > 1e-9 {
+            for vi in v.iter_mut() {
+                *vi /= n;
+            }
+            return;
+        }
+        for vi in v.iter_mut() {
+            *vi = rng.normal() as f32;
+        }
+        orthogonalize(v, basis);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the line y = 2x with small noise: PC1 should align
+    /// with (1, 2)/√5.
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut rng = Rng::seed_from_u64(3);
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                let t = rng.normal() as f32 * 5.0;
+                let noise = rng.normal() as f32 * 0.05;
+                vec![t + noise, 2.0 * t - noise]
+            })
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, 1, 0).unwrap();
+        let pc = &pca.components()[0];
+        let expected = [1.0 / 5f32.sqrt(), 2.0 / 5f32.sqrt()];
+        let alignment = dot(pc, &expected).abs();
+        assert!(alignment > 0.999, "alignment {alignment}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = Rng::seed_from_u64(5);
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..6).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, 3, 0).unwrap();
+        let cs = pca.components();
+        for i in 0..3 {
+            assert!((dot(&cs[i], &cs[i]) - 1.0).abs() < 1e-4);
+            for j in i + 1..3 {
+                assert!(dot(&cs[i], &cs[j]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_descends() {
+        let mut rng = Rng::seed_from_u64(7);
+        // Anisotropic data: variance 9, 1, 0.01 along axes.
+        let rows: Vec<Vec<f32>> = (0..300)
+            .map(|_| {
+                vec![
+                    rng.normal() as f32 * 3.0,
+                    rng.normal() as f32,
+                    rng.normal() as f32 * 0.1,
+                ]
+            })
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data, 3, 0).unwrap();
+        let ev = pca.explained_variance();
+        assert!(ev[0] > ev[1] && ev[1] > ev[2], "{ev:?}");
+        assert!((ev[0] / ev[1] - 9.0).abs() < 2.5, "{ev:?}");
+    }
+
+    #[test]
+    fn transform_shape_and_centering() {
+        let data =
+            Embeddings::from_rows(&[vec![1.0, 1.0], vec![3.0, 3.0], vec![5.0, 5.0]]).unwrap();
+        let pca = Pca::fit(&data, 1, 0).unwrap();
+        let t = pca.transform(&data).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dim(), 1);
+        // Projections of centered collinear points: symmetric around 0.
+        assert!((t.row(0)[0] + t.row(2)[0]).abs() < 1e-4);
+        assert!(t.row(1)[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let one = Embeddings::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(Pca::fit(&one, 1, 0).is_err());
+        let two = Embeddings::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(Pca::fit(&two, 0, 0).is_err());
+    }
+
+    #[test]
+    fn transform_dim_mismatch() {
+        let data = Embeddings::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let pca = Pca::fit(&data, 1, 0).unwrap();
+        let other = Embeddings::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(pca.transform(&other).is_err());
+    }
+}

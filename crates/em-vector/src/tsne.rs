@@ -1,0 +1,459 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008).
+//!
+//! Figure 1 of the paper visualizes 768-dimensional pair representations
+//! with t-SNE to show that match pairs concentrate in a few regions of the
+//! latent space. This implementation is the exact O(n²) algorithm with the
+//! standard bells: per-point perplexity calibration by binary search,
+//! symmetrized affinities, early exaggeration, momentum, and adaptive
+//! gains — sufficient for the benchmark-scale inputs (≈10⁴ pairs) of the
+//! figure.
+
+use em_core::{EmError, Result, Rng};
+
+use crate::embeddings::{sq_euclidean, Embeddings};
+use crate::pca::Pca;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for plotting).
+    pub out_dim: usize,
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient descent iterations.
+    pub iterations: usize,
+    /// Learning rate (η). Non-positive means "auto": `max(n / (4·exaggeration), 50)`,
+    /// the heuristic of Belkina et al. adopted by scikit-learn.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub exaggeration: f64,
+    /// Seed for the PCA fallback / jitter.
+    pub seed: u64,
+    /// When `true`, initialize from the top principal components
+    /// (recommended); otherwise random Gaussian init.
+    pub pca_init: bool,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            out_dim: 2,
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 0.0,
+            exaggeration: 12.0,
+            seed: 0x75_4E,
+            pca_init: true,
+        }
+    }
+}
+
+impl TsneConfig {
+    fn validate(&self, n: usize) -> Result<()> {
+        if self.out_dim == 0 {
+            return Err(EmError::InvalidConfig("t-SNE out_dim must be > 0".into()));
+        }
+        if self.perplexity <= 1.0 {
+            return Err(EmError::InvalidConfig(
+                "t-SNE perplexity must be > 1".into(),
+            ));
+        }
+        if n < 4 {
+            return Err(EmError::EmptyInput("t-SNE needs at least 4 points".into()));
+        }
+        if (n as f64) < 3.0 * self.perplexity + 1.0 {
+            return Err(EmError::InvalidConfig(format!(
+                "perplexity {} too large for {} points",
+                self.perplexity, n
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The t-SNE reducer.
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Create a reducer with the given configuration.
+    pub fn new(config: TsneConfig) -> Self {
+        Tsne { config }
+    }
+
+    /// Embed `data` into `config.out_dim` dimensions.
+    pub fn fit(&self, data: &Embeddings) -> Result<Embeddings> {
+        let n = data.len();
+        self.config.validate(n)?;
+
+        let p = self.joint_affinities(data);
+        let mut y = self.init_embedding(data)?;
+        self.gradient_descent(&p, &mut y, n);
+        Embeddings::from_flat(self.config.out_dim, y)
+    }
+
+    /// Symmetrized joint affinities `p_ij` (flattened n×n, row-major).
+    fn joint_affinities(&self, data: &Embeddings) -> Vec<f64> {
+        let n = data.len();
+        // Pairwise squared distances.
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = sq_euclidean(data.row(i), data.row(j)) as f64;
+                d2[i * n + j] = d;
+                d2[j * n + i] = d;
+            }
+        }
+
+        // Per-row beta (1 / 2σ²) by binary search on perplexity.
+        let target_entropy = self.config.perplexity.ln();
+        let mut p = vec![0.0f64; n * n];
+        for i in 0..n {
+            let row = &d2[i * n..(i + 1) * n];
+            let mut beta = 1.0f64;
+            let mut beta_min = f64::NEG_INFINITY;
+            let mut beta_max = f64::INFINITY;
+            for _ in 0..64 {
+                let (entropy, probs) = row_entropy(row, i, beta);
+                let diff = entropy - target_entropy;
+                if diff.abs() < 1e-5 {
+                    p[i * n..(i + 1) * n].copy_from_slice(&probs);
+                    break;
+                }
+                if diff > 0.0 {
+                    beta_min = beta;
+                    beta = if beta_max.is_finite() {
+                        (beta + beta_max) / 2.0
+                    } else {
+                        beta * 2.0
+                    };
+                } else {
+                    beta_max = beta;
+                    beta = if beta_min.is_finite() {
+                        (beta + beta_min) / 2.0
+                    } else {
+                        beta / 2.0
+                    };
+                }
+                p[i * n..(i + 1) * n].copy_from_slice(&probs);
+            }
+        }
+
+        // Symmetrize and normalize: p_ij = (p_j|i + p_i|j) / 2n.
+        let mut joint = vec![0.0f64; n * n];
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let v = (p[i * n + j] + p[j * n + i]) / 2.0;
+                joint[i * n + j] = v;
+                total += v;
+            }
+        }
+        let total = total.max(f64::MIN_POSITIVE);
+        for v in &mut joint {
+            *v = (*v / total).max(1e-12);
+        }
+        joint
+    }
+
+    fn init_embedding(&self, data: &Embeddings) -> Result<Vec<f32>> {
+        let n = data.len();
+        let d = self.config.out_dim;
+        let mut rng = Rng::seed_from_u64(self.config.seed);
+        if self.config.pca_init {
+            if let Ok(pca) = Pca::fit(data, d, self.config.seed) {
+                let proj = pca.transform(data)?;
+                // Scale to small magnitudes (σ ≈ 1e-2) as usual.
+                let mut max_abs = 0.0f32;
+                for v in proj.flat() {
+                    max_abs = max_abs.max(v.abs());
+                }
+                let scale = if max_abs > 0.0 { 1e-2 / max_abs } else { 1.0 };
+                let mut flat = proj.flat().to_vec();
+                for (k, v) in flat.iter_mut().enumerate() {
+                    // Tiny jitter breaks exact ties from degenerate PCA.
+                    *v = *v * scale + (rng.normal() as f32) * 1e-5 * ((k % 7) as f32 + 1.0);
+                }
+                return Ok(flat);
+            }
+        }
+        Ok((0..n * d).map(|_| rng.normal() as f32 * 1e-2).collect())
+    }
+
+    fn gradient_descent(&self, p: &[f64], y: &mut [f32], n: usize) {
+        let d = self.config.out_dim;
+        let iters = self.config.iterations;
+        let exag_until = iters / 4;
+        let eta = if self.config.learning_rate > 0.0 {
+            self.config.learning_rate
+        } else {
+            (n as f64 / (4.0 * self.config.exaggeration)).max(50.0)
+        };
+        let mut velocity = vec![0.0f64; n * d];
+        let mut gains = vec![1.0f64; n * d];
+        let mut q = vec![0.0f64; n * n];
+
+        for iter in 0..iters {
+            let exaggeration = if iter < exag_until {
+                self.config.exaggeration
+            } else {
+                1.0
+            };
+            let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+
+            // Student-t affinities q_ij with numerators cached.
+            let mut q_total = 0.0f64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    let mut dist = 0.0f64;
+                    for k in 0..d {
+                        let diff = (y[i * d + k] - y[j * d + k]) as f64;
+                        dist += diff * diff;
+                    }
+                    let num = 1.0 / (1.0 + dist);
+                    q[i * n + j] = num;
+                    q[j * n + i] = num;
+                    q_total += 2.0 * num;
+                }
+            }
+            let q_total = q_total.max(f64::MIN_POSITIVE);
+
+            // Gradient: 4 Σ_j (exag·p_ij − q_ij) num_ij (y_i − y_j).
+            for i in 0..n {
+                let mut grad = vec![0.0f64; d];
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let num = q[i * n + j];
+                    let qij = num / q_total;
+                    let mult = (exaggeration * p[i * n + j] - qij) * num;
+                    for (k, g) in grad.iter_mut().enumerate() {
+                        *g += mult * (y[i * d + k] - y[j * d + k]) as f64;
+                    }
+                }
+                for (k, g) in grad.iter_mut().enumerate() {
+                    let g4 = 4.0 * *g;
+                    let gi = i * d + k;
+                    // Adaptive gains (Jacobs 1988 style, as in the
+                    // reference implementation).
+                    gains[gi] = if (g4 > 0.0) == (velocity[gi] > 0.0) {
+                        (gains[gi] * 0.8).max(0.01)
+                    } else {
+                        (gains[gi] + 0.2).min(4.0)
+                    };
+                    // Cap the per-step displacement: a cheap guard that
+                    // prevents rare oscillation blow-ups on tiny inputs
+                    // without affecting converged embeddings.
+                    velocity[gi] =
+                        (momentum * velocity[gi] - eta * gains[gi] * g4).clamp(-5.0, 5.0);
+                    y[gi] += velocity[gi] as f32;
+                }
+            }
+
+            // Re-center to keep the embedding from drifting.
+            for k in 0..d {
+                let mean: f64 =
+                    (0..n).map(|i| y[i * d + k] as f64).sum::<f64>() / n as f64;
+                for i in 0..n {
+                    y[i * d + k] -= mean as f32;
+                }
+            }
+        }
+    }
+}
+
+/// Shannon entropy and probabilities of row `i`'s conditional distribution
+/// at precision `beta`.
+fn row_entropy(d2_row: &[f64], i: usize, beta: f64) -> (f64, Vec<f64>) {
+    let n = d2_row.len();
+    let mut probs = vec![0.0f64; n];
+    let mut sum = 0.0f64;
+    for (j, &d) in d2_row.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let p = (-beta * d).exp();
+        probs[j] = p;
+        sum += p;
+    }
+    if sum <= 0.0 {
+        return (0.0, probs);
+    }
+    let mut entropy = 0.0f64;
+    for (j, p) in probs.iter_mut().enumerate() {
+        if j == i {
+            continue;
+        }
+        *p /= sum;
+        if *p > 1e-300 {
+            entropy -= *p * p.ln();
+        }
+    }
+    (entropy, probs)
+}
+
+/// k-NN label purity of an embedding: for each point, the fraction of its
+/// `k` nearest neighbours (Euclidean, in the embedded space) that share
+/// its label, averaged per label class.
+///
+/// This is the quantitative reading of Figure 1: "positive pairs tend to
+/// gather together" ⇔ the match class has high neighbour purity in the
+/// 2-D embedding.
+pub fn knn_label_purity(embedding: &Embeddings, labels: &[bool], k: usize) -> Result<(f64, f64)> {
+    let n = embedding.len();
+    if labels.len() != n {
+        return Err(EmError::DimensionMismatch {
+            context: "knn_label_purity labels".into(),
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    if n < 2 || k == 0 {
+        return Err(EmError::EmptyInput("purity inputs".into()));
+    }
+    let mut pos_purity = 0.0f64;
+    let mut neg_purity = 0.0f64;
+    let mut pos_count = 0usize;
+    let mut neg_count = 0usize;
+    for i in 0..n {
+        // k nearest by Euclidean distance in the embedding.
+        let mut dists: Vec<(usize, f32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, sq_euclidean(embedding.row(i), embedding.row(j))))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let kk = k.min(dists.len());
+        let same = dists[..kk].iter().filter(|(j, _)| labels[*j] == labels[i]).count();
+        let purity = same as f64 / kk as f64;
+        if labels[i] {
+            pos_purity += purity;
+            pos_count += 1;
+        } else {
+            neg_purity += purity;
+            neg_count += 1;
+        }
+    }
+    Ok((
+        if pos_count > 0 {
+            pos_purity / pos_count as f64
+        } else {
+            0.0
+        },
+        if neg_count > 0 {
+            neg_purity / neg_count as f64
+        } else {
+            0.0
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, dim: usize, sep: f32) -> (Embeddings, Vec<bool>) {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.normal() as f32 * 0.3).collect();
+                v[0] += if c == 0 { -sep } else { sep };
+                rows.push(v);
+                labels.push(c == 1);
+            }
+        }
+        (Embeddings::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn config_validation() {
+        let (data, _) = two_blobs(3, 2, 1.0);
+        let t = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            ..Default::default()
+        });
+        // 6 points < 3*5+1 → perplexity too large.
+        assert!(t.fit(&data).is_err());
+        let t = Tsne::new(TsneConfig {
+            perplexity: 0.5,
+            ..Default::default()
+        });
+        assert!(t.fit(&data).is_err());
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let (data, labels) = two_blobs(40, 8, 4.0);
+        let t = Tsne::new(TsneConfig {
+            perplexity: 10.0,
+            iterations: 250,
+            ..Default::default()
+        });
+        let emb = t.fit(&data).unwrap();
+        assert_eq!(emb.len(), 80);
+        assert_eq!(emb.dim(), 2);
+        let (pos, neg) = knn_label_purity(&emb, &labels, 10).unwrap();
+        assert!(pos > 0.9, "pos purity {pos}");
+        assert!(neg > 0.9, "neg purity {neg}");
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let (data, _) = two_blobs(20, 4, 2.0);
+        let t = Tsne::new(TsneConfig {
+            perplexity: 8.0,
+            iterations: 100,
+            ..Default::default()
+        });
+        let emb = t.fit(&data).unwrap();
+        for k in 0..2 {
+            let mean: f64 = (0..emb.len()).map(|i| emb.row(i)[k] as f64).sum::<f64>()
+                / emb.len() as f64;
+            assert!(mean.abs() < 1e-3, "dim {k} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = two_blobs(15, 4, 2.0);
+        let cfg = TsneConfig {
+            perplexity: 6.0,
+            iterations: 60,
+            ..Default::default()
+        };
+        let a = Tsne::new(cfg).fit(&data).unwrap();
+        let b = Tsne::new(cfg).fit(&data).unwrap();
+        assert_eq!(a.flat(), b.flat());
+    }
+
+    #[test]
+    fn purity_validates_inputs() {
+        let (data, labels) = two_blobs(5, 2, 1.0);
+        assert!(knn_label_purity(&data, &labels[..3], 3).is_err());
+        assert!(knn_label_purity(&data, &labels, 0).is_err());
+    }
+
+    #[test]
+    fn purity_on_perfectly_mixed_labels_is_low() {
+        // Alternating labels on a line: every neighbourhood is mixed.
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, 0.0]).collect();
+        let labels: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let e = Embeddings::from_rows(&rows).unwrap();
+        let (pos, neg) = knn_label_purity(&e, &labels, 2).unwrap();
+        assert!(pos < 0.35, "pos {pos}");
+        assert!(neg < 0.35, "neg {neg}");
+    }
+
+    #[test]
+    fn row_entropy_monotone_in_beta() {
+        // Higher beta (smaller variance) → lower entropy.
+        let d2 = vec![0.0, 1.0, 4.0, 9.0];
+        let (h_low, _) = row_entropy(&d2, 0, 0.1);
+        let (h_high, _) = row_entropy(&d2, 0, 10.0);
+        assert!(h_low > h_high);
+    }
+}

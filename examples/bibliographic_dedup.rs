@@ -1,0 +1,68 @@
+//! Bibliographic record linkage (the DBLP-Scholar scenario): a curated
+//! library against a noisy crawled corpus, matched with zero labels
+//! (ZeroER) versus a small active-learning budget (battleship).
+//!
+//! ```sh
+//! cargo run --release --example bibliographic_dedup
+//! ```
+
+use battleship_em::al::{run_active_learning, zeroer_f1, BattleshipStrategy, ExperimentConfig};
+use battleship_em::core::{PerfectOracle, Rng};
+use battleship_em::matcher::{FeatureConfig, Featurizer};
+use battleship_em::synth::{generate, DatasetProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::dblp_scholar().scaled(0.08);
+    let dataset = generate(&profile, &mut Rng::seed_from_u64(2024))?;
+
+    // Peek at the data the two sources disagree on.
+    let (clean, dirty) = dataset.pair_records(0)?;
+    println!("a matched paper, as each source records it:");
+    println!("  curated: {}", clean.full_text());
+    println!("  crawled: {}", dirty.full_text());
+
+    let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
+
+    // --- Zero labels: ZeroER's generative similarity model. ---------------
+    let zero = zeroer_f1(&dataset, &featurizer, 1)?;
+    println!(
+        "\nZeroER (0 labels):      F1 {:>5.1}%  (precision {:.1}%, recall {:.1}%)",
+        zero.f1 * 100.0,
+        zero.precision * 100.0,
+        zero.recall * 100.0
+    );
+
+    // --- A small labeling budget: battleship. ------------------------------
+    let features = featurizer.featurize_all(&dataset)?;
+    let mut config = ExperimentConfig::default();
+    config.al.iterations = 3;
+    config.al.budget = 80;
+    config.al.seed_size = 80;
+    config.al.weak_budget = 80;
+    config.matcher.epochs = 15;
+
+    let mut strategy = BattleshipStrategy::new();
+    let oracle = PerfectOracle::new();
+    let report = run_active_learning(&dataset, &features, &mut strategy, &oracle, &config, 9)?;
+    for it in &report.iterations {
+        println!(
+            "battleship ({:>3} labels): F1 {:>5.1}%",
+            it.labels_used, it.test_f1_pct
+        );
+    }
+    println!(
+        "\nthe paper's observation (§5.1) — battleship needs at most two \
+         iterations to overtake the unsupervised approach — {}.",
+        if report
+            .iterations
+            .iter()
+            .take(3)
+            .any(|it| it.test_f1_pct > zero.f1 * 100.0)
+        {
+            "holds here"
+        } else {
+            "does NOT hold on this run"
+        }
+    );
+    Ok(())
+}

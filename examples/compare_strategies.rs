@@ -1,0 +1,62 @@
+//! Compare all selection strategies (plus the ZeroER / Full D extremes)
+//! on one dataset — a miniature of the paper's Figure 5 / Table 4.
+//!
+//! ```sh
+//! cargo run --release --example compare_strategies
+//! ```
+
+use battleship_em::al::{
+    full_d_f1, run_active_learning, zeroer_f1, BattleshipStrategy, DalStrategy, DialStrategy,
+    ExperimentConfig, RandomStrategy, SelectionStrategy,
+};
+use battleship_em::core::{PerfectOracle, Rng};
+use battleship_em::matcher::{FeatureConfig, Featurizer};
+use battleship_em::synth::{generate, DatasetProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::amazon_google().scaled(0.2);
+    let dataset = generate(&profile, &mut Rng::seed_from_u64(11))?;
+    let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
+    let features = featurizer.featurize_all(&dataset)?;
+
+    let mut config = ExperimentConfig::default();
+    config.al.iterations = 4;
+    config.al.budget = 60;
+    config.al.seed_size = 60;
+    config.al.weak_budget = 60;
+    config.matcher.epochs = 20;
+
+    println!(
+        "dataset `{}` ({} train pairs, {:.1}% positive)\n",
+        dataset.name,
+        dataset.split().train.len(),
+        100.0 * dataset.stats().train_pos_rate
+    );
+    println!("{:<12} {:>8} {:>8} {:>8}", "strategy", "F1@start", "F1@end", "AUC");
+
+    let strategies: Vec<Box<dyn SelectionStrategy>> = vec![
+        Box::new(BattleshipStrategy::new()),
+        Box::new(DalStrategy::new()),
+        Box::new(DialStrategy::new()),
+        Box::new(RandomStrategy::new()),
+    ];
+    for mut strategy in strategies {
+        let oracle = PerfectOracle::new();
+        let report =
+            run_active_learning(&dataset, &features, strategy.as_mut(), &oracle, &config, 3)?;
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>8.1}",
+            report.strategy,
+            report.iterations.first().map(|i| i.test_f1_pct).unwrap_or(0.0),
+            report.final_f1().unwrap_or(0.0),
+            report.auc()?,
+        );
+    }
+
+    // The two extremes of the labeling-resource spectrum (§4.3).
+    let zero = zeroer_f1(&dataset, &featurizer, 1)?;
+    println!("{:<12} {:>8} {:>7.1}% {:>8}", "zeroer", "-", zero.f1 * 100.0, "-");
+    let full = full_d_f1(&dataset, &features, &config.matcher)?;
+    println!("{:<12} {:>8} {:>7.1}% {:>8}", "full-d", "-", full.f1 * 100.0, "-");
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Integration tests pinning the paper's worked examples end-to-end
+//! through the public facade (`battleship_em::…`), complementing the
+//! per-crate unit tests that cover them at module level.
+
+use battleship_em::core::{serialize_pair, Record, RecordId, Rng, Schema};
+use battleship_em::graph::{
+    build_graph, spatial_confidence, EdgeConfig, MatrixSim, NodeKind,
+};
+
+/// Paper Example 3: the DITTO serialization of the Amazon-Google match
+/// pair, byte for byte.
+#[test]
+fn example3_serialization() {
+    let schema = Schema::new(["title", "manufacturer", "price"]).unwrap();
+    let amazon = Record::new(
+        RecordId(0),
+        ["sims 2 glamour life stuff pack", "aspyr media", "24.99"],
+    );
+    let google = Record::new(
+        RecordId(1),
+        ["aspyr media inc sims 2 glamour life stuff pack", "", "23.44"],
+    );
+    assert_eq!(
+        serialize_pair(&schema, &amazon, &schema, &google),
+        "[CLS] [COL] title [VAL] sims 2 glamour life stuff pack [COL] manufacturer \
+         [VAL] aspyr media [COL] price [VAL] 24.99 [SEP] [COL] title [VAL] aspyr \
+         media inc sims 2 glamour life stuff pack [COL] manufacturer [VAL] [COL] \
+         price [VAL] 23.44"
+    );
+}
+
+fn paper_graph() -> battleship_em::graph::PairGraph {
+    // Table 2's off-diagonal similarities, s1..s8 = nodes 0..7.
+    let sim = MatrixSim::from_entries(
+        8,
+        &[
+            (0, 1, 0.9),
+            (0, 2, 0.5),
+            (0, 3, 0.6),
+            (0, 4, 0.85),
+            (0, 5, 0.5),
+            (0, 6, 0.9),
+            (0, 7, 0.82),
+            (1, 2, 0.55),
+            (1, 3, 0.58),
+            (1, 4, 0.92),
+            (1, 5, 0.45),
+            (1, 6, 0.83),
+            (1, 7, 0.6),
+            (2, 3, 0.75),
+            (2, 4, 0.67),
+            (2, 5, 0.56),
+            (2, 6, 0.4),
+            (2, 7, 0.38),
+            (3, 4, 0.88),
+            (3, 5, 0.84),
+            (3, 6, 0.5),
+            (3, 7, 0.55),
+            (4, 5, 0.57),
+            (4, 6, 0.63),
+            (4, 7, 0.65),
+            (5, 6, 0.41),
+            (5, 7, 0.54),
+            (6, 7, 0.64),
+        ],
+    )
+    .unwrap();
+    let kinds = vec![
+        NodeKind::PredictedMatch,
+        NodeKind::PredictedMatch,
+        NodeKind::PredictedMatch,
+        NodeKind::PredictedMatch,
+        NodeKind::PredictedNonMatch,
+        NodeKind::PredictedNonMatch,
+        NodeKind::LabeledMatch,
+        NodeKind::LabeledNonMatch,
+    ];
+    let confs = vec![0.95, 0.92, 0.96, 0.94, 0.98, 0.88, 1.0, 1.0];
+    build_graph(
+        &sim,
+        &kinds,
+        &confs,
+        &[(0..8).collect()],
+        EdgeConfig {
+            q: 2,
+            extra_ratio: 0.15,
+        },
+    )
+    .unwrap()
+}
+
+/// Paper Example 4: the two extra edges are s1–s5 and s5–s7; the
+/// labeled–labeled pair s7–s8 is never connected.
+#[test]
+fn example4_edge_creation() {
+    let g = paper_graph();
+    assert!(g.has_edge(0, 4), "extra edge s1–s5 missing");
+    assert!(g.has_edge(4, 6), "extra edge s5–s7 missing");
+    assert!(!g.has_edge(6, 7), "labeled–labeled edge s7–s8 must not exist");
+    assert_eq!(g.n_edges(), 13);
+}
+
+/// Paper Example 7: ϕ̃(s1) ≈ 0.51.
+#[test]
+fn example7_spatial_confidence() {
+    let g = paper_graph();
+    let phi = spatial_confidence(&g, 0).unwrap();
+    assert!((phi - 0.51).abs() < 0.005, "ϕ̃(s1) = {phi}");
+}
+
+/// Paper Example 6: Eq. 2 budget shares for B⁺ = 50 over components of
+/// sizes 2×500, 4×300, 4×200.
+#[test]
+fn example6_budget_distribution() {
+    let sizes = [500usize, 500, 300, 300, 300, 300, 200, 200, 200, 200];
+    let mut rng = Rng::seed_from_u64(0);
+    let shares = battleship_em::al::distribute_budget(50, &sizes, &mut rng).unwrap();
+    // Floor shares 8/8/5/5/5/5/3/3/3/3 plus a residue of 2.
+    assert_eq!(shares.iter().sum::<usize>(), 50);
+    for (share, base) in shares.iter().zip([8, 8, 5, 5, 5, 5, 3, 3, 3, 3]) {
+        assert!(*share == base || *share == base + 1, "{shares:?}");
+    }
+}
+
+/// §4.2's positive-budget schedule: B⁺ starts at 80 % and decays to the
+/// 50 % floor.
+#[test]
+fn positive_budget_schedule() {
+    assert_eq!(battleship_em::al::positive_budget(100, 0), 80);
+    assert_eq!(battleship_em::al::positive_budget(100, 6), 50);
+    assert_eq!(battleship_em::al::positive_budget(100, 99), 50);
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! substrate data structures and algorithms.
+
+use proptest::prelude::*;
+
+use battleship_em::al::distribute_budget;
+use battleship_em::cluster::{constrained_kmeans, ConstrainedConfig};
+use battleship_em::core::{
+    jaccard, tokenize, BinaryConfusion, F1Curve, Label, Rng, TokenSet,
+};
+use battleship_em::graph::{binary_entropy, connected_components, NodeKind, PairGraph};
+use battleship_em::vector::{cosine, Embeddings};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Metrics always land in [0, 1] and F1 is 0 whenever tp is 0.
+    #[test]
+    fn metrics_are_bounded(preds in prop::collection::vec(any::<bool>(), 1..200),
+                           truths in prop::collection::vec(any::<bool>(), 1..200)) {
+        let n = preds.len().min(truths.len());
+        let p: Vec<Label> = preds[..n].iter().map(|&b| Label::from_bool(b)).collect();
+        let t: Vec<Label> = truths[..n].iter().map(|&b| Label::from_bool(b)).collect();
+        let m = BinaryConfusion::from_labels(&p, &t).unwrap().metrics();
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&m.accuracy));
+    }
+
+    /// Binary entropy is symmetric, bounded by [0, 1] and maximal at 0.5.
+    #[test]
+    fn entropy_properties(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+        prop_assert!(h <= binary_entropy(0.5) + 1e-12);
+    }
+
+    /// Jaccard is symmetric, bounded, and 1 for identical non-empty sets.
+    #[test]
+    fn jaccard_properties(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let ta = TokenSet::from_text(&a);
+        let tb = TokenSet::from_text(&b);
+        let j_ab = jaccard(&ta, &tb);
+        let j_ba = jaccard(&tb, &ta);
+        prop_assert!((j_ab - j_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&j_ab));
+        prop_assert!((jaccard(&ta, &ta) - 1.0).abs() < 1e-12);
+    }
+
+    /// Tokenization is idempotent under re-joining: tokens contain no
+    /// separators and re-tokenizing the joined tokens is a fixpoint.
+    #[test]
+    fn tokenize_fixpoint(text in "[a-zA-Z0-9,.;:!? -]{0,60}") {
+        let tokens = tokenize(&text);
+        let rejoined = tokens.join(" ");
+        prop_assert_eq!(tokenize(&rejoined), tokens);
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_properties(a in prop::collection::vec(-10.0f32..10.0, 4),
+                         b in prop::collection::vec(-10.0f32..10.0, 4)) {
+        let c1 = cosine(&a, &b);
+        let c2 = cosine(&b, &a);
+        prop_assert!((c1 - c2).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&c1));
+    }
+
+    /// Eq. 2 budget distribution: shares sum to min(budget, Σ sizes) and
+    /// never exceed component sizes.
+    #[test]
+    fn budget_distribution_invariants(budget in 0usize..300,
+                                      sizes in prop::collection::vec(1usize..80, 1..12),
+                                      seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let shares = distribute_budget(budget, &sizes, &mut rng).unwrap();
+        prop_assert_eq!(shares.len(), sizes.len());
+        let total: usize = shares.iter().sum();
+        let cap: usize = sizes.iter().sum();
+        prop_assert_eq!(total, budget.min(cap));
+        for (s, z) in shares.iter().zip(&sizes) {
+            prop_assert!(s <= z);
+        }
+    }
+
+    /// The F1 curve's AUC of a constant curve equals value × span / 100.
+    #[test]
+    fn f1_curve_constant_auc(value in 0.0f64..100.0, span in 1.0f64..1000.0) {
+        let curve = F1Curve::from_points(vec![(0.0, value), (span, value)]).unwrap();
+        prop_assert!((curve.auc() - value * span / 100.0).abs() < 1e-6);
+    }
+
+    /// Connected components partition the node set, whatever the edges.
+    #[test]
+    fn components_partition(n in 1usize..40,
+                            edges in prop::collection::vec((0usize..40, 0usize..40), 0..80)) {
+        let mut g = PairGraph::new(
+            vec![NodeKind::PredictedMatch; n],
+            vec![0.5; n],
+        ).unwrap();
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v, 0.5).unwrap();
+            }
+        }
+        let comps = connected_components(&g);
+        let mut all: Vec<usize> = comps.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Every edge stays inside one component.
+        for (u, v, _) in g.edges() {
+            let cu = comps.iter().position(|c| c.contains(&u));
+            let cv = comps.iter().position(|c| c.contains(&v));
+            prop_assert_eq!(cu, cv);
+        }
+    }
+}
+
+proptest! {
+    // Clustering is costlier — fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Constrained k-means always returns a size-feasible partition when
+    /// the instance is feasible.
+    #[test]
+    fn constrained_kmeans_respects_bounds(seed in any::<u64>(), k in 2usize..5) {
+        let n = 60usize;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.normal() as f32, rng.normal() as f32])
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let min_size = 5usize;
+        let max_size = 40usize;
+        prop_assume!(k * min_size <= n && k * max_size >= n);
+        let res = constrained_kmeans(
+            &data,
+            ConstrainedConfig {
+                k,
+                min_size,
+                max_size,
+                max_iters: 8,
+                seed,
+                mode: Default::default(),
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(res.sizes.iter().sum::<usize>(), n);
+        for &s in &res.sizes {
+            prop_assert!((min_size..=max_size).contains(&s), "size {}", s);
+        }
+    }
+}
