@@ -1,8 +1,8 @@
 //! The non-active-learning extremes of the label-budget spectrum (§4.3):
 //! ZeroER (zero labels) and Full D (the entire training split).
 
-use em_core::{BinaryConfusion, Dataset, EmError, Label, Metrics, Result};
 use em_cluster::{Gmm, GmmConfig};
+use em_core::{BinaryConfusion, Dataset, EmError, Label, Metrics, Result};
 use em_matcher::{train_matcher, Featurizer, MatcherConfig};
 use em_vector::Embeddings;
 

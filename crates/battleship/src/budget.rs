@@ -27,7 +27,7 @@ pub fn distribute_budget(total: usize, sizes: &[usize], rng: &mut Rng) -> Result
     if sizes.is_empty() {
         return Ok(Vec::new());
     }
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return Err(EmError::InvalidConfig(
             "budget distribution over an empty component".into(),
         ));
@@ -38,10 +38,7 @@ pub fn distribute_budget(total: usize, sizes: &[usize], rng: &mut Rng) -> Result
     // Eq. 2: floor of the proportional share, capped by component size.
     let mut shares: Vec<usize> = sizes
         .iter()
-        .map(|&s| {
-            (((spendable as u128) * (s as u128)) / (total_size as u128)) as usize
-        })
-        .map(|raw| raw)
+        .map(|&s| (((spendable as u128) * (s as u128)) / (total_size as u128)) as usize)
         .collect();
     for (share, &size) in shares.iter_mut().zip(sizes) {
         *share = (*share).min(size);
@@ -50,9 +47,7 @@ pub fn distribute_budget(total: usize, sizes: &[usize], rng: &mut Rng) -> Result
     // Random residue allocation among components with remaining capacity.
     let mut allocated: usize = shares.iter().sum();
     while allocated < spendable {
-        let open: Vec<usize> = (0..sizes.len())
-            .filter(|&c| shares[c] < sizes[c])
-            .collect();
+        let open: Vec<usize> = (0..sizes.len()).filter(|&c| shares[c] < sizes[c]).collect();
         if open.is_empty() {
             break;
         }

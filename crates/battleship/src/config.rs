@@ -54,6 +54,12 @@ pub struct BattleshipParams {
     /// of our substrate; the sweep's SSE curve shape is stable under
     /// subsampling).
     pub kselect_sample: usize,
+    /// Clusters larger than this route edge creation through the HNSW
+    /// ANN index instead of the exact blocked Gram kernel (approximate
+    /// but near-linear; §5.2 names approximate search as the scale-out
+    /// for this step). The default keeps every benchmark-sized cluster
+    /// exact.
+    pub ann_cluster_threshold: usize,
     /// Weak-supervision scoring method.
     pub weak_method: WeakMethod,
     /// Centrality measure for Eq. 6's second rank.
@@ -71,6 +77,7 @@ impl Default for BattleshipParams {
             cluster_max_frac: 0.15,
             rho: 0.85,
             kselect_sample: 800,
+            ann_cluster_threshold: 4096,
             weak_method: WeakMethod::Spatial,
             centrality: CentralityMeasure::PageRank,
         }
@@ -107,8 +114,11 @@ impl BattleshipParams {
             return Err(EmError::InvalidConfig(format!("rho {}", self.rho)));
         }
         if self.kselect_sample < 16 {
+            return Err(EmError::InvalidConfig("kselect_sample too small".into()));
+        }
+        if self.ann_cluster_threshold < 2 {
             return Err(EmError::InvalidConfig(
-                "kselect_sample too small".into(),
+                "ann_cluster_threshold must be >= 2".into(),
             ));
         }
         Ok(())

@@ -127,10 +127,7 @@ impl MultiSeedReport {
             mean_curve.push((labels, mean(&f1s)));
             mean_select_secs.push(mean(&secs));
         }
-        let aucs: Vec<f64> = runs
-            .iter()
-            .map(|r| r.auc())
-            .collect::<Result<Vec<_>>>()?;
+        let aucs: Vec<f64> = runs.iter().map(|r| r.auc()).collect::<Result<Vec<_>>>()?;
         Ok(MultiSeedReport {
             dataset: first.dataset.clone(),
             strategy: first.strategy.clone(),

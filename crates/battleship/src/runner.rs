@@ -18,9 +18,7 @@
 
 use std::time::Instant;
 
-use em_core::{
-    BinaryConfusion, Dataset, EmError, Label, Oracle, PairIdx, Result, Rng,
-};
+use em_core::{BinaryConfusion, Dataset, EmError, Label, Oracle, PairIdx, Result, Rng};
 use em_matcher::{train_matcher, MatcherConfig, TrainedMatcher};
 use em_vector::Embeddings;
 
@@ -190,8 +188,7 @@ pub fn run_active_learning(
         ..config.matcher.clone()
     };
     let t0 = Instant::now();
-    let (mut matcher, metrics) =
-        run.train_and_eval(&train, &train_labels, &[], &matcher_config)?;
+    let (mut matcher, metrics) = run.train_and_eval(&train, &train_labels, &[], &matcher_config)?;
     let train_secs = t0.elapsed().as_secs_f64();
     iterations.push(IterationRecord {
         iteration: 0,
@@ -328,8 +325,7 @@ mod tests {
         let oracle = PerfectOracle::new();
         let mut strategy = RandomStrategy::new();
         let config = quick_config();
-        let report =
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).unwrap();
+        let report = run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).unwrap();
         assert_eq!(report.iterations.len(), 3); // seed + 2 iterations
         assert_eq!(report.iterations[0].labels_used, 20);
         assert_eq!(report.iterations[2].labels_used, 60);
@@ -344,8 +340,7 @@ mod tests {
         let oracle = PerfectOracle::new();
         let mut strategy = BattleshipStrategy::new();
         let config = quick_config();
-        let report =
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 2).unwrap();
+        let report = run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 2).unwrap();
         for (i, it) in report.iterations.iter().enumerate().skip(1) {
             assert_eq!(it.new_labels, 20, "iteration {i}");
             assert!(it.select_secs > 0.0);
@@ -363,8 +358,7 @@ mod tests {
         let oracle = PerfectOracle::new();
         let mut strategy = DalStrategy::new();
         let config = quick_config();
-        let report =
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
+        let report = run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
         let weak_total: usize = report.iterations.iter().map(|i| i.weak_used).sum();
         assert!(weak_total > 0, "DAL should produce weak labels");
         // Weak labels never consume oracle budget.
@@ -378,8 +372,7 @@ mod tests {
         let mut strategy = DalStrategy::new();
         let mut config = quick_config();
         config.al.weak_supervision = false;
-        let report =
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
+        let report = run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 3).unwrap();
         assert!(report.iterations.iter().all(|i| i.weak_used == 0));
     }
 
@@ -423,9 +416,7 @@ mod tests {
         let mut strategy = RandomStrategy::new();
         let mut config = quick_config();
         config.al.seed_size = d.split().train.len() + 1;
-        assert!(
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).is_err()
-        );
+        assert!(run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 1).is_err());
     }
 
     #[test]
@@ -434,8 +425,7 @@ mod tests {
         let oracle = PerfectOracle::new();
         let mut strategy = RandomStrategy::new();
         let config = quick_config();
-        let report =
-            run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 11).unwrap();
+        let report = run_active_learning(&d, &feats, &mut strategy, &oracle, &config, 11).unwrap();
         // Seed iteration: half the labels positive.
         assert_eq!(report.iterations[0].new_positives, 10);
     }

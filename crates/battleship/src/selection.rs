@@ -7,7 +7,10 @@
 //! every connected component under its Eq. 2 budget share.
 
 use em_core::{EmError, Result, Rng};
-use em_graph::{betweenness, certainty_score, pagerank, PageRankConfig, PairGraph};
+use em_graph::{
+    betweenness_with_scratch, certainty_score, pagerank, BetweennessScratch, PageRankConfig,
+    PairGraph,
+};
 
 use crate::budget::distribute_budget;
 use crate::config::CentralityMeasure;
@@ -98,6 +101,9 @@ pub fn select_side_with(
         rho,
         ..Default::default()
     };
+    // One scratch for all components — betweenness then performs no
+    // per-component map allocations.
+    let mut scratch = BetweennessScratch::new();
 
     let mut selected = Vec::with_capacity(side_budget);
     for (comp, &share) in side.components.iter().zip(&shares) {
@@ -112,7 +118,9 @@ pub fn select_side_with(
         // Centrality from this side's graph (§3.5.2).
         let cen = match centrality {
             CentralityMeasure::PageRank => pagerank(&side.graph, comp, pr_config)?,
-            CentralityMeasure::Betweenness => betweenness(&side.graph, comp)?,
+            CentralityMeasure::Betweenness => {
+                betweenness_with_scratch(&side.graph, comp, &mut scratch)?
+            }
         };
 
         // Eq. 6: blend the descending ranks; smaller blended rank wins.
@@ -156,6 +164,7 @@ mod tests {
                 cluster_min_frac: 0.05,
                 cluster_max_frac: 0.5,
                 kselect_sample: 64,
+                ann_threshold: 4096,
                 seed,
             },
         )
@@ -176,8 +185,8 @@ mod tests {
         // Heterogeneous graph = same node set here (no labeled nodes).
         let mut rng = Rng::seed_from_u64(2);
         let to_hetero: Vec<usize> = (0..30).collect();
-        let picked = select_side(&side, &side.graph, &to_hetero, 10, 0.5, 0.5, 0.85, &mut rng)
-            .unwrap();
+        let picked =
+            select_side(&side, &side.graph, &to_hetero, 10, 0.5, 0.5, 0.85, &mut rng).unwrap();
         assert_eq!(picked.len(), 10);
         let mut uniq = picked.clone();
         uniq.sort_unstable();
@@ -190,9 +199,11 @@ mod tests {
         let side = tiny_index(10, NodeKind::PredictedMatch, 0.9, 3);
         let to_hetero: Vec<usize> = (0..10).collect();
         let mut rng = Rng::seed_from_u64(4);
-        assert!(select_side(&side, &side.graph, &to_hetero, 0, 0.5, 0.5, 0.85, &mut rng)
-            .unwrap()
-            .is_empty());
+        assert!(
+            select_side(&side, &side.graph, &to_hetero, 0, 0.5, 0.5, 0.85, &mut rng)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]
@@ -200,8 +211,17 @@ mod tests {
         let side = tiny_index(8, NodeKind::PredictedNonMatch, 0.8, 5);
         let to_hetero: Vec<usize> = (0..8).collect();
         let mut rng = Rng::seed_from_u64(6);
-        let picked =
-            select_side(&side, &side.graph, &to_hetero, 100, 0.5, 0.5, 0.85, &mut rng).unwrap();
+        let picked = select_side(
+            &side,
+            &side.graph,
+            &to_hetero,
+            100,
+            0.5,
+            0.5,
+            0.85,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(picked.len(), 8);
     }
 
@@ -210,9 +230,7 @@ mod tests {
         let side = tiny_index(5, NodeKind::PredictedMatch, 0.9, 7);
         let mut rng = Rng::seed_from_u64(8);
         let bad_map = vec![0usize; 3];
-        assert!(
-            select_side(&side, &side.graph, &bad_map, 2, 0.5, 0.5, 0.85, &mut rng).is_err()
-        );
+        assert!(select_side(&side, &side.graph, &bad_map, 2, 0.5, 0.5, 0.85, &mut rng).is_err());
     }
 
     #[test]

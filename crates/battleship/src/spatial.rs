@@ -9,9 +9,15 @@
 //! the full heterogeneous set (`G`) — and the weak-supervision component
 //! reuses them.
 
+use em_cluster::{
+    constrained_kmeans, constrained_kmeans_reference, select_k, select_k_reference,
+    ConstrainedConfig, KSelectConfig,
+};
 use em_core::{EmError, Result, Rng};
-use em_cluster::{constrained_kmeans, select_k, ConstrainedConfig, KSelectConfig};
-use em_graph::{build_graph, connected_components, DotSim, EdgeConfig, NodeKind, PairGraph};
+use em_graph::{
+    build_graph, build_graph_blocked, connected_components, BlockedConfig, DotSim, EdgeConfig,
+    NodeKind, PairGraph,
+};
 use em_vector::Embeddings;
 
 /// Parameters of the spatial pipeline (a projection of
@@ -28,6 +34,9 @@ pub struct SpatialParams {
     pub cluster_max_frac: f64,
     /// Sample cap for the k-selection sweep.
     pub kselect_sample: usize,
+    /// Clusters larger than this route edge creation through the HNSW
+    /// ANN index (see [`em_graph::build_graph_blocked`]).
+    pub ann_threshold: usize,
     /// Seed for clustering and sweep sampling.
     pub seed: u64,
 }
@@ -40,6 +49,7 @@ impl From<(&crate::config::BattleshipParams, u64)> for SpatialParams {
             cluster_min_frac: p.cluster_min_frac,
             cluster_max_frac: p.cluster_max_frac,
             kselect_sample: p.kselect_sample,
+            ann_threshold: p.ann_cluster_threshold,
             seed,
         }
     }
@@ -60,95 +70,84 @@ pub struct SpatialIndex {
 
 impl SpatialIndex {
     /// Build the spatial structure over `reprs` (which this function
-    /// L2-normalizes internally for cosine-as-dot similarity).
+    /// L2-normalizes into a working copy for cosine-as-dot similarity).
     ///
-    /// `kinds[i]`/`confidences[i]` describe node `i` per §3.3.3.
+    /// `kinds[i]`/`confidences[i]` describe node `i` per §3.3.3. Callers
+    /// that already hold unit-norm rows — the battleship strategy
+    /// normalizes the pool representations **once per iteration** and
+    /// builds all three indexes (`G⁺`, `G⁻`, `G`) from views of that
+    /// matrix — should use [`SpatialIndex::build_normalized`] and skip
+    /// this copy.
     pub fn build(
         reprs: &Embeddings,
         kinds: &[NodeKind],
         confidences: &[f32],
         params: &SpatialParams,
     ) -> Result<Self> {
-        let n = reprs.len();
-        if n == 0 {
-            return Err(EmError::EmptyInput("spatial index nodes".into()));
-        }
-        if kinds.len() != n || confidences.len() != n {
-            return Err(EmError::DimensionMismatch {
-                context: "spatial index kinds/confidences".into(),
-                expected: n,
-                actual: kinds.len().min(confidences.len()),
-            });
-        }
-
         let mut normalized = reprs.clone();
         normalized.normalize_rows();
+        Self::build_normalized(&normalized, kinds, confidences, params)
+    }
+
+    /// Build the spatial structure over rows the caller has already
+    /// L2-normalized. No copy of the embedding matrix is made.
+    ///
+    /// This is the blocked/parallel pipeline: the k sweep runs its
+    /// candidate K-Means in parallel, the constrained assignment reads
+    /// one blocked distance matrix per Lloyd iteration, and edge
+    /// creation computes each cluster's Gram matrix once
+    /// ([`em_graph::build_graph_blocked`]), processing clusters in
+    /// parallel. All reductions are fixed-order, so the result is
+    /// identical for any thread count (golden-tested against
+    /// `rayon::serial_scope`).
+    pub fn build_normalized(
+        normalized: &Embeddings,
+        kinds: &[NodeKind],
+        confidences: &[f32],
+        params: &SpatialParams,
+    ) -> Result<Self> {
+        let n = normalized.len();
+        Self::validate(n, kinds, confidences)?;
 
         // --- Cluster. -----------------------------------------------------
-        // Feasible k range follows from the size-fraction constraints:
-        // k·min ≤ n ≤ k·max ⇒ k ∈ [⌈1/max_frac⌉, ⌊1/min_frac⌋]. With the
-        // paper's 0.05–0.15 fractions that is k ∈ [7, 20].
-        let k_lo = (1.0 / params.cluster_max_frac).ceil() as usize;
-        let k_hi = (1.0 / params.cluster_min_frac).floor() as usize;
-        let (clusters, k) = if n < k_lo.max(4) * 2 || k_lo + 2 > k_hi.min(n) {
-            // Too few nodes to cluster meaningfully: single cluster.
-            (vec![0usize; n], 1)
-        } else {
-            let k_hi = k_hi.min(n);
-            // Sweep k on a subsample (curve shape is stable), then run
-            // the constrained assignment on the full node set.
-            let sweep_data = if n > params.kselect_sample {
-                let mut rng = Rng::seed_from_u64(params.seed ^ 0x5A5A);
-                let sample = rng.sample_indices(n, params.kselect_sample);
-                normalized.gather(&sample)?
-            } else {
-                normalized.clone()
-            };
-            let selection = select_k(
-                &sweep_data,
-                KSelectConfig {
-                    k_min: k_lo.max(2),
-                    k_max: k_hi,
-                    kmeans_iters: 6,
-                    silhouette_sample: 256,
-                    seed: params.seed,
-                    ..Default::default()
-                },
-            )?;
-            let k = selection.k;
-            let mut config = ConstrainedConfig::from_fractions(
-                n,
-                k,
-                params.cluster_min_frac,
-                params.cluster_max_frac,
-                params.seed,
-            )?;
-            // Fraction-derived bounds can be infeasible after flooring on
-            // small n; relax toward feasibility rather than failing.
-            if config.min_size * k > n {
-                config.min_size = n / k;
+        let (clusters, k) = match Self::cluster_plan(n, params)? {
+            None => (vec![0usize; n], 1),
+            Some((k_min, k_max)) => {
+                // Sweep k on a subsample (curve shape is stable), then
+                // run the constrained assignment on the full node set.
+                // The sweep borrows either the gathered sample or the
+                // input itself — the seed implementation cloned the full
+                // matrix in the small-n branch.
+                let gathered;
+                let sweep_data: &Embeddings = if n > params.kselect_sample {
+                    let mut rng = Rng::seed_from_u64(params.seed ^ 0x5A5A);
+                    let sample = rng.sample_indices(n, params.kselect_sample);
+                    gathered = normalized.gather(&sample)?;
+                    &gathered
+                } else {
+                    normalized
+                };
+                let selection = select_k(sweep_data, Self::kselect_config(k_min, k_max, params))?;
+                let config = Self::constrained_config(n, selection.k, params)?;
+                let result = constrained_kmeans(normalized, config)?;
+                (result.assignment, selection.k)
             }
-            if config.max_size * k < n {
-                config.max_size = n.div_ceil(k);
-            }
-            let result = constrained_kmeans(&normalized, config)?;
-            (result.assignment, k)
         };
 
         // --- Graph + components. -------------------------------------------
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for (i, &c) in clusters.iter().enumerate() {
-            members[c].push(i);
-        }
-        let sim = DotSim::new(&normalized);
-        let graph = build_graph(
-            &sim,
+        let members = Self::members_of(&clusters, k);
+        let graph = build_graph_blocked(
+            normalized,
             kinds,
             confidences,
             &members,
-            EdgeConfig {
-                q: params.q,
-                extra_ratio: params.extra_ratio,
+            &BlockedConfig {
+                edge: EdgeConfig {
+                    q: params.q,
+                    extra_ratio: params.extra_ratio,
+                },
+                ann_threshold: params.ann_threshold,
+                ann_seed: params.seed ^ 0xA22_0E55,
             },
         )?;
         let components = connected_components(&graph);
@@ -159,6 +158,137 @@ impl SpatialIndex {
             clusters,
             k,
         })
+    }
+
+    /// The seed implementation, verbatim: full-matrix clone + per-call
+    /// normalization, serial scalar k sweep, scalar constrained
+    /// K-Means, and O(m²) per-pair edge scoring through
+    /// [`em_graph::build_graph`] over [`DotSim`].
+    ///
+    /// Kept as the measured baseline for the `em-bench` spatial suite
+    /// (the ≥4× gate compares [`SpatialIndex::build_normalized`] against
+    /// this in the same run) and for quality cross-checks. Not called by
+    /// the production pipeline.
+    pub fn build_reference(
+        reprs: &Embeddings,
+        kinds: &[NodeKind],
+        confidences: &[f32],
+        params: &SpatialParams,
+    ) -> Result<Self> {
+        rayon::serial_scope(|| {
+            let n = reprs.len();
+            Self::validate(n, kinds, confidences)?;
+
+            let mut normalized = reprs.clone();
+            normalized.normalize_rows();
+
+            let (clusters, k) = match Self::cluster_plan(n, params)? {
+                None => (vec![0usize; n], 1),
+                Some((k_min, k_max)) => {
+                    let sweep_data = if n > params.kselect_sample {
+                        let mut rng = Rng::seed_from_u64(params.seed ^ 0x5A5A);
+                        let sample = rng.sample_indices(n, params.kselect_sample);
+                        normalized.gather(&sample)?
+                    } else {
+                        normalized.clone()
+                    };
+                    let selection = select_k_reference(
+                        &sweep_data,
+                        Self::kselect_config(k_min, k_max, params),
+                    )?;
+                    let config = Self::constrained_config(n, selection.k, params)?;
+                    let result = constrained_kmeans_reference(&normalized, config)?;
+                    (result.assignment, selection.k)
+                }
+            };
+
+            let members = Self::members_of(&clusters, k);
+            let sim = DotSim::new(&normalized);
+            let graph = build_graph(
+                &sim,
+                kinds,
+                confidences,
+                &members,
+                EdgeConfig {
+                    q: params.q,
+                    extra_ratio: params.extra_ratio,
+                },
+            )?;
+            let components = connected_components(&graph);
+
+            Ok(SpatialIndex {
+                graph,
+                components,
+                clusters,
+                k,
+            })
+        })
+    }
+
+    fn validate(n: usize, kinds: &[NodeKind], confidences: &[f32]) -> Result<()> {
+        if n == 0 {
+            return Err(EmError::EmptyInput("spatial index nodes".into()));
+        }
+        if kinds.len() != n || confidences.len() != n {
+            return Err(EmError::DimensionMismatch {
+                context: "spatial index kinds/confidences".into(),
+                expected: n,
+                actual: kinds.len().min(confidences.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Feasible k range from the size-fraction constraints, or `None`
+    /// when the node set is too small to cluster meaningfully:
+    /// k·min ≤ n ≤ k·max ⇒ k ∈ [⌈1/max_frac⌉, ⌊1/min_frac⌋]. With the
+    /// paper's 0.05–0.15 fractions that is k ∈ [7, 20].
+    fn cluster_plan(n: usize, params: &SpatialParams) -> Result<Option<(usize, usize)>> {
+        let k_lo = (1.0 / params.cluster_max_frac).ceil() as usize;
+        let k_hi = (1.0 / params.cluster_min_frac).floor() as usize;
+        if n < k_lo.max(4) * 2 || k_lo + 2 > k_hi.min(n) {
+            Ok(None)
+        } else {
+            Ok(Some((k_lo.max(2), k_hi.min(n))))
+        }
+    }
+
+    fn kselect_config(k_min: usize, k_max: usize, params: &SpatialParams) -> KSelectConfig {
+        KSelectConfig {
+            k_min,
+            k_max,
+            kmeans_iters: 6,
+            silhouette_sample: 256,
+            seed: params.seed,
+            ..Default::default()
+        }
+    }
+
+    fn constrained_config(n: usize, k: usize, params: &SpatialParams) -> Result<ConstrainedConfig> {
+        let mut config = ConstrainedConfig::from_fractions(
+            n,
+            k,
+            params.cluster_min_frac,
+            params.cluster_max_frac,
+            params.seed,
+        )?;
+        // Fraction-derived bounds can be infeasible after flooring on
+        // small n; relax toward feasibility rather than failing.
+        if config.min_size * k > n {
+            config.min_size = n / k;
+        }
+        if config.max_size * k < n {
+            config.max_size = n.div_ceil(k);
+        }
+        Ok(config)
+    }
+
+    fn members_of(clusters: &[usize], k: usize) -> Vec<Vec<usize>> {
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in clusters.iter().enumerate() {
+            members[c].push(i);
+        }
+        members
     }
 
     /// Number of nodes.
@@ -183,6 +313,7 @@ mod tests {
             cluster_min_frac: 0.05,
             cluster_max_frac: 0.15,
             kselect_sample: 400,
+            ann_threshold: 4096,
             seed,
         }
     }
@@ -301,5 +432,79 @@ mod tests {
         assert_eq!(a.clusters, b.clusters);
         assert_eq!(a.components, b.components);
         assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+    }
+
+    fn assert_same_index(a: &SpatialIndex, b: &SpatialIndex) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.components, b.components);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        for v in 0..a.len() {
+            let na = a.graph.neighbors(v);
+            let nb = b.graph.neighbors(v);
+            assert_eq!(na.len(), nb.len(), "degree of {v}");
+            for (x, y) in na.iter().zip(nb) {
+                assert_eq!(x.0, y.0, "neighbour order of {v}");
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "weight bits of {v}");
+            }
+        }
+    }
+
+    /// Golden test: the parallel pipeline is bit-identical to its own
+    /// serial execution — clusters, components, edges and weights.
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let data = blobs(25, 8, 21);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedMatch; n];
+        let conf = vec![0.85f32; n];
+        let par = SpatialIndex::build(&data, &kinds, &conf, &params(13)).unwrap();
+        let ser =
+            rayon::serial_scope(|| SpatialIndex::build(&data, &kinds, &conf, &params(13)).unwrap());
+        assert_same_index(&par, &ser);
+    }
+
+    /// `build` (normalizing copy) and `build_normalized` (caller-owned
+    /// normalization) must agree exactly — upstream normalization is a
+    /// pure refactor, not a behaviour change.
+    #[test]
+    fn build_equals_build_normalized_on_prenormalized_rows() {
+        let data = blobs(20, 6, 31);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedNonMatch; n];
+        let conf = vec![0.8f32; n];
+        let via_build = SpatialIndex::build(&data, &kinds, &conf, &params(5)).unwrap();
+        let mut normalized = data.clone();
+        normalized.normalize_rows();
+        let via_norm =
+            SpatialIndex::build_normalized(&normalized, &kinds, &conf, &params(5)).unwrap();
+        assert_same_index(&via_build, &via_norm);
+    }
+
+    /// The scalar reference pipeline still stands (the bench baseline):
+    /// structurally valid and deterministic, clustering the same data
+    /// into a comparable structure.
+    #[test]
+    fn reference_pipeline_is_valid_and_deterministic() {
+        let data = blobs(25, 8, 17);
+        let n = data.len();
+        let kinds = vec![NodeKind::PredictedMatch; n];
+        let conf = vec![0.9f32; n];
+        let a = SpatialIndex::build_reference(&data, &kinds, &conf, &params(3)).unwrap();
+        let b = SpatialIndex::build_reference(&data, &kinds, &conf, &params(3)).unwrap();
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        assert!(a.k >= 7 && a.k <= 20, "k = {}", a.k);
+        let total: usize = a.components.iter().map(Vec::len).sum();
+        assert_eq!(total, n);
+        // The optimized pipeline lands a similar edge density.
+        let fast = SpatialIndex::build(&data, &kinds, &conf, &params(3)).unwrap();
+        let (lo, hi) = (a.graph.n_edges() / 2, a.graph.n_edges() * 2);
+        assert!(
+            (lo..=hi).contains(&fast.graph.n_edges()),
+            "fast {} vs reference {}",
+            fast.graph.n_edges(),
+            a.graph.n_edges()
+        );
     }
 }

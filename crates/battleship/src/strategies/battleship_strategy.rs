@@ -57,6 +57,12 @@ impl SelectionStrategy for BattleshipStrategy {
         }
 
         // --- Heterogeneous graph over pool ∪ labeled (§3.3.3). ------------
+        // The full representation matrix is L2-normalized ONCE here;
+        // all three spatial indexes of this iteration (`G`, `G⁺`, `G⁻`)
+        // are built from views of it via `build_normalized`, instead of
+        // each build cloning and re-normalizing its input (per-row
+        // normalization commutes with row gathering, so the per-side
+        // graphs are identical to normalizing the gathered subsets).
         let n_train = ctx.train.len();
         let mut hetero_reprs = Embeddings::new(ctx.pool_reprs.dim())?;
         let mut kinds = Vec::with_capacity(n_pool + n_train);
@@ -79,8 +85,9 @@ impl SelectionStrategy for BattleshipStrategy {
             });
             confs.push(1.0);
         }
+        hetero_reprs.normalize_rows();
         let spatial_seed = rng.next_u64();
-        let hetero = SpatialIndex::build(
+        let hetero = SpatialIndex::build_normalized(
             &hetero_reprs,
             &kinds,
             &confs,
@@ -88,17 +95,19 @@ impl SelectionStrategy for BattleshipStrategy {
         )?;
 
         // --- Per-side graphs over the pool (G⁺ / G⁻). ----------------------
+        // Side rows are gathered from the already-normalized matrix
+        // (pool positions are rows 0..n_pool of `hetero_reprs`).
         let (pos_nodes, neg_nodes) = split_by_prediction(ctx.pool_preds);
         let build_side = |positions: &[usize], kind: NodeKind, seed: u64| -> Result<Option<Side>> {
             if positions.is_empty() {
                 return Ok(None);
             }
-            let reprs = ctx.pool_reprs.gather(positions)?;
+            let reprs = hetero_reprs.gather(positions)?;
             let confs: Vec<f32> = positions
                 .iter()
                 .map(|&p| ctx.pool_preds[p].confidence_in_label())
                 .collect();
-            let index = SpatialIndex::build(
+            let index = SpatialIndex::build_normalized(
                 &reprs,
                 &vec![kind; positions.len()],
                 &confs,
@@ -115,12 +124,8 @@ impl SelectionStrategy for BattleshipStrategy {
 
         // --- Budgets (correspondence, §3.4). --------------------------------
         let b_pos_target = positive_budget(ctx.budget, ctx.iteration);
-        let (b_pos, b_neg) = split_budget_with_spill(
-            b_pos_target,
-            ctx.budget,
-            pos_nodes.len(),
-            neg_nodes.len(),
-        );
+        let (b_pos, b_neg) =
+            split_budget_with_spill(b_pos_target, ctx.budget, pos_nodes.len(), neg_nodes.len());
 
         // --- Selection per side (§3.5–3.6). ----------------------------------
         let mut to_label = Vec::with_capacity(ctx.budget);
@@ -137,15 +142,23 @@ impl SelectionStrategy for BattleshipStrategy {
                 params.centrality,
                 rng,
             )?;
-            to_label.extend(picked.iter().map(|&local| ctx.pool[side.pool_positions[local]]));
+            to_label.extend(
+                picked
+                    .iter()
+                    .map(|&local| ctx.pool[side.pool_positions[local]]),
+            );
         }
 
         // --- Weak supervision (§3.7). -----------------------------------------
         let mut weak = Vec::new();
         if ctx.config.al.weak_supervision && ctx.config.al.weak_budget > 0 {
             let half = ctx.config.al.weak_budget / 2;
-            let (w_pos, w_neg) =
-                split_budget_with_spill(half, ctx.config.al.weak_budget, pos_nodes.len(), neg_nodes.len());
+            let (w_pos, w_neg) = split_budget_with_spill(
+                half,
+                ctx.config.al.weak_budget,
+                pos_nodes.len(),
+                neg_nodes.len(),
+            );
             for (side, side_budget) in [(&plus, w_pos), (&minus, w_neg)] {
                 let Some(side) = side else { continue };
                 let preds: Vec<_> = side
@@ -153,11 +166,7 @@ impl SelectionStrategy for BattleshipStrategy {
                     .iter()
                     .map(|&p| ctx.pool_preds[p])
                     .collect();
-                let pairs: Vec<_> = side
-                    .pool_positions
-                    .iter()
-                    .map(|&p| ctx.pool[p])
-                    .collect();
+                let pairs: Vec<_> = side.pool_positions.iter().map(|&p| ctx.pool[p]).collect();
                 weak.extend(weak_side(
                     &side.index,
                     &hetero.graph,

@@ -31,11 +31,7 @@ impl DalStrategy {
 /// Sort pool positions by entropy; `descending = true` gives
 /// most-uncertain-first (selection), `false` most-confident-first (weak
 /// supervision).
-fn by_entropy(
-    positions: &[usize],
-    entropies: &[f64],
-    descending: bool,
-) -> Vec<usize> {
+fn by_entropy(positions: &[usize], entropies: &[f64], descending: bool) -> Vec<usize> {
     let mut order = positions.to_vec();
     order.sort_by(|&a, &b| {
         let cmp = entropies[a]
@@ -60,12 +56,8 @@ impl SelectionStrategy for DalStrategy {
         let (pos_nodes, neg_nodes) = split_by_prediction(ctx.pool_preds);
 
         // B/2 : B/2 with spill when one side runs short.
-        let (b_pos, b_neg) = split_budget_with_spill(
-            ctx.budget / 2,
-            ctx.budget,
-            pos_nodes.len(),
-            neg_nodes.len(),
-        );
+        let (b_pos, b_neg) =
+            split_budget_with_spill(ctx.budget / 2, ctx.budget, pos_nodes.len(), neg_nodes.len());
 
         let mut to_label: Vec<PairIdx> = Vec::with_capacity(ctx.budget);
         for (nodes, b) in [(&pos_nodes, b_pos), (&neg_nodes, b_neg)] {

@@ -82,7 +82,8 @@ fn bench_knn_indexes(c: &mut Criterion) {
     let lsh = LshIndex::build(&data, LshConfig::default()).unwrap();
     let hnsw = Hnsw::build(&data, HnswConfig::default()).unwrap();
     let mut group = c.benchmark_group("knn_indexes");
-    for k in [15usize] {
+    {
+        let k = 15usize;
         group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, &k| {
             b.iter(|| top_k(black_box(&data), data.row(17), k, Some(17)))
         });

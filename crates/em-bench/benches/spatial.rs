@@ -1,0 +1,141 @@
+//! Spatial-pipeline benchmark: blocked/parallel `SpatialIndex::build`
+//! versus the seed's scalar baseline, measured in the same run.
+//!
+//! This is the perf gate for the kernel layer: on the default 5k-node,
+//! 128-dim pool the blocked pipeline must beat
+//! [`SpatialIndex::build_reference`] (the seed implementation, kept
+//! verbatim) by ≥ 4×. Results are printed criterion-style and written
+//! to `BENCH_spatial.json` for CI artifacts.
+//!
+//! Knobs (environment):
+//! * `EM_BENCH_N` / `EM_BENCH_DIM` — pool size / dimension
+//!   (default 5000 × 128);
+//! * `EM_BENCH_OUT` — output JSON path (default `BENCH_spatial.json`);
+//! * `EM_BENCH_MIN_SPEEDUP` — exit non-zero below this ratio
+//!   (default 4.0; set 0 to only report);
+//! * `RAYON_NUM_THREADS` — worker threads for the blocked pipeline.
+
+use std::io::Write as _;
+
+use battleship::{SpatialIndex, SpatialParams};
+use em_core::Rng;
+use em_graph::NodeKind;
+use em_vector::Embeddings;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Gaussian blob pool mimicking matcher pair representations.
+fn pool(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n_blobs = 10;
+    let centers: Vec<Vec<f32>> = (0..n_blobs)
+        .map(|_| (0..dim).map(|_| rng.normal() as f32 * 2.0).collect())
+        .collect();
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = &centers[i % n_blobs];
+        rows.push(
+            c.iter()
+                .map(|&x| x + rng.normal() as f32 * 0.6)
+                .collect::<Vec<f32>>(),
+        );
+    }
+    Embeddings::from_rows(&rows).expect("non-empty pool")
+}
+
+fn params(seed: u64) -> SpatialParams {
+    // Paper defaults (§4.2): q = 15, extra ratio 0.03, cluster size
+    // fractions 0.05–0.15, sweep sample 800.
+    SpatialParams {
+        q: 15,
+        extra_ratio: 0.03,
+        cluster_min_frac: 0.05,
+        cluster_max_frac: 0.15,
+        kselect_sample: 800,
+        ann_threshold: 4096,
+        seed,
+    }
+}
+
+fn main() {
+    let n: usize = env_or("EM_BENCH_N", 5000);
+    let dim: usize = env_or("EM_BENCH_DIM", 128);
+    let min_speedup: f64 = env_or("EM_BENCH_MIN_SPEEDUP", 4.0);
+    let out_path: String = env_or("EM_BENCH_OUT", "BENCH_spatial.json".to_string());
+
+    eprintln!("[spatial] generating pool: n = {n}, dim = {dim}");
+    let data = pool(n, dim, 0xDA7A);
+    let kinds: Vec<NodeKind> = (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                NodeKind::PredictedNonMatch
+            } else {
+                NodeKind::PredictedMatch
+            }
+        })
+        .collect();
+    let confs = vec![0.9f32; n];
+    let p = params(7);
+
+    // Golden check before timing: the parallel pipeline must equal its
+    // serial execution exactly (identical graphs, components, clusters).
+    eprintln!("[spatial] golden check: parallel ≡ serial …");
+    let fast = SpatialIndex::build(&data, &kinds, &confs, &p).expect("blocked build");
+    let serial = rayon::serial_scope(|| {
+        SpatialIndex::build(&data, &kinds, &confs, &p).expect("serial blocked build")
+    });
+    assert_eq!(fast.clusters, serial.clusters, "clusters diverged");
+    assert_eq!(fast.components, serial.components, "components diverged");
+    assert_eq!(
+        fast.graph.edges(),
+        serial.graph.edges(),
+        "edge sets diverged"
+    );
+    eprintln!(
+        "[spatial] golden check passed ({} nodes, {} edges, k = {})",
+        fast.len(),
+        fast.graph.n_edges(),
+        fast.k
+    );
+
+    // Measure both pipelines in this same process/run.
+    eprintln!("[spatial] timing scalar baseline (seed implementation) …");
+    let scalar = criterion::measure(3, || {
+        SpatialIndex::build_reference(&data, &kinds, &confs, &p).expect("reference build")
+    });
+    eprintln!("[spatial] scalar baseline: {:.3} s", scalar.median_secs);
+
+    eprintln!("[spatial] timing blocked + parallel pipeline …");
+    let blocked = criterion::measure(5, || {
+        SpatialIndex::build(&data, &kinds, &confs, &p).expect("blocked build")
+    });
+    eprintln!("[spatial] blocked pipeline: {:.3} s", blocked.median_secs);
+
+    let speedup = scalar.median_secs / blocked.median_secs.max(1e-12);
+    let threads = rayon::current_num_threads();
+    eprintln!("[spatial] speedup: {speedup:.2}× (threads = {threads}, gate: ≥ {min_speedup:.1}×)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"SpatialIndex::build\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"threads\": {threads},\n  \"scalar_median_secs\": {:.6},\n  \"blocked_median_secs\": {:.6},\n  \"speedup\": {:.3},\n  \"min_speedup_gate\": {min_speedup},\n  \"edges\": {},\n  \"k\": {}\n}}\n",
+        scalar.median_secs,
+        blocked.median_secs,
+        speedup,
+        fast.graph.n_edges(),
+        fast.k,
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("[spatial] wrote {out_path}"),
+        Err(e) => eprintln!("[spatial] warning: could not write {out_path}: {e}"),
+    }
+
+    if min_speedup > 0.0 && speedup < min_speedup {
+        eprintln!("[spatial] FAIL: speedup {speedup:.2}× below the {min_speedup:.1}× gate");
+        std::process::exit(1);
+    }
+    eprintln!("[spatial] PASS");
+}

@@ -10,10 +10,7 @@ fn main() {
     let config = args.scale.experiment_config();
 
     println!("Ablation — centrality measure (final F1 % / AUC)\n");
-    em_bench::print_row(
-        "dataset",
-        &["pagerank".into(), "betweenness".into()],
-    );
+    em_bench::print_row("dataset", &["pagerank".into(), "betweenness".into()]);
     for profile in [
         em_synth::DatasetProfile::walmart_amazon(),
         em_synth::DatasetProfile::amazon_google(),

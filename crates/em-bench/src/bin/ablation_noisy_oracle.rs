@@ -15,7 +15,10 @@ fn main() {
     println!("Ablation — oracle noise (battleship final F1 %)\n");
     em_bench::print_row(
         "dataset",
-        &FLIP_PROBS.iter().map(|p| format!("flip={p}")).collect::<Vec<_>>(),
+        &FLIP_PROBS
+            .iter()
+            .map(|p| format!("flip={p}"))
+            .collect::<Vec<_>>(),
     );
     for profile in [
         em_synth::DatasetProfile::walmart_amazon(),

@@ -17,7 +17,10 @@ fn main() {
     ] {
         eprintln!("[fig10] {} …", profile.name);
         let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
-        println!("\nFigure 10 — {} (F1 % per iteration, α = β = 0.5)", profile.name);
+        println!(
+            "\nFigure 10 — {} (F1 % per iteration, α = β = 0.5)",
+            profile.name
+        );
 
         let spatial = run_battleship_variant(
             &prepared,

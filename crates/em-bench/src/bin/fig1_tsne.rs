@@ -45,7 +45,9 @@ fn main() {
         // Representations for a bounded sample (exact t-SNE is O(n²)).
         let cap = 1200.min(train.len());
         let sample: Vec<usize> = train.iter().copied().take(cap).collect();
-        let out = matcher.predict(&prepared.features, &sample).expect("predict");
+        let out = matcher
+            .predict(&prepared.features, &sample)
+            .expect("predict");
         let labels: Vec<bool> = sample
             .iter()
             .map(|&i| d.ground_truth(i) == Label::Match)
@@ -82,9 +84,9 @@ fn main() {
         let path = args.out_dir.join(format!("fig1_{}.csv", profile.name));
         let mut f = std::fs::File::create(&path).expect("csv");
         writeln!(f, "x,y,is_match").unwrap();
-        for i in 0..embedding.len() {
+        for (i, &label) in labels.iter().enumerate() {
             let r = embedding.row(i);
-            writeln!(f, "{},{},{}", r[0], r[1], labels[i] as u8).unwrap();
+            writeln!(f, "{},{},{}", r[0], r[1], label as u8).unwrap();
         }
         println!("  coordinates written to {}", path.display());
     }

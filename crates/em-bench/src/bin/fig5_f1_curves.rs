@@ -21,8 +21,11 @@ fn main() {
         }
         for method in ["battleship", "dal", "dial", "random"] {
             if let Some(r) = results.report(name, method) {
-                let cells: Vec<String> =
-                    r.mean_curve.iter().map(|(_, y)| format!("{y:.2}")).collect();
+                let cells: Vec<String> = r
+                    .mean_curve
+                    .iter()
+                    .map(|(_, y)| format!("{y:.2}"))
+                    .collect();
                 em_bench::print_row(method, &cells);
             }
         }

@@ -18,7 +18,10 @@ fn main() {
     ] {
         eprintln!("[fig7] {} …", profile.name);
         let prepared = prepare(&profile, args.scale, 0xDA7A).expect("prepare");
-        println!("\nFigure 7 — {} (F1 % per iteration, α = 0.5)", profile.name);
+        println!(
+            "\nFigure 7 — {} (F1 % per iteration, α = 0.5)",
+            profile.name
+        );
         let mut header_done = false;
         let mut results = Vec::new();
         for beta in [0.0, 0.5, 1.0] {

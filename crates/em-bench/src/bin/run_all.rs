@@ -32,9 +32,7 @@ fn main() {
         println!("\n================ {bin} ================\n");
         // Prefer the sibling binary next to run_all (same build profile).
         let status = match &exe_dir {
-            Some(dir) if dir.join(bin).exists() => {
-                Command::new(dir.join(bin)).args(&args).status()
-            }
+            Some(dir) if dir.join(bin).exists() => Command::new(dir.join(bin)).args(&args).status(),
             _ => Command::new("cargo")
                 .args(["run", "--release", "-p", "em-bench", "--bin", bin, "--"])
                 .args(&args)

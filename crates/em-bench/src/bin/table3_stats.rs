@@ -7,7 +7,10 @@ use em_synth::{all_profiles, generate};
 
 fn main() {
     println!("Table 3: Statistics of the datasets (synthetic equivalents)\n");
-    println!("{:<18}{:>10}{:>9}{:>8}   {}", "Dataset", "Size", "%Pos", "#Atts", "(paper: size / %pos / #atts)");
+    println!(
+        "{:<18}{:>10}{:>9}{:>8}   (paper: size / %pos / #atts)",
+        "Dataset", "Size", "%Pos", "#Atts"
+    );
     let paper: &[(&str, usize, f64, usize)] = &[
         ("walmart-amazon", 6144, 9.4, 5),
         ("amazon-google", 6874, 10.2, 3),

@@ -233,7 +233,12 @@ impl Method {
 
     /// All four AL methods.
     pub fn all() -> [Method; 4] {
-        [Method::Battleship, Method::Dal, Method::Dial, Method::Random]
+        [
+            Method::Battleship,
+            Method::Dal,
+            Method::Dial,
+            Method::Random,
+        ]
     }
 }
 
@@ -321,7 +326,12 @@ pub fn run_battleship_variant(
     cfg.al.weak_supervision = weak_supervision;
     let mut runs = Vec::new();
     for &seed in seeds {
-        runs.push(run_one(prepared, &mut BattleshipStrategy::new(), &cfg, seed)?);
+        runs.push(run_one(
+            prepared,
+            &mut BattleshipStrategy::new(),
+            &cfg,
+            seed,
+        )?);
     }
     MultiSeedReport::aggregate(&runs)
 }

@@ -14,8 +14,13 @@
 //!   [`crate::flow::MinCostFlow`]; used in tests and available for small
 //!   instances (see the `ablation_assignment` bench for the trade-off).
 
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
+use rayon::prelude::*;
+
 use em_core::{EmError, Result, Rng};
-use em_vector::embeddings::sq_euclidean;
+use em_vector::kernel::{sq_dist, sq_dist_batch};
 use em_vector::Embeddings;
 
 use crate::flow::MinCostFlow;
@@ -163,8 +168,7 @@ pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Resul
                     *x *= inv;
                 }
             } else {
-                sums[c * dim..(c + 1) * dim]
-                    .copy_from_slice(&centroids[c * dim..(c + 1) * dim]);
+                sums[c * dim..(c + 1) * dim].copy_from_slice(&centroids[c * dim..(c + 1) * dim]);
             }
         }
         centroids = sums;
@@ -175,10 +179,16 @@ pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Resul
 
     let mut sse = 0.0f32;
     let mut sizes = vec![0usize; k];
+    let final_d: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let c = assignment[i];
+            sq_dist(data.row(i), &centroids[c * dim..(c + 1) * dim])
+        })
+        .collect();
     for i in 0..n {
-        let c = assignment[i];
-        sizes[c] += 1;
-        sse += sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+        sizes[assignment[i]] += 1;
+        sse += final_d[i];
     }
 
     Ok(KMeansResult {
@@ -190,6 +200,12 @@ pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Resul
 }
 
 /// Greedy capacity-respecting assignment with min-size repair.
+///
+/// The full point × centroid distance matrix is computed once by the
+/// blocked kernel (parallel over points); the regret, assignment and
+/// repair passes below are all lookups into it. The seed implementation
+/// recomputed every distance in each pass — 2–3× the kernel work per
+/// Lloyd iteration.
 fn greedy_assign(
     data: &Embeddings,
     centroids: &[f32],
@@ -198,28 +214,32 @@ fn greedy_assign(
     rng: &mut Rng,
 ) -> Result<Vec<usize>> {
     let n = data.len();
-    let dim = data.dim();
-    let dist = |i: usize, c: usize| -> f32 {
-        sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim])
-    };
+    let dmat = sq_dist_batch(data.flat(), n, centroids, k, data.dim());
+    let dist = |i: usize, c: usize| -> f32 { dmat[i * k + c] };
 
     // Regret ordering: points whose best choice matters most go first.
     let mut order: Vec<usize> = (0..n).collect();
-    let mut regret = vec![0.0f32; n];
-    for i in 0..n {
-        let mut best = f32::INFINITY;
-        let mut second = f32::INFINITY;
-        for c in 0..k {
-            let d = dist(i, c);
-            if d < best {
-                second = best;
-                best = d;
-            } else if d < second {
-                second = d;
+    let regret: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut best = f32::INFINITY;
+            let mut second = f32::INFINITY;
+            for c in 0..k {
+                let d = dist(i, c);
+                if d < best {
+                    second = best;
+                    best = d;
+                } else if d < second {
+                    second = d;
+                }
             }
-        }
-        regret[i] = if second.is_finite() { second - best } else { 0.0 };
-    }
+            if second.is_finite() {
+                second - best
+            } else {
+                0.0
+            }
+        })
+        .collect();
     // Shuffle first so equal-regret ties don't follow input order.
     rng.shuffle(&mut order);
     order.sort_by(|&a, &b| {
@@ -255,10 +275,7 @@ fn greedy_assign(
 
     // Repair pass: lift clusters below min_size by stealing the
     // cheapest-to-move points from clusters that can spare them.
-    loop {
-        let Some(under) = (0..k).find(|&c| sizes[c] < config.min_size) else {
-            break;
-        };
+    while let Some(under) = (0..k).find(|&c| sizes[c] < config.min_size) {
         let mut best: Option<(usize, f32)> = None; // (point, added cost)
         for i in 0..n {
             let cur = assignment[i];
@@ -311,16 +328,13 @@ fn flow_assign(
     for i in 0..n {
         net.add_edge(source, point_node(i), 1, 0)?;
         for c in 0..k {
-            let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]) as f64;
+            let d = sq_dist(data.row(i), &centroids[c * dim..(c + 1) * dim]) as f64;
             let cost = (d * SCALE) as i64;
             max_cost = max_cost.max(cost);
             edge_ids[i * k + c] = net.add_edge(point_node(i), cluster_node(c), 1, cost)?;
         }
     }
-    let bonus = max_cost
-        .saturating_mul(n as i64)
-        .saturating_add(1)
-        .max(1);
+    let bonus = max_cost.saturating_mul(n as i64).saturating_add(1).max(1);
     for c in 0..k {
         if config.min_size > 0 {
             net.add_edge(cluster_node(c), sink, config.min_size as i64, -bonus)?;
@@ -464,7 +478,12 @@ mod tests {
         // The exact assignment can only improve the final objective given
         // identical centroid trajectories — allow small slack because the
         // trajectories may diverge.
-        assert!(flow.sse <= greedy.sse * 1.10, "flow {} vs greedy {}", flow.sse, greedy.sse);
+        assert!(
+            flow.sse <= greedy.sse * 1.10,
+            "flow {} vs greedy {}",
+            flow.sse,
+            greedy.sse
+        );
     }
 
     #[test]
@@ -480,7 +499,11 @@ mod tests {
                 mode,
             };
             let res = constrained_kmeans(&data, cfg).unwrap();
-            assert!(res.sizes.iter().all(|&s| s == 6), "{mode:?}: {:?}", res.sizes);
+            assert!(
+                res.sizes.iter().all(|&s| s == 6),
+                "{mode:?}: {:?}",
+                res.sizes
+            );
         }
     }
 

@@ -55,7 +55,13 @@ impl MinCostFlow {
 
     /// Add a directed edge `from → to`; returns an id usable with
     /// [`MinCostFlow::edge_flow`].
-    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> Result<(usize, usize)> {
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        cap: i64,
+        cost: i64,
+    ) -> Result<(usize, usize)> {
         let n = self.graph.len();
         if from >= n || to >= n {
             return Err(EmError::IndexOutOfBounds {

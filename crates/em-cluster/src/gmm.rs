@@ -8,6 +8,9 @@
 //! Gaussians, kept general (any `K`) because it is also useful for
 //! latent-space diagnostics.
 
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
 use em_core::{EmError, Result, Rng};
 use em_vector::Embeddings;
 

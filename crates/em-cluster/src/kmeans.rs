@@ -6,8 +6,13 @@
 //! (`ablation_clustering` bench) and for `k` selection sweeps, which the
 //! paper performs on the unconstrained SSE curve.
 
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
+use rayon::prelude::*;
+
 use em_core::{EmError, Result, Rng};
-use em_vector::embeddings::sq_euclidean;
+use em_vector::kernel::sq_dist;
 use em_vector::Embeddings;
 
 /// K-Means parameters.
@@ -70,13 +75,17 @@ impl KMeansResult {
 }
 
 /// k-means++ seeding: spread initial centroids proportionally to squared
-/// distance from the nearest already-chosen centroid.
+/// distance from the nearest already-chosen centroid. Residual-distance
+/// updates run in parallel; the RNG draws are unchanged, so seeding is
+/// deterministic for a given seed and thread count alike.
 fn kmeanspp_init(data: &Embeddings, k: usize, rng: &mut Rng) -> Vec<usize> {
     let n = data.len();
     let mut chosen = Vec::with_capacity(k);
     chosen.push(rng.below(n));
+    let first = data.row(chosen[0]);
     let mut d2: Vec<f64> = (0..n)
-        .map(|i| sq_euclidean(data.row(i), data.row(chosen[0])) as f64)
+        .into_par_iter()
+        .map(|i| sq_dist(data.row(i), first) as f64)
         .collect();
     while chosen.len() < k {
         let next = match rng.weighted_index(&d2) {
@@ -85,14 +94,35 @@ fn kmeanspp_init(data: &Embeddings, k: usize, rng: &mut Rng) -> Vec<usize> {
             None => rng.below(n),
         };
         chosen.push(next);
-        for i in 0..n {
-            let d = sq_euclidean(data.row(i), data.row(next)) as f64;
-            if d < d2[i] {
-                d2[i] = d;
-            }
-        }
+        let next_row = data.row(next);
+        d2 = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let d = sq_dist(data.row(i), next_row) as f64;
+                d.min(d2[i])
+            })
+            .collect();
     }
     chosen
+}
+
+/// Nearest centroid of row `i`: `(cluster, squared distance)`. Ties go
+/// to the lowest cluster id (strict `<` scan), matching the scalar
+/// semantics.
+#[inline]
+fn nearest_centroid(data: &Embeddings, centroids: &[f32], k: usize, i: usize) -> (usize, f32) {
+    let dim = data.dim();
+    let row = data.row(i);
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..k {
+        let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
 }
 
 /// Run Lloyd's algorithm.
@@ -123,18 +153,14 @@ pub fn kmeans(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
     let mut assignment = vec![0usize; n];
 
     for _iter in 0..config.max_iters {
-        // Assignment step.
+        // Assignment step — embarrassingly parallel over points; results
+        // land in index order so the outcome is thread-count independent.
+        let assigned: Vec<(usize, f32)> = (0..n)
+            .into_par_iter()
+            .map(|i| nearest_centroid(data, &centroids, k, i))
+            .collect();
         for i in 0..n {
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for c in 0..k {
-                let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignment[i] = best;
+            assignment[i] = assigned[i].0;
         }
 
         // Update step.
@@ -153,18 +179,14 @@ pub fn kmeans(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
         for c in 0..k {
             if counts[c] == 0 {
                 // Re-seed an empty cluster with the point farthest from
-                // its current centroid.
+                // its current centroid (distances already computed by
+                // the assignment pass).
                 let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = sq_euclidean(
-                            data.row(a),
-                            &centroids[assignment[a] * dim..(assignment[a] + 1) * dim],
-                        );
-                        let db = sq_euclidean(
-                            data.row(b),
-                            &centroids[assignment[b] * dim..(assignment[b] + 1) * dim],
-                        );
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        assigned[a]
+                            .1
+                            .partial_cmp(&assigned[b].1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("n > 0");
                 new_centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(far));
@@ -179,7 +201,7 @@ pub fn kmeans(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
         // Convergence check.
         let movement: f32 = (0..k)
             .map(|c| {
-                sq_euclidean(
+                sq_dist(
                     &centroids[c * dim..(c + 1) * dim],
                     &new_centroids[c * dim..(c + 1) * dim],
                 )
@@ -191,19 +213,15 @@ pub fn kmeans(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
         }
     }
 
-    // Final assignment against the converged centroids.
+    // Final assignment against the converged centroids (parallel), with
+    // SSE reduced serially in index order for determinism.
+    let assigned: Vec<(usize, f32)> = (0..n)
+        .into_par_iter()
+        .map(|i| nearest_centroid(data, &centroids, k, i))
+        .collect();
     let mut sse = 0.0f32;
     let mut sizes = vec![0usize; k];
-    for i in 0..n {
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for c in 0..k {
-            let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+    for (i, &(best, best_d)) in assigned.iter().enumerate() {
         assignment[i] = best;
         sizes[best] += 1;
         sse += best_d;
@@ -284,7 +302,12 @@ mod tests {
 
     #[test]
     fn sse_decreases_with_k() {
-        let data = blobs(25, &[[0.0, 0.0], [8.0, 0.0], [0.0, 8.0], [8.0, 8.0]], 0.5, 3);
+        let data = blobs(
+            25,
+            &[[0.0, 0.0], [8.0, 0.0], [0.0, 8.0], [8.0, 8.0]],
+            0.5,
+            3,
+        );
         let sse_of = |k: usize| {
             kmeans(
                 &data,
@@ -335,8 +358,8 @@ mod tests {
         for i in 0..data.len() {
             let assigned = res.assignment[i];
             for c in 0..2 {
-                let d_assigned = sq_euclidean(data.row(i), res.centroids.row(assigned));
-                let d_other = sq_euclidean(data.row(i), res.centroids.row(c));
+                let d_assigned = sq_dist(data.row(i), res.centroids.row(assigned));
+                let d_other = sq_dist(data.row(i), res.centroids.row(c));
                 assert!(d_assigned <= d_other + 1e-5);
             }
         }

@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn straight_line_has_no_knee() {
-        let line: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 100.0 - 10.0 * i as f64)).collect();
+        let line: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, 100.0 - 10.0 * i as f64))
+            .collect();
         let knee = kneedle_decreasing(&line, 1.0).unwrap();
         assert_eq!(knee, None);
     }
@@ -146,7 +148,9 @@ mod tests {
     fn smooth_hyperbola_knee_near_origin_bend() {
         // y = 1/x over x in [1, 10]: knee in the low-x bend region.
         let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 1.0 / i as f64)).collect();
-        let knee = kneedle_decreasing(&pts, 1.0).unwrap().expect("knee expected");
+        let knee = kneedle_decreasing(&pts, 1.0)
+            .unwrap()
+            .expect("knee expected");
         assert!((1..=3).contains(&knee), "knee index {knee}");
     }
 

@@ -5,6 +5,8 @@
 //! its members. If the Kneedle algorithm fails to find a target value we
 //! select k as the one that maximizes the silhouette score" (§3.3.1).
 
+use rayon::prelude::*;
+
 use em_core::{EmError, Result};
 use em_vector::Embeddings;
 
@@ -38,7 +40,7 @@ impl Default for KSelectConfig {
             sensitivity: 1.0,
             kmeans_iters: 15,
             silhouette_sample: 512,
-            seed: 0x5E1E_C7,
+            seed: 0x5E1EC7,
         }
     }
 }
@@ -86,19 +88,30 @@ pub fn select_k(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> 
         )));
     }
 
-    let mut curve = Vec::with_capacity(k_max - config.k_min + 1);
-    let mut clusterings = Vec::with_capacity(k_max - config.k_min + 1);
-    for k in config.k_min..=k_max {
-        let res = kmeans(
-            data,
-            KMeansConfig {
-                k,
-                max_iters: config.kmeans_iters,
-                tol: 1e-4,
-                seed: config.seed ^ (k as u64) << 32,
-            },
-        )?;
-        curve.push((k as f64, res.mean_sse() as f64));
+    // Sweep the candidate k values in parallel — each run is an
+    // independent K-Means with its own derived seed, and results are
+    // collected in k order, so the curve is identical to the serial
+    // sweep (asserted by the golden test below).
+    let ks: Vec<usize> = (config.k_min..=k_max).collect();
+    let runs: Vec<Result<crate::kmeans::KMeansResult>> = ks
+        .par_iter()
+        .map(|&k| {
+            kmeans(
+                data,
+                KMeansConfig {
+                    k,
+                    max_iters: config.kmeans_iters,
+                    tol: 1e-4,
+                    seed: config.seed ^ (k as u64) << 32,
+                },
+            )
+        })
+        .collect();
+    let mut curve = Vec::with_capacity(ks.len());
+    let mut clusterings = Vec::with_capacity(ks.len());
+    for (k, run) in ks.iter().zip(runs) {
+        let res = run?;
+        curve.push((*k as f64, res.mean_sse() as f64));
         clusterings.push(res);
     }
 
@@ -110,21 +123,28 @@ pub fn select_k(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> 
         });
     }
 
-    // Fallback: maximize silhouette.
+    // Fallback: maximize silhouette. Scores for the candidate
+    // clusterings are computed in parallel; the argmax scan stays
+    // serial in k order (strict `>`, ties to the smaller k).
+    let scores: Vec<Result<f64>> = (0..clusterings.len())
+        .into_par_iter()
+        .map(|i| {
+            silhouette_score(
+                data,
+                &clusterings[i].assignment,
+                config.k_min + i,
+                config.silhouette_sample,
+                config.seed,
+            )
+        })
+        .collect();
     let mut best_k = config.k_min;
     let mut best_score = f64::NEG_INFINITY;
-    for (i, res) in clusterings.iter().enumerate() {
-        let k = config.k_min + i;
-        let score = silhouette_score(
-            data,
-            &res.assignment,
-            k,
-            config.silhouette_sample,
-            config.seed,
-        )?;
+    for (i, score) in scores.into_iter().enumerate() {
+        let score = score?;
         if score > best_score {
             best_score = score;
-            best_k = k;
+            best_k = config.k_min + i;
         }
     }
     Ok(KSelection {
@@ -228,5 +248,33 @@ mod tests {
         let b = select_k(&data, KSelectConfig::default()).unwrap();
         assert_eq!(a.k, b.k);
         assert_eq!(a.method, b.method);
+    }
+
+    /// Golden test: the parallel sweep is bit-identical to the serial
+    /// sweep — same selected k, same method, same SSE curve bits.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        for seed in [11u64, 12, 13] {
+            let data = blobs(30, 4, 0.5, seed);
+            let cfg = KSelectConfig {
+                seed,
+                ..Default::default()
+            };
+            let par = select_k(&data, cfg).unwrap();
+            let ser = rayon::serial_scope(|| select_k(&data, cfg).unwrap());
+            assert_eq!(par.k, ser.k);
+            assert_eq!(par.method, ser.method);
+            let pb: Vec<(u64, u64)> = par
+                .sse_curve
+                .iter()
+                .map(|(x, y)| (x.to_bits(), y.to_bits()))
+                .collect();
+            let sb: Vec<(u64, u64)> = ser
+                .sse_curve
+                .iter()
+                .map(|(x, y)| (x.to_bits(), y.to_bits()))
+                .collect();
+            assert_eq!(pb, sb);
+        }
     }
 }

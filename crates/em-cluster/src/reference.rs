@@ -1,0 +1,556 @@
+//! Scalar reference implementations — the pre-kernel baseline.
+//!
+//! Verbatim ports of the seed's serial clustering code paths: one
+//! point-at-a-time `sq_euclidean` (single-accumulator), distances
+//! recomputed in every pass, no parallelism. They exist for two
+//! purposes:
+//!
+//! * the `em-bench` spatial suite measures the blocked/parallel pipeline
+//!   **against these** in the same run (the ≥4× acceptance gate), and
+//! * regression tests can cross-check that the optimized paths still
+//!   produce clusterings of the same quality.
+//!
+//! Nothing in the production pipeline calls into this module. Outputs
+//! are *not* bit-compatible with the optimized paths (the unrolled
+//! distance kernel sums in a different association); quality-level
+//! equivalence is asserted in tests instead.
+
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
+use em_core::{EmError, Result, Rng};
+use em_vector::embeddings::sq_euclidean;
+use em_vector::Embeddings;
+
+use crate::kmeans::{KMeansConfig, KMeansResult};
+use crate::kneedle::kneedle_decreasing;
+use crate::kselect::{KSelectConfig, KSelection, KSelectionMethod};
+use crate::ConstrainedConfig;
+
+/// Seed-style k-means++ seeding (serial, scalar distances).
+fn kmeanspp_init_reference(data: &Embeddings, k: usize, rng: &mut Rng) -> Vec<usize> {
+    let n = data.len();
+    let mut chosen = Vec::with_capacity(k);
+    chosen.push(rng.below(n));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_euclidean(data.row(i), data.row(chosen[0])) as f64)
+        .collect();
+    while chosen.len() < k {
+        let next = match rng.weighted_index(&d2) {
+            Some(i) => i,
+            None => rng.below(n),
+        };
+        chosen.push(next);
+        for i in 0..n {
+            let d = sq_euclidean(data.row(i), data.row(next)) as f64;
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    chosen
+}
+
+/// Seed-style Lloyd's algorithm: serial assignment with the
+/// single-accumulator distance loop.
+pub fn kmeans_reference(data: &Embeddings, config: KMeansConfig) -> Result<KMeansResult> {
+    let n = data.len();
+    let k = config.k;
+    if n == 0 {
+        return Err(EmError::EmptyInput("kmeans data".into()));
+    }
+    if k == 0 || k > n {
+        return Err(EmError::InvalidConfig(format!(
+            "kmeans k={k} must be in 1..={n}"
+        )));
+    }
+    let dim = data.dim();
+    let mut rng = Rng::seed_from_u64(config.seed);
+
+    let seeds = kmeanspp_init_reference(data, k, &mut rng);
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for &s in &seeds {
+        centroids.extend_from_slice(data.row(s));
+    }
+
+    let mut assignment = vec![0usize; n];
+
+    for _iter in 0..config.max_iters {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *slot = best;
+        }
+
+        let mut new_centroids = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (acc, &x) in new_centroids[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(data.row(i))
+            {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_euclidean(
+                            data.row(a),
+                            &centroids[assignment[a] * dim..(assignment[a] + 1) * dim],
+                        );
+                        let db = sq_euclidean(
+                            data.row(b),
+                            &centroids[assignment[b] * dim..(assignment[b] + 1) * dim],
+                        );
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n > 0");
+                new_centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for x in &mut new_centroids[c * dim..(c + 1) * dim] {
+                    *x *= inv;
+                }
+            }
+        }
+
+        let movement: f32 = (0..k)
+            .map(|c| {
+                sq_euclidean(
+                    &centroids[c * dim..(c + 1) * dim],
+                    &new_centroids[c * dim..(c + 1) * dim],
+                )
+            })
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tol {
+            break;
+        }
+    }
+
+    let mut sse = 0.0f32;
+    let mut sizes = vec![0usize; k];
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best;
+        sizes[best] += 1;
+        sse += best_d;
+    }
+
+    Ok(KMeansResult {
+        centroids: Embeddings::from_flat(dim, centroids)?,
+        assignment,
+        sse,
+        sizes,
+    })
+}
+
+/// Seed-style constrained K-Means (greedy assignment mode only):
+/// distances recomputed in the regret, assignment and repair passes.
+pub fn constrained_kmeans_reference(
+    data: &Embeddings,
+    config: ConstrainedConfig,
+) -> Result<KMeansResult> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("constrained kmeans data".into()));
+    }
+    let dim = data.dim();
+    let k = config.k;
+    if k == 0 || k > n || config.min_size > config.max_size {
+        return Err(EmError::InvalidConfig(
+            "invalid constrained reference config".into(),
+        ));
+    }
+    if config.k * config.min_size > n || config.k * config.max_size < n {
+        return Err(EmError::InvalidConfig("infeasible size bounds".into()));
+    }
+
+    let init = kmeans_reference(
+        data,
+        KMeansConfig {
+            k,
+            max_iters: 5,
+            tol: 1e-4,
+            seed: config.seed,
+        },
+    )?;
+    let mut centroids: Vec<f32> = init.centroids.flat().to_vec();
+    let mut assignment = vec![usize::MAX; n];
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0xBADC_0FFE);
+
+    for _iter in 0..config.max_iters {
+        let new_assignment = greedy_assign_reference(data, &centroids, k, config, &mut rng)?;
+        let converged = new_assignment == assignment;
+        assignment = new_assignment;
+
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (acc, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                for x in &mut sums[c * dim..(c + 1) * dim] {
+                    *x *= inv;
+                }
+            } else {
+                sums[c * dim..(c + 1) * dim].copy_from_slice(&centroids[c * dim..(c + 1) * dim]);
+            }
+        }
+        centroids = sums;
+        if converged {
+            break;
+        }
+    }
+
+    let mut sse = 0.0f32;
+    let mut sizes = vec![0usize; k];
+    for i in 0..n {
+        let c = assignment[i];
+        sizes[c] += 1;
+        sse += sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim]);
+    }
+
+    Ok(KMeansResult {
+        centroids: Embeddings::from_flat(dim, centroids)?,
+        assignment,
+        sse,
+        sizes,
+    })
+}
+
+fn greedy_assign_reference(
+    data: &Embeddings,
+    centroids: &[f32],
+    k: usize,
+    config: ConstrainedConfig,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    let n = data.len();
+    let dim = data.dim();
+    let dist = |i: usize, c: usize| -> f32 {
+        sq_euclidean(data.row(i), &centroids[c * dim..(c + 1) * dim])
+    };
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut regret = vec![0.0f32; n];
+    for (i, r) in regret.iter_mut().enumerate() {
+        let mut best = f32::INFINITY;
+        let mut second = f32::INFINITY;
+        for c in 0..k {
+            let d = dist(i, c);
+            if d < best {
+                second = best;
+                best = d;
+            } else if d < second {
+                second = d;
+            }
+        }
+        *r = if second.is_finite() {
+            second - best
+        } else {
+            0.0
+        };
+    }
+    rng.shuffle(&mut order);
+    order.sort_by(|&a, &b| {
+        regret[b]
+            .partial_cmp(&regret[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut sizes = vec![0usize; k];
+    for &i in &order {
+        let mut best_c = usize::MAX;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            if sizes[c] >= config.max_size {
+                continue;
+            }
+            let d = dist(i, c);
+            if d < best_d {
+                best_d = d;
+                best_c = c;
+            }
+        }
+        if best_c == usize::MAX {
+            return Err(EmError::NoSolution(
+                "greedy assignment ran out of capacity".into(),
+            ));
+        }
+        assignment[i] = best_c;
+        sizes[best_c] += 1;
+    }
+
+    while let Some(under) = (0..k).find(|&c| sizes[c] < config.min_size) {
+        let mut best: Option<(usize, f32)> = None;
+        for i in 0..n {
+            let cur = assignment[i];
+            if cur == under || sizes[cur] <= config.min_size {
+                continue;
+            }
+            let added = dist(i, under) - dist(i, cur);
+            if best.map(|(_, a)| added < a).unwrap_or(true) {
+                best = Some((i, added));
+            }
+        }
+        let Some((steal, _)) = best else {
+            return Err(EmError::NoSolution(
+                "min-size repair found no donor cluster".into(),
+            ));
+        };
+        sizes[assignment[steal]] -= 1;
+        assignment[steal] = under;
+        sizes[under] += 1;
+    }
+
+    Ok(assignment)
+}
+
+/// Seed-style scalar silhouette score (serial).
+pub fn silhouette_reference(
+    data: &Embeddings,
+    assignment: &[usize],
+    k: usize,
+    sample_cap: usize,
+    seed: u64,
+) -> Result<f64> {
+    let n = data.len();
+    if n == 0 || assignment.len() != n || k < 2 || sample_cap == 0 {
+        return Err(EmError::InvalidConfig(
+            "invalid silhouette reference input".into(),
+        ));
+    }
+    let mut cluster_sizes = vec![0usize; k];
+    for &c in assignment {
+        if c >= k {
+            return Err(EmError::IndexOutOfBounds {
+                context: "silhouette cluster id".into(),
+                index: c,
+                len: k,
+            });
+        }
+        cluster_sizes[c] += 1;
+    }
+    let sample: Vec<usize> = if n <= sample_cap {
+        (0..n).collect()
+    } else {
+        Rng::seed_from_u64(seed).sample_indices(n, sample_cap)
+    };
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    let mut sums = vec![0.0f64; k];
+    for &i in &sample {
+        let own = assignment[i];
+        if cluster_sizes[own] <= 1 {
+            counted += 1;
+            continue;
+        }
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            sums[assignment[j]] += (sq_euclidean(data.row(i), data.row(j)) as f64).sqrt();
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c == own || cluster_sizes[c] == 0 {
+                continue;
+            }
+            b = b.min(sums[c] / cluster_sizes[c] as f64);
+        }
+        if !b.is_finite() {
+            counted += 1;
+            continue;
+        }
+        let denom = a.max(b);
+        total += if denom > 0.0 { (b - a) / denom } else { 0.0 };
+        counted += 1;
+    }
+    Ok(if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    })
+}
+
+/// Seed-style serial k sweep (scalar K-Means per candidate, serial
+/// silhouette fallback).
+pub fn select_k_reference(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> {
+    let n = data.len();
+    if n < 4 {
+        return Err(EmError::EmptyInput(
+            "k selection needs at least 4 points".into(),
+        ));
+    }
+    if config.k_min < 2 {
+        return Err(EmError::InvalidConfig("k_min must be >= 2".into()));
+    }
+    let k_max = config.k_max.min(n);
+    if config.k_min + 2 > k_max {
+        return Err(EmError::InvalidConfig(format!(
+            "k range [{}, {k_max}] too narrow for kneedle (need 3 candidates)",
+            config.k_min
+        )));
+    }
+
+    let mut curve = Vec::with_capacity(k_max - config.k_min + 1);
+    let mut clusterings = Vec::with_capacity(k_max - config.k_min + 1);
+    for k in config.k_min..=k_max {
+        let res = kmeans_reference(
+            data,
+            KMeansConfig {
+                k,
+                max_iters: config.kmeans_iters,
+                tol: 1e-4,
+                seed: config.seed ^ (k as u64) << 32,
+            },
+        )?;
+        curve.push((k as f64, res.mean_sse() as f64));
+        clusterings.push(res);
+    }
+
+    if let Some(idx) = kneedle_decreasing(&curve, config.sensitivity)? {
+        return Ok(KSelection {
+            k: config.k_min + idx,
+            method: KSelectionMethod::Kneedle,
+            sse_curve: curve,
+        });
+    }
+
+    let mut best_k = config.k_min;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, res) in clusterings.iter().enumerate() {
+        let k = config.k_min + i;
+        let score = silhouette_reference(
+            data,
+            &res.assignment,
+            k,
+            config.silhouette_sample,
+            config.seed,
+        )?;
+        if score > best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    Ok(KSelection {
+        k: best_k,
+        method: KSelectionMethod::Silhouette,
+        sse_curve: curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, n_blobs: usize, seed: u64) -> Embeddings {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for b in 0..n_blobs {
+            let cx = (b % 3) as f32 * 10.0;
+            let cy = (b / 3) as f32 * 10.0;
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.normal() as f32 * 0.5,
+                    cy + rng.normal() as f32 * 0.5,
+                ]);
+            }
+        }
+        Embeddings::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn reference_kmeans_recovers_blobs() {
+        let data = blobs(25, 3, 1);
+        let res = kmeans_reference(
+            &data,
+            KMeansConfig {
+                k: 3,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.sizes.iter().sum::<usize>(), 75);
+        assert!(res.sizes.iter().all(|&s| s == 25), "{:?}", res.sizes);
+    }
+
+    #[test]
+    fn optimized_and_reference_quality_match() {
+        // Not bit-compatible (different FP association) — but on blob
+        // data both must land clusterings of essentially equal SSE.
+        let data = blobs(30, 4, 2);
+        let cfg = KMeansConfig {
+            k: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let fast = crate::kmeans::kmeans(&data, cfg).unwrap();
+        let slow = kmeans_reference(&data, cfg).unwrap();
+        let ratio = fast.sse as f64 / slow.sse.max(1e-9) as f64;
+        assert!((0.8..=1.25).contains(&ratio), "sse ratio {ratio}");
+    }
+
+    #[test]
+    fn reference_constrained_respects_bounds() {
+        let data = blobs(20, 3, 4);
+        let res = constrained_kmeans_reference(
+            &data,
+            ConstrainedConfig {
+                k: 3,
+                min_size: 15,
+                max_size: 25,
+                max_iters: 10,
+                seed: 5,
+                mode: Default::default(),
+            },
+        )
+        .unwrap();
+        assert!(res.sizes.iter().all(|&s| (15..=25).contains(&s)));
+    }
+
+    #[test]
+    fn reference_select_k_finds_blob_count() {
+        let data = blobs(30, 4, 6);
+        let sel = select_k_reference(
+            &data,
+            KSelectConfig {
+                k_min: 2,
+                k_max: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((3..=5).contains(&sel.k), "k = {}", sel.k);
+    }
+}

@@ -6,8 +6,10 @@
 //! intra-cluster cohesiveness comparing to inter-cluster separation"
 //! (§3.3.1).
 
+use rayon::prelude::*;
+
 use em_core::{EmError, Result, Rng};
-use em_vector::embeddings::sq_euclidean;
+use em_vector::kernel::sq_dist;
 use em_vector::Embeddings;
 
 /// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
@@ -65,48 +67,64 @@ pub fn silhouette_score(
         Rng::seed_from_u64(seed).sample_indices(n, sample_cap)
     };
 
-    let mut total = 0.0f64;
-    let mut counted = 0usize;
-    let mut sums = vec![0.0f64; k];
-    for &i in &sample {
-        let own = assignment[i];
-        if cluster_sizes[own] <= 1 {
-            // Singleton: defined as 0.
-            counted += 1;
-            continue;
-        }
-        sums.iter_mut().for_each(|s| *s = 0.0);
-        for j in 0..n {
-            if j == i {
-                continue;
+    // Each sampled point's coefficient is independent — compute them in
+    // parallel and reduce serially in sample order (deterministic for
+    // any thread count).
+    let coefficients: Vec<f64> = sample
+        .par_iter()
+        .map(|&i| {
+            let own = assignment[i];
+            if cluster_sizes[own] <= 1 {
+                // Singleton: defined as 0.
+                return 0.0;
             }
-            sums[assignment[j]] += (sq_euclidean(data.row(i), data.row(j)) as f64).sqrt();
-        }
-        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
-        let mut b = f64::INFINITY;
-        for c in 0..k {
-            if c == own || cluster_sizes[c] == 0 {
-                continue;
+            let mut sums = vec![0.0f64; k];
+            let row_i = data.row(i);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                sums[assignment[j]] += (sq_dist(row_i, data.row(j)) as f64).sqrt();
             }
-            b = b.min(sums[c] / cluster_sizes[c] as f64);
-        }
-        if !b.is_finite() {
-            // All other clusters empty: degenerate, treat as 0.
-            counted += 1;
-            continue;
-        }
-        let denom = a.max(b);
-        total += if denom > 0.0 { (b - a) / denom } else { 0.0 };
-        counted += 1;
-    }
-    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+            let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+            let mut b = f64::INFINITY;
+            for c in 0..k {
+                if c == own || cluster_sizes[c] == 0 {
+                    continue;
+                }
+                b = b.min(sums[c] / cluster_sizes[c] as f64);
+            }
+            if !b.is_finite() {
+                // All other clusters empty: degenerate, treat as 0.
+                return 0.0;
+            }
+            let denom = a.max(b);
+            if denom > 0.0 {
+                (b - a) / denom
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = coefficients.iter().sum();
+    let counted = coefficients.len();
+    Ok(if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn blobs(n_per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> (Embeddings, Vec<usize>) {
+    fn blobs(
+        n_per: usize,
+        centers: &[[f32; 2]],
+        spread: f32,
+        seed: u64,
+    ) -> (Embeddings, Vec<usize>) {
         let mut rng = Rng::seed_from_u64(seed);
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -153,13 +171,16 @@ mod tests {
         let (data, labels) = blobs(100, &[[0.0, 0.0], [8.0, 0.0]], 1.0, 5);
         let exact = silhouette_score(&data, &labels, 2, usize::MAX, 0).unwrap();
         let sampled = silhouette_score(&data, &labels, 2, 60, 7).unwrap();
-        assert!((exact - sampled).abs() < 0.1, "exact {exact} sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.1,
+            "exact {exact} sampled {sampled}"
+        );
     }
 
     #[test]
     fn singletons_contribute_zero() {
-        let data = Embeddings::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![10.1, 0.0]])
-            .unwrap();
+        let data =
+            Embeddings::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![10.1, 0.0]]).unwrap();
         // Cluster 0 is a singleton.
         let s = silhouette_score(&data, &[0, 1, 1], 2, 10, 0).unwrap();
         // Points 1,2: a tiny, b huge → s ≈ 1 each; singleton 0 → 0.

@@ -63,9 +63,8 @@ pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
 /// columns are attributes. Returns the table plus the mapping from the
 /// file's id column to our positional [`RecordId`]s.
 pub fn load_table(path: &Path, name: &str) -> Result<(Table, HashMap<String, RecordId>)> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        EmError::InvalidConfig(format!("cannot read {}: {e}", path.display()))
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| EmError::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
     let rows = parse_csv(&text);
     let header = rows
         .first()
@@ -112,9 +111,8 @@ fn load_pairs_file(
     left_ids: &HashMap<String, RecordId>,
     right_ids: &HashMap<String, RecordId>,
 ) -> Result<Vec<(CandidatePair, Label)>> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        EmError::InvalidConfig(format!("cannot read {}: {e}", path.display()))
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| EmError::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
     let rows = parse_csv(&text);
     let header = rows
         .first()
@@ -124,10 +122,7 @@ fn load_pairs_file(
             .iter()
             .position(|h| h.eq_ignore_ascii_case(name))
             .ok_or_else(|| {
-                EmError::InvalidConfig(format!(
-                    "{}: missing column `{name}`",
-                    path.display()
-                ))
+                EmError::InvalidConfig(format!("{}: missing column `{name}`", path.display()))
             })
     };
     let l_col = col("ltable_id")?;
@@ -245,7 +240,11 @@ mod tests {
             "tableB.csv",
             "id,title,price\nb1,\"sims 2, glamour\",23.44\nb2,unrelated,1.00\n",
         );
-        write(&dir, "train.csv", "ltable_id,rtable_id,label\na1,b1,1\na2,b2,0\n");
+        write(
+            &dir,
+            "train.csv",
+            "ltable_id,rtable_id,label\na1,b1,1\na2,b2,0\n",
+        );
         write(&dir, "valid.csv", "ltable_id,rtable_id,label\na1,b2,0\n");
         write(&dir, "test.csv", "ltable_id,rtable_id,label\na2,b1,0\n");
         dir
@@ -272,7 +271,11 @@ mod tests {
         let dir = magellan_fixture();
         write(&dir, "train.csv", "ltable_id,rtable_id,label\nzz,b1,1\n");
         assert!(load_magellan_dir(&dir, "toy").is_err());
-        write(&dir, "train.csv", "ltable_id,rtable_id,label\na1,b1,maybe\n");
+        write(
+            &dir,
+            "train.csv",
+            "ltable_id,rtable_id,label\na1,b1,maybe\n",
+        );
         assert!(load_magellan_dir(&dir, "toy").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

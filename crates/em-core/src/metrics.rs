@@ -243,7 +243,9 @@ mod tests {
     fn all_negative_predictions_give_zero_f1() {
         let pred = vec![Label::NonMatch; 4];
         let truth = vec![Label::Match, Label::Match, Label::NonMatch, Label::NonMatch];
-        let m = BinaryConfusion::from_labels(&pred, &truth).unwrap().metrics();
+        let m = BinaryConfusion::from_labels(&pred, &truth)
+            .unwrap()
+            .metrics();
         assert_eq!(m.precision, 0.0);
         assert_eq!(m.recall, 0.0);
         assert_eq!(m.f1, 0.0);

@@ -115,9 +115,7 @@ mod tests {
         let pairs: Vec<_> = (0..10u32)
             .map(|i| CandidatePair::new(RecordId(i), RecordId(i)))
             .collect();
-        let truth: Vec<_> = (0..10)
-            .map(|i| Label::from_bool(i % 2 == 0))
-            .collect();
+        let truth: Vec<_> = (0..10).map(|i| Label::from_bool(i % 2 == 0)).collect();
         let mut rng = Rng::seed_from_u64(0);
         let split = Dataset::random_split(10, SplitRatios::MAGELLAN, &mut rng).unwrap();
         let _ = Split {

@@ -139,7 +139,10 @@ impl Table {
     /// Append a record built from values; returns the assigned id.
     ///
     /// Errors if the number of values does not match the schema.
-    pub fn push<S: Into<String>>(&mut self, values: impl IntoIterator<Item = S>) -> Result<RecordId> {
+    pub fn push<S: Into<String>>(
+        &mut self,
+        values: impl IntoIterator<Item = S>,
+    ) -> Result<RecordId> {
         let id = RecordId(self.records.len() as u32);
         let rec = Record::new(id, values);
         if rec.values.len() != self.schema.len() {

@@ -65,10 +65,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -222,7 +219,10 @@ mod tests {
         let mut a = Rng::seed_from_u64(1);
         let mut b = Rng::seed_from_u64(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "seeds 1 and 2 produced {same} collisions in 64 draws");
+        assert!(
+            same < 4,
+            "seeds 1 and 2 produced {same} collisions in 64 draws"
+        );
     }
 
     #[test]

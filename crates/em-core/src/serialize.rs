@@ -88,7 +88,11 @@ mod tests {
         );
         let google = Record::new(
             RecordId(1),
-            ["aspyr media inc sims 2 glamour life stuff pack", "", "23.44"],
+            [
+                "aspyr media inc sims 2 glamour life stuff pack",
+                "",
+                "23.44",
+            ],
         );
         let got = serialize_pair(&schema, &amazon, &schema, &google);
         let expected = "[CLS] [COL] title [VAL] sims 2 glamour life stuff pack \

@@ -18,6 +18,8 @@
 //! calculations"). The worked Example 4 (Figure 4 + Table 2) is
 //! reproduced verbatim in this module's tests.
 
+use rayon::prelude::*;
+
 use em_core::{EmError, Result};
 use em_vector::Embeddings;
 
@@ -166,25 +168,7 @@ pub fn build_graph<S: Similarity>(
     config: EdgeConfig,
 ) -> Result<PairGraph> {
     config.validate()?;
-    let n = kinds.len();
-    let mut seen = vec![false; n];
-    for cluster in clusters {
-        for &v in cluster {
-            if v >= n {
-                return Err(EmError::IndexOutOfBounds {
-                    context: "cluster member".into(),
-                    index: v,
-                    len: n,
-                });
-            }
-            if seen[v] {
-                return Err(EmError::InvalidConfig(format!(
-                    "node {v} appears in more than one cluster"
-                )));
-            }
-            seen[v] = true;
-        }
-    }
+    validate_clusters(kinds.len(), clusters)?;
 
     let mut graph = PairGraph::new(kinds.to_vec(), confidences.to_vec())?;
 
@@ -252,6 +236,327 @@ fn sanitize_weight(w: f32) -> f32 {
     } else {
         1e-6
     }
+}
+
+/// Clusters must be a family of disjoint in-range node lists.
+fn validate_clusters(n: usize, clusters: &[Vec<usize>]) -> Result<()> {
+    let mut seen = vec![false; n];
+    for cluster in clusters {
+        for &v in cluster {
+            if v >= n {
+                return Err(EmError::IndexOutOfBounds {
+                    context: "cluster member".into(),
+                    index: v,
+                    len: n,
+                });
+            }
+            if seen[v] {
+                return Err(EmError::InvalidConfig(format!(
+                    "node {v} appears in more than one cluster"
+                )));
+            }
+            seen[v] = true;
+        }
+    }
+    Ok(())
+}
+
+/// Configuration of the blocked graph builder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockedConfig {
+    /// Edge-creation parameters (shared with the scalar builder).
+    pub edge: EdgeConfig,
+    /// Clusters **larger** than this route their neighbour search
+    /// through the HNSW ANN index instead of the exact Gram kernel
+    /// (approximate; see [`build_graph_blocked`]). Also caps the dense
+    /// per-cluster Gram at `ann_threshold²` floats — note that clusters
+    /// are processed in parallel, so peak transient memory is up to
+    /// `worker_threads × ann_threshold²` floats; lower the threshold on
+    /// memory-tight many-core hosts. `usize::MAX` disables ANN routing
+    /// entirely.
+    pub ann_threshold: usize,
+    /// Seed for HNSW level draws on ANN-routed clusters (combined with
+    /// the cluster index, so runs are reproducible).
+    pub ann_seed: u64,
+}
+
+impl Default for BlockedConfig {
+    fn default() -> Self {
+        BlockedConfig {
+            edge: EdgeConfig::default(),
+            // 4096² Gram entries = 64 MiB f32 — the point where the
+            // dense kernel's memory/time stops paying for exactness.
+            ann_threshold: 4096,
+            ann_seed: 0xA22_0E55,
+        }
+    }
+}
+
+/// Blocked, parallel edge creation over pre-normalized rows.
+///
+/// Semantics are identical to [`build_graph`] with
+/// [`DotSim`]`::new(normalized)`: for every cluster at or under
+/// `config.ann_threshold`, the per-cluster Gram matrix is computed once
+/// by the blocked kernel (each entry the same `dot` call the scalar
+/// path makes, so the resulting graph — edge set, weights *and*
+/// adjacency order — is **bit-identical**; the golden tests assert
+/// this). Clusters are processed in parallel and their edge lists
+/// applied in cluster order, which reproduces the serial builder's
+/// insertion order exactly.
+///
+/// Clusters larger than the threshold use the HNSW index for the q-NN
+/// stage and a widened beam for the top-ratio stage (§5.2 names
+/// approximate search as the scale-out for exactly this step); those
+/// clusters are approximate but still deterministic under
+/// `config.ann_seed`.
+pub fn build_graph_blocked(
+    normalized: &Embeddings,
+    kinds: &[NodeKind],
+    confidences: &[f32],
+    clusters: &[Vec<usize>],
+    config: &BlockedConfig,
+) -> Result<PairGraph> {
+    config.edge.validate()?;
+    let n = kinds.len();
+    if normalized.len() != n {
+        return Err(EmError::DimensionMismatch {
+            context: "build_graph_blocked rows vs kinds".into(),
+            expected: n,
+            actual: normalized.len(),
+        });
+    }
+    validate_clusters(n, clusters)?;
+
+    let edge_lists: Vec<Result<Vec<(usize, usize, f32)>>> = (0..clusters.len())
+        .into_par_iter()
+        .map(|c| {
+            let cluster = &clusters[c];
+            if cluster.len() > config.ann_threshold {
+                cluster_edges_ann(
+                    normalized,
+                    kinds,
+                    cluster,
+                    config.edge,
+                    config.ann_seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            } else {
+                Ok(cluster_edges_exact(normalized, kinds, cluster, config.edge))
+            }
+        })
+        .collect();
+
+    let mut graph = PairGraph::new(kinds.to_vec(), confidences.to_vec())?;
+    for list in edge_lists {
+        for (a, b, w) in list? {
+            graph.add_edge(a, b, w)?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Top-`q` allowed neighbours of the node at `pos` from its Gram row,
+/// under the scalar builder's exact total order (similarity descending,
+/// ties toward the smaller *global* index). Returns `(position, sim)`
+/// pairs best-first.
+fn top_q_allowed(
+    row: &[f32],
+    cluster: &[usize],
+    kinds: &[NodeKind],
+    pos: usize,
+    q: usize,
+) -> Vec<(usize, f32)> {
+    let v = cluster[pos];
+    let better = |a: (usize, f32), b: (usize, f32)| -> bool {
+        match a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => cluster[a.0] < cluster[b.0],
+        }
+    };
+    let mut items: Vec<(usize, f32)> = Vec::with_capacity(q + 1);
+    for (u_pos, &w) in row.iter().enumerate() {
+        if u_pos == pos || !allowed(kinds, v, cluster[u_pos]) {
+            continue;
+        }
+        let cand = (u_pos, w);
+        if items.len() == q {
+            if !better(cand, *items.last().expect("non-empty buffer")) {
+                continue;
+            }
+            items.pop();
+        }
+        let ins = items
+            .iter()
+            .position(|&x| better(cand, x))
+            .unwrap_or(items.len());
+        items.insert(ins, cand);
+    }
+    items
+}
+
+/// Exact per-cluster edges from one blocked Gram pass. Reproduces the
+/// scalar builder's edge sequence bit-for-bit.
+fn cluster_edges_exact(
+    normalized: &Embeddings,
+    kinds: &[NodeKind],
+    cluster: &[usize],
+    edge: EdgeConfig,
+) -> Vec<(usize, usize, f32)> {
+    let m = cluster.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let dim = normalized.dim();
+    let packed = em_vector::kernel::pack_rows(normalized, cluster);
+    let gram = em_vector::kernel::gram_packed(&packed, m, dim);
+
+    let mut present = vec![false; m * m];
+    let mut edges: Vec<(usize, usize, f32)> = Vec::new();
+
+    // Stage 1: q nearest allowed neighbours per node, from the Gram row.
+    for pos in 0..m {
+        let row = &gram[pos * m..(pos + 1) * m];
+        for &(u_pos, w) in &top_q_allowed(row, cluster, kinds, pos, edge.q) {
+            let (lo, hi) = (pos.min(u_pos), pos.max(u_pos));
+            if !present[lo * m + hi] {
+                present[lo * m + hi] = true;
+                edges.push((cluster[pos], cluster[u_pos], sanitize_weight(w)));
+            }
+        }
+    }
+
+    // Stage 2: top fraction of the remaining allowed pairs, reusing the
+    // Gram entries instead of recomputing every similarity.
+    let mut remaining: Vec<(usize, usize, f32)> = Vec::new();
+    for a_pos in 0..m {
+        let a = cluster[a_pos];
+        for b_pos in a_pos + 1..m {
+            let b = cluster[b_pos];
+            if !allowed(kinds, a, b) || present[a_pos * m + b_pos] {
+                continue;
+            }
+            remaining.push((a, b, gram[a_pos * m + b_pos]));
+        }
+    }
+    let extra = (edge.extra_ratio * remaining.len() as f64).floor() as usize;
+    if extra > 0 {
+        let cmp = |x: &(usize, usize, f32), y: &(usize, usize, f32)| {
+            y.2.partial_cmp(&x.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((x.0, x.1).cmp(&(y.0, y.1)))
+        };
+        // The scalar path fully sorts; the prefix under a total order is
+        // the same either way, so select the top block first and only
+        // sort that.
+        if extra < remaining.len() {
+            remaining.select_nth_unstable_by(extra, cmp);
+            remaining.truncate(extra);
+        }
+        remaining.sort_by(cmp);
+        for &(a, b, w) in remaining.iter().take(extra) {
+            edges.push((a, b, sanitize_weight(w)));
+        }
+    }
+    edges
+}
+
+/// Approximate per-cluster edges through the HNSW index, for clusters
+/// too large for the dense Gram. The q-NN stage queries the index; the
+/// top-ratio stage ranks a widened candidate beam (4·q neighbours per
+/// node) instead of all O(m²) remaining pairs. The extra-edge *count*
+/// keeps the scalar formula (⌊ratio · remaining-allowed-pairs⌋) so edge
+/// density matches the exact path.
+fn cluster_edges_ann(
+    normalized: &Embeddings,
+    kinds: &[NodeKind],
+    cluster: &[usize],
+    edge: EdgeConfig,
+    seed: u64,
+) -> Result<Vec<(usize, usize, f32)>> {
+    let m = cluster.len();
+    if m < 2 {
+        return Ok(Vec::new());
+    }
+    let dim = normalized.dim();
+    let packed = em_vector::kernel::pack_rows(normalized, cluster);
+    let mut index = em_vector::Hnsw::new(
+        dim,
+        em_vector::HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: (4 * edge.q).max(64),
+            seed,
+        },
+    )?;
+    for pos in 0..m {
+        index.insert(&packed[pos * dim..(pos + 1) * dim])?;
+    }
+    let row = |pos: usize| &packed[pos * dim..(pos + 1) * dim];
+
+    let mut present: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut edges: Vec<(usize, usize, f32)> = Vec::new();
+    let mark = |present: &mut std::collections::HashSet<(u32, u32)>, a: usize, b: usize| {
+        let (lo, hi) = (a.min(b) as u32, a.max(b) as u32);
+        present.insert((lo, hi))
+    };
+
+    // Stage 1: approximate q-NN per node (over-fetch to survive the
+    // allowed-pair filter).
+    let want = (edge.q + 8).min(m - 1);
+    for pos in 0..m {
+        let v = cluster[pos];
+        let mut taken = 0usize;
+        for hit in index.search(row(pos), want, Some(pos))? {
+            if taken >= edge.q {
+                break;
+            }
+            let u = cluster[hit.index];
+            if !allowed(kinds, v, u) {
+                continue;
+            }
+            taken += 1;
+            if mark(&mut present, pos, hit.index) {
+                let w = em_vector::dot(row(pos), row(hit.index));
+                edges.push((v, u, sanitize_weight(w)));
+            }
+        }
+    }
+
+    // Stage 2: rank a widened beam of candidate pairs.
+    let labeled = cluster.iter().filter(|&&v| kinds[v].is_labeled()).count();
+    let allowed_pairs = m * (m - 1) / 2 - labeled.saturating_sub(1) * labeled / 2;
+    let remaining_count = allowed_pairs.saturating_sub(edges.len());
+    let extra = (edge.extra_ratio * remaining_count as f64).floor() as usize;
+    if extra > 0 {
+        let beam = (4 * edge.q).min(m - 1);
+        let mut candidates: Vec<(usize, usize, f32)> = Vec::new();
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for pos in 0..m {
+            let v = cluster[pos];
+            for hit in index.search(row(pos), beam, Some(pos))? {
+                let u = cluster[hit.index];
+                if !allowed(kinds, v, u) {
+                    continue;
+                }
+                let (lo, hi) = (pos.min(hit.index) as u32, pos.max(hit.index) as u32);
+                if present.contains(&(lo, hi)) || !seen.insert((lo, hi)) {
+                    continue;
+                }
+                let (a, b) = (cluster[lo as usize], cluster[hi as usize]);
+                let w = em_vector::dot(row(lo as usize), row(hi as usize));
+                candidates.push((a, b, w));
+            }
+        }
+        candidates.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((x.0, x.1).cmp(&(y.0, y.1)))
+        });
+        for &(a, b, w) in candidates.iter().take(extra) {
+            edges.push((a, b, sanitize_weight(w)));
+        }
+    }
+    Ok(edges)
 }
 
 #[cfg(test)]
@@ -540,5 +845,182 @@ pub(crate) mod tests {
         let s = EmbeddingSim::new(&e);
         assert!(s.sim(0, 1).abs() < 1e-6);
         assert!((s.sim(0, 2) - (0.5f32).sqrt()).abs() < 1e-5);
+    }
+
+    fn random_pool(n: usize, dim: usize, seed: u64) -> (Embeddings, Vec<NodeKind>, Vec<f32>) {
+        use em_core::Rng;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let mut e = Embeddings::from_rows(&rows).unwrap();
+        e.normalize_rows();
+        let kinds: Vec<NodeKind> = (0..n)
+            .map(|i| match i % 5 {
+                0 => NodeKind::LabeledMatch,
+                1 => NodeKind::PredictedNonMatch,
+                4 => NodeKind::LabeledNonMatch,
+                _ => NodeKind::PredictedMatch,
+            })
+            .collect();
+        let confs: Vec<f32> = kinds
+            .iter()
+            .map(|k| if k.is_labeled() { 1.0 } else { 0.9 })
+            .collect();
+        (e, kinds, confs)
+    }
+
+    fn ragged_clusters(n: usize) -> Vec<Vec<usize>> {
+        // Uneven sizes, non-contiguous membership, one singleton and one
+        // empty cluster to hit all edge cases.
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); 5];
+        for v in 0..n.saturating_sub(1) {
+            clusters[v % 4].push(v);
+        }
+        if n > 0 {
+            clusters.push(vec![n - 1]); // singleton
+        }
+        clusters
+    }
+
+    /// Golden test: the blocked parallel builder is bit-identical to the
+    /// scalar generic builder over `DotSim` — same edge set, same
+    /// weights, same adjacency order (which downstream certainty /
+    /// PageRank sums depend on).
+    #[test]
+    fn blocked_builder_is_bit_identical_to_scalar() {
+        let (e, kinds, confs) = random_pool(173, 23, 42);
+        let clusters = ragged_clusters(173);
+        let config = EdgeConfig {
+            q: 4,
+            extra_ratio: 0.05,
+        };
+        let scalar = build_graph(&DotSim::new(&e), &kinds, &confs, &clusters, config).unwrap();
+        let blocked = build_graph_blocked(
+            &e,
+            &kinds,
+            &confs,
+            &clusters,
+            &BlockedConfig {
+                edge: config,
+                ann_threshold: usize::MAX,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scalar.n_edges(), blocked.n_edges());
+        for v in 0..scalar.len() {
+            let a = scalar.neighbors(v);
+            let b = blocked.neighbors(v);
+            assert_eq!(a.len(), b.len(), "degree of {v}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.0, y.0, "neighbour order of {v}");
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "weight bits of {v}–{}", x.0);
+            }
+        }
+    }
+
+    /// Golden test: parallel and serial runs of the blocked builder
+    /// agree bit-for-bit.
+    #[test]
+    fn blocked_builder_parallel_equals_serial() {
+        let (e, kinds, confs) = random_pool(140, 17, 7);
+        let clusters = ragged_clusters(140);
+        let config = BlockedConfig::default();
+        let par = build_graph_blocked(&e, &kinds, &confs, &clusters, &config).unwrap();
+        let ser = rayon::serial_scope(|| {
+            build_graph_blocked(&e, &kinds, &confs, &clusters, &config).unwrap()
+        });
+        assert_eq!(par.edges(), ser.edges());
+        for v in 0..par.len() {
+            assert_eq!(par.neighbors(v), ser.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn blocked_builder_validates_like_scalar() {
+        let (e, kinds, confs) = random_pool(10, 4, 1);
+        // Overlapping clusters rejected.
+        assert!(build_graph_blocked(
+            &e,
+            &kinds,
+            &confs,
+            &[vec![0, 1], vec![1, 2]],
+            &BlockedConfig::default(),
+        )
+        .is_err());
+        // Row-count mismatch rejected.
+        let small = e.gather(&[0, 1, 2]).unwrap();
+        assert!(build_graph_blocked(
+            &small,
+            &kinds,
+            &confs,
+            &[vec![0, 1]],
+            &BlockedConfig::default(),
+        )
+        .is_err());
+        // Bad edge config rejected.
+        assert!(build_graph_blocked(
+            &e,
+            &kinds,
+            &confs,
+            &[vec![0, 1]],
+            &BlockedConfig {
+                edge: EdgeConfig {
+                    q: 0,
+                    extra_ratio: 0.1,
+                },
+                ..Default::default()
+            },
+        )
+        .is_err());
+    }
+
+    /// ANN routing: clusters above the threshold still produce a valid,
+    /// deterministic graph with the expected connectivity (approximate,
+    /// so compared structurally rather than bit-wise).
+    #[test]
+    fn ann_routed_cluster_is_deterministic_and_connected() {
+        let (e, kinds, confs) = random_pool(220, 16, 9);
+        let clusters = vec![(0..220).collect::<Vec<_>>()];
+        let config = BlockedConfig {
+            edge: EdgeConfig {
+                q: 5,
+                extra_ratio: 0.01,
+            },
+            ann_threshold: 100, // force the ANN path
+            ann_seed: 77,
+        };
+        let a = build_graph_blocked(&e, &kinds, &confs, &clusters, &config).unwrap();
+        let b = build_graph_blocked(&e, &kinds, &confs, &clusters, &config).unwrap();
+        assert_eq!(a.edges(), b.edges(), "ANN path must be deterministic");
+        // Every unlabeled node found at least one allowed neighbour.
+        for v in 0..a.len() {
+            assert!(a.degree(v) >= 1, "isolated node {v}");
+        }
+        // No labeled–labeled edges.
+        for (u, v, _) in a.edges() {
+            assert!(!(kinds[u].is_labeled() && kinds[v].is_labeled()));
+        }
+        // Edge density in the same ballpark as the exact path.
+        let exact = build_graph_blocked(
+            &e,
+            &kinds,
+            &confs,
+            &clusters,
+            &BlockedConfig {
+                ann_threshold: usize::MAX,
+                ..config
+            },
+        )
+        .unwrap();
+        let lo = exact.n_edges() / 2;
+        let hi = exact.n_edges() * 2;
+        assert!(
+            (lo..=hi).contains(&a.n_edges()),
+            "ANN edges {} vs exact {}",
+            a.n_edges(),
+            exact.n_edges()
+        );
     }
 }

@@ -74,9 +74,7 @@ pub fn spatial_confidence(graph: &PairGraph, v: usize) -> Result<f64> {
 /// picks its pseudo-labels by *minimizing* it (§3.7).
 pub fn certainty_score(graph: &PairGraph, v: usize, beta: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&beta) {
-        return Err(EmError::InvalidConfig(format!(
-            "beta {beta} outside [0,1]"
-        )));
+        return Err(EmError::InvalidConfig(format!("beta {beta} outside [0,1]")));
     }
     let local = binary_entropy(graph.confidence(v) as f64);
     let spatial = binary_entropy(spatial_confidence(graph, v)?);
@@ -120,20 +118,20 @@ mod tests {
         )
         .unwrap();
         let phi = spatial_confidence(&g, 0).unwrap();
-        let expected = (0.9 * 0.92 + 0.9 * 1.0)
-            / (0.9 * 0.92 + 0.9 * 1.0 + 0.85 * 0.98 + 0.82 * 1.0);
+        let expected =
+            (0.9 * 0.92 + 0.9 * 1.0) / (0.9 * 0.92 + 0.9 * 1.0 + 0.85 * 0.98 + 0.82 * 1.0);
         // Graph weights/confidences are f32, so compare at f32 precision.
         assert!((phi - expected).abs() < 1e-6, "got {phi}, want {expected}");
-        assert!((phi - 0.51).abs() < 0.005, "paper rounds to 0.51, got {phi}");
+        assert!(
+            (phi - 0.51).abs() < 0.005,
+            "paper rounds to 0.51, got {phi}"
+        );
     }
 
     #[test]
     fn unanimous_neighbourhood_gives_full_confidence() {
-        let mut g = PairGraph::new(
-            vec![NodeKind::PredictedMatch; 4],
-            vec![0.9, 0.8, 0.7, 0.6],
-        )
-        .unwrap();
+        let mut g =
+            PairGraph::new(vec![NodeKind::PredictedMatch; 4], vec![0.9, 0.8, 0.7, 0.6]).unwrap();
         g.add_edge(0, 1, 0.5).unwrap();
         g.add_edge(0, 2, 0.5).unwrap();
         g.add_edge(0, 3, 0.5).unwrap();

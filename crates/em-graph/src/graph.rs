@@ -152,15 +152,13 @@ impl PairGraph {
                 "edge ({u},{v}) would connect two labeled nodes"
             )));
         }
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             return Err(EmError::InvalidConfig(format!(
                 "edge ({u},{v}) weight {w} must be positive and finite"
             )));
         }
         if self.has_edge(u, v) {
-            return Err(EmError::InvalidConfig(format!(
-                "duplicate edge ({u},{v})"
-            )));
+            return Err(EmError::InvalidConfig(format!("duplicate edge ({u},{v})")));
         }
         self.adj[u].push((v as u32, w));
         self.adj[v].push((u as u32, w));
@@ -197,7 +195,7 @@ impl PairGraph {
                 }
             }
         }
-        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out.sort_by_key(|a| (a.0, a.1));
         out
     }
 }
@@ -275,9 +273,6 @@ mod tests {
         g.add_edge(2, 0, 0.3).unwrap();
         g.add_edge(3, 1, 0.4).unwrap();
         g.add_edge(0, 1, 0.5).unwrap();
-        assert_eq!(
-            g.edges(),
-            vec![(0, 1, 0.5), (0, 2, 0.3), (1, 3, 0.4)]
-        );
+        assert_eq!(g.edges(), vec![(0, 1, 0.5), (0, 2, 0.3), (1, 3, 0.4)]);
     }
 }

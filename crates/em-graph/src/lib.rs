@@ -26,8 +26,11 @@ pub mod components;
 pub mod graph;
 pub mod pagerank;
 
-pub use betweenness::betweenness;
-pub use build::{build_graph, DotSim, EdgeConfig, EmbeddingSim, MatrixSim, Similarity};
+pub use betweenness::{betweenness, betweenness_with_scratch, BetweennessScratch};
+pub use build::{
+    build_graph, build_graph_blocked, BlockedConfig, DotSim, EdgeConfig, EmbeddingSim, MatrixSim,
+    Similarity,
+};
 pub use certainty::{binary_entropy, certainty_score, spatial_confidence};
 pub use components::connected_components;
 pub use graph::{NodeKind, PairGraph};

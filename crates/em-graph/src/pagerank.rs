@@ -122,11 +122,7 @@ pub fn pagerank(
                 *x += spread;
             }
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < config.tol {
             break;
@@ -256,7 +252,9 @@ mod tests {
         .unwrap();
         let comp: Vec<usize> = (0..8).collect();
         let pr = pagerank(&g, &comp, PageRankConfig::default()).unwrap();
-        let max_node = (0..8).max_by(|&a, &b| pr[a].partial_cmp(&pr[b]).unwrap()).unwrap();
+        let max_node = (0..8)
+            .max_by(|&a, &b| pr[a].partial_cmp(&pr[b]).unwrap())
+            .unwrap();
         assert_eq!(max_node, 4, "ranks: {pr:?}");
     }
 }

@@ -61,7 +61,8 @@ impl AdamW {
     /// decay, per the usual convention. `grads` must match `params` in
     /// length.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32], decay_mask: &[bool]) -> Result<()> {
-        if params.len() != self.m.len() || grads.len() != self.m.len()
+        if params.len() != self.m.len()
+            || grads.len() != self.m.len()
             || decay_mask.len() != self.m.len()
         {
             return Err(EmError::DimensionMismatch {

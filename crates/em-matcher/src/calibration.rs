@@ -125,7 +125,9 @@ mod tests {
     fn overconfident_predictions_have_high_ece() {
         // Claims 0.99 but is right only half the time.
         let probs = vec![0.99f32; 10];
-        let labels = vec![true, false, true, false, true, false, true, false, true, false];
+        let labels = vec![
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
         assert!((ece - 0.49).abs() < 0.01, "ece {ece}");
     }
@@ -142,10 +144,7 @@ mod tests {
             .map(|&p| apply_temperature(p, 0.2).unwrap())
             .collect();
         let sharp_ece = expected_calibration_error(&sharpened, &labels, 10).unwrap();
-        assert!(
-            sharp_ece > base,
-            "sharpened ECE {sharp_ece} <= base {base}"
-        );
+        assert!(sharp_ece > base, "sharpened ECE {sharp_ece} <= base {base}");
     }
 
     #[test]

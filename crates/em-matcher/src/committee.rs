@@ -121,11 +121,13 @@ impl Committee {
     /// Access a member (for representation extraction — DIAL uses the
     /// first member's embeddings as its index representation).
     pub fn member(&self, i: usize) -> Result<&TrainedMatcher> {
-        self.members.get(i).ok_or_else(|| EmError::IndexOutOfBounds {
-            context: "committee member".into(),
-            index: i,
-            len: self.members.len(),
-        })
+        self.members
+            .get(i)
+            .ok_or_else(|| EmError::IndexOutOfBounds {
+                context: "committee member".into(),
+                index: i,
+                len: self.members.len(),
+            })
     }
 }
 

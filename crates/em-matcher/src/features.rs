@@ -99,9 +99,7 @@ impl Featurizer {
             return Err(EmError::InvalidConfig("trigram_n must be > 0".into()));
         }
         if config.overlap_bins < 2 {
-            return Err(EmError::InvalidConfig(
-                "overlap_bins must be >= 2".into(),
-            ));
+            return Err(EmError::InvalidConfig("overlap_bins must be >= 2".into()));
         }
         // Document frequencies over both tables.
         let mut df: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
@@ -263,7 +261,11 @@ impl Featurizer {
             out.push(jaccard(&lg, &rg) as f32);
             out.push(overlap_coefficient(&lt, &rt) as f32);
             out.push(if !lv.is_empty() && lv == rv { 1.0 } else { 0.0 });
-            out.push(if lv.is_empty() && rv.is_empty() { 1.0 } else { 0.0 });
+            out.push(if lv.is_empty() && rv.is_empty() {
+                1.0
+            } else {
+                0.0
+            });
             out.push(numeric_agreement(lv, rv));
         }
         let lf = l.full_text();

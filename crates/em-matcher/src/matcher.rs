@@ -53,7 +53,7 @@ impl Default for MatcherConfig {
             lr: 8e-3,
             weight_decay: 1e-4,
             temperature: 0.25,
-            seed: 0xD1_77_0,
+            seed: 0xD1770,
         }
     }
 }
@@ -273,15 +273,8 @@ mod tests {
     fn more_data_beats_tiny_data() {
         let (feats, train, train_labels, test, test_labels) = small_task();
         let cfg = MatcherConfig::default();
-        let small = train_matcher(
-            &feats,
-            &train[..12],
-            &train_labels[..12],
-            &[],
-            &[],
-            &cfg,
-        )
-        .unwrap();
+        let small =
+            train_matcher(&feats, &train[..12], &train_labels[..12], &[], &[], &cfg).unwrap();
         let large = train_matcher(&feats, &train, &train_labels, &[], &[], &cfg).unwrap();
         let f1_small = small.evaluate(&feats, &test, &test_labels).unwrap().f1;
         let f1_large = large.evaluate(&feats, &test, &test_labels).unwrap().f1;
@@ -337,8 +330,12 @@ mod tests {
         assert_eq!(out.representations.len(), test.len());
         // Match-pair representations should be more similar to each other
         // than to non-match representations (Figure 1's phenomenon).
-        let pos: Vec<usize> = (0..test.len()).filter(|&i| test_labels[i].is_match()).collect();
-        let neg: Vec<usize> = (0..test.len()).filter(|&i| !test_labels[i].is_match()).collect();
+        let pos: Vec<usize> = (0..test.len())
+            .filter(|&i| test_labels[i].is_match())
+            .collect();
+        let neg: Vec<usize> = (0..test.len())
+            .filter(|&i| !test_labels[i].is_match())
+            .collect();
         if pos.len() >= 2 && !neg.is_empty() {
             let mut intra = 0.0f64;
             let mut n_intra = 0;

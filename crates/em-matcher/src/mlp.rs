@@ -10,6 +10,9 @@
 //! optimizer treats the whole network uniformly and snapshots for
 //! best-epoch selection are a single memcpy.
 
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
 use em_core::{EmError, Result, Rng};
 
 /// Layer shape metadata over the flat parameter buffer.
@@ -41,8 +44,7 @@ impl Mlp {
         }
         if hidden.is_empty() {
             return Err(EmError::InvalidConfig(
-                "MLP needs at least one hidden layer (it provides the pair representation)"
-                    .into(),
+                "MLP needs at least one hidden layer (it provides the pair representation)".into(),
             ));
         }
         if hidden.contains(&0) {
@@ -257,7 +259,9 @@ impl Mlp {
                         continue;
                     }
                     let wrow = spec.w_off + o * spec.in_dim;
-                    for (pd, w) in prev_delta.iter_mut().zip(&self.params[wrow..wrow + spec.in_dim])
+                    for (pd, w) in prev_delta
+                        .iter_mut()
+                        .zip(&self.params[wrow..wrow + spec.in_dim])
                     {
                         *pd += d * w;
                     }

@@ -130,11 +130,7 @@ impl EntityFactory {
                 rng.choose(vocab::SURNAMES)
             ));
         }
-        let brand = extras[0]
-            .split(' ')
-            .nth(1)
-            .unwrap_or("anon")
-            .to_string();
+        let brand = extras[0].split(' ').nth(1).unwrap_or("anon").to_string();
         let mut title_words = Vec::with_capacity(self.title_len.max(4));
         for _ in 0..self.title_len.max(4) {
             title_words.push(rng.choose(vocab::TOPIC_WORDS).to_string());
@@ -216,7 +212,12 @@ impl EntityFactory {
     fn render_attr(&self, e: &Entity, attr: &str) -> String {
         match (self.domain, attr) {
             (Domain::Bibliographic, "title") => {
-                format!("{} {} for {} data", e.title_words.join(" "), e.model, e.line)
+                format!(
+                    "{} {} for {} data",
+                    e.title_words.join(" "),
+                    e.model,
+                    e.line
+                )
             }
             (Domain::Bibliographic, "authors") => e.extras.join(" and "),
             (Domain::Bibliographic, "venue") => e.category.clone(),

@@ -19,8 +19,7 @@
 use std::collections::HashSet;
 
 use em_core::{
-    CandidatePair, Dataset, EmError, Label, PairIdx, RecordId, Result, Rng, Schema,
-    Split, Table,
+    CandidatePair, Dataset, EmError, Label, PairIdx, RecordId, Result, Rng, Schema, Split, Table,
 };
 
 use crate::entity::{Entity, EntityFactory};
@@ -202,8 +201,8 @@ fn stratified_split(
     let n_pos = pos_idx.len();
     let global_rate = n_pos as f64 / total as f64;
     let train_pos = ((n_train as f64) * global_rate).round() as usize;
-    let test_pos = (((n_test as f64) * global_rate).round() as usize)
-        .min(n_pos.saturating_sub(train_pos));
+    let test_pos =
+        (((n_test as f64) * global_rate).round() as usize).min(n_pos.saturating_sub(train_pos));
     let valid_pos = n_pos - train_pos - test_pos;
     if valid_pos > n_valid {
         return Err(EmError::InvalidConfig(format!(
@@ -268,7 +267,11 @@ mod tests {
         assert_eq!(d.len(), 10240);
         let s = d.stats();
         assert_eq!(s.train_size, 6144);
-        assert!((s.train_pos_rate - 0.094).abs() < 0.005, "{}", s.train_pos_rate);
+        assert!(
+            (s.train_pos_rate - 0.094).abs() < 0.005,
+            "{}",
+            s.train_pos_rate
+        );
         // 3:1:1 → test ≈ 2048.
         assert_eq!(d.split().test.len(), 2048);
     }

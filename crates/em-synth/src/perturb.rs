@@ -178,7 +178,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         let text = "nikon d750 full frame dslr";
         assert_eq!(perturb_text(text, &PerturbConfig::none(), &mut rng), text);
-        assert_eq!(perturb_price(24.99, &PerturbConfig::none(), &mut rng), 24.99);
+        assert_eq!(
+            perturb_price(24.99, &PerturbConfig::none(), &mut rng),
+            24.99
+        );
     }
 
     #[test]

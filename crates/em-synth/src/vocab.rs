@@ -27,20 +27,90 @@ pub const LINES: &[&str] = &[
 
 /// Category / product-type nouns.
 pub const CATEGORIES: &[&str] = &[
-    "camera", "lens", "tripod", "flash", "printer", "scanner", "monitor", "keyboard", "mouse",
-    "headset", "speaker", "router", "modem", "laptop", "tablet", "charger", "adapter", "cable",
-    "battery", "case", "sneaker", "boot", "sandal", "loafer", "trainer", "cleat", "slipper",
-    "moccasin", "software", "game", "console", "drive", "memory", "processor", "toolkit",
-    "blender", "toaster", "kettle", "vacuum", "heater",
+    "camera",
+    "lens",
+    "tripod",
+    "flash",
+    "printer",
+    "scanner",
+    "monitor",
+    "keyboard",
+    "mouse",
+    "headset",
+    "speaker",
+    "router",
+    "modem",
+    "laptop",
+    "tablet",
+    "charger",
+    "adapter",
+    "cable",
+    "battery",
+    "case",
+    "sneaker",
+    "boot",
+    "sandal",
+    "loafer",
+    "trainer",
+    "cleat",
+    "slipper",
+    "moccasin",
+    "software",
+    "game",
+    "console",
+    "drive",
+    "memory",
+    "processor",
+    "toolkit",
+    "blender",
+    "toaster",
+    "kettle",
+    "vacuum",
+    "heater",
 ];
 
 /// Descriptive adjectives for product titles.
 pub const ADJECTIVES: &[&str] = &[
-    "professional", "compact", "wireless", "digital", "portable", "premium", "classic", "deluxe",
-    "advanced", "essential", "ergonomic", "lightweight", "rugged", "slim", "smart", "turbo",
-    "silent", "vivid", "crystal", "solar", "hybrid", "carbon", "chrome", "midnight", "arctic",
-    "crimson", "emerald", "golden", "ivory", "jade", "onyx", "pearl", "ruby", "sapphire",
-    "scarlet", "silver", "teal", "violet", "amber", "cobalt",
+    "professional",
+    "compact",
+    "wireless",
+    "digital",
+    "portable",
+    "premium",
+    "classic",
+    "deluxe",
+    "advanced",
+    "essential",
+    "ergonomic",
+    "lightweight",
+    "rugged",
+    "slim",
+    "smart",
+    "turbo",
+    "silent",
+    "vivid",
+    "crystal",
+    "solar",
+    "hybrid",
+    "carbon",
+    "chrome",
+    "midnight",
+    "arctic",
+    "crimson",
+    "emerald",
+    "golden",
+    "ivory",
+    "jade",
+    "onyx",
+    "pearl",
+    "ruby",
+    "sapphire",
+    "scarlet",
+    "silver",
+    "teal",
+    "violet",
+    "amber",
+    "cobalt",
 ];
 
 /// Units and spec tokens appearing in product titles.
@@ -59,19 +129,53 @@ pub const FIRST_NAMES: &[&str] = &[
 /// Surnames for bibliographic authors.
 pub const SURNAMES: &[&str] = &[
     "anderson", "baranov", "chen", "dubois", "eriksen", "fischer", "garcia", "haddad", "ivanova",
-    "jansen", "kowalski", "larsen", "moretti", "nakamura", "okafor", "petrov", "quintero",
-    "rossi", "schmidt", "tanaka", "ulrich", "vasquez", "weber", "xu", "yamada", "zhang",
-    "almeida", "bergman", "castillo", "dimitrov",
+    "jansen", "kowalski", "larsen", "moretti", "nakamura", "okafor", "petrov", "quintero", "rossi",
+    "schmidt", "tanaka", "ulrich", "vasquez", "weber", "xu", "yamada", "zhang", "almeida",
+    "bergman", "castillo", "dimitrov",
 ];
 
 /// Research-paper topic words.
 pub const TOPIC_WORDS: &[&str] = &[
-    "scalable", "distributed", "adaptive", "efficient", "robust", "incremental", "probabilistic",
-    "declarative", "streaming", "parallel", "query", "index", "join", "transaction", "schema",
-    "entity", "matching", "integration", "cleaning", "provenance", "optimization", "learning",
-    "clustering", "sampling", "ranking", "caching", "partitioning", "replication", "consensus",
-    "recovery", "workload", "benchmark", "graph", "vector", "semantic", "relational", "temporal",
-    "spatial", "approximate", "federated",
+    "scalable",
+    "distributed",
+    "adaptive",
+    "efficient",
+    "robust",
+    "incremental",
+    "probabilistic",
+    "declarative",
+    "streaming",
+    "parallel",
+    "query",
+    "index",
+    "join",
+    "transaction",
+    "schema",
+    "entity",
+    "matching",
+    "integration",
+    "cleaning",
+    "provenance",
+    "optimization",
+    "learning",
+    "clustering",
+    "sampling",
+    "ranking",
+    "caching",
+    "partitioning",
+    "replication",
+    "consensus",
+    "recovery",
+    "workload",
+    "benchmark",
+    "graph",
+    "vector",
+    "semantic",
+    "relational",
+    "temporal",
+    "spatial",
+    "approximate",
+    "federated",
 ];
 
 /// Publication venue names.
@@ -123,8 +227,9 @@ pub fn model_number(rng: &mut Rng) -> String {
 
 /// A pseudo spec token like `24mp` or `512gb`.
 pub fn spec_token(rng: &mut Rng) -> String {
-    let value = [2u32, 4, 8, 12, 16, 24, 32, 50, 64, 75, 100, 128, 200, 256, 512, 1000]
-        [rng.below(16)];
+    let value = [
+        2u32, 4, 8, 12, 16, 24, 32, 50, 64, 75, 100, 128, 200, 256, 512, 1000,
+    ][rng.below(16)];
     format!("{value}{}", SPEC_UNITS[rng.below(SPEC_UNITS.len())])
 }
 
@@ -167,7 +272,15 @@ mod tests {
 
     #[test]
     fn pools_have_no_duplicates() {
-        for pool in [BRANDS, LINES, CATEGORIES, ADJECTIVES, FIRST_NAMES, SURNAMES, TOPIC_WORDS] {
+        for pool in [
+            BRANDS,
+            LINES,
+            CATEGORIES,
+            ADJECTIVES,
+            FIRST_NAMES,
+            SURNAMES,
+            TOPIC_WORDS,
+        ] {
             let mut sorted: Vec<&str> = pool.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
@@ -181,7 +294,9 @@ mod tests {
         for _ in 0..100 {
             let m = model_number(&mut rng);
             assert!((4..=7).contains(&m.len()), "bad model number `{m}`");
-            assert!(m.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(m
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(m.chars().any(|c| c.is_ascii_digit()));
         }
     }

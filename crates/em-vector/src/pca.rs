@@ -5,6 +5,9 @@
 //! Power iteration is exact enough here: we only ever need the first
 //! handful of components.
 
+// Numeric kernels here walk several parallel arrays by index; the
+// indexed form keeps the lockstep structure visible.
+#![allow(clippy::needless_range_loop)]
 use em_core::{EmError, Result, Rng};
 
 use crate::embeddings::{dot, Embeddings};
@@ -27,14 +30,10 @@ impl Pca {
     pub fn fit(data: &Embeddings, n_components: usize, seed: u64) -> Result<Self> {
         let n = data.len();
         if n < 2 {
-            return Err(EmError::EmptyInput(
-                "PCA needs at least two samples".into(),
-            ));
+            return Err(EmError::EmptyInput("PCA needs at least two samples".into()));
         }
         if n_components == 0 {
-            return Err(EmError::InvalidConfig(
-                "PCA needs n_components >= 1".into(),
-            ));
+            return Err(EmError::InvalidConfig("PCA needs n_components >= 1".into()));
         }
         let dim = data.dim();
         let k = n_components.min(dim).min(n - 1);
@@ -124,7 +123,11 @@ impl Pca {
             for (c, (&x, &m)) in centered.iter_mut().zip(data.row(i).iter().zip(&self.mean)) {
                 *c = x - m;
             }
-            let proj: Vec<f32> = self.components.iter().map(|pc| dot(pc, &centered)).collect();
+            let proj: Vec<f32> = self
+                .components
+                .iter()
+                .map(|pc| dot(pc, &centered))
+                .collect();
             out.push(&proj)?;
         }
         Ok(out)

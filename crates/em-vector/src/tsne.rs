@@ -255,8 +255,7 @@ impl Tsne {
 
             // Re-center to keep the embedding from drifting.
             for k in 0..d {
-                let mean: f64 =
-                    (0..n).map(|i| y[i * d + k] as f64).sum::<f64>() / n as f64;
+                let mean: f64 = (0..n).map(|i| y[i * d + k] as f64).sum::<f64>() / n as f64;
                 for i in 0..n {
                     y[i * d + k] -= mean as f32;
                 }
@@ -326,7 +325,10 @@ pub fn knn_label_purity(embedding: &Embeddings, labels: &[bool], k: usize) -> Re
             .collect();
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let kk = k.min(dists.len());
-        let same = dists[..kk].iter().filter(|(j, _)| labels[*j] == labels[i]).count();
+        let same = dists[..kk]
+            .iter()
+            .filter(|(j, _)| labels[*j] == labels[i])
+            .count();
         let purity = same as f64 / kk as f64;
         if labels[i] {
             pos_purity += purity;
@@ -411,8 +413,8 @@ mod tests {
         });
         let emb = t.fit(&data).unwrap();
         for k in 0..2 {
-            let mean: f64 = (0..emb.len()).map(|i| emb.row(i)[k] as f64).sum::<f64>()
-                / emb.len() as f64;
+            let mean: f64 =
+                (0..emb.len()).map(|i| emb.row(i)[k] as f64).sum::<f64>() / emb.len() as f64;
             assert!(mean.abs() < 1e-3, "dim {k} mean {mean}");
         }
     }

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.split().train.len(),
         100.0 * dataset.stats().train_pos_rate
     );
-    println!("{:<12} {:>8} {:>8} {:>8}", "strategy", "F1@start", "F1@end", "AUC");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "strategy", "F1@start", "F1@end", "AUC"
+    );
 
     let strategies: Vec<Box<dyn SelectionStrategy>> = vec![
         Box::new(BattleshipStrategy::new()),
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<12} {:>7.1}% {:>7.1}% {:>8.1}",
             report.strategy,
-            report.iterations.first().map(|i| i.test_f1_pct).unwrap_or(0.0),
+            report
+                .iterations
+                .first()
+                .map(|i| i.test_f1_pct)
+                .unwrap_or(0.0),
             report.final_f1().unwrap_or(0.0),
             report.auc()?,
         );
@@ -55,8 +62,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The two extremes of the labeling-resource spectrum (§4.3).
     let zero = zeroer_f1(&dataset, &featurizer, 1)?;
-    println!("{:<12} {:>8} {:>7.1}% {:>8}", "zeroer", "-", zero.f1 * 100.0, "-");
+    println!(
+        "{:<12} {:>8} {:>7.1}% {:>8}",
+        "zeroer",
+        "-",
+        zero.f1 * 100.0,
+        "-"
+    );
     let full = full_d_f1(&dataset, &features, &config.matcher)?;
-    println!("{:<12} {:>8} {:>7.1}% {:>8}", "full-d", "-", full.f1 * 100.0, "-");
+    println!(
+        "{:<12} {:>8} {:>7.1}% {:>8}",
+        "full-d",
+        "-",
+        full.f1 * 100.0,
+        "-"
+    );
     Ok(())
 }

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&i| dataset.ground_truth(i) == Label::Match)
         .collect();
 
-    println!("running exact t-SNE on {} pair representations…", sample.len());
+    println!(
+        "running exact t-SNE on {} pair representations…",
+        sample.len()
+    );
     let embedding = Tsne::new(TsneConfig {
         perplexity: 30.0,
         iterations: 300,
@@ -93,11 +96,11 @@ fn render_ascii(
     }
     let mut pos = vec![0i32; width * height];
     let mut neg = vec![0i32; width * height];
-    for i in 0..embedding.len() {
+    for (i, &label) in labels.iter().enumerate() {
         let r = embedding.row(i);
         let cx = (((r[0] - min_x) / (max_x - min_x).max(1e-6)) * (width - 1) as f32) as usize;
         let cy = (((r[1] - min_y) / (max_y - min_y).max(1e-6)) * (height - 1) as f32) as usize;
-        if labels[i] {
+        if label {
             pos[cy * width + cx] += 1;
         } else {
             neg[cy * width + cx] += 1;

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The battleship's point: it *hunts matches*. Compare its positive
     // yield per iteration with the dataset's base rate.
     let base_rate = dataset.stats().train_pos_rate;
-    println!("\npositive yield per iteration (dataset base rate {:.1}%):", 100.0 * base_rate);
+    println!(
+        "\npositive yield per iteration (dataset base rate {:.1}%):",
+        100.0 * base_rate
+    );
     for it in report.iterations.iter().skip(1) {
         let yield_rate = it.new_positives as f64 / it.new_labels.max(1) as f64;
         println!(
@@ -68,6 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             it.test_f1_pct
         );
     }
-    println!("\nfinal F1 after {} labels: {:.1}%", report.total_labels(), report.final_f1().unwrap_or(0.0));
+    println!(
+        "\nfinal F1 after {} labels: {:.1}%",
+        report.total_labels(),
+        report.final_f1().unwrap_or(0.0)
+    );
     Ok(())
 }

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = PerfectOracle::new();
     let report = run_active_learning(&dataset, &features, &mut strategy, &oracle, &config, 7)?;
 
-    println!("battleship active learning ({} oracle labels total):", report.total_labels());
+    println!(
+        "battleship active learning ({} oracle labels total):",
+        report.total_labels()
+    );
     for it in &report.iterations {
         println!(
             "  iteration {}: {:>3} labels → test F1 {:>5.1}%  ({} of {} new labels were matches)",

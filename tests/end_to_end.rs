@@ -3,8 +3,8 @@
 //! active-learning loop.
 
 use battleship_em::al::{
-    full_d_f1, run_active_learning, zeroer_f1, BattleshipStrategy, DalStrategy,
-    ExperimentConfig, RandomStrategy,
+    full_d_f1, run_active_learning, zeroer_f1, BattleshipStrategy, DalStrategy, ExperimentConfig,
+    RandomStrategy,
 };
 use battleship_em::core::{Oracle, PerfectOracle, Rng};
 use battleship_em::matcher::{FeatureConfig, Featurizer};

@@ -3,9 +3,7 @@
 //! per-crate unit tests that cover them at module level.
 
 use battleship_em::core::{serialize_pair, Record, RecordId, Rng, Schema};
-use battleship_em::graph::{
-    build_graph, spatial_confidence, EdgeConfig, MatrixSim, NodeKind,
-};
+use battleship_em::graph::{build_graph, spatial_confidence, EdgeConfig, MatrixSim, NodeKind};
 
 /// Paper Example 3: the DITTO serialization of the Amazon-Google match
 /// pair, byte for byte.
@@ -18,7 +16,11 @@ fn example3_serialization() {
     );
     let google = Record::new(
         RecordId(1),
-        ["aspyr media inc sims 2 glamour life stuff pack", "", "23.44"],
+        [
+            "aspyr media inc sims 2 glamour life stuff pack",
+            "",
+            "23.44",
+        ],
     );
     assert_eq!(
         serialize_pair(&schema, &amazon, &schema, &google),
@@ -96,7 +98,10 @@ fn example4_edge_creation() {
     let g = paper_graph();
     assert!(g.has_edge(0, 4), "extra edge s1–s5 missing");
     assert!(g.has_edge(4, 6), "extra edge s5–s7 missing");
-    assert!(!g.has_edge(6, 7), "labeled–labeled edge s7–s8 must not exist");
+    assert!(
+        !g.has_edge(6, 7),
+        "labeled–labeled edge s7–s8 must not exist"
+    );
     assert_eq!(g.n_edges(), 13);
 }
 

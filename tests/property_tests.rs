@@ -5,9 +5,7 @@ use proptest::prelude::*;
 
 use battleship_em::al::distribute_budget;
 use battleship_em::cluster::{constrained_kmeans, ConstrainedConfig};
-use battleship_em::core::{
-    jaccard, tokenize, BinaryConfusion, F1Curve, Label, Rng, TokenSet,
-};
+use battleship_em::core::{jaccard, tokenize, BinaryConfusion, F1Curve, Label, Rng, TokenSet};
 use battleship_em::graph::{binary_entropy, connected_components, NodeKind, PairGraph};
 use battleship_em::vector::{cosine, Embeddings};
 

@@ -1,0 +1,279 @@
+//! Vendored offline subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! A minimal wall-clock benchmark harness exposing the API shape the
+//! workspace's benches use: `Criterion`, `benchmark_group` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurements
+//! are printed as `name: median t/iter (n samples)`; there is no
+//! statistical regression machinery. `Bencher::iter` reports the median
+//! of per-sample means after a short warm-up, which is stable enough for
+//! the ≥4× comparisons the workspace's perf gates assert.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark statistics for one measured function.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median of per-sample mean iteration times, seconds.
+    pub median_secs: f64,
+    /// Minimum per-sample mean, seconds.
+    pub min_secs: f64,
+    /// Samples measured.
+    pub samples: usize,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench] group `{name}`");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(name, self.default_sample_size, f);
+        report(name, &stats);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a function.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let stats = run_bench(&full, self.sample_size, f);
+        report(&full, &stats);
+        self
+    }
+
+    /// Benchmark a function against an explicit input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let stats = run_bench(&full, self.sample_size, |b| f(b, input));
+        report(&full, &stats);
+        self
+    }
+
+    /// Finish the group (upstream requires it; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion into the printed benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample mean iteration times (seconds).
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly; its return value is black-boxed.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count putting one sample at ≥ ~20 ms
+        // (capped so very slow functions still run 1/iter).
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.sample_means.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.sample_means
+                .push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn stats(&self) -> Stats {
+        let mut means = self.sample_means.clone();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if means.is_empty() {
+            0.0
+        } else {
+            means[means.len() / 2]
+        };
+        Stats {
+            median_secs: median,
+            min_secs: means.first().copied().unwrap_or(0.0),
+            samples: means.len(),
+        }
+    }
+}
+
+fn run_bench<F: FnOnce(&mut Bencher)>(name: &str, samples: usize, f: F) -> Stats {
+    let _ = name;
+    let mut b = Bencher {
+        samples,
+        sample_means: Vec::new(),
+    };
+    f(&mut b);
+    b.stats()
+}
+
+fn report(name: &str, stats: &Stats) {
+    eprintln!(
+        "[bench] {name}: median {} ({} samples, min {})",
+        fmt_secs(stats.median_secs),
+        stats.samples,
+        fmt_secs(stats.min_secs),
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Measure one closure directly (vendored extension used by benches that
+/// need the numbers programmatically, e.g. to emit JSON artifacts).
+pub fn measure<R, F: FnMut() -> R>(samples: usize, f: F) -> Stats {
+    run_bench("<inline>", samples, move |b| b.iter(f))
+}
+
+/// Group benchmark functions (upstream-compatible simple form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("id", 42), &42, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let stats = measure(3, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            acc
+        });
+        assert!(stats.median_secs > 0.0);
+        assert_eq!(stats.samples, 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Vendored offline subset of [proptest](https://proptest-rs.github.io/proptest/).
+//!
+//! Supplies the API surface the workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `any::<T>()`, numeric
+//! range strategies, tuple strategies, `prop::collection::vec`, and
+//! string strategies for simple character-class patterns of the form
+//! `"[chars]{lo,hi}"`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generated inputs in the assertion message. Generation is fully
+//! deterministic — the RNG is seeded from the test function's name, so a
+//! failure reproduces on every run.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+pub mod prop {
+    //! Mirrors the `proptest::prop` namespace.
+    pub mod collection {
+        //! Collection strategies.
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The `proptest!` macro: runs each enclosed `#[test]` function for
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(100).max(1000),
+                    "proptest `{}`: too many rejected cases ({} attempts for {} accepted)",
+                    stringify!($name), attempts, accepted,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body (panics with the message on failure;
+/// no shrinking in the vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}

@@ -1,0 +1,279 @@
+//! Value-generation strategies (vendored subset; no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+// --- Numeric ranges. -----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (self.end - self.start) * rng.f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // Include the upper endpoint with small probability so
+                // boundary behaviour gets exercised.
+                if rng.next_u64() % 257 == 0 {
+                    return hi;
+                }
+                lo + (hi - lo) * rng.f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// --- Tuples. -------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+// --- Vec strategy. -------------------------------------------------------
+
+/// Length specification for [`vec`]: an exact `usize` or a `Range`.
+pub trait IntoLenRange {
+    /// Resolve to `[lo, hi)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy and length range.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// `prop::collection::vec(element, len)` — `len` is an exact size or a
+/// range.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    assert!(lo < hi, "empty vec length range");
+    VecStrategy { element, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// --- String patterns. ----------------------------------------------------
+
+/// String strategies from `&str` character-class patterns of the exact
+/// form `[chars]{lo,hi}` (e.g. `"[a-zA-Z0-9,.;:!? -]{0,60}"`). Character
+/// ranges (`a-z`) and literal characters are supported; a trailing `-`
+/// is literal. Anything else panics — the vendored subset only needs
+/// this shape.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn bad_pattern(pattern: &str) -> ! {
+    panic!("vendored proptest only supports `[chars]{{lo,hi}}` string patterns, got `{pattern}`")
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let close = rest.find(']').unwrap_or_else(|| bad_pattern(pattern));
+    let class = &rest[..close];
+    let counts = rest[close + 1..]
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let (lo, hi) = counts
+        .split_once(',')
+        .unwrap_or_else(|| bad_pattern(pattern));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| bad_pattern(pattern));
+    assert!(lo <= hi, "bad counts in `{pattern}`");
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "bad range {a}-{b} in `{pattern}`");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+    (alphabet, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3usize..9).sample(&mut r);
+            assert!((3..9).contains(&x));
+            let y = (0.5f64..=1.0).sample(&mut r);
+            assert!((0.5..=1.0).contains(&y));
+            let z = (-10.0f32..10.0).sample(&mut r);
+            assert!((-10.0..10.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_spec() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0usize..5, 2usize..7).sample(&mut r);
+            assert!((2..7).contains(&v.len()));
+            let exact = vec(any::<bool>(), 4usize).sample(&mut r);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_from_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c ]{0,8}".sample(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == ' '));
+            let t = "[a-zA-Z0-9,.;:!? -]{0,20}".sample(&mut r);
+            assert!(t.len() <= 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let va = vec(0u64..100, 5usize..10).sample(&mut a);
+        let vb = vec(0u64..100, 5usize..10).sample(&mut b);
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,258 @@
+//! Indexed parallel iterators (vendored subset).
+//!
+//! Everything is built on one abstraction: an indexed source that can
+//! produce its `i`-th item from a shared reference. Adaptors compose
+//! sources; the driver partitions `0..len` into one contiguous chunk per
+//! worker, evaluates chunks on scoped threads, and reassembles results in
+//! index order.
+
+use std::ops::Range;
+
+/// An indexed item source shareable across worker threads.
+pub trait IndexedSource: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn length(&self) -> usize;
+    /// Produce item `i` (must be pure for golden-test bit-identity).
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Subset of rayon's `ParallelIterator`, implemented for every
+/// [`IndexedSource`].
+pub trait ParallelIterator: IndexedSource + Sized {
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Run `f` on every item. No ordering guarantee between items.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_for_each(&self, &f);
+    }
+
+    /// Collect into `C` preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_vec(drive_collect(&self))
+    }
+
+    /// Sum the items (deterministic: chunk partials are reduced in index
+    /// order, identical to the serial left fold for integer types).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+        Self::Item: Clone,
+    {
+        drive_collect(&self).into_iter().sum()
+    }
+}
+
+impl<T: IndexedSource + Sized> ParallelIterator for T {}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Collection types constructible from an ordered result vector.
+pub trait FromParallelIterator<T> {
+    /// Build from items already in index order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+// --- Sources. ------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl IndexedSource for RangeIter {
+    type Item = usize;
+    fn length(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// The `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedSource for Map<I, F>
+where
+    I: IndexedSource,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn length(&self) -> usize {
+        self.base.length()
+    }
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
+    }
+}
+
+// --- Driver. -------------------------------------------------------------
+
+fn plan(n: usize) -> Option<(usize, usize)> {
+    // No spawning when serial-forced or already inside a worker —
+    // nested parallelism runs inline rather than multiplying threads.
+    if n < 2 || crate::in_serial_mode() || crate::in_worker() {
+        return None;
+    }
+    let threads = crate::current_num_threads().min(n);
+    if threads < 2 {
+        return None;
+    }
+    Some((threads, n.div_ceil(threads)))
+}
+
+fn drive_collect<S: IndexedSource>(src: &S) -> Vec<S::Item> {
+    let n = src.length();
+    let Some((threads, chunk)) = plan(n) else {
+        return (0..n).map(|i| src.get(i)).collect();
+    };
+    let mut parts: Vec<Vec<S::Item>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    crate::enter_worker(|| (lo..hi).map(|i| src.get(i)).collect::<Vec<_>>())
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+fn drive_for_each<S, F>(src: &S, f: &F)
+where
+    S: IndexedSource,
+    F: Fn(S::Item) + Sync,
+{
+    let n = src.length();
+    let Some((threads, chunk)) = plan(n) else {
+        for i in 0..n {
+            f(src.get(i));
+        }
+        return;
+    };
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            scope.spawn(move || {
+                crate::enter_worker(|| {
+                    for i in lo..hi {
+                        f(src.get(i));
+                    }
+                })
+            });
+        }
+    });
+}

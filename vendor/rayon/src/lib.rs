@@ -1,0 +1,172 @@
+//! Vendored offline subset of [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no network access, so this crate provides the
+//! small slice of rayon's API the workspace actually uses, implemented on
+//! `std::thread::scope`. Call sites are written against upstream rayon's
+//! names (`par_iter`, `into_par_iter`, `map`, `collect`, `for_each`) so
+//! the real crate can be dropped in unchanged once a registry is
+//! reachable.
+//!
+//! Two properties the workspace relies on:
+//!
+//! * **Order preservation.** Work is partitioned into contiguous index
+//!   ranges and results are reassembled in index order, so
+//!   `collect::<Vec<_>>()` returns exactly what the serial `map` would —
+//!   for *pure* per-item closures the output is bit-identical for any
+//!   thread count, which is what the golden parallel-vs-serial tests
+//!   assert.
+//! * **[`serial_scope`]** (an extension, not in upstream rayon) forces
+//!   every parallel operation on the current thread to run inline. The
+//!   scalar baselines in benches and the golden tests use it to pin the
+//!   serial code path; since the executor never spawns while the flag is
+//!   set, the flag propagates through nested parallel calls.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (upstream's variable) if set,
+//! otherwise `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub mod iter;
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+
+thread_local! {
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+    /// Set inside shim worker threads: nested parallel calls run inline
+    /// instead of spawning another full complement of threads per call.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn enter_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|w| {
+        let prev = w.replace(true);
+        let out = f();
+        w.set(prev);
+        out
+    })
+}
+
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Number of worker threads parallel operations will use.
+///
+/// Reads `RAYON_NUM_THREADS` once; falls back to the machine's available
+/// parallelism. Always at least 1.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run `f` with every parallel operation on this thread forced inline
+/// (vendored extension; not part of upstream rayon).
+///
+/// Used by scalar baselines and golden tests to obtain the serial
+/// execution of the exact same code path.
+pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|s| {
+        let prev = s.replace(true);
+        let out = f();
+        s.set(prev);
+        out
+    })
+}
+
+/// `true` while inside [`serial_scope`] (or when only one thread is
+/// available).
+pub fn in_serial_mode() -> bool {
+    FORCE_SERIAL.with(Cell::get) || current_num_threads() <= 1
+}
+
+/// Potentially-parallel two-way fork-join (subset of `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if in_serial_mode() {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("rayon::join worker panicked");
+            (ra, rb)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        let serial: Vec<usize> = xs.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 257);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn serial_scope_forces_inline() {
+        let tid = std::thread::current().id();
+        serial_scope(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), tid);
+            });
+        });
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_float_work() {
+        let xs: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+        let par: Vec<f64> = xs.par_iter().map(|x| x * x + 1.0).collect();
+        let ser: Vec<f64> = serial_scope(|| xs.par_iter().map(|x| x * x + 1.0).collect());
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = [7usize].par_iter().map(|&x| x).collect();
+        assert_eq!(one, vec![7]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Vendored offline `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Upstream `serde_derive` rides on `syn` + `quote`, neither of which is
+//! available offline, so this crate walks the raw `proc_macro` token
+//! stream directly. It supports exactly the item shapes the workspace
+//! derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, larger
+//!   arities as arrays),
+//! * enums with unit variants (serialized as the variant-name string) and
+//!   struct variants (externally tagged, serde's default).
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported and rejected
+//! loudly — nothing in the workspace uses them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    /// Variant name plus `None` for unit, `Some(fields)` for a struct
+    /// variant.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// --- Parsing. ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generics (on `{name}`)");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde derive supports struct/enum, got `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                *i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists; returns the names. Commas inside
+/// `<...>` belong to the type and are skipped via angle-depth tracking
+/// (parenthesized types arrive as single groups and hide theirs).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount; none of the workspace's tuple
+    // structs use one, and an empty trailing slot cannot parse anyway.
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde derive does not support tuple enum variant `{name}`")
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --- Code generation. ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{ return ::std::result::Result::Err(serde::DeError::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| serde::DeError::custom(\"expected object for {name}::{v}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(serde::DeError::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(serde::DeError::custom(format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n{body}\n    }}\n}}"
+    )
+}
