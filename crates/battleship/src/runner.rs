@@ -26,6 +26,46 @@ use crate::config::ExperimentConfig;
 use crate::report::{IterationRecord, RunReport};
 use crate::strategies::{SelectionContext, SelectionStrategy};
 
+/// Index-based membership test over pair ids, allocated once per run.
+///
+/// The protocol driver repeatedly needs "is pair `p` in this set?" for
+/// sets it just built (the drawn seed, the pool, an iteration's
+/// selections). The seed implementation rebuilt a `HashSet` for each —
+/// three hash-table constructions per iteration over pools of up to
+/// hundreds of thousands of pairs. This is the classic stamped
+/// membership vector instead: one `u32` per pair for the whole run,
+/// `begin` opens a new set in O(1) by bumping the generation, and
+/// `insert`/`contains` are single array accesses.
+struct Membership {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl Membership {
+    /// All-empty membership over pair ids `0..len`.
+    fn new(len: usize) -> Self {
+        Membership {
+            stamp: vec![0; len],
+            generation: 0,
+        }
+    }
+
+    /// Start a fresh (empty) set, invalidating all previous inserts.
+    fn begin(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Add `i` to the current set.
+    fn insert(&mut self, i: usize) {
+        self.stamp[i] = self.generation;
+    }
+
+    /// Whether `i` is in the current set (out-of-range ids are not).
+    fn contains(&self, i: usize) -> bool {
+        i < self.stamp.len() && self.stamp[i] == self.generation
+    }
+}
+
 /// A prepared run: dataset-level constants shared across iterations.
 pub struct ActiveLearningRun<'a> {
     dataset: &'a Dataset,
@@ -74,6 +114,7 @@ impl<'a> ActiveLearningRun<'a> {
         oracle: &dyn Oracle,
         seed_size: usize,
         rng: &mut Rng,
+        membership: &mut Membership,
     ) -> (Vec<PairIdx>, Vec<Label>) {
         let mut shuffled = pool.clone();
         rng.shuffle(&mut shuffled);
@@ -117,8 +158,11 @@ impl<'a> ActiveLearningRun<'a> {
             labels.push(oracle.label(self.dataset, idx));
             chosen.push(idx);
         }
-        let chosen_set: std::collections::HashSet<_> = chosen.iter().copied().collect();
-        pool.retain(|i| !chosen_set.contains(i));
+        membership.begin();
+        for &idx in &chosen {
+            membership.insert(idx);
+        }
+        pool.retain(|&i| !membership.contains(i));
         (chosen, labels)
     }
 
@@ -177,8 +221,17 @@ pub fn run_active_learning(
         )));
     }
 
-    let (mut train, mut train_labels) =
-        run.draw_seed(&mut pool, oracle, config.al.seed_size, &mut rng);
+    // One membership vector for every set test of the run (seed draw,
+    // pool checks, selection removal).
+    let mut membership = Membership::new(dataset.len());
+
+    let (mut train, mut train_labels) = run.draw_seed(
+        &mut pool,
+        oracle,
+        config.al.seed_size,
+        &mut rng,
+        &mut membership,
+    );
 
     let mut iterations = Vec::with_capacity(config.al.iterations + 1);
 
@@ -236,9 +289,12 @@ pub fn run_active_learning(
                 selection.to_label.len()
             )));
         }
-        let pool_set: std::collections::HashSet<_> = pool.iter().copied().collect();
+        membership.begin();
+        for &p in &pool {
+            membership.insert(p);
+        }
         for &p in &selection.to_label {
-            if !pool_set.contains(&p) {
+            if !membership.contains(p) {
                 return Err(EmError::InvalidConfig(format!(
                     "strategy `{}` selected pair {p} outside the pool",
                     strategy.name()
@@ -256,8 +312,11 @@ pub fn run_active_learning(
             train.push(p);
             train_labels.push(label);
         }
-        let newly: std::collections::HashSet<_> = selection.to_label.iter().copied().collect();
-        pool.retain(|i| !newly.contains(i));
+        membership.begin();
+        for &p in &selection.to_label {
+            membership.insert(p);
+        }
+        pool.retain(|&i| !membership.contains(i));
 
         // Train the next model on labels + weak pseudo-labels.
         let matcher_config = MatcherConfig {

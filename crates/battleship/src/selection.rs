@@ -6,6 +6,10 @@
 //! "to overcome possible scaling issues"), and takes the top pairs of
 //! every connected component under its Eq. 2 budget share.
 
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
 use em_core::{EmError, Result, Rng};
 use em_graph::{
     betweenness_with_scratch, certainty_score, pagerank, BetweennessScratch, PageRankConfig,
@@ -93,7 +97,9 @@ pub fn select_side_with(
         return Ok(Vec::new());
     }
 
-    // Budget per connected component (Eq. 2 + random residue).
+    // Budget per connected component (Eq. 2 + random residue). This is
+    // the only step that consumes randomness, so everything after it is
+    // embarrassingly parallel.
     let sizes: Vec<usize> = side.components.iter().map(Vec::len).collect();
     let shares = distribute_budget(side_budget, &sizes, rng)?;
 
@@ -101,44 +107,68 @@ pub fn select_side_with(
         rho,
         ..Default::default()
     };
-    // One scratch for all components — betweenness then performs no
-    // per-component map allocations.
-    let mut scratch = BetweennessScratch::new();
 
+    // Score components in parallel — they are independent once budgets
+    // are assigned (ROADMAP's per-component scoring item). Each worker
+    // thread reuses one betweenness scratch across the components it
+    // processes; per-component results merge in component order below,
+    // so the selection is identical to the serial loop's at any thread
+    // count (the determinism test asserts it).
+    let jobs: Vec<(usize, usize)> = shares
+        .iter()
+        .enumerate()
+        .filter(|&(_, &share)| share > 0)
+        .map(|(ci, &share)| (ci, share))
+        .collect();
+    let per_component: Vec<Result<Vec<usize>>> = jobs
+        .par_iter()
+        .map(|&(ci, share)| {
+            let comp = &side.components[ci];
+            // Certainty scores from the heterogeneous graph (§3.5.1).
+            let unc: Vec<f64> = comp
+                .iter()
+                .map(|&v| certainty_score(hetero, to_hetero[v], beta))
+                .collect::<Result<_>>()?;
+            // Centrality from this side's graph (§3.5.2).
+            let cen = match centrality {
+                CentralityMeasure::PageRank => pagerank(&side.graph, comp, pr_config)?,
+                CentralityMeasure::Betweenness => BETWEENNESS_SCRATCH.with(|scratch| {
+                    betweenness_with_scratch(&side.graph, comp, &mut scratch.borrow_mut())
+                })?,
+            };
+
+            // Eq. 6: blend the descending ranks; smaller blended rank wins.
+            let unc_ranks = descending_ranks(&unc);
+            let cen_ranks = descending_ranks(&cen);
+            let mut order: Vec<usize> = (0..comp.len()).collect();
+            let blended: Vec<f64> = (0..comp.len())
+                .map(|i| alpha * unc_ranks[i] as f64 + (1.0 - alpha) * cen_ranks[i] as f64)
+                .collect();
+            order.sort_by(|&a, &b| {
+                blended[a]
+                    .partial_cmp(&blended[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(comp[a].cmp(&comp[b]))
+            });
+            Ok(order.iter().take(share).map(|&i| comp[i]).collect())
+        })
+        .collect();
+
+    // Fixed merge order: component index ascending, exactly as the
+    // serial loop appended.
     let mut selected = Vec::with_capacity(side_budget);
-    for (comp, &share) in side.components.iter().zip(&shares) {
-        if share == 0 {
-            continue;
-        }
-        // Certainty scores from the heterogeneous graph (§3.5.1).
-        let unc: Vec<f64> = comp
-            .iter()
-            .map(|&v| certainty_score(hetero, to_hetero[v], beta))
-            .collect::<Result<_>>()?;
-        // Centrality from this side's graph (§3.5.2).
-        let cen = match centrality {
-            CentralityMeasure::PageRank => pagerank(&side.graph, comp, pr_config)?,
-            CentralityMeasure::Betweenness => {
-                betweenness_with_scratch(&side.graph, comp, &mut scratch)?
-            }
-        };
-
-        // Eq. 6: blend the descending ranks; smaller blended rank wins.
-        let unc_ranks = descending_ranks(&unc);
-        let cen_ranks = descending_ranks(&cen);
-        let mut order: Vec<usize> = (0..comp.len()).collect();
-        let blended: Vec<f64> = (0..comp.len())
-            .map(|i| alpha * unc_ranks[i] as f64 + (1.0 - alpha) * cen_ranks[i] as f64)
-            .collect();
-        order.sort_by(|&a, &b| {
-            blended[a]
-                .partial_cmp(&blended[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(comp[a].cmp(&comp[b]))
-        });
-        selected.extend(order.iter().take(share).map(|&i| comp[i]));
+    for result in per_component {
+        selected.extend(result?);
     }
     Ok(selected)
+}
+
+thread_local! {
+    /// Per-thread betweenness scratch: the parallel component loop above
+    /// reuses it across every component a worker processes, keeping the
+    /// no-per-component-allocation property of the old shared scratch.
+    static BETWEENNESS_SCRATCH: RefCell<BetweennessScratch> =
+        RefCell::new(BetweennessScratch::new());
 }
 
 #[cfg(test)]
@@ -231,6 +261,50 @@ mod tests {
         let mut rng = Rng::seed_from_u64(8);
         let bad_map = vec![0usize; 3];
         assert!(select_side(&side, &side.graph, &bad_map, 2, 0.5, 0.5, 0.85, &mut rng).is_err());
+    }
+
+    #[test]
+    fn parallel_component_scoring_equals_serial() {
+        // Enough nodes for several connected components, both centrality
+        // measures, several seeds: the parallel fan-out must reproduce
+        // the serial loop exactly (same pairs, same order).
+        let side = tiny_index(80, NodeKind::PredictedMatch, 0.9, 21);
+        assert!(
+            side.components.len() > 1,
+            "fixture needs multiple components"
+        );
+        let to_hetero: Vec<usize> = (0..80).collect();
+        for measure in [CentralityMeasure::PageRank, CentralityMeasure::Betweenness] {
+            for seed in [1u64, 2, 3] {
+                let par = select_side_with(
+                    &side,
+                    &side.graph,
+                    &to_hetero,
+                    25,
+                    0.5,
+                    0.5,
+                    0.85,
+                    measure,
+                    &mut Rng::seed_from_u64(seed),
+                )
+                .unwrap();
+                let ser = rayon::serial_scope(|| {
+                    select_side_with(
+                        &side,
+                        &side.graph,
+                        &to_hetero,
+                        25,
+                        0.5,
+                        0.5,
+                        0.85,
+                        measure,
+                        &mut Rng::seed_from_u64(seed),
+                    )
+                    .unwrap()
+                });
+                assert_eq!(par, ser, "measure {measure:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

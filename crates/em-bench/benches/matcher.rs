@@ -1,0 +1,269 @@
+//! Matcher-engine benchmark: the batched GEMM train + predict path
+//! versus the seed's scalar implementation, measured in the same run.
+//!
+//! This is the perf gate for the matcher half of each active-learning
+//! iteration (§3.1/§4.2): on the default 5k-row, 128-dim synthetic task
+//! the batched engine ([`em_matcher::train_matcher`] +
+//! [`TrainedMatcher::predict`]) must beat the seed-verbatim scalar
+//! baseline ([`em_matcher::train_matcher_reference`] +
+//! [`em_matcher::predict_reference`]) by ≥ 3× **on one core** (the
+//! batched timing runs under `rayon::serial_scope`, so the gate measures
+//! the kernel engine, not thread count). The parallel timing is reported
+//! alongside. Results are written to `BENCH_matcher.json` for CI
+//! artifacts, together with an end-to-end `run_active_learning`
+//! wall-clock (2 iterations, amazon_google-scaled profile) so future
+//! PRs can track whole-iteration latency, not just subsystem speedups.
+//!
+//! Knobs (environment):
+//! * `EM_BENCH_MATCHER_N` / `EM_BENCH_MATCHER_DIM` — predict-set size /
+//!   feature dimension (default 5000 × 128);
+//! * `EM_BENCH_MATCHER_OUT` — output JSON path
+//!   (default `BENCH_matcher.json`);
+//! * `EM_BENCH_MATCHER_MIN_SPEEDUP` — exit non-zero below this ratio
+//!   (default 3.0; set 0 to only report);
+//! * `RAYON_NUM_THREADS` — worker threads for the parallel predict
+//!   timing (the gate itself is single-threaded by construction).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use battleship::{run_active_learning, BattleshipStrategy, ExperimentConfig};
+use em_core::{Label, PerfectOracle, Rng};
+use em_matcher::{
+    predict_reference, train_matcher, train_matcher_reference, FeatureConfig, Featurizer,
+    MatcherConfig,
+};
+use em_synth::{generate, DatasetProfile};
+use em_vector::Embeddings;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Two-blob synthetic matching task: rows of class 1 cluster around one
+/// center, class 0 around another, with enough overlap that training
+/// has real work to do.
+fn synthetic_task(n: usize, dim: usize, seed: u64) -> (Embeddings, Vec<Label>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let center_pos: Vec<f32> = (0..dim).map(|_| rng.normal() as f32 * 0.8).collect();
+    let center_neg: Vec<f32> = (0..dim).map(|_| rng.normal() as f32 * 0.8).collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let positive = i % 3 == 0;
+        let center = if positive { &center_pos } else { &center_neg };
+        rows.push(
+            center
+                .iter()
+                .map(|&c| c + rng.normal() as f32 * 0.9)
+                .collect::<Vec<f32>>(),
+        );
+        labels.push(Label::from_bool(positive));
+    }
+    (
+        Embeddings::from_rows(&rows).expect("non-empty task"),
+        labels,
+    )
+}
+
+fn main() {
+    let n: usize = env_or("EM_BENCH_MATCHER_N", 5000);
+    let dim: usize = env_or("EM_BENCH_MATCHER_DIM", 128);
+    let min_speedup: f64 = env_or("EM_BENCH_MATCHER_MIN_SPEEDUP", 3.0);
+    let out_path: String = env_or("EM_BENCH_MATCHER_OUT", "BENCH_matcher.json".to_string());
+
+    let train_n = (n / 5).max(64);
+    let valid_n = (n / 10).max(32);
+    eprintln!(
+        "[matcher] synthetic task: n = {n}, dim = {dim}, train = {train_n}, valid = {valid_n}"
+    );
+    let (features, labels) = synthetic_task(n, dim, 0xBEEF);
+    let train_idx: Vec<usize> = (0..train_n).collect();
+    let train_labels: Vec<Label> = train_idx.iter().map(|&i| labels[i]).collect();
+    let valid_idx: Vec<usize> = (train_n..train_n + valid_n).collect();
+    let valid_labels: Vec<Label> = valid_idx.iter().map(|&i| labels[i]).collect();
+    let all_idx: Vec<usize> = (0..n).collect();
+    let config = MatcherConfig {
+        hidden: vec![96],
+        epochs: 10,
+        seed: 0xD1770,
+        ..Default::default()
+    };
+
+    // Golden check before timing: the batched + parallel predict must be
+    // bit-identical to the per-row scalar path.
+    eprintln!("[matcher] golden check: batched predict ≡ per-row …");
+    let probe = train_matcher(
+        &features,
+        &train_idx,
+        &train_labels,
+        &valid_idx,
+        &valid_labels,
+        &config,
+    )
+    .expect("probe training");
+    let batched = probe.predict(&features, &all_idx).expect("batched predict");
+    for (bi, &i) in all_idx.iter().enumerate().step_by(97) {
+        let (pred, repr) = probe.predict_one(features.row(i)).expect("scalar predict");
+        assert_eq!(
+            batched.predictions[bi].prob.to_bits(),
+            pred.prob.to_bits(),
+            "row {i} prob diverged"
+        );
+        assert_eq!(
+            batched.representations.row(bi),
+            repr.as_slice(),
+            "row {i} representation diverged"
+        );
+    }
+    eprintln!(
+        "[matcher] golden check passed (tier: {}, best epoch {}, valid F1 {:.3})",
+        em_vector::simd_tier().name(),
+        probe.best_epoch,
+        probe.best_valid_f1
+    );
+
+    // Measure the seed-verbatim scalar baseline (inherently one core).
+    eprintln!("[matcher] timing scalar baseline (seed implementation) …");
+    let scalar = criterion::measure(3, || {
+        let m = train_matcher_reference(
+            &features,
+            &train_idx,
+            &train_labels,
+            &valid_idx,
+            &valid_labels,
+            &config,
+        )
+        .expect("reference training");
+        predict_reference(&m, &features, &all_idx).expect("reference predict")
+    });
+    eprintln!("[matcher] scalar baseline: {:.3} s", scalar.median_secs);
+
+    // Measure the batched engine pinned to one core — the gate compares
+    // kernel engines, not thread counts.
+    eprintln!("[matcher] timing batched engine (one core) …");
+    let batched_serial = rayon::serial_scope(|| {
+        criterion::measure(3, || {
+            let m = train_matcher(
+                &features,
+                &train_idx,
+                &train_labels,
+                &valid_idx,
+                &valid_labels,
+                &config,
+            )
+            .expect("batched training");
+            m.predict(&features, &all_idx).expect("batched predict")
+        })
+    });
+    eprintln!(
+        "[matcher] batched engine (1 core): {:.3} s",
+        batched_serial.median_secs
+    );
+
+    eprintln!("[matcher] timing batched engine (all threads) …");
+    let batched_parallel = criterion::measure(5, || {
+        let m = train_matcher(
+            &features,
+            &train_idx,
+            &train_labels,
+            &valid_idx,
+            &valid_labels,
+            &config,
+        )
+        .expect("batched training");
+        m.predict(&features, &all_idx).expect("batched predict")
+    });
+    eprintln!(
+        "[matcher] batched engine (parallel): {:.3} s",
+        batched_parallel.median_secs
+    );
+
+    let speedup = scalar.median_secs / batched_serial.median_secs.max(1e-12);
+    let speedup_parallel = scalar.median_secs / batched_parallel.median_secs.max(1e-12);
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "[matcher] speedup: {speedup:.2}× on one core, {speedup_parallel:.2}× with {threads} \
+         threads (gate: ≥ {min_speedup:.1}× one-core)"
+    );
+
+    // End-to-end iteration latency: a full 2-iteration battleship run on
+    // an amazon_google-scaled task, so the bench history tracks the
+    // whole loop (train + predict + select), not just this subsystem.
+    eprintln!("[matcher] end-to-end: run_active_learning (amazon_google, 2 iterations) …");
+    let profile = DatasetProfile::amazon_google().scaled(0.06);
+    let dataset = generate(&profile, &mut Rng::seed_from_u64(0xDA7A)).expect("dataset");
+    let featurizer = Featurizer::new(&dataset, FeatureConfig::default()).expect("featurizer");
+    let e2e_features = featurizer.featurize_all(&dataset).expect("features");
+    let mut e2e_config = ExperimentConfig::default();
+    e2e_config.al.budget = 40;
+    e2e_config.al.seed_size = 40;
+    e2e_config.al.weak_budget = 40;
+    e2e_config.al.iterations = 2;
+    e2e_config.matcher.epochs = 12;
+    e2e_config.battleship.kselect_sample = 256;
+    let oracle = PerfectOracle::new();
+    let t_e2e = Instant::now();
+    let report = run_active_learning(
+        &dataset,
+        &e2e_features,
+        &mut BattleshipStrategy::new(),
+        &oracle,
+        &e2e_config,
+        1,
+    )
+    .expect("end-to-end run");
+    let e2e_secs = t_e2e.elapsed().as_secs_f64();
+    let final_f1 = report
+        .iterations
+        .last()
+        .map(|it| it.test_f1_pct)
+        .unwrap_or(f64::NAN);
+    let e2e_train_secs: f64 = report.iterations.iter().map(|it| it.train_secs).sum();
+    let e2e_select_secs: f64 = report.iterations.iter().map(|it| it.select_secs).sum();
+    eprintln!(
+        "[matcher] end-to-end: {e2e_secs:.3} s ({} pairs, train {e2e_train_secs:.3} s, select \
+         {e2e_select_secs:.3} s, final F1 {final_f1:.1}%)",
+        dataset.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"matcher train+predict\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \
+         \"train_n\": {train_n},\n  \"valid_n\": {valid_n},\n  \"epochs\": {},\n  \
+         \"threads\": {threads},\n  \"simd_tier\": \"{}\",\n  \
+         \"scalar_median_secs\": {:.6},\n  \"batched_serial_median_secs\": {:.6},\n  \
+         \"batched_parallel_median_secs\": {:.6},\n  \"speedup_one_core\": {:.3},\n  \
+         \"speedup_parallel\": {:.3},\n  \"min_speedup_gate\": {min_speedup},\n  \
+         \"e2e\": {{\n    \"dataset\": \"{}\",\n    \"scale\": 0.06,\n    \"pairs\": {},\n    \
+         \"iterations\": {},\n    \"budget\": {},\n    \"wall_secs\": {:.6},\n    \
+         \"train_secs\": {:.6},\n    \"select_secs\": {:.6},\n    \"final_f1_pct\": {:.3}\n  }}\n}}\n",
+        config.epochs,
+        em_vector::simd_tier().name(),
+        scalar.median_secs,
+        batched_serial.median_secs,
+        batched_parallel.median_secs,
+        speedup,
+        speedup_parallel,
+        dataset.name,
+        dataset.len(),
+        e2e_config.al.iterations,
+        e2e_config.al.budget,
+        e2e_secs,
+        e2e_train_secs,
+        e2e_select_secs,
+        final_f1,
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("[matcher] wrote {out_path}"),
+        Err(e) => eprintln!("[matcher] warning: could not write {out_path}: {e}"),
+    }
+
+    if min_speedup > 0.0 && speedup < min_speedup {
+        eprintln!("[matcher] FAIL: speedup {speedup:.2}× below the {min_speedup:.1}× gate");
+        std::process::exit(1);
+    }
+    eprintln!("[matcher] PASS");
+}

@@ -74,17 +74,27 @@ impl AdamW {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / bc1;
-            let v_hat = self.v[i] / bc2;
-            let mut update = m_hat / (v_hat.sqrt() + self.eps);
-            if decay_mask[i] {
-                update += self.weight_decay * params[i];
-            }
-            params[i] -= self.lr * update;
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+        // Branch-free element update (the mask folds to a `select`), all
+        // inputs walked in lockstep with bounds checks elided — the loop
+        // body has no loop-borne dependency, so LLVM vectorizes it
+        // (vsqrtps/vdivps included). This step runs once per mini-batch
+        // over every parameter; as a flat O(n_params) cost it is shared
+        // by both matcher engines and sits on the training hot path.
+        let iter = params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+            .zip(decay_mask);
+        for (((p, &g), (m, v)), &mask) in iter {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            let decay = if mask { wd } else { 0.0 };
+            let update = m_hat / (v_hat.sqrt() + eps) + decay * *p;
+            *p -= lr * update;
         }
         Ok(())
     }

@@ -17,7 +17,12 @@
 //!   computed once per dataset and reused across iterations,
 //! * [`mlp`] — dense layers with ReLU, sigmoid head, manual
 //!   backpropagation; the **last hidden activation is the pair
-//!   representation** (the `[CLS]` analogue),
+//!   representation** (the `[CLS]` analogue); both passes are
+//!   layer-level GEMMs on `em-vector`'s runtime-dispatched kernels over
+//!   a reusable workspace,
+//! * [`reference`] — the seed's per-sample scalar forward/backward/
+//!   train/predict loops, preserved verbatim as the measured baseline
+//!   for the `em-bench` matcher benchmark,
 //! * [`adamw`] — the AdamW optimizer (Loshchilov & Hutter), which the
 //!   paper also uses,
 //! * [`matcher`] — the training loop: mini-batches, epochs, best-epoch
@@ -33,10 +38,12 @@ pub mod committee;
 pub mod features;
 pub mod matcher;
 pub mod mlp;
+pub mod reference;
 
 pub use adamw::AdamW;
 pub use calibration::{apply_temperature, expected_calibration_error};
 pub use committee::{Committee, CommitteeConfig};
 pub use features::{FeatureConfig, Featurizer};
 pub use matcher::{train_matcher, MatcherConfig, MatcherOutput, TrainedMatcher};
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpWorkspace};
+pub use reference::{predict_reference, train_matcher_reference};

@@ -1,4 +1,5 @@
-//! A multi-layer perceptron with manual backpropagation.
+//! A multi-layer perceptron with manual backpropagation, computed as
+//! layer-level GEMMs.
 //!
 //! Architecture: `input → [hidden ReLU]* → 1 logit`, sigmoid head,
 //! binary cross-entropy loss. The activation of the **last hidden layer**
@@ -9,21 +10,67 @@
 //! Parameters are stored flat (one contiguous `Vec<f32>`) so the AdamW
 //! optimizer treats the whole network uniformly and snapshots for
 //! best-epoch selection are a single memcpy.
+//!
+//! # Compute engine
+//!
+//! Both passes run as one layer-level batched product per layer over a
+//! reusable [`MlpWorkspace`], in the GEMM order that fits each
+//! contraction. The forward pass contracts over the (wide) feature
+//! dimension, so it is one dispatched [`em_vector::gemm_bias_relu`] per
+//! layer — every inner product one dispatched `dot` (16 fixed lanes,
+//! fixed reduction order), making the batched forward **bit-identical**
+//! to the per-row [`Mlp::forward`] path on every SIMD tier (the golden
+//! tests in this module and in [`crate::matcher`] assert it). The
+//! backward pass contracts over the batch / output-unit dimensions,
+//! which are far too short for a dot-reduction kernel to amortize, so
+//! its two products (`∂W = Δᵀ·A`, `Δ' = Δ·W`) run in outer-product
+//! (rank-1 update) order: data-parallel axpy rows with no loop-borne
+//! dependency, vectorizing at full width on any tier, with dead ReLU
+//! units skipping their rows. The seed's per-sample scalar
+//! implementation is preserved verbatim in [`crate::reference`] as the
+//! measured baseline.
 
 // Numeric kernels here walk several parallel arrays by index; the
 // indexed form keeps the lockstep structure visible.
 #![allow(clippy::needless_range_loop)]
 use em_core::{EmError, Result, Rng};
+use em_vector::gemm_bias_relu;
 
 /// Layer shape metadata over the flat parameter buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LayerSpec {
-    in_dim: usize,
-    out_dim: usize,
+pub(crate) struct LayerSpec {
+    pub(crate) in_dim: usize,
+    pub(crate) out_dim: usize,
     /// Offset of the weight block (`out_dim × in_dim`, row-major).
-    w_off: usize,
+    pub(crate) w_off: usize,
     /// Offset of the bias block (`out_dim`).
-    b_off: usize,
+    pub(crate) b_off: usize,
+}
+
+/// Reusable buffers for the batched passes.
+///
+/// One workspace serves any number of [`Mlp::forward_batch`] /
+/// [`Mlp::backward_batch`] calls (of any batch size); buffers grow to
+/// the largest batch seen and are reused, so a training run performs no
+/// steady-state allocation. Create one per thread — the matcher's
+/// parallel predict fans out over row chunks, each with its own
+/// workspace.
+#[derive(Debug, Default)]
+pub struct MlpWorkspace {
+    /// `acts[0]` is the packed input batch; `acts[l + 1]` the
+    /// post-activation output of layer `l` (`batch × out_dim`).
+    acts: Vec<Vec<f32>>,
+    /// Delta of the current layer (`batch × out_dim`).
+    delta: Vec<f32>,
+    /// Delta being back-propagated to the previous layer.
+    delta_prev: Vec<f32>,
+}
+
+impl MlpWorkspace {
+    /// Empty workspace; buffers are sized lazily by the first pass.
+    pub fn new() -> Self {
+        MlpWorkspace::default()
+    }
 }
 
 /// The MLP: flat parameters plus layer specs.
@@ -101,6 +148,16 @@ impl Mlp {
         &mut self.params
     }
 
+    /// Flat parameter view (the seed-verbatim reference path reads it).
+    pub(crate) fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Layer metadata view (the seed-verbatim reference path reads it).
+    pub(crate) fn layer_specs(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
     /// Weight-decay mask aligned with [`Mlp::params_mut`].
     pub fn decay_mask(&self) -> &[bool] {
         &self.decay_mask
@@ -127,7 +184,10 @@ impl Mlp {
     /// Forward pass for one input; returns `(logit, representation)`.
     ///
     /// The representation is the post-ReLU activation of the last hidden
-    /// layer.
+    /// layer. This is the per-row scalar path: each layer output is one
+    /// dispatched [`em_vector::dot`] plus the bias — the same arithmetic,
+    /// in the same order, as one row of [`Mlp::forward_batch`], so the
+    /// two are bit-identical.
     pub fn forward(&self, x: &[f32]) -> Result<(f32, Vec<f32>)> {
         if x.len() != self.input_dim() {
             return Err(EmError::DimensionMismatch {
@@ -142,11 +202,7 @@ impl Mlp {
             let mut next = vec![0.0f32; spec.out_dim];
             for o in 0..spec.out_dim {
                 let row = &self.params[spec.w_off + o * spec.in_dim..][..spec.in_dim];
-                let mut acc = self.params[spec.b_off + o];
-                for (w, a) in row.iter().zip(&activation) {
-                    acc += w * a;
-                }
-                next[o] = acc;
+                next[o] = em_vector::kernel::dot(&activation, row) + self.params[spec.b_off + o];
             }
             let is_output = li == self.layers.len() - 1;
             if !is_output {
@@ -162,16 +218,78 @@ impl Mlp {
         Ok((activation[0], repr))
     }
 
+    /// Batched forward over `batch` rows packed row-major in `xs`
+    /// (`batch × input_dim`). Returns `(logits, representations)` views
+    /// into the workspace: `logits` has `batch` entries, the
+    /// representations are `batch × repr_dim` row-major.
+    ///
+    /// One [`em_vector::gemm_bias_relu`] per layer; bit-identical to
+    /// calling [`Mlp::forward`] row by row.
+    pub fn forward_batch<'w>(
+        &self,
+        xs: &[f32],
+        batch: usize,
+        ws: &'w mut MlpWorkspace,
+    ) -> Result<(&'w [f32], &'w [f32])> {
+        if xs.len() != batch * self.input_dim() {
+            return Err(EmError::DimensionMismatch {
+                context: "MLP forward_batch".into(),
+                expected: batch * self.input_dim(),
+                actual: xs.len(),
+            });
+        }
+        if batch == 0 {
+            return Err(EmError::EmptyInput("MLP batch".into()));
+        }
+        ws.acts.resize_with(self.layers.len() + 1, Vec::new);
+        ws.acts[0].clear();
+        ws.acts[0].extend_from_slice(xs);
+        self.forward_batch_packed(batch, ws);
+        let n_layers = self.layers.len();
+        Ok((&ws.acts[n_layers], &ws.acts[n_layers - 1]))
+    }
+
+    /// Forward over the batch already packed in `ws.acts[0]`.
+    fn forward_batch_packed(&self, batch: usize, ws: &mut MlpWorkspace) {
+        let n_layers = self.layers.len();
+        for (li, spec) in self.layers.iter().enumerate() {
+            let (prev, rest) = ws.acts.split_at_mut(li + 1);
+            let input = &prev[li];
+            let out = &mut rest[0];
+            out.clear();
+            out.resize(batch * spec.out_dim, 0.0);
+            gemm_bias_relu(
+                input,
+                batch,
+                &self.params[spec.w_off..spec.w_off + spec.out_dim * spec.in_dim],
+                spec.out_dim,
+                spec.in_dim,
+                &self.params[spec.b_off..spec.b_off + spec.out_dim],
+                li != n_layers - 1,
+                out,
+            );
+        }
+    }
+
     /// Forward + backward over a mini-batch; accumulates the mean BCE
     /// gradient into `grads` (zeroed here) and returns the mean loss.
     ///
     /// `targets[i] ∈ {0.0, 1.0}`; `sample_weights` rescales individual
     /// samples (all-ones for the standard loss).
+    ///
+    /// The whole pass is layer-level: one batched forward
+    /// ([`Mlp::forward_batch`] internals, activations cached in `ws`),
+    /// then per layer one weight-gradient product (`∂W = Δᵀ·A / batch`)
+    /// and one delta propagation (`Δ' = Δ·W`, ReLU-gated), both in
+    /// vectorized rank-1-update order (see the module docs) — the
+    /// seed's per-sample index loops are preserved in
+    /// [`crate::reference::backward_batch_reference`].
     pub fn backward_batch(
         &self,
         xs: &[&[f32]],
         targets: &[f32],
         sample_weights: &[f32],
+        ws: &mut MlpWorkspace,
         grads: &mut Vec<f32>,
     ) -> Result<f32> {
         if xs.len() != targets.len() || xs.len() != sample_weights.len() {
@@ -184,15 +302,11 @@ impl Mlp {
         if xs.is_empty() {
             return Err(EmError::EmptyInput("MLP batch".into()));
         }
-        grads.clear();
-        grads.resize(self.params.len(), 0.0);
-
-        let n_layers = self.layers.len();
-        let batch_inv = 1.0 / xs.len() as f32;
-        let mut total_loss = 0.0f32;
-
-        // Per-sample forward with cached activations, then backward.
-        for (si, &x) in xs.iter().enumerate() {
+        let batch = xs.len();
+        ws.acts.resize_with(self.layers.len() + 1, Vec::new);
+        ws.acts[0].clear();
+        ws.acts[0].reserve(batch * self.input_dim());
+        for &x in xs {
             if x.len() != self.input_dim() {
                 return Err(EmError::DimensionMismatch {
                     context: "MLP backward_batch input".into(),
@@ -200,79 +314,102 @@ impl Mlp {
                     actual: x.len(),
                 });
             }
-            // Forward, caching post-activation outputs per layer.
-            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(n_layers + 1);
-            acts.push(x.to_vec());
-            for (li, spec) in self.layers.iter().enumerate() {
-                let prev = &acts[li];
-                let mut next = vec![0.0f32; spec.out_dim];
-                for o in 0..spec.out_dim {
-                    let row = &self.params[spec.w_off + o * spec.in_dim..][..spec.in_dim];
-                    let mut acc = self.params[spec.b_off + o];
-                    for (w, a) in row.iter().zip(prev) {
-                        acc += w * a;
-                    }
-                    next[o] = acc;
-                }
-                if li != n_layers - 1 {
-                    for v in &mut next {
-                        *v = v.max(0.0);
-                    }
-                }
-                acts.push(next);
-            }
+            ws.acts[0].extend_from_slice(x);
+        }
+        self.forward_batch_packed(batch, ws);
 
-            let logit = acts[n_layers][0];
-            let prob = sigmoid(logit);
-            let y = targets[si];
-            let w = sample_weights[si];
+        grads.clear();
+        grads.resize(self.params.len(), 0.0);
+        let n_layers = self.layers.len();
+        let batch_inv = 1.0 / batch as f32;
+
+        // Borrow the workspace fields disjointly for the backward loop.
+        let MlpWorkspace {
+            acts,
+            delta,
+            delta_prev,
+        } = ws;
+
+        // Loss and delta at the logit (output layer has width 1).
+        let logits = &acts[n_layers];
+        let mut total_loss = 0.0f32;
+        delta.clear();
+        delta.resize(batch, 0.0);
+        for s in 0..batch {
+            let logit = logits[s];
+            let y = targets[s];
+            let w = sample_weights[s];
             // Numerically stable BCE-with-logits.
-            let loss = logit.max(0.0) - logit * y + (1.0 + (-logit.abs()).exp()).ln();
-            total_loss += w * loss;
+            total_loss += w * (logit.max(0.0) - logit * y + (1.0 + (-logit.abs()).exp()).ln());
+            delta[s] = w * (sigmoid(logit) - y);
+        }
 
-            // Backward: delta at the logit.
-            let mut delta = vec![w * (prob - y)];
-            for li in (0..n_layers).rev() {
-                let spec = self.layers[li];
-                let prev_act = &acts[li];
-                // Accumulate gradients of this layer.
-                for o in 0..spec.out_dim {
-                    let d = delta[o] * batch_inv;
+        for li in (0..n_layers).rev() {
+            let spec = self.layers[li];
+            let prev_act = &acts[li];
+            // Weight + bias gradients: ∂W = Δᵀ·A / batch, ∂b = Δᵀ·1 /
+            // batch. The contraction dimension is the batch — far too
+            // short for a dot-reduction GEMM to amortize — so this runs
+            // the product in outer-product (rank-1 update) order: one
+            // data-parallel axpy row per (sample, live output unit).
+            // Those rows carry no loop-borne dependency, so they
+            // vectorize at full width on any tier, the per-entry
+            // reduction is in sample order (the seed's), and dead ReLU
+            // units (`d == 0`) skip their whole row.
+            let gw_end = spec.w_off + spec.out_dim * spec.in_dim;
+            for s in 0..batch {
+                let drow = &delta[s * spec.out_dim..(s + 1) * spec.out_dim];
+                let arow = &prev_act[s * spec.in_dim..(s + 1) * spec.in_dim];
+                for (o, &d) in drow.iter().enumerate() {
                     if d == 0.0 {
                         continue;
                     }
                     let wrow = spec.w_off + o * spec.in_dim;
-                    for (g, a) in grads[wrow..wrow + spec.in_dim].iter_mut().zip(prev_act) {
+                    for (g, &a) in grads[wrow..wrow + spec.in_dim].iter_mut().zip(arow) {
                         *g += d * a;
                     }
                     grads[spec.b_off + o] += d;
                 }
-                if li == 0 {
-                    break;
-                }
-                // Propagate delta to the previous layer through Wᵀ, gated
-                // by the ReLU derivative (prev activation > 0).
-                let mut prev_delta = vec![0.0f32; spec.in_dim];
-                for o in 0..spec.out_dim {
-                    let d = delta[o];
+            }
+            for g in &mut grads[spec.w_off..gw_end] {
+                *g *= batch_inv;
+            }
+            for g in &mut grads[spec.b_off..spec.b_off + spec.out_dim] {
+                *g *= batch_inv;
+            }
+            if li == 0 {
+                break;
+            }
+            // Delta propagation: Δ'[s, i] = Σ_o Δ[s, o] · W[o, i], gated
+            // by the ReLU derivative (prev activation > 0). Same
+            // rank-1-update order (the contraction is over output units,
+            // accumulated ascending — the seed's order), axpy rows over
+            // the contiguous weight rows.
+            delta_prev.clear();
+            delta_prev.resize(batch * spec.in_dim, 0.0);
+            for s in 0..batch {
+                let drow = &delta[s * spec.out_dim..(s + 1) * spec.out_dim];
+                let out_row = &mut delta_prev[s * spec.in_dim..(s + 1) * spec.in_dim];
+                for (o, &d) in drow.iter().enumerate() {
                     if d == 0.0 {
                         continue;
                     }
                     let wrow = spec.w_off + o * spec.in_dim;
-                    for (pd, w) in prev_delta
+                    for (pd, &w) in out_row
                         .iter_mut()
                         .zip(&self.params[wrow..wrow + spec.in_dim])
                     {
                         *pd += d * w;
                     }
                 }
-                for (pd, &a) in prev_delta.iter_mut().zip(prev_act) {
+                let arow = &prev_act[s * spec.in_dim..(s + 1) * spec.in_dim];
+                for (pd, &a) in out_row.iter_mut().zip(arow) {
                     if a <= 0.0 {
                         *pd = 0.0;
                     }
                 }
-                delta = prev_delta;
             }
+            std::mem::swap(delta, delta_prev);
         }
         Ok(total_loss * batch_inv)
     }
@@ -325,7 +462,9 @@ mod tests {
         let x: Vec<f32> = vec![0.5, -0.3, 0.8];
         let y = 1.0f32;
         let mut grads = Vec::new();
-        mlp.backward_batch(&[&x], &[y], &[1.0], &mut grads).unwrap();
+        let mut ws = MlpWorkspace::new();
+        mlp.backward_batch(&[&x], &[y], &[1.0], &mut ws, &mut grads)
+            .unwrap();
 
         let loss_of = |m: &Mlp| -> f32 {
             let (logit, _) = m.forward(&x).unwrap();
@@ -369,12 +508,14 @@ mod tests {
             })
             .collect();
         let mut grads = Vec::new();
+        let mut scratch = MlpWorkspace::new();
         for _epoch in 0..60 {
             for chunk in data.chunks(32) {
                 let xs: Vec<&[f32]> = chunk.iter().map(|(x, _)| x.as_slice()).collect();
                 let ys: Vec<f32> = chunk.iter().map(|(_, y)| *y).collect();
                 let ws = vec![1.0f32; xs.len()];
-                mlp.backward_batch(&xs, &ys, &ws, &mut grads).unwrap();
+                mlp.backward_batch(&xs, &ys, &ws, &mut scratch, &mut grads)
+                    .unwrap();
                 let mask = mlp.decay_mask().to_vec();
                 opt.step(mlp.params_mut(), &grads, &mask).unwrap();
             }
@@ -401,10 +542,12 @@ mod tests {
             (vec![1.0, 1.0], 0.0),
         ];
         let mut grads = Vec::new();
+        let mut scratch = MlpWorkspace::new();
         for _ in 0..800 {
             let xs: Vec<&[f32]> = data.iter().map(|(x, _)| x.as_slice()).collect();
             let ys: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
-            mlp.backward_batch(&xs, &ys, &[1.0; 4], &mut grads).unwrap();
+            mlp.backward_batch(&xs, &ys, &[1.0; 4], &mut scratch, &mut grads)
+                .unwrap();
             let mask = mlp.decay_mask().to_vec();
             opt.step(mlp.params_mut(), &grads, &mask).unwrap();
         }
@@ -427,6 +570,90 @@ mod tests {
         let (after, _) = mlp.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(before, after);
         assert!(mlp.restore(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_per_row_on_every_tier() {
+        use em_vector::{with_simd_tier, SimdTier};
+        let mut rng = Rng::seed_from_u64(40);
+        // Width 37 exercises the ragged remainder of the 16-lane dot;
+        // batch 21 exercises ragged GEMM tiles.
+        let mlp = Mlp::new(37, &[24, 9], &mut rng).unwrap();
+        let batch = 21;
+        let xs: Vec<f32> = (0..batch * 37).map(|_| rng.normal() as f32).collect();
+        for tier in [SimdTier::Portable, SimdTier::Avx2] {
+            with_simd_tier(tier, || {
+                rayon::serial_scope(|| {
+                    let mut ws = MlpWorkspace::new();
+                    let (logits, reprs) = mlp.forward_batch(&xs, batch, &mut ws).unwrap();
+                    assert_eq!(logits.len(), batch);
+                    assert_eq!(reprs.len(), batch * 9);
+                    for s in 0..batch {
+                        let (logit, repr) = mlp.forward(&xs[s * 37..(s + 1) * 37]).unwrap();
+                        assert_eq!(
+                            logits[s].to_bits(),
+                            logit.to_bits(),
+                            "tier {} sample {s}",
+                            tier.name()
+                        );
+                        for (a, b) in reprs[s * 9..(s + 1) * 9].iter().zip(&repr) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "tier {}", tier.name());
+                        }
+                    }
+                })
+            });
+        }
+    }
+
+    #[test]
+    fn backward_batch_bit_identical_across_tiers() {
+        use em_vector::{with_simd_tier, SimdTier};
+        let mut rng = Rng::seed_from_u64(41);
+        let mlp = Mlp::new(33, &[20], &mut rng).unwrap();
+        let batch = 13;
+        let flat: Vec<f32> = (0..batch * 33).map(|_| rng.normal() as f32).collect();
+        let xs: Vec<&[f32]> = flat.chunks(33).collect();
+        let ys: Vec<f32> = (0..batch).map(|s| (s % 2) as f32).collect();
+        let wts = vec![1.0f32; batch];
+        let run = |tier| {
+            with_simd_tier(tier, || {
+                rayon::serial_scope(|| {
+                    let mut ws = MlpWorkspace::new();
+                    let mut grads = Vec::new();
+                    let loss = mlp
+                        .backward_batch(&xs, &ys, &wts, &mut ws, &mut grads)
+                        .unwrap();
+                    (loss, grads)
+                })
+            })
+        };
+        let (loss_p, grads_p) = run(SimdTier::Portable);
+        let (loss_a, grads_a) = run(SimdTier::Avx2);
+        assert_eq!(loss_p.to_bits(), loss_a.to_bits());
+        assert_eq!(grads_p.len(), grads_a.len());
+        for (p, a) in grads_p.iter().zip(&grads_a) {
+            assert_eq!(p.to_bits(), a.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_batch_sizes() {
+        let mut rng = Rng::seed_from_u64(42);
+        let mlp = Mlp::new(8, &[5], &mut rng).unwrap();
+        let mut ws = MlpWorkspace::new();
+        for batch in [4usize, 9, 1, 6] {
+            let xs: Vec<f32> = (0..batch * 8).map(|_| rng.normal() as f32).collect();
+            let (logits, reprs) = mlp.forward_batch(&xs, batch, &mut ws).unwrap();
+            assert_eq!(logits.len(), batch);
+            assert_eq!(reprs.len(), batch * 5);
+            for s in 0..batch {
+                let (logit, _) = mlp.forward(&xs[s * 8..(s + 1) * 8]).unwrap();
+                assert_eq!(logits[s].to_bits(), logit.to_bits(), "batch {batch}");
+            }
+        }
+        // Shape errors are reported, not asserted.
+        assert!(mlp.forward_batch(&[1.0; 7], 1, &mut ws).is_err());
+        assert!(mlp.forward_batch(&[], 0, &mut ws).is_err());
     }
 
     #[test]

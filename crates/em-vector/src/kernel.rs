@@ -1,15 +1,17 @@
 //! Blocked similarity kernels — the compute layer behind the spatial
-//! pipeline.
+//! pipeline *and* the matcher's batched GEMM engine.
 //!
 //! The cluster → graph → centrality pipeline (§3.3) spends its time in
 //! two primitives: pairwise dot products of unit-norm pair
 //! representations (edge scoring; the paper runs this step on FAISS's
 //! batched kernels, §4.2) and point-to-centroid squared distances
-//! (K-Means). The seed implementation evaluated both one scalar call at
-//! a time, recomputing each similarity up to three times across the
-//! q-NN and top-ratio stages. This module provides the batched versions
-//! every hot path now uses:
+//! (K-Means). The matcher half of each iteration (§3.1/§4.2) spends its
+//! time in dense layer products, which reduce to the same primitive.
+//! This module provides the batched versions every hot path now uses:
 //!
+//! * [`gemm`] / [`gemm_bias_relu`] — cache-blocked row-major `A·Bᵀ`
+//!   matrix products (the MLP forward/backward building block; the
+//!   fused variant adds a per-column bias and an optional ReLU);
 //! * [`gram_packed`] / [`gram_block`] — cache-blocked Gram matrices
 //!   (`X·Yᵀ`) over row subsets, computed once and reused by every
 //!   downstream stage;
@@ -21,18 +23,282 @@
 //! * [`pack_rows`] — gathers a row subset into a contiguous buffer so
 //!   the kernels stream without indirection.
 //!
-//! **Determinism contract.** Every dot product is evaluated by the one
-//! shared [`dot`] kernel (16 fixed accumulator lanes, fixed reduction
-//! order) the scalar paths also use, so each Gram entry is bit-identical
-//! to the
-//! corresponding `dot(row(i), row(j))` call — blocking only reorders
-//! *which pairs* are computed when, never the arithmetic within a pair.
-//! The golden tests in this module assert exactly that.
+//! # Dispatch tiers
+//!
+//! Every inner product goes through one runtime-dispatched [`dot`]
+//! kernel with two tiers, decided **once** at startup (cached in a
+//! `OnceLock`) via `std::is_x86_feature_detected!`:
+//!
+//! * [`SimdTier::Portable`] — the 16-lane autovectorizing form shared
+//!   with [`crate::embeddings::dot`]; compiles on every target.
+//! * [`SimdTier::Avx2`] — explicit AVX2 intrinsics (selected when the
+//!   CPU reports `avx2` **and** `fma`): the same 16 lanes held in two
+//!   256-bit accumulators, multiply-then-add per lane.
+//!
+//! `EM_SIMD_TIER=portable` forces the fallback (e.g. to A/B the tiers on
+//! one machine); [`with_simd_tier`] overrides the tier on the current
+//! thread for golden tests.
+//!
+//! # Reduction-order contract
+//!
+//! All tiers compute **bit-identical** results: 16 fixed accumulator
+//! lanes (lane `l` accumulates elements `16·c + l`), lanes reduced in
+//! ascending order, scalar remainder folded last. The AVX2 tier encodes
+//! exactly that shape — and deliberately performs *separate* multiply
+//! and add (no `fmadd` contraction: FMA's single rounding would diverge
+//! from the portable lanes; AVX-512 with an FMA inner loop behind a
+//! tolerance-gated — not bit-gated — comparison is the recorded next
+//! step in ROADMAP.md). Blocked kernels ([`gemm`], [`gram_packed`], …)
+//! evaluate each output entry as exactly one [`dot`] call (plus, for the
+//! fused variant, one bias add after the reduction), so blocking and
+//! parallelism only reorder *which entries* are computed when, never the
+//! arithmetic within an entry. The golden tests in this module and the
+//! matcher's GEMM-vs-scalar tests assert exactly that.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 use rayon::prelude::*;
 
-use crate::embeddings::{dot, Embeddings};
+use crate::embeddings::{dot as portable_dot, Embeddings};
 use crate::knn::{Neighbor, TopBuffer};
+
+// --- Runtime ISA dispatch. -----------------------------------------------
+
+/// Instruction-set tier the dispatched kernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// 16-lane portable form (LLVM autovectorizes it on any target).
+    Portable,
+    /// Explicit AVX2 intrinsics; selected when the CPU reports both
+    /// `avx2` and `fma`. Bit-identical to [`SimdTier::Portable`] (see
+    /// the module-level reduction-order contract).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Stable display name (`"portable"` / `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Portable => "portable",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Detect the best available tier. `EM_SIMD_TIER=portable` forces the
+/// fallback; any other value (or none) means "best detected".
+fn detect_tier() -> SimdTier {
+    if std::env::var("EM_SIMD_TIER").is_ok_and(|v| v.eq_ignore_ascii_case("portable")) {
+        return SimdTier::Portable;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return SimdTier::Avx2;
+        }
+    }
+    SimdTier::Portable
+}
+
+thread_local! {
+    /// Per-thread tier override for golden tests ([`with_simd_tier`]).
+    static TIER_OVERRIDE: Cell<Option<SimdTier>> = const { Cell::new(None) };
+}
+
+/// The dispatched tier: the startup detection, unless overridden on this
+/// thread by [`with_simd_tier`]. The detection runs once per process.
+pub fn simd_tier() -> SimdTier {
+    if let Some(t) = TIER_OVERRIDE.with(Cell::get) {
+        return t;
+    }
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(detect_tier)
+}
+
+/// Run `f` with the dispatched tier pinned on the **current thread**
+/// (golden tests compare the tiers this way; combine with
+/// `rayon::serial_scope` so no work escapes to other threads). A
+/// requested tier the hardware cannot run is clamped to the best
+/// available one, so this is always safe to call. The previous override
+/// is restored even if `f` panics (test harnesses catch unwinds and
+/// reuse the thread).
+pub fn with_simd_tier<R>(tier: SimdTier, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SimdTier>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TIER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let clamped = tier.min(detect_tier());
+    let _restore = Restore(TIER_OVERRIDE.with(|c| c.replace(Some(clamped))));
+    f()
+}
+
+/// AVX2 dot product mirroring the portable 16-lane kernel exactly:
+/// lanes 0–7 live in `acc0`, lanes 8–15 in `acc1`, each updated with a
+/// separate multiply and add (no `fmadd`), then reduced in lane order
+/// with the scalar remainder folded last — bit-identical to
+/// [`crate::embeddings::dot`] by construction.
+///
+/// # Safety
+/// Requires the `avx2` CPU feature (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let chunks = n / 16;
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let base = c * 16;
+        let a0 = _mm256_loadu_ps(pa.add(base));
+        let b0 = _mm256_loadu_ps(pb.add(base));
+        let a1 = _mm256_loadu_ps(pa.add(base + 8));
+        let b1 = _mm256_loadu_ps(pb.add(base + 8));
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(a0, b0));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(a1, b1));
+    }
+    let mut lanes = [0.0f32; 16];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc0);
+    _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc1);
+    let mut sum = 0.0f32;
+    for lane in lanes {
+        sum += lane;
+    }
+    for i in chunks * 16..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Four dot products of one left row against four consecutive packed
+/// right rows — the GEMM micro-kernel. Each output is computed with
+/// **exactly** the [`dot_avx2`] recipe (its own accumulator pair,
+/// multiply-then-add, lane-order reduction, sequential remainder), so
+/// every result is bit-identical to a standalone `dot` call; grouping
+/// only shares the loads of `a` and amortizes call overhead.
+///
+/// # Safety
+/// Requires the `avx2` CPU feature (guaranteed by dispatch); `b` must
+/// hold four consecutive rows of `a.len()` starting at `b_off`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// The remainder loop indexes `a` in lockstep with raw row pointers; the
+// indexed form keeps that correspondence visible.
+#[allow(clippy::needless_range_loop)]
+unsafe fn dot4_avx2(a: &[f32], b: &[f32], b_off: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let chunks = k / 16;
+    let pa = a.as_ptr();
+    let pb0 = b.as_ptr().add(b_off);
+    let pb1 = pb0.add(k);
+    let pb2 = pb1.add(k);
+    let pb3 = pb2.add(k);
+    let mut acc = [_mm256_setzero_ps(); 8];
+    for c in 0..chunks {
+        let base = c * 16;
+        let a0 = _mm256_loadu_ps(pa.add(base));
+        let a1 = _mm256_loadu_ps(pa.add(base + 8));
+        acc[0] = _mm256_add_ps(acc[0], _mm256_mul_ps(a0, _mm256_loadu_ps(pb0.add(base))));
+        acc[1] = _mm256_add_ps(
+            acc[1],
+            _mm256_mul_ps(a1, _mm256_loadu_ps(pb0.add(base + 8))),
+        );
+        acc[2] = _mm256_add_ps(acc[2], _mm256_mul_ps(a0, _mm256_loadu_ps(pb1.add(base))));
+        acc[3] = _mm256_add_ps(
+            acc[3],
+            _mm256_mul_ps(a1, _mm256_loadu_ps(pb1.add(base + 8))),
+        );
+        acc[4] = _mm256_add_ps(acc[4], _mm256_mul_ps(a0, _mm256_loadu_ps(pb2.add(base))));
+        acc[5] = _mm256_add_ps(
+            acc[5],
+            _mm256_mul_ps(a1, _mm256_loadu_ps(pb2.add(base + 8))),
+        );
+        acc[6] = _mm256_add_ps(acc[6], _mm256_mul_ps(a0, _mm256_loadu_ps(pb3.add(base))));
+        acc[7] = _mm256_add_ps(
+            acc[7],
+            _mm256_mul_ps(a1, _mm256_loadu_ps(pb3.add(base + 8))),
+        );
+    }
+    let rows = [pb0, pb1, pb2, pb3];
+    for (j, row) in rows.iter().enumerate() {
+        let mut lanes = [0.0f32; 16];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc[2 * j]);
+        _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc[2 * j + 1]);
+        let mut sum = 0.0f32;
+        for lane in lanes {
+            sum += lane;
+        }
+        for i in chunks * 16..k {
+            sum += a[i] * *row.add(i);
+        }
+        out[j] = sum;
+    }
+}
+
+/// Fill `out[j - j0]` with `dot(a, b_j)` for `j` in `j0..j1` over packed
+/// rows of width `k` — the inner loop of every GEMM tile. On the AVX2
+/// tier, groups of four consecutive rows go through the [`dot4_avx2`]
+/// micro-kernel (bit-identical to per-entry dots; the grouping only
+/// amortizes loads and calls), with per-entry dots on the remainder and
+/// on the portable tier.
+#[inline]
+fn dot_row_with_tier(
+    tier: SimdTier,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    j0: usize,
+    j1: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(j1 * k <= b.len());
+    debug_assert!(j1 - j0 <= out.len());
+    let mut j = j0;
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx2 {
+        while j + 4 <= j1 {
+            // SAFETY: Avx2 tier implies the feature is present; rows
+            // j..j+4 lie inside `b` by the debug-asserted bound.
+            unsafe { dot4_avx2(a, b, j * k, &mut out[j - j0..j - j0 + 4]) };
+            j += 4;
+        }
+    }
+    for jj in j..j1 {
+        out[jj - j0] = dot_with_tier(tier, a, &b[jj * k..(jj + 1) * k]);
+    }
+}
+
+/// Dot product on an explicit tier (dispatch hoisted by the blocked
+/// kernels so the decision is made once per kernel call, not per entry).
+#[inline]
+pub fn dot_with_tier(tier: SimdTier, a: &[f32], b: &[f32]) -> f32 {
+    // Hard assert: the AVX2 path reads `a.len()` elements of `b` through
+    // raw pointers, so a length mismatch must panic here rather than
+    // read out of bounds in release builds.
+    assert_eq!(a.len(), b.len());
+    match tier {
+        SimdTier::Portable => portable_dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the Avx2 tier is only ever produced by `detect_tier`
+        // (or clamped to it), which checks `avx2` at runtime.
+        SimdTier::Avx2 => unsafe { dot_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdTier::Avx2 => portable_dot(a, b),
+    }
+}
+
+/// Runtime-dispatched dot product — the one inner-product kernel every
+/// blocked path evaluates (bit-identical on every tier).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with_tier(simd_tier(), a, b)
+}
 
 /// Tile edge (rows × columns per block) for the blocked kernels. 64 rows
 /// of a 128-d `f32` matrix are 32 KiB — two operand tiles stay resident
@@ -56,23 +322,82 @@ pub fn pack_rows(data: &Embeddings, rows: &[usize]) -> Vec<f32> {
 /// Blocked Gram matrix between two packed row sets: `out[i·nb + j] =
 /// dot(a_i, b_j)`.
 ///
-/// `a` has `na` rows and `b` has `nb` rows, both of width `dim`. The
-/// traversal is tiled so operand tiles are reused across a whole block
-/// of outputs; each entry is one [`dot`] call (bit-identical to the
-/// scalar path).
+/// `a` has `na` rows and `b` has `nb` rows, both of width `dim`. A Gram
+/// matrix over row subsets *is* the [`gemm`] product `A·Bᵀ`, so this
+/// simply delegates — same tiling, same micro-kernel, each entry one
+/// [`dot`] call (bit-identical to the scalar path).
 pub fn gram_block(a: &[f32], na: usize, b: &[f32], nb: usize, dim: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), na * dim);
-    debug_assert_eq!(b.len(), nb * dim);
-    debug_assert_eq!(out.len(), na * nb);
-    for i0 in (0..na).step_by(TILE) {
-        let i1 = (i0 + TILE).min(na);
-        for j0 in (0..nb).step_by(TILE) {
-            let j1 = (j0 + TILE).min(nb);
+    gemm(a, na, b, nb, dim, out);
+}
+
+/// Cache-blocked row-major GEMM against a transposed right operand:
+/// `out[i·n + j] = dot(a_i, b_j)` — i.e. `C = A·Bᵀ` with `A` of shape
+/// `m × k` and `B` of shape `n × k`, both row-major.
+///
+/// This is the matcher's layer product: with `A` a batch of activations
+/// and `B` a weight matrix stored as `n` output rows of `k` inputs,
+/// `C` is the batch of pre-activations. Same tiling as [`gram_block`];
+/// each entry is exactly one [`dot`] call on the tier dispatched once
+/// per GEMM, so the result is bit-identical to the per-row scalar path
+/// on every tier.
+pub fn gemm(a: &[f32], m: usize, b: &[f32], n: usize, k: usize, out: &mut [f32]) {
+    // Hard asserts: the AVX2 micro-kernel reads through raw pointers, so
+    // an undersized operand must panic here rather than read out of
+    // bounds in release builds.
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(out.len(), m * n);
+    let tier = simd_tier();
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
             for i in i0..i1 {
-                let ai = &a[i * dim..(i + 1) * dim];
-                let row_out = &mut out[i * nb..(i + 1) * nb];
-                for j in j0..j1 {
-                    row_out[j] = dot(ai, &b[j * dim..(j + 1) * dim]);
+                let ai = &a[i * k..(i + 1) * k];
+                let row_out = &mut out[i * n + j0..i * n + j1];
+                dot_row_with_tier(tier, ai, b, k, j0, j1, row_out);
+            }
+        }
+    }
+}
+
+/// [`gemm`] fused with a per-column bias add and an optional ReLU:
+/// `out[i·n + j] = act(dot(a_i, b_j) + bias[j])` where `act` is
+/// `max(0, ·)` when `relu` is set and the identity otherwise.
+///
+/// The bias is added **after** the dot reduction completes (one `f32`
+/// add), matching the scalar forward path bit-for-bit; ReLU is a
+/// max and cannot change bits beyond selecting them.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_relu(
+    a: &[f32],
+    m: usize,
+    b: &[f32],
+    n: usize,
+    k: usize,
+    bias: &[f32],
+    relu: bool,
+    out: &mut [f32],
+) {
+    // Hard asserts — see [`gemm`] on why these cannot be debug-only.
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(bias.len(), n);
+    assert_eq!(out.len(), m * n);
+    let tier = simd_tier();
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
+            for i in i0..i1 {
+                let ai = &a[i * k..(i + 1) * k];
+                let row_out = &mut out[i * n + j0..i * n + j1];
+                dot_row_with_tier(tier, ai, b, k, j0, j1, row_out);
+                for (v, &bj) in row_out.iter_mut().zip(&bias[j0..j1]) {
+                    *v += bj;
+                    if relu {
+                        *v = v.max(0.0);
+                    }
                 }
             }
         }
@@ -87,8 +412,12 @@ pub fn gram_block(a: &[f32], na: usize, b: &[f32], nb: usize, dim: usize, out: &
 /// upper triangle) and mirrored, so `out[i·n+j]` and `out[j·n+i]` are
 /// the same bits.
 pub fn gram_packed(packed: &[f32], n: usize, dim: usize) -> Vec<f32> {
-    debug_assert_eq!(packed.len(), n * dim);
+    // Hard assert — see [`gemm`] on why this cannot be debug-only.
+    assert_eq!(packed.len(), n * dim);
     let n_tiles = n.div_ceil(TILE).max(1);
+    // One dispatch decision for the whole Gram; the captured value also
+    // pins any `with_simd_tier` override across the worker threads.
+    let tier = simd_tier();
     // Each task computes the upper-triangle strip of one row tile.
     let strips: Vec<Vec<f32>> = (0..n_tiles)
         .into_par_iter()
@@ -101,10 +430,9 @@ pub fn gram_packed(packed: &[f32], n: usize, dim: usize) -> Vec<f32> {
                 let j1 = (j0 + TILE).min(n);
                 for i in i0..i1 {
                     let xi = &packed[i * dim..(i + 1) * dim];
-                    let row_out = &mut strip[(i - i0) * n..(i - i0 + 1) * n];
-                    for j in j0.max(i + 1)..j1 {
-                        row_out[j] = dot(xi, &packed[j * dim..(j + 1) * dim]);
-                    }
+                    let js = j0.max(i + 1);
+                    let row_out = &mut strip[(i - i0) * n + js..(i - i0) * n + j1];
+                    dot_row_with_tier(tier, xi, packed, dim, js, j1, row_out);
                 }
             }
             strip
@@ -168,6 +496,7 @@ pub fn top_k_batch(
 ) -> Vec<Vec<Neighbor>> {
     let dim = data.dim();
     let packed = pack_rows(data, among);
+    let tier = simd_tier();
     queries
         .par_iter()
         .map(|&q| {
@@ -177,7 +506,7 @@ pub fn top_k_batch(
             for c0 in (0..among.len()).step_by(TILE) {
                 let c1 = (c0 + TILE).min(among.len());
                 for (s, c) in (c0..c1).enumerate() {
-                    sims[s] = dot(qrow, &packed[c * dim..(c + 1) * dim]);
+                    sims[s] = dot_with_tier(tier, qrow, &packed[c * dim..(c + 1) * dim]);
                 }
                 for (s, c) in (c0..c1).enumerate() {
                     let idx = among[c];
@@ -380,6 +709,108 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dispatch_tiers_are_bit_identical() {
+        // On AVX2 hardware this compares the intrinsics path against the
+        // portable lanes; elsewhere `with_simd_tier` clamps to Portable
+        // and the test degenerates to self-comparison (still valid).
+        let mut rng = Rng::seed_from_u64(42);
+        for len in [0usize, 1, 7, 15, 16, 17, 33, 64, 128, 131] {
+            let a: Vec<f32> = (0..len).map(|_| rng.normal() as f32).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal() as f32).collect();
+            let portable = with_simd_tier(SimdTier::Portable, || dot(&a, &b));
+            let avx2 = with_simd_tier(SimdTier::Avx2, || dot(&a, &b));
+            assert_eq!(portable.to_bits(), avx2.to_bits(), "len {len}");
+            assert_eq!(
+                portable.to_bits(),
+                crate::embeddings::dot(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_per_entry_dot_on_every_tier() {
+        let data = gaussian(90, 45, 11);
+        let a_rows: Vec<usize> = (0..53).collect();
+        let b_rows: Vec<usize> = (53..90).collect();
+        let a = pack_rows(&data, &a_rows);
+        let b = pack_rows(&data, &b_rows);
+        for tier in [SimdTier::Portable, SimdTier::Avx2] {
+            let mut out = vec![0.0f32; a_rows.len() * b_rows.len()];
+            with_simd_tier(tier, || {
+                gemm(&a, a_rows.len(), &b, b_rows.len(), 45, &mut out)
+            });
+            for (i, &r) in a_rows.iter().enumerate() {
+                for (j, &c) in b_rows.iter().enumerate() {
+                    assert_eq!(
+                        out[i * b_rows.len() + j].to_bits(),
+                        crate::embeddings::dot(data.row(r), data.row(c)).to_bits(),
+                        "tier {} entry ({i},{j})",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bias_relu_fuses_exactly() {
+        let data = gaussian(70, 30, 12);
+        let a_rows: Vec<usize> = (0..40).collect();
+        let w_rows: Vec<usize> = (40..70).collect();
+        let a = pack_rows(&data, &a_rows);
+        let w = pack_rows(&data, &w_rows);
+        let bias: Vec<f32> = (0..w_rows.len()).map(|j| (j as f32 - 15.0) * 0.1).collect();
+        for relu in [false, true] {
+            let mut out = vec![0.0f32; a_rows.len() * w_rows.len()];
+            gemm_bias_relu(
+                &a,
+                a_rows.len(),
+                &w,
+                w_rows.len(),
+                30,
+                &bias,
+                relu,
+                &mut out,
+            );
+            for (i, &r) in a_rows.iter().enumerate() {
+                for (j, &c) in w_rows.iter().enumerate() {
+                    let mut expected = dot(data.row(r), data.row(c)) + bias[j];
+                    if relu {
+                        expected = expected.max(0.0);
+                    }
+                    assert_eq!(
+                        out[i * w_rows.len() + j].to_bits(),
+                        expected.to_bits(),
+                        "relu {relu} entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_override_clamps_and_restores() {
+        let outer = simd_tier();
+        with_simd_tier(SimdTier::Portable, || {
+            assert_eq!(simd_tier(), SimdTier::Portable);
+            // Nested override: Avx2 request never exceeds the detection.
+            with_simd_tier(SimdTier::Avx2, || {
+                assert!(simd_tier() <= detect_tier());
+            });
+            assert_eq!(simd_tier(), SimdTier::Portable);
+        });
+        assert_eq!(simd_tier(), outer);
+        // The override is restored even when the closure panics (test
+        // harnesses catch unwinds and reuse the thread).
+        let caught = std::panic::catch_unwind(|| {
+            with_simd_tier(SimdTier::Portable, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(simd_tier(), outer);
     }
 
     #[test]

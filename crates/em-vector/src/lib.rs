@@ -14,8 +14,11 @@
 //!   equivalent), including restricted search over an index subset as
 //!   needed for in-cluster neighbour queries,
 //! * [`kernel`] — the blocked compute kernels behind the spatial
-//!   pipeline: cache-tiled Gram matrices, batched top-k and unrolled
-//!   squared distances, parallelized with rayon,
+//!   pipeline and the matcher's GEMM engine: cache-tiled Gram matrices
+//!   and `A·Bᵀ` products (with fused bias+ReLU), batched top-k and
+//!   unrolled squared distances, parallelized with rayon and
+//!   runtime-dispatched to AVX2 where available (bit-identical across
+//!   tiers — see the module docs),
 //! * [`lsh`] — random-hyperplane locality-sensitive hashing, and
 //! * [`hnsw`] — a hierarchical navigable small world index; LSH and HNSW
 //!   implement the approximate-search future work the paper names in §5.2,
@@ -35,7 +38,10 @@ pub mod tsne;
 
 pub use embeddings::{cosine, dot, norm, normalize, Embeddings};
 pub use hnsw::{Hnsw, HnswConfig};
-pub use kernel::{gram_block, gram_packed, pack_rows, sq_dist, sq_dist_batch, top_k_batch};
+pub use kernel::{
+    gemm, gemm_bias_relu, gram_block, gram_packed, pack_rows, simd_tier, sq_dist, sq_dist_batch,
+    top_k_batch, with_simd_tier, SimdTier,
+};
 pub use knn::{top_k, top_k_among, Neighbor};
 pub use lsh::{LshConfig, LshIndex};
 pub use pca::Pca;

@@ -90,6 +90,35 @@ proptest! {
         prop_assert!((curve.auc() - value * span / 100.0).abs() < 1e-6);
     }
 
+    /// SIMD dispatch never changes results: the dispatched dot kernel is
+    /// bit-identical across tiers, so a matcher's argmax label (and the
+    /// probability itself) cannot depend on which ISA path ran. On
+    /// hardware without AVX2 the override clamps to Portable and the
+    /// property degenerates to self-comparison (still valid).
+    #[test]
+    fn simd_dispatch_never_changes_argmax_labels(
+        dim in 1usize..40,
+        hidden in 1usize..24,
+        net_seed in any::<u64>(),
+        xs in prop::collection::vec(-3.0f32..3.0, 40),
+    ) {
+        use battleship_em::matcher::Mlp;
+        use battleship_em::matcher::mlp::sigmoid;
+        use battleship_em::vector::{with_simd_tier, SimdTier};
+        let mlp = Mlp::new(dim, &[hidden], &mut Rng::seed_from_u64(net_seed)).unwrap();
+        let x = &xs[..dim];
+        let (logit_p, repr_p) =
+            with_simd_tier(SimdTier::Portable, || mlp.forward(x).unwrap());
+        let (logit_a, repr_a) =
+            with_simd_tier(SimdTier::Avx2, || mlp.forward(x).unwrap());
+        prop_assert_eq!(logit_p.to_bits(), logit_a.to_bits());
+        for (p, a) in repr_p.iter().zip(&repr_a) {
+            prop_assert_eq!(p.to_bits(), a.to_bits());
+        }
+        // The label both tiers imply.
+        prop_assert_eq!(sigmoid(logit_p) >= 0.5, sigmoid(logit_a) >= 0.5);
+    }
+
     /// Connected components partition the node set, whatever the edges.
     #[test]
     fn components_partition(n in 1usize..40,
