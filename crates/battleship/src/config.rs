@@ -190,6 +190,56 @@ impl ExperimentConfig {
     }
 }
 
+/// Configuration of a full experiment *grid*: one [`ExperimentConfig`]
+/// applied to every (dataset, strategy, seed) cell, plus the knobs that
+/// only exist at grid level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// The per-run protocol/algorithm/matcher configuration.
+    pub experiment: ExperimentConfig,
+    /// Master seed: every run seed is derived from it (see
+    /// [`GridConfig::run_seeds`]), so one u64 reproduces the whole grid.
+    pub master_seed: u64,
+    /// Seeds (runs) per (dataset, strategy) cell.
+    pub n_seeds: usize,
+    /// Whether to add the non-AL extremes (ZeroER and Full D, §4.3) as
+    /// one-cell baselines per dataset.
+    pub include_baselines: bool,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            experiment: ExperimentConfig::default(),
+            master_seed: 0xBA771E,
+            n_seeds: 3,
+            include_baselines: false,
+        }
+    }
+}
+
+impl GridConfig {
+    /// Validate the grid and its per-run configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_seeds == 0 {
+            return Err(EmError::InvalidConfig("n_seeds must be > 0".into()));
+        }
+        self.experiment.validate()
+    }
+
+    /// The derived per-run seed streams, one per seed index.
+    ///
+    /// Seed `i` is shared across every (dataset, strategy) cell — the
+    /// paper's protocol, where each repetition re-rolls the seed draw but
+    /// all strategies see the same repetition stream. Derivation is a
+    /// pure function of `master_seed`, independent of grid shape and
+    /// worker-thread count.
+    pub fn run_seeds(&self) -> Vec<u64> {
+        let mut rng = em_core::Rng::seed_from_u64(self.master_seed);
+        (0..self.n_seeds).map(|_| rng.next_u64()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +280,36 @@ mod tests {
         let mut c = ExperimentConfig::default();
         c.al.seed_size = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn grid_config_validates_and_derives_seeds() {
+        let g = GridConfig::default();
+        g.validate().unwrap();
+        let seeds = g.run_seeds();
+        assert_eq!(seeds.len(), g.n_seeds);
+        // Derivation is deterministic and master-seed sensitive.
+        assert_eq!(seeds, g.run_seeds());
+        let other = GridConfig {
+            master_seed: g.master_seed + 1,
+            ..g.clone()
+        };
+        assert_ne!(seeds, other.run_seeds());
+        // Prefix stability: growing n_seeds extends, never reshuffles.
+        let bigger = GridConfig {
+            n_seeds: g.n_seeds + 2,
+            ..g.clone()
+        };
+        assert_eq!(&bigger.run_seeds()[..g.n_seeds], &seeds[..]);
+
+        let bad = GridConfig {
+            n_seeds: 0,
+            ..GridConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let mut bad_exp = GridConfig::default();
+        bad_exp.experiment.al.budget = 0;
+        assert!(bad_exp.validate().is_err());
     }
 
     #[test]

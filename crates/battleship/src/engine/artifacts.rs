@@ -1,0 +1,97 @@
+//! Shared immutable per-dataset artifacts.
+//!
+//! Materializing a scenario (generating or loading the dataset, then
+//! featurizing every candidate pair) dwarfs the cost of a single small
+//! run, and a grid references each dataset from many (strategy, seed)
+//! cells. The engine therefore materializes once per scenario and hands
+//! every worker an `Arc` of the result; the [`ArtifactCache`] extends
+//! the same sharing across consecutive grids (e.g. an ablation sweep
+//! re-running the same datasets with different parameters).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use em_core::{Dataset, Result};
+use em_matcher::Featurizer;
+use em_vector::Embeddings;
+
+use super::scenario::Scenario;
+
+/// Everything dataset-level a run needs, fully immutable.
+#[derive(Debug)]
+pub struct DatasetArtifacts {
+    /// The dataset with its train/valid/test split.
+    pub dataset: Dataset,
+    /// The featurizer (ZeroER's similarity battery needs it).
+    pub featurizer: Featurizer,
+    /// Static pair features, one row per candidate pair.
+    pub features: Embeddings,
+}
+
+/// A name-keyed cache of materialized scenarios, safe to share across
+/// worker threads and across grids.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    inner: Mutex<BTreeMap<String, Arc<DatasetArtifacts>>>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached scenarios.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("artifact cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the artifacts for `scenario`, materializing on first use.
+    ///
+    /// Materialization runs outside the lock so concurrent lookups of
+    /// *different* scenarios never serialize; if two threads race on the
+    /// same scenario the first insert wins (both materializations are
+    /// deterministic and identical, see `Scenario::materialize`).
+    pub fn get_or_materialize(&self, scenario: &Scenario) -> Result<Arc<DatasetArtifacts>> {
+        if let Some(found) = self
+            .inner
+            .lock()
+            .expect("artifact cache poisoned")
+            .get(scenario.name())
+        {
+            return Ok(found.clone());
+        }
+        let fresh = Arc::new(scenario.materialize()?);
+        let mut cache = self.inner.lock().expect("artifact cache poisoned");
+        Ok(cache
+            .entry(scenario.name().to_string())
+            .or_insert(fresh)
+            .clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_synth::DatasetProfile;
+
+    #[test]
+    fn cache_shares_one_materialization_per_name() {
+        let cache = ArtifactCache::new();
+        let s = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let a = cache.get_or_materialize(&s).unwrap();
+        let b = cache.get_or_materialize(&s).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the Arc");
+        assert_eq!(cache.len(), 1);
+
+        let t = Scenario::synthetic_scaled(DatasetProfile::wdc_cameras(), 0.04, 5);
+        let c = cache.get_or_materialize(&t).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+}

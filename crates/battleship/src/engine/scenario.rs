@@ -1,0 +1,157 @@
+//! Scenario registry: every way the engine can obtain a dataset.
+//!
+//! A [`Scenario`] is a named, reproducible recipe for a benchmark task —
+//! either one of `em-synth`'s Table 3 profiles (optionally rescaled) or
+//! a Magellan-layout CSV directory loaded through [`em_core::csv`]. The
+//! engine materializes scenarios into immutable
+//! [`DatasetArtifacts`](super::DatasetArtifacts) exactly once per grid
+//! and shares them across every run that names them.
+
+use std::path::PathBuf;
+
+use em_core::{EmError, Result, Rng};
+use em_matcher::{FeatureConfig, Featurizer};
+use em_synth::{all_profiles, generate, DatasetProfile};
+
+use super::artifacts::DatasetArtifacts;
+
+/// Where a scenario's dataset comes from.
+#[derive(Debug, Clone)]
+pub enum ScenarioSource {
+    /// Generate synthetically from an `em-synth` profile.
+    Synthetic {
+        /// The (possibly rescaled) generation profile.
+        profile: DatasetProfile,
+        /// Generation seed — part of the scenario identity, so two grids
+        /// naming the same scenario see the same pairs.
+        gen_seed: u64,
+    },
+    /// Load a Magellan-layout directory (`tableA.csv`, `tableB.csv`,
+    /// `train.csv`, `valid.csv`, `test.csv`).
+    CsvDir {
+        /// The dataset directory.
+        dir: PathBuf,
+    },
+}
+
+/// A named, reproducible dataset recipe.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    source: ScenarioSource,
+}
+
+impl Scenario {
+    /// A synthetic scenario named after its profile.
+    pub fn synthetic(profile: DatasetProfile, gen_seed: u64) -> Self {
+        Scenario {
+            name: profile.name.to_string(),
+            source: ScenarioSource::Synthetic { profile, gen_seed },
+        }
+    }
+
+    /// A synthetic scenario scaled by `factor` (for smoke grids); the
+    /// name records the scale so differently-sized variants of one
+    /// profile coexist in an [`ArtifactCache`](super::ArtifactCache).
+    pub fn synthetic_scaled(profile: DatasetProfile, factor: f64, gen_seed: u64) -> Self {
+        let name = format!("{}@{factor}", profile.name);
+        Scenario {
+            name,
+            source: ScenarioSource::Synthetic {
+                profile: profile.scaled(factor),
+                gen_seed,
+            },
+        }
+    }
+
+    /// A CSV-backed scenario over a Magellan-layout directory.
+    pub fn csv_dir(name: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        Scenario {
+            name: name.into(),
+            source: ScenarioSource::CsvDir { dir: dir.into() },
+        }
+    }
+
+    /// Look a built-in profile up by name (Table 3 naming, e.g.
+    /// `"amazon-google"`), scaled by `factor`.
+    pub fn by_name(name: &str, factor: f64, gen_seed: u64) -> Result<Scenario> {
+        let profile = all_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| {
+                EmError::InvalidConfig(format!(
+                    "unknown scenario `{name}` (known: {})",
+                    Scenario::registry_names().join(", ")
+                ))
+            })?;
+        Ok(if (factor - 1.0).abs() < 1e-12 {
+            Scenario::synthetic(profile, gen_seed)
+        } else {
+            Scenario::synthetic_scaled(profile, factor, gen_seed)
+        })
+    }
+
+    /// Names of all built-in synthetic profiles.
+    pub fn registry_names() -> Vec<&'static str> {
+        all_profiles().into_iter().map(|p| p.name).collect()
+    }
+
+    /// The scenario's name (the artifact-cache key and the dataset name
+    /// every report of this scenario carries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Build the immutable per-dataset artifacts: the dataset itself,
+    /// the featurizer, and the featurized pair embeddings.
+    pub fn materialize(&self) -> Result<DatasetArtifacts> {
+        let mut dataset = match &self.source {
+            ScenarioSource::Synthetic { profile, gen_seed } => {
+                generate(profile, &mut Rng::seed_from_u64(*gen_seed))?
+            }
+            ScenarioSource::CsvDir { dir } => em_core::load_magellan_dir(dir, &self.name)?,
+        };
+        // Reports key cells by scenario name; make the dataset agree even
+        // when a scenario renames its source (scaled variants, CSV dirs).
+        dataset.name = self.name.clone();
+        let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
+        let features = featurizer.featurize_all(&dataset)?;
+        Ok(DatasetArtifacts {
+            dataset,
+            featurizer,
+            features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookup_and_unknown_name() {
+        assert!(Scenario::registry_names().contains(&"amazon-google"));
+        let s = Scenario::by_name("amazon-google", 0.05, 7).unwrap();
+        assert_eq!(s.name(), "amazon-google@0.05");
+        let full = Scenario::by_name("amazon-google", 1.0, 7).unwrap();
+        assert_eq!(full.name(), "amazon-google");
+        assert!(Scenario::by_name("no-such-dataset", 1.0, 7).is_err());
+    }
+
+    #[test]
+    fn materialize_is_deterministic_and_renames() {
+        let s = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 11);
+        let a = s.materialize().unwrap();
+        let b = s.materialize().unwrap();
+        assert_eq!(a.dataset.name, "amazon-google@0.04");
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        assert_eq!(a.features.len(), a.dataset.len());
+        assert_eq!(a.features.row(0), b.features.row(0));
+    }
+
+    #[test]
+    fn missing_csv_dir_errors() {
+        let s = Scenario::csv_dir("ghost", "/nonexistent/em-data");
+        assert!(s.materialize().is_err());
+    }
+}

@@ -35,13 +35,18 @@
 //!   Battleship, DAL, DIAL, Random,
 //! * [`baselines`] — the non-AL extremes: ZeroER (0 labels) and Full D
 //!   (all labels),
-//! * [`runner`] — the iterative protocol (train → predict → select →
-//!   label → repeat) with per-iteration reporting,
-//! * [`report`] — multi-seed aggregation, F1 curves, AUC (Table 5).
+//! * [`engine`] — the parallel experiment engine: scenario registry,
+//!   shared dataset artifacts, grid expansion and the rayon scheduler
+//!   that fans dataset × strategy × seed runs out across workers,
+//! * [`runner`] — the single-run entry point (a thin wrapper over the
+//!   engine's protocol worker),
+//! * [`report`] — multi-seed and grid aggregation, F1 curves, AUC
+//!   (Table 5).
 
 pub mod baselines;
 pub mod budget;
 pub mod config;
+pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod selection;
@@ -51,11 +56,16 @@ pub mod weak;
 
 pub use baselines::{full_d_f1, zeroer_f1};
 pub use budget::{distribute_budget, positive_budget};
-pub use config::{ALConfig, BattleshipParams, CentralityMeasure, ExperimentConfig, WeakMethod};
-pub use report::{IterationRecord, MultiSeedReport, RunReport};
+pub use config::{
+    ALConfig, BattleshipParams, CentralityMeasure, ExperimentConfig, GridConfig, WeakMethod,
+};
+pub use engine::{
+    ArtifactCache, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource,
+};
+pub use report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use runner::{run_active_learning, ActiveLearningRun};
 pub use spatial::{SpatialIndex, SpatialParams};
 pub use strategies::{
     BattleshipStrategy, DalStrategy, DialStrategy, RandomStrategy, SelectionContext,
-    SelectionStrategy,
+    SelectionStrategy, StrategySpec,
 };

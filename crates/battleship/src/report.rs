@@ -94,10 +94,21 @@ pub struct MultiSeedReport {
     pub mean_select_secs: Vec<f64>,
 }
 
+/// Per-run AUCs, computed once and shared by mean and std aggregation.
+fn run_aucs(runs: &[RunReport]) -> Result<Vec<f64>> {
+    runs.iter().map(|r| r.auc()).collect()
+}
+
 impl MultiSeedReport {
     /// Aggregate runs; they must agree on dataset, strategy and
     /// iteration structure.
     pub fn aggregate(runs: &[RunReport]) -> Result<Self> {
+        Self::aggregate_with_aucs(runs, &run_aucs(runs)?)
+    }
+
+    /// [`MultiSeedReport::aggregate`] with the per-run AUCs already
+    /// computed (grid aggregation derives mean and std from one pass).
+    fn aggregate_with_aucs(runs: &[RunReport], aucs: &[f64]) -> Result<Self> {
         let first = runs
             .first()
             .ok_or_else(|| EmError::EmptyInput("runs to aggregate".into()))?;
@@ -127,13 +138,12 @@ impl MultiSeedReport {
             mean_curve.push((labels, mean(&f1s)));
             mean_select_secs.push(mean(&secs));
         }
-        let aucs: Vec<f64> = runs.iter().map(|r| r.auc()).collect::<Result<Vec<_>>>()?;
         Ok(MultiSeedReport {
             dataset: first.dataset.clone(),
             strategy: first.strategy.clone(),
             seeds: runs.iter().map(|r| r.seed).collect(),
             mean_curve,
-            mean_auc: mean(&aucs),
+            mean_auc: mean(aucs),
             mean_select_secs,
         })
     }
@@ -150,6 +160,124 @@ impl MultiSeedReport {
     /// Final mean F1 (%).
     pub fn final_f1(&self) -> Option<f64> {
         self.mean_curve.last().map(|&(_, y)| y)
+    }
+}
+
+/// Population standard deviation (0 for a single sample).
+fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// One (dataset, strategy) cell of an experiment grid: the seed-averaged
+/// view plus the dispersion the paper's "mean ± std" tables report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Seed-aggregated mean curves and AUC.
+    pub aggregate: MultiSeedReport,
+    /// Std of F1 (%) per iteration point, aligned with
+    /// `aggregate.mean_curve` label counts.
+    pub std_curve: Vec<(f64, f64)>,
+    /// Std of AUC across seeds.
+    pub std_auc: f64,
+    /// Mean wall-clock of one run of this cell (seconds).
+    pub mean_run_secs: f64,
+}
+
+impl GridCell {
+    /// Build a cell from its runs and their measured wall-clocks.
+    ///
+    /// Runs must agree on dataset/strategy/iteration structure (enforced
+    /// by [`MultiSeedReport::aggregate`]).
+    pub fn from_runs(runs: &[RunReport], run_secs: &[f64]) -> Result<Self> {
+        let aucs = run_aucs(runs)?;
+        let aggregate = MultiSeedReport::aggregate_with_aucs(runs, &aucs)?;
+        let mut std_curve = Vec::with_capacity(aggregate.mean_curve.len());
+        for (i, &(labels, _)) in aggregate.mean_curve.iter().enumerate() {
+            let f1s: Vec<f64> = runs.iter().map(|r| r.iterations[i].test_f1_pct).collect();
+            std_curve.push((labels, std_dev(&f1s)));
+        }
+        Ok(GridCell {
+            aggregate,
+            std_curve,
+            std_auc: std_dev(&aucs),
+            mean_run_secs: mean(run_secs),
+        })
+    }
+
+    /// Dataset name (forwarded from the aggregate).
+    pub fn dataset(&self) -> &str {
+        &self.aggregate.dataset
+    }
+
+    /// Strategy name (forwarded from the aggregate).
+    pub fn strategy(&self) -> &str {
+        &self.aggregate.strategy
+    }
+}
+
+/// The aggregated output of a whole experiment grid.
+///
+/// Cells appear in the grid's fixed expansion order (dataset-major, then
+/// strategy, then baselines), *not* in completion order, so the report is
+/// deterministic regardless of how runs were scheduled across worker
+/// threads. Wall-clock fields are the only scheduling-dependent content;
+/// [`GridReport::canonical`] zeroes them for bit-exact comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// Master seed the run seeds were derived from.
+    pub master_seed: u64,
+    /// Worker threads the grid executed on (informational).
+    pub threads: usize,
+    /// Total grid wall-clock (seconds).
+    pub wall_secs: f64,
+    /// Per-(dataset, strategy) aggregates, in expansion order.
+    pub cells: Vec<GridCell>,
+    /// Every raw run, in expansion order (cell-major, then seed).
+    pub runs: Vec<RunReport>,
+}
+
+impl GridReport {
+    /// Look up a cell by dataset and strategy name.
+    pub fn cell(&self, dataset: &str, strategy: &str) -> Option<&GridCell> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset() == dataset && c.strategy() == strategy)
+    }
+
+    /// Serialize to pretty JSON (the CI artifact format).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| EmError::InvalidConfig(format!("grid report serialization: {e}")))
+    }
+
+    /// A copy with every wall-clock field zeroed.
+    ///
+    /// Timing is inherently scheduling-dependent; everything else in a
+    /// grid report is a deterministic function of (grid, master seed).
+    /// Two canonical reports of the same grid are bit-identical for any
+    /// worker-thread count — the property the engine's golden tests pin.
+    pub fn canonical(&self) -> GridReport {
+        let mut out = self.clone();
+        out.threads = 0;
+        out.wall_secs = 0.0;
+        for cell in &mut out.cells {
+            cell.mean_run_secs = 0.0;
+            for s in &mut cell.aggregate.mean_select_secs {
+                *s = 0.0;
+            }
+        }
+        for run in &mut out.runs {
+            for it in &mut run.iterations {
+                it.train_secs = 0.0;
+                it.select_secs = 0.0;
+            }
+        }
+        out
     }
 }
 
@@ -222,5 +350,79 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    fn grid_report() -> GridReport {
+        let runs = vec![run(1, &[40.0, 60.0]), run(2, &[60.0, 80.0])];
+        let cell = GridCell::from_runs(&runs, &[0.5, 0.7]).unwrap();
+        GridReport {
+            master_seed: 99,
+            threads: 4,
+            wall_secs: 1.25,
+            cells: vec![cell],
+            runs,
+        }
+    }
+
+    #[test]
+    fn grid_cell_std_and_timing() {
+        let g = grid_report();
+        let cell = g.cell("toy", "battleship").unwrap();
+        // F1s per point: {40, 60} and {60, 80} → population std 10.
+        assert_eq!(cell.std_curve.len(), 2);
+        for &(_, s) in &cell.std_curve {
+            assert!((s - 10.0).abs() < 1e-9, "std {s}");
+        }
+        assert!((cell.mean_run_secs - 0.6).abs() < 1e-12);
+        assert!(cell.std_auc >= 0.0);
+        // Single-run cells have zero dispersion.
+        let single = GridCell::from_runs(&[run(1, &[50.0])], &[0.1]).unwrap();
+        assert_eq!(single.std_curve, vec![(100.0, 0.0)]);
+        assert_eq!(single.std_auc, 0.0);
+        assert!(g.cell("toy", "no-such-strategy").is_none());
+    }
+
+    /// Satellite: full serde round-trips for every report type, plus the
+    /// `to_json` artifact helper.
+    #[test]
+    fn run_multi_seed_and_grid_reports_round_trip() {
+        let r = run(3, &[10.0, 20.0, 30.0]);
+        let back: RunReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r, back);
+
+        let multi =
+            MultiSeedReport::aggregate(&[run(1, &[40.0, 60.0]), run(2, &[60.0, 80.0])]).unwrap();
+        let back: MultiSeedReport =
+            serde_json::from_str(&serde_json::to_string(&multi).unwrap()).unwrap();
+        assert_eq!(multi, back);
+
+        let g = grid_report();
+        let back: GridReport = serde_json::from_str(&g.to_json().unwrap()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn canonical_zeroes_all_timing_and_is_idempotent() {
+        let g = grid_report();
+        let c = g.canonical();
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.wall_secs, 0.0);
+        for cell in &c.cells {
+            assert_eq!(cell.mean_run_secs, 0.0);
+            assert!(cell.aggregate.mean_select_secs.iter().all(|&s| s == 0.0));
+        }
+        for r in &c.runs {
+            assert!(r
+                .iterations
+                .iter()
+                .all(|it| it.train_secs == 0.0 && it.select_secs == 0.0));
+        }
+        // Non-timing payload is untouched.
+        assert_eq!(c.master_seed, g.master_seed);
+        assert_eq!(
+            c.cells[0].aggregate.mean_curve,
+            g.cells[0].aggregate.mean_curve
+        );
+        assert_eq!(c.canonical(), c);
     }
 }

@@ -1,199 +1,23 @@
-//! The active-learning protocol driver (§3.1 + §4.2).
+//! The single-run entry point to the active-learning protocol.
 //!
-//! One run executes:
-//!
-//! 1. draw the balanced initialisation seed `D_train_0` (50 matches + 50
-//!    non-matches, labeled by the oracle),
-//! 2. train a fresh matcher on the labeled set (plus the weak set picked
-//!    by the previous model, §3.7) and record test F1,
-//! 3. predict over the remaining pool, hand the strategy the
-//!    representations/predictions, and send its `B` selections to the
-//!    oracle,
-//! 4. move the new labels from pool to train and repeat for `I`
-//!    iterations.
-//!
-//! Per-iteration wall-clock for training and selection is recorded — the
-//! selection component is what Figure 6 plots (K-Means dominates it,
-//! §5.2).
+//! The protocol loop itself (§3.1 + §4.2: seed draw → train → predict →
+//! select → label → repeat) lives in [`crate::engine::worker`], where the
+//! experiment engine executes it once per grid cell. This module keeps
+//! the original one-(dataset, strategy, seed) API as a thin wrapper for
+//! callers that want exactly one run — examples, benches and tests; a
+//! grid cell produced by the engine is bit-identical (modulo wall-clock)
+//! to what this wrapper returns for the same seed, which the engine's
+//! golden tests pin.
 
-use std::time::Instant;
+pub use crate::engine::worker::ActiveLearningRun;
 
-use em_core::{BinaryConfusion, Dataset, EmError, Label, Oracle, PairIdx, Result, Rng};
-use em_matcher::{train_matcher, MatcherConfig, TrainedMatcher};
+use em_core::{Dataset, Oracle, Result};
 use em_vector::Embeddings;
 
 use crate::config::ExperimentConfig;
-use crate::report::{IterationRecord, RunReport};
-use crate::strategies::{SelectionContext, SelectionStrategy};
-
-/// Index-based membership test over pair ids, allocated once per run.
-///
-/// The protocol driver repeatedly needs "is pair `p` in this set?" for
-/// sets it just built (the drawn seed, the pool, an iteration's
-/// selections). The seed implementation rebuilt a `HashSet` for each —
-/// three hash-table constructions per iteration over pools of up to
-/// hundreds of thousands of pairs. This is the classic stamped
-/// membership vector instead: one `u32` per pair for the whole run,
-/// `begin` opens a new set in O(1) by bumping the generation, and
-/// `insert`/`contains` are single array accesses.
-struct Membership {
-    stamp: Vec<u32>,
-    generation: u32,
-}
-
-impl Membership {
-    /// All-empty membership over pair ids `0..len`.
-    fn new(len: usize) -> Self {
-        Membership {
-            stamp: vec![0; len],
-            generation: 0,
-        }
-    }
-
-    /// Start a fresh (empty) set, invalidating all previous inserts.
-    fn begin(&mut self) {
-        self.generation += 1;
-    }
-
-    /// Add `i` to the current set.
-    fn insert(&mut self, i: usize) {
-        self.stamp[i] = self.generation;
-    }
-
-    /// Whether `i` is in the current set (out-of-range ids are not).
-    fn contains(&self, i: usize) -> bool {
-        i < self.stamp.len() && self.stamp[i] == self.generation
-    }
-}
-
-/// A prepared run: dataset-level constants shared across iterations.
-pub struct ActiveLearningRun<'a> {
-    dataset: &'a Dataset,
-    features: &'a Embeddings,
-    valid_idx: Vec<PairIdx>,
-    valid_labels: Vec<Label>,
-    test_idx: Vec<PairIdx>,
-    test_labels: Vec<Label>,
-}
-
-impl<'a> ActiveLearningRun<'a> {
-    /// Prepare a run over `dataset` with precomputed pair `features`.
-    ///
-    /// Validation labels come from ground truth, mirroring the
-    /// benchmark protocol the paper inherits from DITTO (§4.2: epoch
-    /// selection by validation F1); the test set is only read for
-    /// reporting.
-    pub fn new(dataset: &'a Dataset, features: &'a Embeddings) -> Result<Self> {
-        if features.len() != dataset.len() {
-            return Err(EmError::DimensionMismatch {
-                context: "run features".into(),
-                expected: dataset.len(),
-                actual: features.len(),
-            });
-        }
-        let valid_idx = dataset.split().valid.clone();
-        let valid_labels = dataset.ground_truth_of(&valid_idx);
-        let test_idx = dataset.split().test.clone();
-        let test_labels = dataset.ground_truth_of(&test_idx);
-        Ok(ActiveLearningRun {
-            dataset,
-            features,
-            valid_idx,
-            valid_labels,
-            test_idx,
-            test_labels,
-        })
-    }
-
-    /// Draw the balanced seed: `seed_size/2` matches and non-matches from
-    /// the pool, labeled through the oracle (the standard assumption the
-    /// paper takes from Kasai et al.: a balanced starter set exists).
-    fn draw_seed(
-        &self,
-        pool: &mut Vec<PairIdx>,
-        oracle: &dyn Oracle,
-        seed_size: usize,
-        rng: &mut Rng,
-        membership: &mut Membership,
-    ) -> (Vec<PairIdx>, Vec<Label>) {
-        let mut shuffled = pool.clone();
-        rng.shuffle(&mut shuffled);
-        let half = seed_size / 2;
-        let mut chosen = Vec::with_capacity(seed_size);
-        let mut labels = Vec::with_capacity(seed_size);
-        let mut n_pos = 0usize;
-        let mut n_neg = 0usize;
-        let mut leftovers = Vec::new();
-        for &idx in &shuffled {
-            if chosen.len() >= seed_size {
-                break;
-            }
-            let label = self.dataset.ground_truth(idx);
-            let take = if label.is_match() {
-                if n_pos < half {
-                    n_pos += 1;
-                    true
-                } else {
-                    false
-                }
-            } else if n_neg < seed_size - half {
-                n_neg += 1;
-                true
-            } else {
-                false
-            };
-            if take {
-                // Count the oracle query for budget accounting.
-                labels.push(oracle.label(self.dataset, idx));
-                chosen.push(idx);
-            } else {
-                leftovers.push(idx);
-            }
-        }
-        // If one class ran short (tiny pools), fill with whatever remains.
-        for &idx in &leftovers {
-            if chosen.len() >= seed_size {
-                break;
-            }
-            labels.push(oracle.label(self.dataset, idx));
-            chosen.push(idx);
-        }
-        membership.begin();
-        for &idx in &chosen {
-            membership.insert(idx);
-        }
-        pool.retain(|&i| !membership.contains(i));
-        (chosen, labels)
-    }
-
-    /// Train a matcher on `train ∪ weak` and measure test metrics.
-    fn train_and_eval(
-        &self,
-        train: &[PairIdx],
-        train_labels: &[Label],
-        weak: &[(PairIdx, Label)],
-        matcher_config: &MatcherConfig,
-    ) -> Result<(TrainedMatcher, em_core::Metrics)> {
-        let mut idx: Vec<PairIdx> = train.to_vec();
-        let mut labels: Vec<Label> = train_labels.to_vec();
-        for &(p, l) in weak {
-            idx.push(p);
-            labels.push(l);
-        }
-        let matcher = train_matcher(
-            self.features,
-            &idx,
-            &labels,
-            &self.valid_idx,
-            &self.valid_labels,
-            matcher_config,
-        )?;
-        let out = matcher.predict(self.features, &self.test_idx)?;
-        let predicted: Vec<Label> = out.predictions.iter().map(|p| p.label).collect();
-        let metrics = BinaryConfusion::from_labels(&predicted, &self.test_labels)?.metrics();
-        Ok((matcher, metrics))
-    }
-}
+use crate::engine::worker::execute_run;
+use crate::report::RunReport;
+use crate::strategies::SelectionStrategy;
 
 /// Execute a full active-learning run.
 ///
@@ -208,154 +32,14 @@ pub fn run_active_learning(
     config: &ExperimentConfig,
     seed: u64,
 ) -> Result<RunReport> {
-    config.validate()?;
-    let run = ActiveLearningRun::new(dataset, features)?;
-    let mut rng = Rng::seed_from_u64(seed);
-
-    let mut pool: Vec<PairIdx> = dataset.split().train.clone();
-    if pool.len() < config.al.seed_size {
-        return Err(EmError::InvalidConfig(format!(
-            "pool of {} smaller than seed size {}",
-            pool.len(),
-            config.al.seed_size
-        )));
-    }
-
-    // One membership vector for every set test of the run (seed draw,
-    // pool checks, selection removal).
-    let mut membership = Membership::new(dataset.len());
-
-    let (mut train, mut train_labels) = run.draw_seed(
-        &mut pool,
-        oracle,
-        config.al.seed_size,
-        &mut rng,
-        &mut membership,
-    );
-
-    let mut iterations = Vec::with_capacity(config.al.iterations + 1);
-
-    // Iteration 0: seed-only model (no weak set exists yet).
-    let matcher_config = MatcherConfig {
-        seed: rng.next_u64(),
-        ..config.matcher.clone()
-    };
-    let t0 = Instant::now();
-    let (mut matcher, metrics) = run.train_and_eval(&train, &train_labels, &[], &matcher_config)?;
-    let train_secs = t0.elapsed().as_secs_f64();
-    iterations.push(IterationRecord {
-        iteration: 0,
-        labels_used: train.len(),
-        test_f1_pct: metrics.f1_pct(),
-        precision: metrics.precision,
-        recall: metrics.recall,
-        train_secs,
-        select_secs: 0.0,
-        new_positives: train_labels.iter().filter(|l| l.is_match()).count(),
-        new_labels: train.len(),
-        weak_used: 0,
-    });
-
-    for iteration in 0..config.al.iterations {
-        if pool.is_empty() {
-            break;
-        }
-        // Predict over pool and train with the current model.
-        let t_select = Instant::now();
-        let pool_out = matcher.predict(features, &pool)?;
-        let train_out = matcher.predict(features, &train)?;
-
-        let budget = config.al.budget.min(pool.len());
-        let ctx = SelectionContext {
-            dataset,
-            features,
-            pool: &pool,
-            train: &train,
-            train_labels: &train_labels,
-            pool_preds: &pool_out.predictions,
-            pool_reprs: &pool_out.representations,
-            train_reprs: &train_out.representations,
-            budget,
-            iteration,
-            config,
-        };
-        let selection = strategy.select(&ctx, &mut rng)?;
-        let select_secs = t_select.elapsed().as_secs_f64();
-
-        if selection.to_label.len() > budget {
-            return Err(EmError::InvalidConfig(format!(
-                "strategy `{}` exceeded its budget: {} > {budget}",
-                strategy.name(),
-                selection.to_label.len()
-            )));
-        }
-        membership.begin();
-        for &p in &pool {
-            membership.insert(p);
-        }
-        for &p in &selection.to_label {
-            if !membership.contains(p) {
-                return Err(EmError::InvalidConfig(format!(
-                    "strategy `{}` selected pair {p} outside the pool",
-                    strategy.name()
-                )));
-            }
-        }
-
-        // Oracle labeling; move from pool to train.
-        let mut new_positives = 0usize;
-        for &p in &selection.to_label {
-            let label = oracle.label(dataset, p);
-            if label.is_match() {
-                new_positives += 1;
-            }
-            train.push(p);
-            train_labels.push(label);
-        }
-        membership.begin();
-        for &p in &selection.to_label {
-            membership.insert(p);
-        }
-        pool.retain(|&i| !membership.contains(i));
-
-        // Train the next model on labels + weak pseudo-labels.
-        let matcher_config = MatcherConfig {
-            seed: rng.next_u64(),
-            ..config.matcher.clone()
-        };
-        let t_train = Instant::now();
-        let (next_matcher, metrics) =
-            run.train_and_eval(&train, &train_labels, &selection.weak, &matcher_config)?;
-        let train_secs = t_train.elapsed().as_secs_f64();
-        matcher = next_matcher;
-
-        iterations.push(IterationRecord {
-            iteration: iteration + 1,
-            labels_used: train.len(),
-            test_f1_pct: metrics.f1_pct(),
-            precision: metrics.precision,
-            recall: metrics.recall,
-            train_secs,
-            select_secs,
-            new_positives,
-            new_labels: selection.to_label.len(),
-            weak_used: selection.weak.len(),
-        });
-    }
-
-    Ok(RunReport {
-        dataset: dataset.name.clone(),
-        strategy: strategy.name(),
-        seed,
-        iterations,
-    })
+    execute_run(dataset, features, strategy, oracle, config, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::strategies::{BattleshipStrategy, DalStrategy, RandomStrategy};
-    use em_core::PerfectOracle;
+    use em_core::{PerfectOracle, Rng};
     use em_matcher::{FeatureConfig, Featurizer};
     use em_synth::{generate, DatasetProfile};
 

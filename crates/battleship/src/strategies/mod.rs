@@ -13,8 +13,61 @@ pub use random::RandomStrategy;
 
 use em_core::{Dataset, Label, PairIdx, Prediction, Result, Rng};
 use em_vector::Embeddings;
+use serde::{Deserialize, Serialize};
 
 use crate::config::ExperimentConfig;
+
+/// A constructible description of a selection strategy.
+///
+/// The experiment engine fans grid cells out across worker threads, and
+/// each worker needs its *own* strategy instance (the trait takes
+/// `&mut self`). `StrategySpec` is the `Send + Serialize` value that
+/// crosses thread and config boundaries; [`StrategySpec::build`] is the
+/// factory workers call to get a fresh instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// The paper's spatially-aware selection (§3).
+    Battleship,
+    /// DAL: entropy-based uncertainty sampling (Kasai et al. 2019).
+    Dal,
+    /// DIAL: query-by-committee disagreement (Jain et al. 2021).
+    Dial,
+    /// Uniform random selection.
+    Random,
+}
+
+impl StrategySpec {
+    /// All four active-learning strategies, in the paper's comparison
+    /// order.
+    pub fn all() -> [StrategySpec; 4] {
+        [
+            StrategySpec::Battleship,
+            StrategySpec::Dal,
+            StrategySpec::Dial,
+            StrategySpec::Random,
+        ]
+    }
+
+    /// Display name, matching what the built strategy reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategySpec::Battleship => "battleship",
+            StrategySpec::Dal => "dal",
+            StrategySpec::Dial => "dial",
+            StrategySpec::Random => "random",
+        }
+    }
+
+    /// Construct a fresh strategy instance for one run.
+    pub fn build(self) -> Box<dyn SelectionStrategy + Send> {
+        match self {
+            StrategySpec::Battleship => Box::new(BattleshipStrategy::new()),
+            StrategySpec::Dal => Box::new(DalStrategy::new()),
+            StrategySpec::Dial => Box::new(DialStrategy::new()),
+            StrategySpec::Random => Box::new(RandomStrategy::new()),
+        }
+    }
+}
 
 /// Everything a strategy may consult when choosing pairs to label.
 ///
@@ -111,6 +164,13 @@ mod tests {
         let (pos, neg) = split_by_prediction(&preds);
         assert_eq!(pos, vec![0, 2]);
         assert_eq!(neg, vec![1]);
+    }
+
+    #[test]
+    fn spec_names_match_built_strategies() {
+        for spec in StrategySpec::all() {
+            assert_eq!(spec.build().name(), spec.name());
+        }
     }
 
     #[test]

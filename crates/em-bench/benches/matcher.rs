@@ -36,12 +36,7 @@ use em_matcher::{
 use em_synth::{generate, DatasetProfile};
 use em_vector::Embeddings;
 
-fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use em_bench::env_or;
 
 /// Two-blob synthetic matching task: rows of class 1 cluster around one
 /// center, class 0 around another, with enough overlap that training

@@ -22,12 +22,7 @@ use em_core::Rng;
 use em_graph::NodeKind;
 use em_vector::Embeddings;
 
-fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use em_bench::env_or;
 
 /// Gaussian blob pool mimicking matcher pair representations.
 fn pool(n: usize, dim: usize, seed: u64) -> Embeddings {

@@ -33,6 +33,15 @@ use em_matcher::{FeatureConfig, Featurizer};
 use em_synth::{generate, DatasetProfile};
 use em_vector::Embeddings;
 
+/// Parse an environment variable, falling back to `default` when unset
+/// or unparsable — the shared knob reader of the gated bench binaries.
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Experiment size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Scale {

@@ -18,7 +18,9 @@
 //!   the area-under-the-F1-curve measure used by Table 5,
 //! * a deterministic, splittable **pseudo-random number generator** so every
 //!   experiment in the workspace is reproducible from a single `u64` seed,
-//! * the labeling [`Oracle`] abstraction (perfect and noisy variants).
+//! * the labeling [`Oracle`] abstraction (perfect and noisy variants),
+//! * the stamped-set [`Membership`] structure for O(1)-reset membership
+//!   tests over dense id spaces (the protocol driver's hot set tests).
 //!
 //! Everything is dependency-light: the only third-party crate is `serde`
 //! (for experiment configs and reports).
@@ -26,6 +28,7 @@
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod membership;
 pub mod metrics;
 pub mod oracle;
 pub mod pair;
@@ -37,6 +40,7 @@ pub mod tokenize;
 pub use csv::{load_magellan_dir, parse_csv};
 pub use dataset::{Dataset, DatasetStats, Split, SplitRatios};
 pub use error::{EmError, Result};
+pub use membership::Membership;
 pub use metrics::{BinaryConfusion, F1Curve, Metrics};
 pub use oracle::{NoisyOracle, Oracle, PerfectOracle};
 pub use pair::{CandidatePair, Label, PairIdx, Prediction};

@@ -1,81 +1,84 @@
 //! Compare all selection strategies (plus the ZeroER / Full D extremes)
-//! on one dataset — a miniature of the paper's Figure 5 / Table 4.
+//! on one dataset — a miniature of the paper's Figure 5 / Table 4,
+//! driven by the parallel experiment engine: one grid of
+//! strategy × seed cells sharing the dataset artifacts, fanned out
+//! across worker threads, aggregated into a deterministic report.
 //!
 //! ```sh
 //! cargo run --release --example compare_strategies
 //! ```
+//!
+//! Knobs (environment):
+//! * `EM_COMPARE_SCALE` — dataset scale factor (default 0.2);
+//! * `EM_COMPARE_SEEDS` — seeds per strategy cell (default 2);
+//! * `EM_COMPARE_ITERS` — active-learning iterations (default 4);
+//! * `RAYON_NUM_THREADS` — worker threads for the fan-out.
 
-use battleship_em::al::{
-    full_d_f1, run_active_learning, zeroer_f1, BattleshipStrategy, DalStrategy, DialStrategy,
-    ExperimentConfig, RandomStrategy, SelectionStrategy,
-};
-use battleship_em::core::{PerfectOracle, Rng};
-use battleship_em::matcher::{FeatureConfig, Featurizer};
-use battleship_em::synth::{generate, DatasetProfile};
+use battleship_em::al::{ExperimentGrid, GridConfig, Scenario, StrategySpec};
+use battleship_em::synth::DatasetProfile;
+use em_bench::env_or;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let profile = DatasetProfile::amazon_google().scaled(0.2);
-    let dataset = generate(&profile, &mut Rng::seed_from_u64(11))?;
-    let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
-    let features = featurizer.featurize_all(&dataset)?;
+    let scale: f64 = env_or("EM_COMPARE_SCALE", 0.2);
+    let n_seeds: usize = env_or("EM_COMPARE_SEEDS", 2);
+    let iterations: usize = env_or("EM_COMPARE_ITERS", 4);
 
-    let mut config = ExperimentConfig::default();
-    config.al.iterations = 4;
-    config.al.budget = 60;
-    config.al.seed_size = 60;
-    config.al.weak_budget = 60;
-    config.matcher.epochs = 20;
+    let mut config = GridConfig {
+        master_seed: 3,
+        n_seeds,
+        include_baselines: true,
+        ..GridConfig::default()
+    };
+    config.experiment.al.iterations = iterations;
+    config.experiment.al.budget = 60;
+    config.experiment.al.seed_size = 60;
+    config.experiment.al.weak_budget = 60;
+    config.experiment.matcher.epochs = 20;
+
+    let grid = ExperimentGrid::new(
+        vec![Scenario::synthetic_scaled(
+            DatasetProfile::amazon_google(),
+            scale,
+            11,
+        )],
+        StrategySpec::all().to_vec(),
+        config,
+    );
+
+    let report = grid.run()?;
+    let scenario = grid.scenarios[0].name().to_string();
 
     println!(
-        "dataset `{}` ({} train pairs, {:.1}% positive)\n",
-        dataset.name,
-        dataset.split().train.len(),
-        100.0 * dataset.stats().train_pos_rate
+        "grid `{scenario}`: {} runs on {} worker thread(s) in {:.2} s\n",
+        report.runs.len(),
+        report.threads,
+        report.wall_secs
     );
     println!(
-        "{:<12} {:>8} {:>8} {:>8}",
-        "strategy", "F1@start", "F1@end", "AUC"
+        "{:<12} {:>8} {:>14} {:>14}",
+        "strategy", "F1@start", "F1@end ± std", "AUC ± std"
     );
-
-    let strategies: Vec<Box<dyn SelectionStrategy>> = vec![
-        Box::new(BattleshipStrategy::new()),
-        Box::new(DalStrategy::new()),
-        Box::new(DialStrategy::new()),
-        Box::new(RandomStrategy::new()),
-    ];
-    for mut strategy in strategies {
-        let oracle = PerfectOracle::new();
-        let report =
-            run_active_learning(&dataset, &features, strategy.as_mut(), &oracle, &config, 3)?;
-        println!(
-            "{:<12} {:>7.1}% {:>7.1}% {:>8.1}",
-            report.strategy,
-            report
-                .iterations
-                .first()
-                .map(|i| i.test_f1_pct)
-                .unwrap_or(0.0),
-            report.final_f1().unwrap_or(0.0),
-            report.auc()?,
-        );
+    for cell in &report.cells {
+        let agg = &cell.aggregate;
+        let start = agg.mean_curve.first().map(|&(_, y)| y).unwrap_or(0.0);
+        let end = agg.final_f1().unwrap_or(0.0);
+        let end_std = cell.std_curve.last().map(|&(_, s)| s).unwrap_or(0.0);
+        if agg.mean_curve.len() > 1 {
+            println!(
+                "{:<12} {:>7.1}% {:>7.1}% ± {:>3.1} {:>7.1} ± {:>3.1}",
+                agg.strategy, start, end, end_std, agg.mean_auc, cell.std_auc
+            );
+        } else {
+            // Baselines: one-point curves, no start/AUC to report.
+            println!(
+                "{:<12} {:>8} {:>7.1}% {:>width$}",
+                agg.strategy,
+                "-",
+                end,
+                "-",
+                width = 20
+            );
+        }
     }
-
-    // The two extremes of the labeling-resource spectrum (§4.3).
-    let zero = zeroer_f1(&dataset, &featurizer, 1)?;
-    println!(
-        "{:<12} {:>8} {:>7.1}% {:>8}",
-        "zeroer",
-        "-",
-        zero.f1 * 100.0,
-        "-"
-    );
-    let full = full_d_f1(&dataset, &features, &config.matcher)?;
-    println!(
-        "{:<12} {:>8} {:>7.1}% {:>8}",
-        "full-d",
-        "-",
-        full.f1 * 100.0,
-        "-"
-    );
     Ok(())
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use battleship_em::al::distribute_budget;
+use battleship_em::al::{distribute_budget, positive_budget};
 use battleship_em::cluster::{constrained_kmeans, ConstrainedConfig};
 use battleship_em::core::{jaccard, tokenize, BinaryConfusion, F1Curve, Label, Rng, TokenSet};
 use battleship_em::graph::{binary_entropy, connected_components, NodeKind, PairGraph};
@@ -80,6 +80,43 @@ proptest! {
         prop_assert_eq!(total, budget.min(cap));
         for (s, z) in shares.iter().zip(&sizes) {
             prop_assert!(s <= z);
+        }
+    }
+
+    /// The budget schedule over a whole (simulated) grid run: each
+    /// iteration's positive/negative split covers exactly the iteration
+    /// budget, per-iteration selections never exceed it, the running
+    /// total never exceeds budget × iterations, and a zero-budget grid
+    /// spends nothing and terminates.
+    #[test]
+    fn budget_schedule_invariants_over_iterations(
+        budget in 0usize..200,
+        iterations in 1usize..12,
+        sizes in prop::collection::vec(1usize..500, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut total_selected = 0usize;
+        for i in 0..iterations {
+            // B⁺ schedule (§4.2): within budget, floored at B/2.
+            let b_pos = positive_budget(budget, i);
+            prop_assert!(b_pos <= budget);
+            prop_assert!(b_pos >= budget / 2);
+            // Monotone non-increasing in the iteration index.
+            if i > 0 {
+                prop_assert!(b_pos <= positive_budget(budget, i - 1));
+            }
+            // Each side's Eq. 2 distribution stays within its share.
+            let pos_shares = distribute_budget(b_pos, &sizes, &mut rng).unwrap();
+            let neg_shares = distribute_budget(budget - b_pos, &sizes, &mut rng).unwrap();
+            let selected: usize =
+                pos_shares.iter().sum::<usize>() + neg_shares.iter().sum::<usize>();
+            prop_assert!(selected <= budget, "iteration selected {selected} > {budget}");
+            total_selected += selected;
+        }
+        prop_assert!(total_selected <= budget * iterations);
+        if budget == 0 {
+            prop_assert_eq!(total_selected, 0, "zero-budget grid must spend nothing");
         }
     }
 
