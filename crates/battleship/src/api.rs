@@ -1,0 +1,83 @@
+//! The stable public facade of the battleship crate.
+//!
+//! One import path for everything an application needs to run
+//! low-resource entity matching — interactively through the
+//! step-driven session API, or in batch through the experiment engine:
+//!
+//! * **Sessions** (the inverted protocol loop): [`MatchSession`],
+//!   [`SessionConfig`], [`SessionPhase`], [`SessionSnapshot`] — ask the
+//!   session for a query batch, answer at your own pace, checkpoint
+//!   mid-iteration, resume bit-identically. See the phase diagram in
+//!   [`crate::session`].
+//! * **Strategies**: [`StrategySpec`] names the paper's selection
+//!   policy and its baselines; the session builds instances internally.
+//! * **Configuration**: [`ExperimentConfig`] (protocol + algorithm +
+//!   matcher knobs, defaulting to the paper's §4.2 values) and the
+//!   grid-level [`GridConfig`].
+//! * **Datasets**: [`Scenario`] names a reproducible dataset recipe
+//!   (synthetic profile or Magellan CSV directory) and materializes it
+//!   into shared [`DatasetArtifacts`]; [`ArtifactCache`] deduplicates
+//!   materialization across runs.
+//! * **Reports**: [`RunReport`] / [`IterationRecord`] per run,
+//!   [`GridReport`] for engine grids.
+//! * **Batch execution**: [`ExperimentGrid`] fans dataset × strategy ×
+//!   seed grids out across worker threads;
+//!   [`run_active_learning`](crate::runner::run_active_learning) is the
+//!   single-run entry point (a thin oracle-driver over a session).
+//!
+//! ```
+//! use battleship::api::{
+//!     MatchSession, Scenario, SessionConfig, SessionPhase, StrategySpec,
+//! };
+//! use battleship::ExperimentConfig;
+//! use em_synth::DatasetProfile;
+//!
+//! // Materialize a (tiny) reproducible scenario…
+//! let art = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5)
+//!     .materialize()
+//!     .unwrap();
+//!
+//! // …and open an interactive session on it.
+//! let mut experiment = ExperimentConfig::low_resource(1, 10);
+//! experiment.al.seed_size = 10;
+//! experiment.matcher.epochs = 2;
+//! experiment.battleship.kselect_sample = 128;
+//! let mut session = MatchSession::new(
+//!     &art.dataset,
+//!     &art.features,
+//!     SessionConfig { experiment, strategy: StrategySpec::Random, seed: 3 },
+//! )
+//! .unwrap();
+//!
+//! // The session asks; this labeler answers from ground truth.
+//! loop {
+//!     match session.advance().unwrap() {
+//!         SessionPhase::AwaitingLabels => {
+//!             let answers: Vec<_> = session
+//!                 .next_query_batch()
+//!                 .into_iter()
+//!                 .map(|p| (p, art.dataset.ground_truth(p)))
+//!                 .collect();
+//!             session.submit_labels(&answers).unwrap();
+//!         }
+//!         SessionPhase::Done => break,
+//!         _ => {}
+//!     }
+//! }
+//! assert!(session.report().final_f1().is_some());
+//! ```
+
+pub use crate::config::{ALConfig, BattleshipParams, ExperimentConfig, GridConfig};
+pub use crate::engine::{
+    ArtifactCache, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource,
+};
+pub use crate::report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
+pub use crate::runner::{run_active_learning, run_closed_loop};
+pub use crate::session::{
+    MatchSession, PendingSnapshot, SessionConfig, SessionPhase, SessionSnapshot, SNAPSHOT_VERSION,
+};
+pub use crate::strategies::{Selection, SelectionContext, SelectionStrategy, StrategySpec};
+
+// The session API's labeling types come from `em-core`; re-export them
+// so interactive clients need only this module.
+pub use em_core::{Label, NoisyOracle, Oracle, PairIdx, PerfectOracle};

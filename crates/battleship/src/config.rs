@@ -188,6 +188,20 @@ impl ExperimentConfig {
         self.al.validate()?;
         self.battleship.validate()
     }
+
+    /// A scaled-down low-resource protocol: `iterations` iterations
+    /// with `budget` labels each, a balanced seed of the same size, an
+    /// equal weak-label budget, and a shorter matcher schedule — the
+    /// configuration every example runs so it finishes in seconds.
+    pub fn low_resource(iterations: usize, budget: usize) -> Self {
+        let mut c = ExperimentConfig::default();
+        c.al.iterations = iterations;
+        c.al.budget = budget;
+        c.al.seed_size = budget;
+        c.al.weak_budget = budget;
+        c.matcher.epochs = 20;
+        c
+    }
 }
 
 /// Configuration of a full experiment *grid*: one [`ExperimentConfig`]

@@ -1,17 +1,19 @@
 //! The run worker: executes one [`RunSpec`] to a [`RunReport`].
 //!
-//! This module owns the active-learning protocol loop (§3.1 + §4.2) that
-//! used to live in `runner.rs`:
+//! The active-learning protocol loop (§3.1 + §4.2: seed draw → train →
+//! predict → select → label → repeat) lives in [`crate::session`] as
+//! the step-driven [`MatchSession`] state machine; this module's
+//! [`execute_run`] is a thin driver that steps a session against an
+//! [`Oracle`], so the grid engine, `run_active_learning` and every
+//! bench inherit the session redesign for free.
 //!
-//! 1. draw the balanced initialisation seed `D_train_0` (50 matches + 50
-//!    non-matches, labeled by the oracle),
-//! 2. train a fresh matcher on the labeled set (plus the weak set picked
-//!    by the previous model, §3.7) and record test F1,
-//! 3. predict over the remaining pool, hand the strategy the
-//!    representations/predictions, and send its `B` selections to the
-//!    oracle,
-//! 4. move the new labels from pool to train and repeat for `I`
-//!    iterations.
+//! The pre-redesign closed loop is preserved **verbatim** below as
+//! [`execute_run_closed`] (public via
+//! [`crate::runner::run_closed_loop`]): the golden tests in
+//! `tests/session_api.rs` and the `em-bench` session bench pin the
+//! session-driven path bit-identical (modulo wall-clock) to it for
+//! every [`StrategySpec`](crate::strategies::StrategySpec), and the
+//! bench additionally gates the step machinery's overhead at ≤ 5 %.
 //!
 //! Per-iteration wall-clock for training and selection is recorded — the
 //! selection component is what Figure 6 plots (K-Means dominates it,
@@ -31,10 +33,33 @@ use em_vector::Embeddings;
 use crate::baselines::{full_d_f1, zeroer_f1};
 use crate::config::ExperimentConfig;
 use crate::report::{IterationRecord, RunReport};
+use crate::session::MatchSession;
 use crate::strategies::{SelectionContext, SelectionStrategy};
 
 use super::artifacts::DatasetArtifacts;
 use super::spec::{CellKind, RunSpec};
+
+/// Execute a full active-learning run by driving a [`MatchSession`]
+/// against the oracle (the engine's inner loop; the public single-run
+/// entry point is
+/// [`run_active_learning`](crate::runner::run_active_learning)).
+///
+/// `seed` drives every random decision (seed draw, matcher init,
+/// residual budget allocation, strategy tie-breaks), making runs exactly
+/// reproducible — and bit-identical (modulo wall-clock) to the
+/// pre-redesign closed loop preserved in [`execute_run_closed`].
+pub(crate) fn execute_run(
+    dataset: &Dataset,
+    features: &Embeddings,
+    strategy: &mut dyn SelectionStrategy,
+    oracle: &dyn Oracle,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Result<RunReport> {
+    let mut session =
+        MatchSession::with_strategy(dataset, features, strategy, config.clone(), seed)?;
+    session.drive(oracle)
+}
 
 /// A prepared run: dataset-level constants shared across iterations.
 pub struct ActiveLearningRun<'a> {
@@ -165,14 +190,15 @@ impl<'a> ActiveLearningRun<'a> {
     }
 }
 
-/// Execute a full active-learning run (the engine's inner loop; the
-/// public single-run entry point is
-/// [`run_active_learning`](crate::runner::run_active_learning)).
+/// The pre-redesign closed protocol loop, preserved verbatim as the
+/// golden reference for the session-driven [`execute_run`] (public via
+/// [`crate::runner::run_closed_loop`]; also the baseline the `em-bench`
+/// session bench gates step-driven overhead against).
 ///
 /// `seed` drives every random decision (seed draw, matcher init,
 /// residual budget allocation, strategy tie-breaks), making runs exactly
 /// reproducible.
-pub(crate) fn execute_run(
+pub(crate) fn execute_run_closed(
     dataset: &Dataset,
     features: &Embeddings,
     strategy: &mut dyn SelectionStrategy,

@@ -35,14 +35,23 @@
 //!   Battleship, DAL, DIAL, Random,
 //! * [`baselines`] — the non-AL extremes: ZeroER (0 labels) and Full D
 //!   (all labels),
+//! * [`session`] — the step-driven session API: the protocol loop
+//!   inverted into the resumable, checkpointable
+//!   [`session::MatchSession`] state machine (seed draw → awaiting
+//!   labels → training → done),
 //! * [`engine`] — the parallel experiment engine: scenario registry,
 //!   shared dataset artifacts, grid expansion and the rayon scheduler
-//!   that fans dataset × strategy × seed runs out across workers,
-//! * [`runner`] — the single-run entry point (a thin wrapper over the
-//!   engine's protocol worker),
+//!   that fans dataset × strategy × seed runs out across workers (each
+//!   worker drives one session against a perfect oracle),
+//! * [`runner`] — the single-run entry point (a thin oracle-driver over
+//!   a session) plus the preserved pre-redesign closed loop
+//!   ([`runner::run_closed_loop`], the golden/bench reference),
 //! * [`report`] — multi-seed and grid aggregation, F1 curves, AUC
-//!   (Table 5).
+//!   (Table 5),
+//! * [`api`] — the **documented public facade**: one import path for
+//!   sessions, strategies, scenarios, reports and the engine.
 
+pub mod api;
 pub mod baselines;
 pub mod budget;
 pub mod config;
@@ -50,6 +59,7 @@ pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod selection;
+pub mod session;
 pub mod spatial;
 pub mod strategies;
 pub mod weak;
@@ -63,7 +73,8 @@ pub use engine::{
     ArtifactCache, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource,
 };
 pub use report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
-pub use runner::{run_active_learning, ActiveLearningRun};
+pub use runner::{run_active_learning, run_closed_loop, ActiveLearningRun};
+pub use session::{MatchSession, SessionConfig, SessionPhase, SessionSnapshot};
 pub use spatial::{SpatialIndex, SpatialParams};
 pub use strategies::{
     BattleshipStrategy, DalStrategy, DialStrategy, RandomStrategy, SelectionContext,

@@ -1,13 +1,20 @@
 //! The single-run entry point to the active-learning protocol.
 //!
-//! The protocol loop itself (§3.1 + §4.2: seed draw → train → predict →
-//! select → label → repeat) lives in [`crate::engine::worker`], where the
-//! experiment engine executes it once per grid cell. This module keeps
-//! the original one-(dataset, strategy, seed) API as a thin wrapper for
-//! callers that want exactly one run — examples, benches and tests; a
-//! grid cell produced by the engine is bit-identical (modulo wall-clock)
-//! to what this wrapper returns for the same seed, which the engine's
-//! golden tests pin.
+//! The protocol itself (§3.1 + §4.2: seed draw → train → predict →
+//! select → label → repeat) lives in [`crate::session`] as the
+//! step-driven [`MatchSession`](crate::session::MatchSession) state
+//! machine; [`run_active_learning`] drives one session against an
+//! [`Oracle`] to completion. This keeps the original one-(dataset,
+//! strategy, seed) API for callers that want exactly one run —
+//! examples, benches and tests; a grid cell produced by the engine is
+//! bit-identical (modulo wall-clock) to what this wrapper returns for
+//! the same seed, which the engine's golden tests pin.
+//!
+//! [`run_closed_loop`] is the pre-redesign closed loop, preserved
+//! verbatim as the golden reference: `tests/session_api.rs` pins the
+//! session-driven path bit-identical to it for every strategy, and the
+//! `em-bench` session bench gates the step machinery's overhead
+//! against it.
 
 pub use crate::engine::worker::ActiveLearningRun;
 
@@ -15,11 +22,12 @@ use em_core::{Dataset, Oracle, Result};
 use em_vector::Embeddings;
 
 use crate::config::ExperimentConfig;
-use crate::engine::worker::execute_run;
+use crate::engine::worker::{execute_run, execute_run_closed};
 use crate::report::RunReport;
 use crate::strategies::SelectionStrategy;
 
-/// Execute a full active-learning run.
+/// Execute a full active-learning run (driving a
+/// [`MatchSession`](crate::session::MatchSession) internally).
 ///
 /// `seed` drives every random decision (seed draw, matcher init,
 /// residual budget allocation, strategy tie-breaks), making runs exactly
@@ -33,6 +41,24 @@ pub fn run_active_learning(
     seed: u64,
 ) -> Result<RunReport> {
     execute_run(dataset, features, strategy, oracle, config, seed)
+}
+
+/// Execute a run through the pre-redesign closed protocol loop.
+///
+/// This is the reference implementation the session API was inverted
+/// from, preserved verbatim for golden comparisons and overhead
+/// benchmarking: [`run_active_learning`] produces a bit-identical
+/// report (modulo wall-clock fields) for the same inputs. Applications
+/// should use [`run_active_learning`] or the session API directly.
+pub fn run_closed_loop(
+    dataset: &Dataset,
+    features: &Embeddings,
+    strategy: &mut dyn SelectionStrategy,
+    oracle: &dyn Oracle,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Result<RunReport> {
+    execute_run_closed(dataset, features, strategy, oracle, config, seed)
 }
 
 #[cfg(test)]

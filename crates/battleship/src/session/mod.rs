@@ -1,0 +1,752 @@
+//! The step-driven session API: the active-learning protocol as an
+//! inverted-control state machine.
+//!
+//! The paper's protocol (§3.1 + §4.2) is a loop: draw a balanced seed,
+//! train, predict, select, label, repeat. The experiment engine drives
+//! that loop synchronously against an [`Oracle`] — fine for benchmarks,
+//! unusable when labels come from humans or remote services with
+//! latency. [`MatchSession`] inverts the control flow: the session owns
+//! every piece of loop state (pool, labeled set, matcher, strategy,
+//! rng, records) and exposes the protocol as explicit steps the caller
+//! drives at its own pace:
+//!
+//! ```text
+//!               ┌───────────┐
+//!               │  SeedDraw │  advance(): draw the balanced seed batch
+//!               └─────┬─────┘
+//!                     ▼
+//!           ┌──────────────────┐   next_query_batch()
+//!     ┌────▶│  AwaitingLabels  │◀──────────────┐
+//!     │     └────────┬─────────┘               │
+//!     │              │ submit_labels(...)      │ advance(): predict +
+//!     │              ▼  (batch complete)       │ select the next batch
+//!     │        ┌──────────┐                    │
+//!     │        │ Training │────────────────────┘
+//!     │        └────┬─────┘  advance(): train + record F1
+//!     │             │
+//!     │             ▼  (budget exhausted or pool empty)
+//!     │        ┌────────┐
+//!     └────────│  Done  │
+//!              └────────┘
+//! ```
+//!
+//! Each state transition is deterministic given the session seed, and a
+//! session driven against an oracle produces a [`RunReport`] **bit
+//! identical** (modulo wall-clock fields) to the engine's closed loop —
+//! the golden tests in [`crate::engine::worker`] and `tests/session_api.rs`
+//! pin this for every [`StrategySpec`]. [`MatchSession::snapshot`] /
+//! [`MatchSession::restore`] serialize the complete loop state, so a
+//! session can be persisted mid-iteration (even with a half-labeled
+//! batch in flight) and resumed bit-identically on another process.
+
+mod snapshot;
+
+pub use snapshot::{PendingSnapshot, SessionSnapshot, SNAPSHOT_VERSION};
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use em_core::{BinaryConfusion, Dataset, EmError, Label, Membership, Oracle, PairIdx, Result, Rng};
+use em_matcher::{train_matcher, MatcherConfig, TrainedMatcher};
+use em_vector::Embeddings;
+
+use crate::config::ExperimentConfig;
+use crate::report::{IterationRecord, RunReport};
+use crate::strategies::{SelectionContext, SelectionStrategy, StrategySpec};
+
+/// Everything needed to open a [`MatchSession`]: the per-run protocol
+/// configuration, the selection strategy, and the run seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Protocol / algorithm / matcher configuration.
+    pub experiment: ExperimentConfig,
+    /// Which selection strategy picks the query batches.
+    pub strategy: StrategySpec,
+    /// Seed driving every random decision of the run.
+    pub seed: u64,
+}
+
+impl SessionConfig {
+    /// A session config with the paper's default experiment parameters.
+    pub fn new(strategy: StrategySpec, seed: u64) -> Self {
+        SessionConfig {
+            experiment: ExperimentConfig::default(),
+            strategy,
+            seed,
+        }
+    }
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::new(StrategySpec::Battleship, 0)
+    }
+}
+
+/// Where a session currently stands in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SessionPhase {
+    /// Fresh session: the balanced initialisation seed has not been
+    /// drawn yet. `advance()` draws it and produces the first query
+    /// batch.
+    SeedDraw,
+    /// A query batch is outstanding: fetch it with
+    /// [`MatchSession::next_query_batch`] and answer it (possibly
+    /// incrementally) with [`MatchSession::submit_labels`].
+    AwaitingLabels,
+    /// The current batch is fully labeled: `advance()` trains the next
+    /// model, records its test F1, and either emits the next query
+    /// batch or finishes.
+    Training,
+    /// The label budget is exhausted (or the pool ran dry); the final
+    /// [`RunReport`] is available.
+    Done,
+}
+
+/// What kind of batch is awaiting labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub(crate) enum BatchKind {
+    /// The balanced initialisation seed (`D_train_0`).
+    Seed,
+    /// A strategy-selected iteration batch.
+    Selection,
+}
+
+/// The in-flight query batch and its partially-received labels.
+pub(crate) struct PendingBatch {
+    /// Pairs sent to the labeler, in emission order.
+    pub(crate) pairs: Vec<PairIdx>,
+    pub(crate) kind: BatchKind,
+    /// Weak pseudo-labels picked alongside this batch (§3.7), applied
+    /// to the training round that consumes the batch.
+    pub(crate) weak: Vec<(PairIdx, Label)>,
+    /// Wall-clock of the predict+select step that produced the batch.
+    pub(crate) select_secs: f64,
+    /// Received labels, aligned with `pairs`.
+    pub(crate) received: Vec<Option<Label>>,
+    pub(crate) n_received: usize,
+    /// Pair → positions in `pairs` (rebuilt, never serialized). A
+    /// strategy may legally select the same pair more than once (the
+    /// closed loop labeled it once per occurrence), so each pair maps
+    /// to *all* its slots.
+    positions: HashMap<PairIdx, Vec<usize>>,
+}
+
+impl PendingBatch {
+    fn new(pairs: Vec<PairIdx>, kind: BatchKind, weak: Vec<(PairIdx, Label)>, secs: f64) -> Self {
+        let mut positions: HashMap<PairIdx, Vec<usize>> = HashMap::with_capacity(pairs.len());
+        for (i, &p) in pairs.iter().enumerate() {
+            positions.entry(p).or_default().push(i);
+        }
+        let received = vec![None; pairs.len()];
+        PendingBatch {
+            pairs,
+            kind,
+            weak,
+            select_secs: secs,
+            received,
+            n_received: 0,
+            positions,
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.n_received == self.pairs.len()
+    }
+
+    /// The received labels in batch order; only valid when complete.
+    fn labels(&self) -> Vec<Label> {
+        debug_assert!(self.is_complete());
+        self.received.iter().map(|l| l.expect("complete")).collect()
+    }
+}
+
+/// The strategy a session steps: owned (built from a [`StrategySpec`],
+/// checkpointable) or borrowed (caller-managed, the engine/runner path).
+enum StrategySlot<'a> {
+    Owned(Box<dyn SelectionStrategy + Send>),
+    Borrowed(&'a mut dyn SelectionStrategy),
+}
+
+impl StrategySlot<'_> {
+    fn get(&mut self) -> &mut dyn SelectionStrategy {
+        match self {
+            StrategySlot::Owned(s) => s.as_mut(),
+            StrategySlot::Borrowed(s) => *s,
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            StrategySlot::Owned(s) => s.name(),
+            StrategySlot::Borrowed(s) => s.name(),
+        }
+    }
+}
+
+/// A resumable, step-driven active-learning run.
+///
+/// Owns all loop state of the paper's protocol and exposes it as the
+/// explicit state machine documented in the [module docs](self). The
+/// closed-loop equivalent — [`MatchSession::drive`] against an oracle —
+/// reproduces [`crate::runner::run_closed_loop`] bit-identically
+/// (modulo wall-clock).
+///
+/// ```
+/// use battleship::api::{MatchSession, SessionConfig, SessionPhase, StrategySpec};
+/// use battleship::ExperimentConfig;
+/// use em_core::{Oracle, PerfectOracle, Rng};
+/// use em_matcher::{FeatureConfig, Featurizer};
+/// use em_synth::{generate, DatasetProfile};
+///
+/// // A tiny synthetic task (scaled down so the doc-test is fast).
+/// let profile = DatasetProfile::amazon_google().scaled(0.04);
+/// let dataset = generate(&profile, &mut Rng::seed_from_u64(5)).unwrap();
+/// let features = Featurizer::new(&dataset, FeatureConfig::default())
+///     .unwrap()
+///     .featurize_all(&dataset)
+///     .unwrap();
+///
+/// let mut experiment = ExperimentConfig::low_resource(1, 10);
+/// experiment.al.seed_size = 10;
+/// experiment.matcher.epochs = 2;
+/// experiment.battleship.kselect_sample = 128;
+/// let config = SessionConfig { experiment, strategy: StrategySpec::Random, seed: 7 };
+///
+/// // The inverted loop: the session asks, the caller answers.
+/// let oracle = PerfectOracle::new();
+/// let mut session = MatchSession::new(&dataset, &features, config).unwrap();
+/// loop {
+///     match session.advance().unwrap() {
+///         SessionPhase::AwaitingLabels => {
+///             let labels: Vec<_> = session
+///                 .next_query_batch()
+///                 .into_iter()
+///                 .map(|p| (p, oracle.label(&dataset, p)))
+///                 .collect();
+///             session.submit_labels(&labels).unwrap();
+///         }
+///         SessionPhase::Done => break,
+///         _ => {}
+///     }
+/// }
+/// let report = session.into_report();
+/// assert_eq!(report.iterations.len(), 2); // seed model + 1 iteration
+/// assert_eq!(oracle.queries(), 20); // 10 seed + 10 selected
+/// ```
+pub struct MatchSession<'a> {
+    dataset: &'a Dataset,
+    features: &'a Embeddings,
+    config: ExperimentConfig,
+    strategy: StrategySlot<'a>,
+    /// Set when the strategy was built from a spec (required for
+    /// checkpointing).
+    strategy_spec: Option<StrategySpec>,
+    seed: u64,
+    rng: Rng,
+    /// Unlabeled pool, shrinking as batches are emitted.
+    pool: Vec<PairIdx>,
+    membership: Membership,
+    train: Vec<PairIdx>,
+    train_labels: Vec<Label>,
+    // Dataset-level constants (derived, not checkpointed).
+    valid_idx: Vec<PairIdx>,
+    valid_labels: Vec<Label>,
+    test_idx: Vec<PairIdx>,
+    test_labels: Vec<Label>,
+    matcher: Option<TrainedMatcher>,
+    iterations: Vec<IterationRecord>,
+    phase: SessionPhase,
+    pending: Option<PendingBatch>,
+}
+
+impl<'a> MatchSession<'a> {
+    /// Open a session from a [`SessionConfig`] (strategy built from its
+    /// spec; the session is checkpointable via
+    /// [`MatchSession::snapshot`]).
+    pub fn new(
+        dataset: &'a Dataset,
+        features: &'a Embeddings,
+        config: SessionConfig,
+    ) -> Result<Self> {
+        let strategy = StrategySlot::Owned(config.strategy.build());
+        Self::open(
+            dataset,
+            features,
+            strategy,
+            Some(config.strategy),
+            config.experiment,
+            config.seed,
+        )
+    }
+
+    /// Open a session stepping a caller-managed strategy instance (the
+    /// engine / legacy-runner path). Such a session runs identically
+    /// but cannot be checkpointed — [`MatchSession::snapshot`] needs a
+    /// [`StrategySpec`] to rebuild the strategy on restore.
+    pub fn with_strategy(
+        dataset: &'a Dataset,
+        features: &'a Embeddings,
+        strategy: &'a mut dyn SelectionStrategy,
+        experiment: ExperimentConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::open(
+            dataset,
+            features,
+            StrategySlot::Borrowed(strategy),
+            None,
+            experiment,
+            seed,
+        )
+    }
+
+    fn open(
+        dataset: &'a Dataset,
+        features: &'a Embeddings,
+        strategy: StrategySlot<'a>,
+        strategy_spec: Option<StrategySpec>,
+        config: ExperimentConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if features.len() != dataset.len() {
+            return Err(EmError::DimensionMismatch {
+                context: "run features".into(),
+                expected: dataset.len(),
+                actual: features.len(),
+            });
+        }
+        let rng = Rng::seed_from_u64(seed);
+        let pool: Vec<PairIdx> = dataset.split().train.clone();
+        if pool.len() < config.al.seed_size {
+            return Err(EmError::InvalidConfig(format!(
+                "pool of {} smaller than seed size {}",
+                pool.len(),
+                config.al.seed_size
+            )));
+        }
+        let valid_idx = dataset.split().valid.clone();
+        let valid_labels = dataset.ground_truth_of(&valid_idx);
+        let test_idx = dataset.split().test.clone();
+        let test_labels = dataset.ground_truth_of(&test_idx);
+        let membership = Membership::new(dataset.len());
+        Ok(MatchSession {
+            dataset,
+            features,
+            config,
+            strategy,
+            strategy_spec,
+            seed,
+            rng,
+            pool,
+            membership,
+            train: Vec::new(),
+            train_labels: Vec::new(),
+            valid_idx,
+            valid_labels,
+            test_idx,
+            test_labels,
+            matcher: None,
+            iterations: Vec::new(),
+            phase: SessionPhase::SeedDraw,
+            pending: None,
+        })
+    }
+
+    // --- Introspection. ---------------------------------------------------
+
+    /// Where the session currently stands.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The strategy's display name.
+    pub fn strategy_name(&self) -> String {
+        self.strategy.name()
+    }
+
+    /// The experiment configuration the session runs under.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Oracle labels consumed so far (including any partially-submitted
+    /// batch).
+    pub fn labels_used(&self) -> usize {
+        // A fully-labeled batch has already been folded into `train`
+        // (it lingers in `pending` only to feed the training step), so
+        // count outstanding labels only while they are outstanding.
+        let outstanding = match self.phase {
+            SessionPhase::AwaitingLabels => self.pending.as_ref().map_or(0, |p| p.n_received),
+            _ => 0,
+        };
+        self.train.len() + outstanding
+    }
+
+    /// Unlabeled pairs remaining in the pool.
+    pub fn pool_remaining(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Per-iteration records produced so far (seed model first).
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.iterations
+    }
+
+    /// The current model, once the first training step has run.
+    pub fn matcher(&self) -> Option<&TrainedMatcher> {
+        self.matcher.as_ref()
+    }
+
+    /// The report of everything recorded so far.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            dataset: self.dataset.name.clone(),
+            strategy: self.strategy.name(),
+            seed: self.seed,
+            iterations: self.iterations.clone(),
+        }
+    }
+
+    /// Consume the session into its final report (moving the records
+    /// out instead of cloning them).
+    pub fn into_report(self) -> RunReport {
+        RunReport {
+            dataset: self.dataset.name.clone(),
+            strategy: self.strategy.name(),
+            seed: self.seed,
+            iterations: self.iterations,
+        }
+    }
+
+    // --- The state machine. -----------------------------------------------
+
+    /// Perform the current phase's work and return the new phase.
+    ///
+    /// * [`SessionPhase::SeedDraw`] → draws the balanced seed batch and
+    ///   moves to `AwaitingLabels`.
+    /// * [`SessionPhase::AwaitingLabels`] → no-op (labels arrive via
+    ///   [`MatchSession::submit_labels`]).
+    /// * [`SessionPhase::Training`] → trains on the completed batch,
+    ///   records test F1, then either selects the next query batch
+    ///   (`AwaitingLabels`) or finishes (`Done`).
+    /// * [`SessionPhase::Done`] → no-op.
+    ///
+    /// An `Err` from the training/selection step leaves the session
+    /// unusable (the batch that fed it is consumed); subsequent
+    /// `advance()` calls keep returning an error. Resume from the last
+    /// [`MatchSession::snapshot`] instead.
+    pub fn advance(&mut self) -> Result<SessionPhase> {
+        match self.phase {
+            SessionPhase::SeedDraw => self.draw_seed_batch()?,
+            SessionPhase::AwaitingLabels | SessionPhase::Done => {}
+            SessionPhase::Training => self.train_and_continue()?,
+        }
+        Ok(self.phase)
+    }
+
+    /// The pairs currently awaiting labels, in emission order (pairs
+    /// already answered through an incremental
+    /// [`MatchSession::submit_labels`] are omitted). Empty when no
+    /// batch is outstanding.
+    pub fn next_query_batch(&self) -> Vec<PairIdx> {
+        match &self.pending {
+            Some(batch) if self.phase == SessionPhase::AwaitingLabels => batch
+                .pairs
+                .iter()
+                .zip(&batch.received)
+                .filter(|(_, r)| r.is_none())
+                .map(|(&p, _)| p)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Submit labels for (part of) the outstanding query batch.
+    ///
+    /// Labels may arrive incrementally and in any order; each pair must
+    /// belong to the outstanding batch and may only be answered once.
+    /// When the last label arrives the session moves to
+    /// [`SessionPhase::Training`].
+    pub fn submit_labels(&mut self, labels: &[(PairIdx, Label)]) -> Result<SessionPhase> {
+        if self.phase != SessionPhase::AwaitingLabels {
+            return Err(EmError::InvalidConfig(format!(
+                "no labels are awaited in phase {:?}",
+                self.phase
+            )));
+        }
+        let batch = self
+            .pending
+            .as_mut()
+            .expect("AwaitingLabels always has a pending batch");
+        for &(pair, label) in labels {
+            let Some(slots) = batch.positions.get(&pair) else {
+                return Err(EmError::InvalidConfig(format!(
+                    "pair {pair} is not part of the outstanding query batch"
+                )));
+            };
+            // Fill the first unanswered slot for this pair (a pair may
+            // occur more than once in a batch; each occurrence needs a
+            // label, as each consumed one oracle query in the closed
+            // loop).
+            let Some(&pos) = slots.iter().find(|&&s| batch.received[s].is_none()) else {
+                return Err(EmError::InvalidConfig(format!(
+                    "pair {pair} was already labeled in this batch"
+                )));
+            };
+            batch.received[pos] = Some(label);
+            batch.n_received += 1;
+        }
+        if batch.is_complete() {
+            self.complete_batch();
+        }
+        Ok(self.phase)
+    }
+
+    /// Move a fully-labeled batch into the train set (batch order, the
+    /// closed loop's oracle order) and arm the training step.
+    fn complete_batch(&mut self) {
+        let batch = self.pending.as_ref().expect("pending batch");
+        debug_assert!(batch.is_complete());
+        let labels = batch.labels();
+        self.train.extend_from_slice(&batch.pairs);
+        self.train_labels.extend_from_slice(&labels);
+        self.phase = SessionPhase::Training;
+    }
+
+    /// Drive the session to completion against an oracle — the closed
+    /// loop as a few-line client of the step API — and return the final
+    /// report.
+    pub fn drive(&mut self, oracle: &dyn Oracle) -> Result<RunReport> {
+        loop {
+            match self.advance()? {
+                SessionPhase::AwaitingLabels => {
+                    let labels: Vec<(PairIdx, Label)> = self
+                        .next_query_batch()
+                        .into_iter()
+                        .map(|p| (p, oracle.label(self.dataset, p)))
+                        .collect();
+                    self.submit_labels(&labels)?;
+                }
+                SessionPhase::Done => break,
+                SessionPhase::SeedDraw | SessionPhase::Training => {}
+            }
+        }
+        Ok(self.report())
+    }
+
+    // --- Protocol steps (bit-identical to the closed loop). ---------------
+
+    /// Draw the balanced initialisation seed (`seed_size/2` matches and
+    /// non-matches; the standard assumption the paper takes from Kasai
+    /// et al.) and emit it as the first query batch.
+    ///
+    /// The *choice* of seed pairs uses ground truth for balance (as the
+    /// closed loop did); their *labels* still come from the caller, so
+    /// a noisy labeler flows through identically.
+    fn draw_seed_batch(&mut self) -> Result<()> {
+        let seed_size = self.config.al.seed_size;
+        let mut shuffled = self.pool.clone();
+        self.rng.shuffle(&mut shuffled);
+        let half = seed_size / 2;
+        let mut chosen = Vec::with_capacity(seed_size);
+        let mut n_pos = 0usize;
+        let mut n_neg = 0usize;
+        let mut leftovers = Vec::new();
+        for &idx in &shuffled {
+            if chosen.len() >= seed_size {
+                break;
+            }
+            let label = self.dataset.ground_truth(idx);
+            let take = if label.is_match() {
+                if n_pos < half {
+                    n_pos += 1;
+                    true
+                } else {
+                    false
+                }
+            } else if n_neg < seed_size - half {
+                n_neg += 1;
+                true
+            } else {
+                false
+            };
+            if take {
+                chosen.push(idx);
+            } else {
+                leftovers.push(idx);
+            }
+        }
+        // If one class ran short (tiny pools), fill with whatever remains.
+        for &idx in &leftovers {
+            if chosen.len() >= seed_size {
+                break;
+            }
+            chosen.push(idx);
+        }
+        self.membership.begin();
+        for &idx in &chosen {
+            self.membership.insert(idx);
+        }
+        let membership = &self.membership;
+        self.pool.retain(|&i| !membership.contains(i));
+        self.pending = Some(PendingBatch::new(chosen, BatchKind::Seed, Vec::new(), 0.0));
+        self.phase = SessionPhase::AwaitingLabels;
+        Ok(())
+    }
+
+    /// Train on the completed batch, record the iteration, and select
+    /// the next query batch (or finish).
+    fn train_and_continue(&mut self) -> Result<()> {
+        // A failed training/selection step leaves the session errored:
+        // the batch that fed it is consumed, so a retried `advance()`
+        // reports the poisoned state as an error rather than panicking
+        // (or silently re-training).
+        let batch = self.pending.take().ok_or_else(|| {
+            EmError::InvalidConfig(
+                "session is unusable: a previous training/selection step failed".into(),
+            )
+        })?;
+        debug_assert!(batch.is_complete());
+
+        // Fresh per-iteration matcher seed — the closed loop's
+        // `rng.next_u64()` in the same stream position.
+        let matcher_config = MatcherConfig {
+            seed: self.rng.next_u64(),
+            ..self.config.matcher.clone()
+        };
+        let t_train = Instant::now();
+        let (matcher, metrics) = self.train_and_eval(&batch.weak, &matcher_config)?;
+        let train_secs = t_train.elapsed().as_secs_f64();
+        self.matcher = Some(matcher);
+
+        let batch_labels = batch.labels();
+        let new_positives = match batch.kind {
+            BatchKind::Seed => self.train_labels.iter().filter(|l| l.is_match()).count(),
+            BatchKind::Selection => batch_labels.iter().filter(|l| l.is_match()).count(),
+        };
+        self.iterations.push(IterationRecord {
+            iteration: self.iterations.len(),
+            labels_used: self.train.len(),
+            test_f1_pct: metrics.f1_pct(),
+            precision: metrics.precision,
+            recall: metrics.recall,
+            train_secs,
+            select_secs: batch.select_secs,
+            new_positives,
+            new_labels: batch.pairs.len(),
+            weak_used: batch.weak.len(),
+        });
+
+        // Loop control, as the closed loop orders it: the iteration
+        // budget first, then the pool-empty check at the next
+        // iteration's top.
+        let completed_selections = self.iterations.len() - 1;
+        if completed_selections >= self.config.al.iterations || self.pool.is_empty() {
+            self.phase = SessionPhase::Done;
+            return Ok(());
+        }
+        self.select_next_batch(completed_selections)
+    }
+
+    /// Predict over pool and train, hand the strategy the
+    /// representations, and emit its selections as the next query batch.
+    fn select_next_batch(&mut self, iteration: usize) -> Result<()> {
+        let matcher = self.matcher.as_ref().expect("trained before selection");
+        let t_select = Instant::now();
+        let pool_out = matcher.predict(self.features, &self.pool)?;
+        let train_out = matcher.predict(self.features, &self.train)?;
+
+        let budget = self.config.al.budget.min(self.pool.len());
+        let ctx = SelectionContext {
+            dataset: self.dataset,
+            features: self.features,
+            pool: &self.pool,
+            train: &self.train,
+            train_labels: &self.train_labels,
+            pool_preds: &pool_out.predictions,
+            pool_reprs: &pool_out.representations,
+            train_reprs: &train_out.representations,
+            budget,
+            iteration,
+            config: &self.config,
+        };
+        let selection = self.strategy.get().select(&ctx, &mut self.rng)?;
+        let select_secs = t_select.elapsed().as_secs_f64();
+
+        if selection.to_label.len() > budget {
+            return Err(EmError::InvalidConfig(format!(
+                "strategy `{}` exceeded its budget: {} > {budget}",
+                self.strategy.name(),
+                selection.to_label.len()
+            )));
+        }
+        self.membership.begin();
+        for &p in &self.pool {
+            self.membership.insert(p);
+        }
+        for &p in &selection.to_label {
+            if !self.membership.contains(p) {
+                return Err(EmError::InvalidConfig(format!(
+                    "strategy `{}` selected pair {p} outside the pool",
+                    self.strategy.name()
+                )));
+            }
+        }
+        self.membership.begin();
+        for &p in &selection.to_label {
+            self.membership.insert(p);
+        }
+        let membership = &self.membership;
+        self.pool.retain(|&i| !membership.contains(i));
+
+        let batch = PendingBatch::new(
+            selection.to_label,
+            BatchKind::Selection,
+            selection.weak,
+            select_secs,
+        );
+        let empty = batch.pairs.is_empty();
+        self.pending = Some(batch);
+        if empty {
+            // Nothing to label (a strategy may legally select nothing);
+            // the batch is trivially complete — train immediately.
+            self.complete_batch();
+        } else {
+            self.phase = SessionPhase::AwaitingLabels;
+        }
+        Ok(())
+    }
+
+    /// Train a matcher on `train ∪ weak` and measure test metrics.
+    fn train_and_eval(
+        &self,
+        weak: &[(PairIdx, Label)],
+        matcher_config: &MatcherConfig,
+    ) -> Result<(TrainedMatcher, em_core::Metrics)> {
+        let mut idx: Vec<PairIdx> = self.train.clone();
+        let mut labels: Vec<Label> = self.train_labels.clone();
+        for &(p, l) in weak {
+            idx.push(p);
+            labels.push(l);
+        }
+        let matcher = train_matcher(
+            self.features,
+            &idx,
+            &labels,
+            &self.valid_idx,
+            &self.valid_labels,
+            matcher_config,
+        )?;
+        let out = matcher.predict(self.features, &self.test_idx)?;
+        let predicted: Vec<Label> = out.predictions.iter().map(|p| p.label).collect();
+        let metrics = BinaryConfusion::from_labels(&predicted, &self.test_labels)?.metrics();
+        Ok((matcher, metrics))
+    }
+}

@@ -45,6 +45,6 @@ pub use metrics::{BinaryConfusion, F1Curve, Metrics};
 pub use oracle::{NoisyOracle, Oracle, PerfectOracle};
 pub use pair::{CandidatePair, Label, PairIdx, Prediction};
 pub use record::{Record, RecordId, Schema, Table};
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use serialize::{serialize_pair, serialize_record};
 pub use tokenize::{char_ngrams, jaccard, overlap_coefficient, tokenize, TokenSet};

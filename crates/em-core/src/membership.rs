@@ -10,12 +10,19 @@
 //! bumping the generation counter, and [`Membership::insert`] /
 //! [`Membership::contains`] are single array accesses.
 
+use serde::{Deserialize, Serialize};
+
 /// A reusable O(1)-reset membership set over ids `0..capacity`.
 ///
 /// Out-of-range ids are handled gracefully: `insert` ignores them and
 /// `contains` reports `false`, so callers iterating mixed id sources
 /// never index out of bounds.
-#[derive(Debug, Clone)]
+///
+/// `Membership` is `serde`-serializable so loop state that embeds one
+/// (e.g. a battleship `MatchSession` checkpoint) round-trips with its
+/// current set intact — stamps and the generation counter are persisted
+/// together, so membership answers are identical after restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Membership {
     stamp: Vec<u32>,
     generation: u32,
@@ -127,6 +134,26 @@ mod tests {
         // fill) can never equal the restarted generation.
         m.begin();
         assert!(!m.contains(0));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_current_set() {
+        let mut m = Membership::new(6);
+        m.insert(1);
+        m.begin();
+        m.insert(2);
+        m.insert(4);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Membership = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.capacity(), 6);
+        for i in 0..6 {
+            assert_eq!(back.contains(i), m.contains(i), "id {i}");
+        }
+        // The restored generation counter keeps advancing correctly.
+        let mut back = back;
+        back.begin();
+        assert!(!back.contains(2) && !back.contains(4));
     }
 
     #[test]

@@ -100,6 +100,31 @@ pub struct TrainedMatcher {
     pub best_epoch: usize,
 }
 
+/// The complete serializable state of a [`TrainedMatcher`].
+///
+/// A checkpointed active-learning session must persist its current
+/// model mid-run and resume it bit-identically; this struct captures
+/// everything prediction depends on — architecture, flat parameters,
+/// the sharpening temperature — plus the training provenance fields.
+/// [`TrainedMatcher::to_snapshot`] / [`TrainedMatcher::from_snapshot`]
+/// round-trip exactly: the restored matcher's predictions are
+/// bit-identical to the original's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherSnapshot {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden-layer widths (the last is the representation dimension).
+    pub hidden: Vec<usize>,
+    /// Flat network parameters ([`Mlp::snapshot`] layout).
+    pub params: Vec<f32>,
+    /// Prediction-time sharpening temperature.
+    pub temperature: f32,
+    /// Best validation F1 seen during training.
+    pub best_valid_f1: f64,
+    /// Epoch (0-based) whose parameters were kept.
+    pub best_epoch: usize,
+}
+
 /// Batched prediction output over a set of pairs.
 #[derive(Debug, Clone)]
 pub struct MatcherOutput {
@@ -134,6 +159,44 @@ impl TrainedMatcher {
     /// The prediction-time sharpening temperature.
     pub(crate) fn temperature(&self) -> f32 {
         self.temperature
+    }
+
+    /// Capture the matcher's complete state for checkpointing.
+    pub fn to_snapshot(&self) -> MatcherSnapshot {
+        MatcherSnapshot {
+            input_dim: self.mlp.input_dim(),
+            hidden: self.mlp.hidden_dims(),
+            params: self.mlp.snapshot(),
+            temperature: self.temperature,
+            best_valid_f1: self.best_valid_f1,
+            best_epoch: self.best_epoch,
+        }
+    }
+
+    /// Rebuild a matcher from a captured snapshot.
+    ///
+    /// The restored matcher predicts bit-identically to the one
+    /// [`TrainedMatcher::to_snapshot`] was called on. Errors on
+    /// malformed shapes (parameter count not matching the architecture)
+    /// or an invalid temperature.
+    pub fn from_snapshot(snapshot: &MatcherSnapshot) -> Result<TrainedMatcher> {
+        if snapshot.temperature <= 0.0 {
+            return Err(EmError::InvalidConfig(format!(
+                "matcher snapshot temperature must be > 0, got {}",
+                snapshot.temperature
+            )));
+        }
+        let mlp = Mlp::from_params(
+            snapshot.input_dim,
+            &snapshot.hidden,
+            snapshot.params.clone(),
+        )?;
+        Ok(TrainedMatcher {
+            mlp,
+            temperature: snapshot.temperature,
+            best_valid_f1: snapshot.best_valid_f1,
+            best_epoch: snapshot.best_epoch,
+        })
     }
 
     /// Predict one feature vector: `(prediction, representation)`.
@@ -569,6 +632,38 @@ mod tests {
         // through the full prediction path.
         let f1 = m.evaluate(&feats, &valid, &valid_labels).unwrap().f1;
         assert_eq!(f1.to_bits(), m.best_valid_f1.to_bits());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_predicts_bit_identically() {
+        let (feats, train, train_labels, test, _) = small_task();
+        let m = train_matcher(
+            &feats,
+            &train,
+            &train_labels,
+            &[],
+            &[],
+            &MatcherConfig::default(),
+        )
+        .unwrap();
+        let snap = m.to_snapshot();
+        let restored = TrainedMatcher::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.best_epoch, m.best_epoch);
+        assert_eq!(restored.best_valid_f1.to_bits(), m.best_valid_f1.to_bits());
+        let a = m.predict(&feats, &test).unwrap();
+        let b = restored.predict(&feats, &test).unwrap();
+        for (x, y) in a.predictions.iter().zip(&b.predictions) {
+            assert_eq!(x.prob.to_bits(), y.prob.to_bits());
+            assert_eq!(x.label, y.label);
+        }
+        assert_eq!(a.representations, b.representations);
+        // Malformed snapshots are rejected.
+        let mut bad = snap.clone();
+        bad.params.pop();
+        assert!(TrainedMatcher::from_snapshot(&bad).is_err());
+        let mut bad = snap;
+        bad.temperature = 0.0;
+        assert!(TrainedMatcher::from_snapshot(&bad).is_err());
     }
 
     #[test]

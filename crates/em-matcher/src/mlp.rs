@@ -128,9 +128,71 @@ impl Mlp {
         })
     }
 
+    /// Rebuild an MLP from its architecture and a flat parameter buffer
+    /// (the inverse of [`Mlp::snapshot`] plus the shape accessors) —
+    /// how a persisted matcher checkpoint becomes a live network again.
+    ///
+    /// `params` must have exactly the length a fresh
+    /// `Mlp::new(input_dim, hidden, …)` would allocate.
+    pub fn from_params(input_dim: usize, hidden: &[usize], params: Vec<f32>) -> Result<Self> {
+        // Mirror `new`'s validation so a malformed checkpoint cannot
+        // build a network `new` would have rejected.
+        if input_dim == 0 {
+            return Err(EmError::InvalidConfig("MLP input_dim must be > 0".into()));
+        }
+        if hidden.is_empty() {
+            return Err(EmError::InvalidConfig(
+                "MLP needs at least one hidden layer (it provides the pair representation)".into(),
+            ));
+        }
+        if hidden.contains(&0) {
+            return Err(EmError::InvalidConfig("hidden layer of width 0".into()));
+        }
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut offset = 0usize;
+        let mut prev = input_dim;
+        for &h in hidden.iter().chain(std::iter::once(&1)) {
+            layers.push(LayerSpec {
+                in_dim: prev,
+                out_dim: h,
+                w_off: offset,
+                b_off: offset + h * prev,
+            });
+            offset += h * prev + h;
+            prev = h;
+        }
+        if params.len() != offset {
+            return Err(EmError::DimensionMismatch {
+                context: "MLP from_params".into(),
+                expected: offset,
+                actual: params.len(),
+            });
+        }
+        let mut decay_mask = vec![false; offset];
+        for spec in &layers {
+            for i in 0..spec.out_dim * spec.in_dim {
+                decay_mask[spec.w_off + i] = true;
+            }
+        }
+        Ok(Mlp {
+            params,
+            layers,
+            decay_mask,
+        })
+    }
+
     /// Number of parameters.
     pub fn n_params(&self) -> usize {
         self.params.len()
+    }
+
+    /// The hidden-layer widths, in order (the `hidden` argument the
+    /// network was built with).
+    pub fn hidden_dims(&self) -> Vec<usize> {
+        self.layers[..self.layers.len() - 1]
+            .iter()
+            .map(|l| l.out_dim)
+            .collect()
     }
 
     /// Width of the representation (last hidden layer).
@@ -570,6 +632,27 @@ mod tests {
         let (after, _) = mlp.forward(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(before, after);
         assert!(mlp.restore(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_params_rebuilds_identical_network() {
+        let mut rng = Rng::seed_from_u64(77);
+        let mlp = Mlp::new(9, &[6, 4], &mut rng).unwrap();
+        assert_eq!(mlp.hidden_dims(), vec![6, 4]);
+        let rebuilt = Mlp::from_params(9, &[6, 4], mlp.snapshot()).unwrap();
+        assert_eq!(rebuilt.decay_mask(), mlp.decay_mask());
+        let x: Vec<f32> = (0..9).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let (la, ra) = mlp.forward(&x).unwrap();
+        let (lb, rb) = rebuilt.forward(&x).unwrap();
+        assert_eq!(la.to_bits(), lb.to_bits());
+        for (a, b) in ra.iter().zip(&rb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shape validation mirrors `new`.
+        assert!(Mlp::from_params(0, &[4], vec![0.0; 9]).is_err());
+        assert!(Mlp::from_params(4, &[], vec![0.0; 9]).is_err());
+        assert!(Mlp::from_params(4, &[4, 0], vec![0.0; 9]).is_err());
+        assert!(Mlp::from_params(9, &[6, 4], vec![0.0; 3]).is_err());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Interactive labeling: the inverted active-learning loop with a
+//! human-in-the-loop labeler — the setting the session API exists for.
+//!
+//! The session asks for labels; a labeler closure answers them. By
+//! default the labeler reads `y`/`n` answers from stdin (type `a` to
+//! let ground truth answer the rest automatically); when stdin is not
+//! interactive (piped, CI) it auto-answers from ground truth, so
+//! `cargo run --release --example interactive_labeling < /dev/null`
+//! completes unattended.
+//!
+//! Between batches the session is checkpointed to JSON and restored —
+//! the persistence cycle a labeling server would run — to show that
+//! resuming changes nothing.
+//!
+//! ```sh
+//! cargo run --release --example interactive_labeling
+//! ```
+
+use std::io::BufRead;
+
+use battleship_em::al::ExperimentConfig;
+use battleship_em::api::{
+    Label, MatchSession, PairIdx, Scenario, SessionConfig, SessionPhase, SessionSnapshot,
+    StrategySpec,
+};
+use battleship_em::core::serialize_pair;
+use battleship_em::synth::DatasetProfile;
+
+/// One stdin-backed labeling decision; `None` means "answer the rest
+/// from ground truth".
+fn ask(prompt: &str, stdin: &mut impl BufRead) -> Option<bool> {
+    loop {
+        println!("{prompt}");
+        let mut line = String::new();
+        match stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => return None, // EOF / closed stdin → auto mode
+            Ok(_) => match line.trim() {
+                "y" | "Y" => return Some(true),
+                "n" | "N" => return Some(false),
+                "a" | "A" | "" => return None,
+                other => println!("  (got `{other}`; answer y, n, or a for auto)"),
+            },
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small task so each training step takes well under a second.
+    let art =
+        Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.08, 11).materialize()?;
+    let dataset = &art.dataset;
+
+    let mut experiment = ExperimentConfig::low_resource(2, 8);
+    experiment.al.seed_size = 16;
+    let config = SessionConfig {
+        experiment,
+        strategy: StrategySpec::Battleship,
+        seed: 3,
+    };
+
+    let mut session = MatchSession::new(dataset, &art.features, config)?;
+    let mut stdin = std::io::stdin().lock();
+    let mut auto = false;
+    let mut batch_no = 0usize;
+
+    println!(
+        "interactive entity matching on `{}` ({} candidate pairs)\n",
+        dataset.name,
+        dataset.len()
+    );
+
+    loop {
+        match session.advance()? {
+            SessionPhase::AwaitingLabels => {
+                batch_no += 1;
+                let batch = session.next_query_batch();
+                println!(
+                    "--- query batch {batch_no}: {} pairs to label ---",
+                    batch.len()
+                );
+                let mut answers: Vec<(PairIdx, Label)> = Vec::with_capacity(batch.len());
+                for (i, &pair) in batch.iter().enumerate() {
+                    let truth = dataset.ground_truth(pair);
+                    let decision = if auto {
+                        truth.is_match()
+                    } else {
+                        let (l, r) = dataset.pair_records(pair)?;
+                        let text =
+                            serialize_pair(&dataset.left.schema, l, &dataset.right.schema, r);
+                        match ask(
+                            &format!(
+                                "\n[{}/{}] {text}\n  same entity? [y/n/a(uto)]",
+                                i + 1,
+                                batch.len()
+                            ),
+                            &mut stdin,
+                        ) {
+                            Some(d) => d,
+                            None => {
+                                println!("  → answering the rest from ground truth");
+                                auto = true;
+                                truth.is_match()
+                            }
+                        }
+                    };
+                    answers.push((pair, Label::from_bool(decision)));
+                }
+                session.submit_labels(&answers)?;
+
+                // Checkpoint between batches: serialize, drop, restore.
+                // A labeling service would do exactly this around every
+                // human round-trip.
+                let json = serde_json::to_string(&session.snapshot()?)?;
+                drop(session);
+                let snapshot: SessionSnapshot = serde_json::from_str(&json)?;
+                session = MatchSession::restore(dataset, &art.features, &snapshot)?;
+                println!(
+                    "(checkpointed {} bytes and resumed; training on {} labels …)\n",
+                    json.len(),
+                    session.labels_used()
+                );
+            }
+            SessionPhase::Done => break,
+            SessionPhase::SeedDraw | SessionPhase::Training => {}
+        }
+    }
+
+    let report = session.into_report();
+    println!("run complete:");
+    for it in &report.iterations {
+        println!(
+            "  iteration {}: {:>3} labels → test F1 {:>5.1}%",
+            it.iteration, it.labels_used, it.test_f1_pct
+        );
+    }
+    Ok(())
+}

@@ -4,14 +4,16 @@
 //!
 //! Unlike `quickstart`, this example starts from the *tables* and runs
 //! the blocking stage itself, then inspects what the battleship strategy
-//! actually hunts: its per-iteration positive yield.
+//! actually hunts: its per-iteration positive yield. The matching stage
+//! runs through the session API facade.
 //!
 //! ```sh
 //! cargo run --release --example product_matching
 //! ```
 
-use battleship_em::al::{run_active_learning, BattleshipStrategy, ExperimentConfig};
-use battleship_em::core::{PerfectOracle, Rng};
+use battleship_em::al::ExperimentConfig;
+use battleship_em::api::{MatchSession, PerfectOracle, SessionConfig, StrategySpec};
+use battleship_em::core::Rng;
 use battleship_em::matcher::{FeatureConfig, Featurizer};
 use battleship_em::synth::{block_candidates, generate, BlockingConfig, DatasetProfile};
 
@@ -42,16 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
     let features = featurizer.featurize_all(&dataset)?;
 
-    let mut config = ExperimentConfig::default();
-    config.al.iterations = 5;
-    config.al.budget = 60;
-    config.al.seed_size = 60;
-    config.al.weak_budget = 60;
-    config.matcher.epochs = 20;
-
-    let mut strategy = BattleshipStrategy::new();
+    let config = SessionConfig {
+        experiment: ExperimentConfig::low_resource(5, 60),
+        strategy: StrategySpec::Battleship,
+        seed: 5,
+    };
     let oracle = PerfectOracle::new();
-    let report = run_active_learning(&dataset, &features, &mut strategy, &oracle, &config, 5)?;
+    let mut session = MatchSession::new(&dataset, &features, config)?;
+    let report = session.drive(&oracle)?;
 
     // The battleship's point: it *hunts matches*. Compare its positive
     // yield per iteration with the dataset's base rate.

@@ -1,21 +1,22 @@
-//! Quickstart: generate a benchmark, run three battleship iterations,
-//! watch F1 climb.
+//! Quickstart: generate a benchmark, run three battleship iterations
+//! through the session API, watch F1 climb.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use battleship_em::al::{run_active_learning, BattleshipStrategy, ExperimentConfig};
-use battleship_em::core::{serialize_pair, PerfectOracle, Rng};
-use battleship_em::matcher::{FeatureConfig, Featurizer};
-use battleship_em::synth::{generate, DatasetProfile};
+use battleship_em::al::ExperimentConfig;
+use battleship_em::api::{MatchSession, PerfectOracle, Scenario, SessionConfig, StrategySpec};
+use battleship_em::core::serialize_pair;
+use battleship_em::synth::DatasetProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small Walmart-Amazon-shaped task (≈15 % of the paper's size so
-    //    the example finishes in seconds).
-    let profile = DatasetProfile::walmart_amazon().scaled(0.15);
-    let mut rng = Rng::seed_from_u64(42);
-    let dataset = generate(&profile, &mut rng)?;
+    //    the example finishes in seconds), materialized as a named,
+    //    reproducible scenario: dataset + featurizer + pair features.
+    let scenario = Scenario::synthetic_scaled(DatasetProfile::walmart_amazon(), 0.15, 42);
+    let art = scenario.materialize()?;
+    let dataset = &art.dataset;
     let stats = dataset.stats();
     println!("dataset `{}`:", dataset.name);
     println!(
@@ -34,22 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serialized = serialize_pair(&dataset.left.schema, left, &dataset.right.schema, right);
     println!("\nfirst candidate pair, serialized for the matcher:\n  {serialized}\n");
 
-    // 3. Featurize once; features are shared across all iterations.
-    let featurizer = Featurizer::new(&dataset, FeatureConfig::default())?;
-    let features = featurizer.featurize_all(&dataset)?;
-
-    // 4. Three active-learning iterations with a budget of 50 labels each,
-    //    on top of a 50-label balanced seed.
-    let mut config = ExperimentConfig::default();
-    config.al.iterations = 3;
-    config.al.budget = 50;
-    config.al.seed_size = 50;
-    config.al.weak_budget = 50;
-    config.matcher.epochs = 20;
-
-    let mut strategy = BattleshipStrategy::new();
+    // 3. Three active-learning iterations with a budget of 50 labels each,
+    //    on top of a 50-label balanced seed, driven through a session
+    //    against the perfect oracle.
+    let config = SessionConfig {
+        experiment: ExperimentConfig::low_resource(3, 50),
+        strategy: StrategySpec::Battleship,
+        seed: 7,
+    };
     let oracle = PerfectOracle::new();
-    let report = run_active_learning(&dataset, &features, &mut strategy, &oracle, &config, 7)?;
+    let mut session = MatchSession::new(dataset, &art.features, config)?;
+    let report = session.drive(&oracle)?;
 
     println!(
         "battleship active learning ({} oracle labels total):",

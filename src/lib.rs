@@ -5,7 +5,10 @@
 //! SIGMOD 2023).
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
-//! roof so applications can depend on a single package.
+//! roof so applications can depend on a single package. The documented
+//! public surface for applications is [`api`] — sessions (the
+//! step-driven, checkpointable active-learning loop), strategies,
+//! scenarios, reports and the experiment engine behind one import path.
 //!
 //! ```
 //! use battleship_em::synth::{DatasetProfile, generate};
@@ -16,8 +19,11 @@
 //! assert!(dataset.len() > 0);
 //! ```
 //!
-//! See the workspace `README.md` for the architecture overview and
-//! `DESIGN.md` for the paper-to-module map.
+//! See the workspace `README.md` for the architecture overview (the
+//! "Session API" section has the phase diagram) and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use battleship::api;
 
 pub use battleship as al;
 pub use em_cluster as cluster;
