@@ -24,6 +24,12 @@
 //!   seed grids out across worker threads;
 //!   [`run_active_learning`](crate::runner::run_active_learning) is the
 //!   single-run entry point (a thin oracle-driver over a session).
+//! * **Serving**: [`SessionStore`] keys many concurrent sessions by id
+//!   over shared artifacts, persists them through a [`SnapshotCodec`]
+//!   (JSON or compact binary) into a [`SnapshotBackend`] (memory or
+//!   directory), steps every trainable session in parallel and recovers
+//!   the whole store bit-identically after a crash. See
+//!   [`crate::serve`].
 //!
 //! ```
 //! use battleship::api::{
@@ -73,6 +79,9 @@ pub use crate::engine::{
 };
 pub use crate::report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use crate::runner::{run_active_learning, run_closed_loop};
+pub use crate::serve::{
+    DirBackend, MemoryBackend, SessionStatus, SessionStore, SnapshotBackend, SnapshotCodec,
+};
 pub use crate::session::{
     MatchSession, PendingSnapshot, SessionConfig, SessionPhase, SessionSnapshot, SNAPSHOT_VERSION,
 };

@@ -39,6 +39,11 @@
 //!   inverted into the resumable, checkpointable
 //!   [`session::MatchSession`] state machine (seed draw → awaiting
 //!   labels → training → done),
+//! * [`serve`] — the serving subsystem: the keyed [`serve::SessionStore`]
+//!   holding many concurrent sessions over shared artifacts, the
+//!   pluggable [`serve::SnapshotCodec`] (JSON or the compact checksummed
+//!   binary frame) and [`serve::SnapshotBackend`]s (memory / directory),
+//!   with parallel stepping and bit-identical crash recovery,
 //! * [`engine`] — the parallel experiment engine: scenario registry,
 //!   shared dataset artifacts, grid expansion and the rayon scheduler
 //!   that fans dataset × strategy × seed runs out across workers (each
@@ -59,6 +64,7 @@ pub mod engine;
 pub mod report;
 pub mod runner;
 pub mod selection;
+pub mod serve;
 pub mod session;
 pub mod spatial;
 pub mod strategies;
@@ -74,6 +80,9 @@ pub use engine::{
 };
 pub use report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use runner::{run_active_learning, run_closed_loop, ActiveLearningRun};
+pub use serve::{
+    DirBackend, MemoryBackend, SessionStatus, SessionStore, SnapshotBackend, SnapshotCodec,
+};
 pub use session::{MatchSession, SessionConfig, SessionPhase, SessionSnapshot};
 pub use spatial::{SpatialIndex, SpatialParams};
 pub use strategies::{

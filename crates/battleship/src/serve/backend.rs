@@ -1,0 +1,250 @@
+//! Where persisted session snapshots live.
+//!
+//! A [`SnapshotBackend`] is a tiny key→bytes store: the
+//! [`SessionStore`](super::SessionStore) writes each session's encoded
+//! snapshot under its session id and reads it back on cache miss or
+//! crash recovery. Two implementations ship:
+//!
+//! * [`MemoryBackend`] — a mutexed map; survives store drops (hand the
+//!   same backend to a new store), not process exits. The unit-test and
+//!   bench backend.
+//! * [`DirBackend`] — one file per session under a directory, written
+//!   atomically (temp file + rename) so a crash mid-checkpoint never
+//!   leaves a half-written snapshot under the live key.
+//!
+//! Backends store opaque bytes; the codec (and thus corruption
+//! detection) lives a layer above in
+//! [`SnapshotCodec`](super::SnapshotCodec).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use em_core::{EmError, Result};
+
+/// A keyed byte store for encoded session snapshots.
+///
+/// Implementations must be safe to call from concurrent store
+/// operations (`Send + Sync`); keys are session ids.
+pub trait SnapshotBackend: Send + Sync {
+    /// Persist `bytes` under `key`, replacing any previous value.
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// Read the bytes under `key`, or `None` if the key has never been
+    /// written (I/O failures are `Err`, not `None`).
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    /// Remove `key` (idempotent; removing an absent key is `Ok`).
+    fn remove(&self, key: &str) -> Result<()>;
+    /// All keys currently persisted, in sorted order.
+    fn keys(&self) -> Result<Vec<String>>;
+}
+
+/// Delegation through shared ownership: `Arc<B>` is a backend whenever
+/// `B` is, so one backend can outlive any particular store (the crash
+/// recovery tests drop a store and reopen a new one over the same
+/// `Arc<MemoryBackend>`).
+impl<B: SnapshotBackend + ?Sized> SnapshotBackend for std::sync::Arc<B> {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        (**self).put(key, bytes)
+    }
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: &str) -> Result<()> {
+        (**self).remove(key)
+    }
+    fn keys(&self) -> Result<Vec<String>> {
+        (**self).keys()
+    }
+}
+
+/// An in-memory backend: a mutexed `BTreeMap`.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    inner: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SnapshotBackend for MemoryBackend {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.inner
+            .lock()
+            .expect("memory backend poisoned")
+            .insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self
+            .inner
+            .lock()
+            .expect("memory backend poisoned")
+            .get(key)
+            .cloned())
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        self.inner
+            .lock()
+            .expect("memory backend poisoned")
+            .remove(key);
+        Ok(())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .lock()
+            .expect("memory backend poisoned")
+            .keys()
+            .cloned()
+            .collect())
+    }
+}
+
+/// Extension of snapshot files written by [`DirBackend`].
+const SNAPSHOT_EXT: &str = "emsnap";
+
+/// A directory-of-files backend: `<dir>/<key>.emsnap` per session.
+///
+/// Writes go through a temp file and an atomic rename, so a crash
+/// mid-write leaves the previous snapshot intact. Keys are restricted
+/// to filename-safe characters (`[A-Za-z0-9._-]`) so a session id can
+/// never escape the directory.
+#[derive(Debug)]
+pub struct DirBackend {
+    dir: PathBuf,
+}
+
+impl DirBackend {
+    /// Open (creating if needed) a snapshot directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            EmError::Storage(format!("creating snapshot dir {}: {e}", dir.display()))
+        })?;
+        Ok(DirBackend { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            || key.starts_with('.')
+        {
+            return Err(EmError::Storage(format!(
+                "session key `{key}` is not filename-safe ([A-Za-z0-9._-], not dot-leading)"
+            )));
+        }
+        Ok(self.dir.join(format!("{key}.{SNAPSHOT_EXT}")))
+    }
+}
+
+impl SnapshotBackend for DirBackend {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.path_for(key)?;
+        let tmp = self.dir.join(format!(".{key}.{SNAPSHOT_EXT}.tmp"));
+        std::fs::write(&tmp, bytes)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| EmError::Storage(format!("writing snapshot {}: {e}", path.display())))
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.path_for(key)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(EmError::Storage(format!(
+                "reading snapshot {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(EmError::Storage(format!(
+                "removing snapshot {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| {
+            EmError::Storage(format!("listing snapshot dir {}: {e}", self.dir.display()))
+        })?;
+        let suffix = format!(".{SNAPSHOT_EXT}");
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                EmError::Storage(format!("listing snapshot dir {}: {e}", self.dir.display()))
+            })?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.') {
+                continue; // in-flight temp files
+            }
+            if let Some(key) = name.strip_suffix(&suffix) {
+                keys.push(key.to_string());
+            }
+        }
+        keys.sort_unstable();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn SnapshotBackend) {
+        assert_eq!(backend.keys().unwrap(), Vec::<String>::new());
+        assert_eq!(backend.get("a").unwrap(), None);
+        backend.put("a", b"one").unwrap();
+        backend.put("b", b"two").unwrap();
+        backend.put("a", b"three").unwrap(); // overwrite
+        assert_eq!(backend.get("a").unwrap().unwrap(), b"three");
+        assert_eq!(backend.keys().unwrap(), vec!["a", "b"]);
+        backend.remove("a").unwrap();
+        backend.remove("a").unwrap(); // idempotent
+        assert_eq!(backend.get("a").unwrap(), None);
+        assert_eq!(backend.keys().unwrap(), vec!["b"]);
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn dir_backend_contract_and_key_safety() {
+        let dir = std::env::temp_dir().join(format!("emsnap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = DirBackend::new(&dir).unwrap();
+        exercise(&backend);
+        // Unsafe keys cannot touch the filesystem.
+        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte"] {
+            assert!(backend.put(bad, b"x").is_err(), "key {bad:?} accepted");
+        }
+        // A second backend over the same directory sees the data.
+        let reopened = DirBackend::new(&dir).unwrap();
+        assert_eq!(reopened.keys().unwrap(), vec!["b"]);
+        assert_eq!(reopened.get("b").unwrap().unwrap(), b"two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

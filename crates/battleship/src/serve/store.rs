@@ -1,0 +1,657 @@
+//! The keyed session store: many live [`MatchSession`]s over shared
+//! dataset artifacts, persisted through a pluggable backend.
+//!
+//! ```text
+//!            create(id, scenario, cfg)        checkpoint(id)
+//!                      │                            │
+//!                      ▼                            ▼
+//!   ┌──────────────────────────────┐   ┌───────────────────────────┐
+//!   │  SessionStore                │   │  SnapshotCodec            │
+//!   │   sessions: id → SessionCell │──▶│  (json | binary frame)    │
+//!   │   scenarios: name → Scenario │   └────────────┬──────────────┘
+//!   │   cache: ArtifactCache       │                ▼
+//!   └──────────────┬───────────────┘   ┌───────────────────────────┐
+//!                  │ Arc<DatasetArtifacts>  │  SnapshotBackend     │
+//!                  ▼ (one per scenario,     │  (memory | directory)│
+//!   ┌──────────────────────────────┐ shared └───────────────────────┘
+//!   │ MatchSession  MatchSession … │ by every session of the
+//!   └──────────────────────────────┘ scenario)
+//! ```
+//!
+//! Design decisions, in order of importance:
+//!
+//! * **Artifacts are shared, never per-session.** Materializing a
+//!   scenario (dataset + featurizer + features) is orders of magnitude
+//!   heavier than a session's loop state. The store resolves scenarios
+//!   through the engine's [`ArtifactCache`], so a thousand sessions of
+//!   one scenario hold a thousand `Arc`s to one allocation.
+//! * **Sessions live behind per-session locks.** The store-level map
+//!   lock is held only for lookup/insert/unlink (plus `delete`'s cheap
+//!   backend removal, which must be atomic with the unlink); every
+//!   operation on a session locks that session alone, so labeling
+//!   traffic on different sessions never serializes. The
+//!   lookup-then-lock window is closed by a tombstone protocol: a cell
+//!   detached by `evict`/`delete` is marked under its own lock, and
+//!   any operation that finds the mark retries against the map instead
+//!   of mutating the orphan (see [`SessionStore::with_cell`]).
+//! * **Eviction is checkpoint-then-drop.** [`SessionStore::evict`]
+//!   *always* persists the session (half-labeled batch included) before
+//!   releasing its memory; any later operation on the id transparently
+//!   reloads it from the backend. Evicting is therefore a pure
+//!   memory/latency trade, never a correctness event — the regression
+//!   test drives evict→reload→finish against the uninterrupted run.
+//! * **Stepping is fanned out.** [`SessionStore::step_ready_sessions`]
+//!   advances every session whose next `advance()` does real work
+//!   (training or the initial seed draw) across rayon workers. Each
+//!   session owns its rng and touches only its own state, so the fan-out
+//!   is deterministic per session and the combined outcome is
+//!   bit-identical to stepping serially.
+//! * **Crash recovery is a reload.** [`SessionStore::recover`] lists
+//!   the backend, decodes every snapshot, re-resolves artifacts through
+//!   the scenario registry and resumes each session exactly where its
+//!   last checkpoint left it — pinned bit-identical by the
+//!   crash-recovery golden test.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use rayon::prelude::*;
+
+use em_core::{Dataset, EmError, Label, PairIdx, Result};
+use em_vector::Embeddings;
+
+use crate::engine::{ArtifactCache, DatasetArtifacts, Scenario};
+use crate::report::RunReport;
+use crate::session::{MatchSession, SessionConfig, SessionPhase};
+
+use super::backend::SnapshotBackend;
+use super::codec::SnapshotCodec;
+
+/// A live session pinned to the artifacts it borrows.
+///
+/// [`MatchSession`] borrows its dataset and features for a lifetime
+/// `'a`; the store needs to own sessions in a map while the borrowed
+/// artifacts live in `Arc`s *in the same entry*. The borrow is
+/// expressed as `'static` internally and never leaves this module: the
+/// public API only returns owned data (phases, batches, snapshots,
+/// reports).
+struct SessionCell {
+    /// Declared first so it drops before `artifacts` (field order is
+    /// drop order) — the session's borrows never outlive their target.
+    session: MatchSession<'static>,
+    /// Keeps the borrowed artifacts alive for the cell's lifetime.
+    artifacts: Arc<DatasetArtifacts>,
+    /// The scenario key the session runs on (recovery bookkeeping).
+    scenario: String,
+    /// Tombstone, set under the cell lock when `evict`/`delete`
+    /// detaches the cell from the map. A caller that cloned the cell's
+    /// `Arc` *before* the detach and acquires the lock *after* it must
+    /// not mutate this orphaned copy (its state would be silently lost
+    /// on the next reload); [`SessionStore::with_cell`] retries against
+    /// the map instead.
+    detached: bool,
+}
+
+// SAFETY: a `SessionCell` is always built through `SessionCell::open` /
+// `SessionCell::restore`, both of which construct the session from a
+// `SessionConfig` — the *owned* strategy path (`Box<dyn SelectionStrategy
+// + Send>`). The only non-Send variant of `MatchSession`'s internals is
+// the borrowed-strategy slot, which cannot occur here, and the `&'static
+// Dataset`/`&'static Embeddings` borrows point into the immutable,
+// `Sync` artifacts the cell itself keeps alive.
+unsafe impl Send for SessionCell {}
+
+impl SessionCell {
+    /// Project `'static` references into the `Arc`'d artifacts.
+    ///
+    /// SAFETY (for both callers below): the references point into the
+    /// heap allocation owned by `artifacts`; the cell holds that `Arc`
+    /// for at least as long as the session (drop order), the artifacts
+    /// are immutable, and an `Arc`'s pointee never moves.
+    fn project(artifacts: &Arc<DatasetArtifacts>) -> (&'static Dataset, &'static Embeddings) {
+        unsafe {
+            (
+                &*(&artifacts.dataset as *const Dataset),
+                &*(&artifacts.features as *const Embeddings),
+            )
+        }
+    }
+
+    fn open(
+        artifacts: Arc<DatasetArtifacts>,
+        scenario: String,
+        config: SessionConfig,
+    ) -> Result<Self> {
+        let (dataset, features) = Self::project(&artifacts);
+        let session = MatchSession::new(dataset, features, config)?;
+        Ok(SessionCell {
+            session,
+            artifacts,
+            scenario,
+            detached: false,
+        })
+    }
+
+    fn restore(
+        artifacts: Arc<DatasetArtifacts>,
+        scenario: String,
+        snapshot: &crate::session::SessionSnapshot,
+    ) -> Result<Self> {
+        let (dataset, features) = Self::project(&artifacts);
+        let session = MatchSession::restore(dataset, features, snapshot)?;
+        Ok(SessionCell {
+            session,
+            artifacts,
+            scenario,
+            detached: false,
+        })
+    }
+}
+
+/// An owned status view of one stored session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// The session's key in the store.
+    pub id: String,
+    /// The scenario the session runs on.
+    pub scenario: String,
+    /// Where the session stands in the protocol.
+    pub phase: SessionPhase,
+    /// Oracle labels consumed so far (partial batches included).
+    pub labels_used: usize,
+    /// Unlabeled pairs remaining in the pool.
+    pub pool_remaining: usize,
+    /// Iterations recorded so far (seed model first).
+    pub iterations: usize,
+}
+
+/// A keyed store of live [`MatchSession`]s over shared artifacts.
+///
+/// See the [module docs](self) for the data-flow picture. All methods
+/// take `&self`: the store is interior-mutable and safe to share
+/// (`Arc<SessionStore>`) across request handlers.
+pub struct SessionStore {
+    backend: Box<dyn SnapshotBackend>,
+    codec: SnapshotCodec,
+    cache: Arc<ArtifactCache>,
+    scenarios: Mutex<BTreeMap<String, Scenario>>,
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<SessionCell>>>>,
+}
+
+impl SessionStore {
+    /// A store persisting through `backend` with the given codec and a
+    /// private artifact cache.
+    pub fn new(backend: Box<dyn SnapshotBackend>, codec: SnapshotCodec) -> Self {
+        Self::with_cache(backend, codec, Arc::new(ArtifactCache::new()))
+    }
+
+    /// A store sharing an existing [`ArtifactCache`] (e.g. with an
+    /// experiment engine running the same scenarios in the same
+    /// process).
+    pub fn with_cache(
+        backend: Box<dyn SnapshotBackend>,
+        codec: SnapshotCodec,
+        cache: Arc<ArtifactCache>,
+    ) -> Self {
+        SessionStore {
+            backend,
+            codec,
+            cache,
+            scenarios: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The codec snapshots are persisted under.
+    pub fn codec(&self) -> SnapshotCodec {
+        self.codec
+    }
+
+    /// Register a scenario sessions can be created on (and recovered
+    /// into). Re-registering the same name replaces the recipe; the
+    /// artifact cache still dedupes by name.
+    pub fn register_scenario(&self, scenario: Scenario) {
+        self.scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .insert(scenario.name().to_string(), scenario);
+    }
+
+    /// Ids of the sessions currently live in memory (evicted sessions
+    /// are not listed; they reload on first use).
+    pub fn resident_ids(&self) -> Vec<String> {
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of sessions live in memory.
+    pub fn resident_len(&self) -> usize {
+        self.sessions.lock().expect("session map poisoned").len()
+    }
+
+    fn scenario_named(&self, name: &str) -> Result<Scenario> {
+        self.scenarios
+            .lock()
+            .expect("scenario registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                EmError::InvalidConfig(format!(
+                    "scenario `{name}` is not registered with this store"
+                ))
+            })
+    }
+
+    /// Open a new session under `id` on a registered scenario.
+    ///
+    /// Artifacts are resolved through the shared cache — creating the
+    /// thousandth session of a scenario costs loop-state only. Errors
+    /// if `id` already exists (in memory *or* in the backend: a crashed
+    /// session must be recovered or deleted, not silently recreated).
+    pub fn create(&self, id: &str, scenario_name: &str, config: SessionConfig) -> Result<()> {
+        let scenario = self.scenario_named(scenario_name)?;
+        if self.backend.get(id)?.is_some() {
+            return Err(EmError::InvalidConfig(format!(
+                "session `{id}` already has a persisted snapshot; recover or delete it first"
+            )));
+        }
+        let artifacts = self.cache.get_or_materialize(&scenario)?;
+        let cell = SessionCell::open(artifacts, scenario_name.to_string(), config)?;
+        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        if sessions.contains_key(id) {
+            return Err(EmError::InvalidConfig(format!(
+                "session `{id}` already exists"
+            )));
+        }
+        sessions.insert(id.to_string(), Arc::new(Mutex::new(cell)));
+        Ok(())
+    }
+
+    /// Fetch the live cell for `id`, transparently reloading an evicted
+    /// session from the backend.
+    fn cell(&self, id: &str) -> Result<Arc<Mutex<SessionCell>>> {
+        if let Some(cell) = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .get(id)
+            .cloned()
+        {
+            return Ok(cell);
+        }
+        // Cache miss: reload from the backend (the evict path's mirror).
+        // Decode and restore outside every lock — this is the expensive
+        // part — then re-validate under the map lock before inserting.
+        let bytes = self.backend.get(id)?.ok_or_else(|| {
+            EmError::InvalidConfig(format!("no session `{id}` (in memory or persisted)"))
+        })?;
+        let snapshot = self.codec.decode(&bytes)?;
+        let scenario = self.scenario_named(&snapshot.dataset)?;
+        let artifacts = self.cache.get_or_materialize(&scenario)?;
+        let cell = SessionCell::restore(artifacts, snapshot.dataset.clone(), &snapshot)?;
+        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        // A concurrent reload may have won; keep the first one.
+        if let Some(existing) = sessions.get(id) {
+            return Ok(existing.clone());
+        }
+        // A concurrent `delete` may have removed the persisted snapshot
+        // after this reload read it; inserting anyway would resurrect
+        // the deleted session. `delete` removes from the backend while
+        // holding the map lock, so this re-check is race-free.
+        if self.backend.get(id)?.is_none() {
+            return Err(EmError::InvalidConfig(format!(
+                "no session `{id}` (deleted during reload)"
+            )));
+        }
+        let cell = Arc::new(Mutex::new(cell));
+        sessions.insert(id.to_string(), cell.clone());
+        Ok(cell)
+    }
+
+    /// Run `f` on session `id`'s locked cell.
+    ///
+    /// The lookup-then-lock window races with `evict`/`delete`: the
+    /// cell `Arc` obtained from the map may be *detached* (tombstoned
+    /// and removed) by the time its lock is acquired. Mutating such an
+    /// orphan would silently lose the mutation on the next reload, so
+    /// detached cells are never touched — the loop retries against the
+    /// map, which either serves the live replacement (reloaded from the
+    /// checkpoint the evict wrote) or reports the id gone.
+    fn with_cell<R>(&self, id: &str, f: impl FnOnce(&mut SessionCell) -> Result<R>) -> Result<R> {
+        loop {
+            let cell = self.cell(id)?;
+            let mut guard = cell.lock().expect("session poisoned");
+            if guard.detached {
+                drop(guard);
+                std::thread::yield_now();
+                continue;
+            }
+            return f(&mut guard);
+        }
+    }
+
+    /// The shared artifacts session `id` runs on — what a labeling
+    /// front-end needs to render query pairs (records, schema, feature
+    /// rows). Cheap: clones an `Arc`, never the data.
+    pub fn artifacts(&self, id: &str) -> Result<Arc<DatasetArtifacts>> {
+        self.with_cell(id, |cell| Ok(cell.artifacts.clone()))
+    }
+
+    /// An owned status view of session `id`.
+    pub fn get(&self, id: &str) -> Result<SessionStatus> {
+        self.with_cell(id, |cell| {
+            Ok(SessionStatus {
+                id: id.to_string(),
+                scenario: cell.scenario.clone(),
+                phase: cell.session.phase(),
+                labels_used: cell.session.labels_used(),
+                pool_remaining: cell.session.pool_remaining(),
+                iterations: cell.session.records().len(),
+            })
+        })
+    }
+
+    /// The pairs session `id` is waiting on (empty when none).
+    pub fn next_query_batch(&self, id: &str) -> Result<Vec<PairIdx>> {
+        self.with_cell(id, |cell| Ok(cell.session.next_query_batch()))
+    }
+
+    /// Submit (part of) the outstanding labels for session `id`.
+    pub fn submit_labels(&self, id: &str, labels: &[(PairIdx, Label)]) -> Result<SessionPhase> {
+        self.with_cell(id, |cell| cell.session.submit_labels(labels))
+    }
+
+    /// Perform session `id`'s current phase's work (seed draw, training
+    /// + next selection, …) and return the new phase.
+    pub fn advance(&self, id: &str) -> Result<SessionPhase> {
+        self.with_cell(id, |cell| cell.session.advance())
+    }
+
+    /// The report of everything session `id` has recorded so far.
+    pub fn report(&self, id: &str) -> Result<RunReport> {
+        self.with_cell(id, |cell| Ok(cell.session.report()))
+    }
+
+    /// Persist session `id`'s complete state through the codec and
+    /// backend. Returns the encoded size in bytes.
+    pub fn checkpoint(&self, id: &str) -> Result<usize> {
+        self.with_cell(id, |cell| self.checkpoint_cell(id, cell))
+    }
+
+    fn checkpoint_cell(&self, id: &str, cell: &SessionCell) -> Result<usize> {
+        let snapshot = cell.session.snapshot()?;
+        let bytes = self.codec.encode(&snapshot)?;
+        self.backend.put(id, &bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Checkpoint every resident session; returns `(id, bytes)` pairs
+    /// in id order.
+    pub fn checkpoint_all(&self) -> Result<Vec<(String, usize)>> {
+        let resident: Vec<(String, Arc<Mutex<SessionCell>>)> = {
+            let sessions = self.sessions.lock().expect("session map poisoned");
+            sessions
+                .iter()
+                .map(|(id, c)| (id.clone(), c.clone()))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(resident.len());
+        for (id, cell) in resident {
+            let cell = cell.lock().expect("session poisoned");
+            if cell.detached {
+                // Evicted concurrently — the evict already persisted it.
+                continue;
+            }
+            out.push((id.clone(), self.checkpoint_cell(&id, &cell)?));
+        }
+        Ok(out)
+    }
+
+    /// Release session `id`'s memory, **checkpointing it first**.
+    ///
+    /// A session may be evicted at any phase — mid-batch with half its
+    /// labels received included. The checkpoint-before-drop order is
+    /// load-bearing: an in-flight session evicted without persisting
+    /// would silently lose the labels already submitted, which is why
+    /// this method has no "skip the checkpoint" variant. Any later
+    /// operation on `id` transparently reloads it.
+    pub fn evict(&self, id: &str) -> Result<()> {
+        // Checkpoint and tombstone under the cell lock (no map lock —
+        // the encode + backend write never serializes other sessions),
+        // then unlink exactly the cell that was persisted. A caller
+        // that cloned the cell's Arc before the unlink finds the
+        // tombstone and retries against the map (`with_cell`), so no
+        // mutation can slip between the persisted snapshot and the
+        // drop.
+        self.with_cell(id, |cell| {
+            self.checkpoint_cell(id, cell)?;
+            cell.detached = true;
+            Ok(())
+        })?;
+        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        // Only remove the tombstoned cell; a concurrent reload may
+        // already have installed a fresh (live) replacement.
+        if let Some(entry) = sessions.get(id) {
+            if entry.lock().expect("session poisoned").detached {
+                sessions.remove(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanently remove session `id` from memory and the backend.
+    pub fn delete(&self, id: &str) -> Result<()> {
+        // Tombstone any resident cell (so racing operations holding its
+        // Arc fail over to the map instead of mutating an orphan) and
+        // remove the persisted snapshot while still holding the map
+        // lock — `cell`'s reload path re-checks the backend under this
+        // lock, so a reload in flight cannot resurrect the session.
+        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        if let Some(entry) = sessions.remove(id) {
+            entry.lock().expect("session poisoned").detached = true;
+        }
+        self.backend.remove(id)
+    }
+
+    /// Reload every persisted session from the backend — the crash
+    /// recovery path. Returns the recovered ids in order.
+    ///
+    /// Each snapshot is decoded, its scenario re-resolved through the
+    /// registry (artifacts come from the shared cache, materialized at
+    /// most once per scenario) and the session resumed exactly where
+    /// its last checkpoint left it. Sessions already resident are left
+    /// untouched — their in-memory state is newer than or equal to the
+    /// persisted one.
+    pub fn recover(&self) -> Result<Vec<String>> {
+        let mut recovered = Vec::new();
+        for id in self.backend.keys()? {
+            let already_resident = self
+                .sessions
+                .lock()
+                .expect("session map poisoned")
+                .contains_key(&id);
+            if already_resident {
+                continue;
+            }
+            self.cell(&id)?;
+            recovered.push(id);
+        }
+        Ok(recovered)
+    }
+
+    /// Advance every session whose current phase has work to do
+    /// (`SeedDraw` or `Training` — a complete batch waiting to train),
+    /// fanning the sessions out across rayon workers.
+    ///
+    /// Each session's step is a pure function of its own state (its own
+    /// rng, pool, matcher), so the fan-out is deterministic per session
+    /// and bit-identical to stepping the same sessions serially — the
+    /// serve bench's golden check pins this. Returns `(id, new phase)`
+    /// in id order for the sessions that were stepped.
+    pub fn step_ready_sessions(&self) -> Result<Vec<(String, SessionPhase)>> {
+        // The map lock is held only to clone the resident (id, Arc)
+        // list — never across a cell lock, so a session mid-training
+        // can never stall operations on other sessions. Readiness is
+        // checked inside each worker under that session's own lock
+        // (the only place the check can be race-free anyway).
+        let resident: Vec<(String, Arc<Mutex<SessionCell>>)> = {
+            let sessions = self.sessions.lock().expect("session map poisoned");
+            sessions
+                .iter()
+                .map(|(id, cell)| (id.clone(), cell.clone()))
+                .collect()
+        };
+        let outcomes: Vec<Result<Option<(String, SessionPhase)>>> = resident
+            .par_iter()
+            .map(|(id, cell)| {
+                let mut cell = cell.lock().expect("session poisoned");
+                if cell.detached
+                    || !matches!(
+                        cell.session.phase(),
+                        SessionPhase::SeedDraw | SessionPhase::Training
+                    )
+                {
+                    return Ok(None);
+                }
+                let phase = cell.session.advance()?;
+                Ok(Some((id.clone(), phase)))
+            })
+            .collect();
+        let mut stepped = Vec::new();
+        for outcome in outcomes {
+            if let Some(entry) = outcome? {
+                stepped.push(entry);
+            }
+        }
+        Ok(stepped)
+    }
+}
+
+impl std::fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("codec", &self.codec)
+            .field("resident", &self.resident_len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::backend::MemoryBackend;
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::strategies::StrategySpec;
+    use em_synth::DatasetProfile;
+
+    fn quick_config(strategy: StrategySpec, seed: u64) -> SessionConfig {
+        let mut experiment = ExperimentConfig::low_resource(1, 10);
+        experiment.al.seed_size = 10;
+        experiment.matcher.epochs = 2;
+        experiment.battleship.kselect_sample = 128;
+        SessionConfig {
+            experiment,
+            strategy,
+            seed,
+        }
+    }
+
+    fn store_with_scenario() -> (SessionStore, Scenario) {
+        let scenario = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let store = SessionStore::new(Box::new(MemoryBackend::new()), SnapshotCodec::Binary);
+        store.register_scenario(scenario.clone());
+        (store, scenario)
+    }
+
+    /// Drive a stored session to Done through the store API.
+    fn drive(store: &SessionStore, id: &str) {
+        loop {
+            let status = store.get(id).unwrap();
+            match status.phase {
+                SessionPhase::AwaitingLabels => {
+                    let batch = store.next_query_batch(id).unwrap();
+                    let artifacts = store.artifacts(id).unwrap();
+                    let answers: Vec<(PairIdx, Label)> = batch
+                        .iter()
+                        .map(|&p| (p, artifacts.dataset.ground_truth(p)))
+                        .collect();
+                    store.submit_labels(id, &answers).unwrap();
+                }
+                SessionPhase::Done => break,
+                SessionPhase::SeedDraw | SessionPhase::Training => {
+                    store.advance(id).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn create_get_drive_and_share_artifacts() {
+        let (store, scenario) = store_with_scenario();
+        store
+            .create("s1", scenario.name(), quick_config(StrategySpec::Random, 1))
+            .unwrap();
+        store
+            .create("s2", scenario.name(), quick_config(StrategySpec::Random, 2))
+            .unwrap();
+        // Duplicate ids are rejected.
+        assert!(store
+            .create("s1", scenario.name(), quick_config(StrategySpec::Random, 3))
+            .is_err());
+        // Unregistered scenarios are rejected.
+        assert!(store
+            .create("s3", "ghost", quick_config(StrategySpec::Random, 3))
+            .is_err());
+        assert_eq!(store.resident_ids(), vec!["s1", "s2"]);
+
+        // Both sessions borrow the same materialized artifacts.
+        let a = store.cell("s1").unwrap();
+        let b = store.cell("s2").unwrap();
+        assert!(Arc::ptr_eq(
+            &a.lock().unwrap().artifacts,
+            &b.lock().unwrap().artifacts
+        ));
+
+        let s = store.get("s1").unwrap();
+        assert_eq!(s.phase, SessionPhase::SeedDraw);
+        assert_eq!(s.scenario, scenario.name());
+        drive(&store, "s1");
+        let report = store.report("s1").unwrap();
+        assert_eq!(report.iterations.len(), 2);
+        assert_eq!(store.get("s1").unwrap().phase, SessionPhase::Done);
+    }
+
+    #[test]
+    fn checkpoint_evict_reload_is_transparent() {
+        let (store, scenario) = store_with_scenario();
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 7))
+            .unwrap();
+        store.advance("s").unwrap(); // seed batch out
+        let before = store.get("s").unwrap();
+        store.evict("s").unwrap();
+        assert_eq!(store.resident_len(), 0);
+        // First touch reloads from the backend.
+        let after = store.get("s").unwrap();
+        assert_eq!(after, before);
+        assert_eq!(store.resident_len(), 1);
+        drive(&store, "s");
+
+        // Deleting removes both tiers; the id is then unknown.
+        store.delete("s").unwrap();
+        assert!(store.get("s").is_err());
+    }
+
+    #[test]
+    fn unknown_ids_are_structured_errors() {
+        let (store, _) = store_with_scenario();
+        assert!(store.get("nope").is_err());
+        assert!(store.advance("nope").is_err());
+        assert!(store.checkpoint("nope").is_err());
+        assert!(store.evict("nope").is_err());
+    }
+}

@@ -39,6 +39,7 @@
 //! session can be persisted mid-iteration (even with a half-labeled
 //! batch in flight) and resumed bit-identically on another process.
 
+mod binary;
 mod snapshot;
 
 pub use snapshot::{PendingSnapshot, SessionSnapshot, SNAPSHOT_VERSION};

@@ -25,8 +25,9 @@ use std::path::PathBuf;
 use serde::{Deserialize, Serialize};
 
 use battleship::{
-    run_active_learning, BattleshipStrategy, DalStrategy, DialStrategy, ExperimentConfig,
-    MultiSeedReport, RandomStrategy, RunReport, SelectionStrategy, WeakMethod,
+    run_active_learning, ArtifactCache, BattleshipStrategy, DalStrategy, DialStrategy,
+    ExperimentConfig, ExperimentGrid, GridConfig, MultiSeedReport, RandomStrategy, RunReport,
+    Scenario, SelectionStrategy, StrategySpec, WeakMethod,
 };
 use em_core::{Dataset, PerfectOracle, Result, Rng};
 use em_matcher::{FeatureConfig, Featurizer};
@@ -367,28 +368,99 @@ impl Fig5Results {
     }
 }
 
+/// Master seed of the Figure 5 grids; every run seed derives from it
+/// (see `GridConfig::run_seeds`), so one constant reproduces the sweep.
+const FIG5_MASTER_SEED: u64 = 0xF165;
+
 /// Run the full Figure 5 sweep (all datasets × all methods + the two
 /// extremes). This is the workhorse shared by `fig5_f1_curves`,
 /// `fig6_runtime`, `table4_f1` and `table5_auc`.
+///
+/// The sweep is expressed as [`ExperimentGrid`]s, so the figure
+/// binaries inherit the engine's fan-out: all datasets materialize in
+/// parallel into a shared [`ArtifactCache`], every (dataset, strategy,
+/// seed) run is an independent grid cell scheduled across rayon
+/// workers, and ZeroER / Full-D ride along as baseline cells. The
+/// battleship row follows the paper's §5.1 convention of averaging
+/// over α — one single-strategy grid per α value (the grid applies one
+/// config to every cell), re-aggregated per dataset across (α, seed).
 pub fn run_fig5(args: &BenchArgs) -> Result<Fig5Results> {
     let config = args.scale.experiment_config();
     let alphas = args.scale.battleship_alphas();
+    let scenarios: Vec<Scenario> = em_synth::all_profiles()
+        .into_iter()
+        .map(|p| Scenario::synthetic(p.scaled(args.scale.factor()), 0xDA7A))
+        .collect();
+    let grid_config = |experiment: ExperimentConfig, baselines: bool| GridConfig {
+        experiment,
+        master_seed: FIG5_MASTER_SEED,
+        n_seeds: args.seeds.len(),
+        include_baselines: baselines,
+    };
+    let cache = ArtifactCache::new();
+
+    // Grid 1: the non-battleship methods plus the ZeroER / Full-D
+    // extremes, every (dataset, strategy, seed) cell fanned out at once.
+    eprintln!(
+        "[fig5] baseline grid: {} datasets × 3 methods (+ extremes) × {} seeds …",
+        scenarios.len(),
+        args.seeds.len()
+    );
+    let baseline_grid = ExperimentGrid::new(
+        scenarios.clone(),
+        vec![StrategySpec::Dal, StrategySpec::Dial, StrategySpec::Random],
+        grid_config(config.clone(), true),
+    );
+    let baseline_report = baseline_grid.run_with_cache(&cache)?;
+
+    // Grids 2…: battleship, one grid per α, sharing the same artifacts.
+    let mut battleship_runs: BTreeMap<String, Vec<RunReport>> = BTreeMap::new();
+    for &alpha in &alphas {
+        eprintln!("[fig5] battleship grid (α = {alpha}) …");
+        let mut cfg = config.clone();
+        cfg.battleship.alpha = alpha;
+        let grid = ExperimentGrid::new(
+            scenarios.clone(),
+            vec![StrategySpec::Battleship],
+            grid_config(cfg, false),
+        );
+        for run in grid.run_with_cache(&cache)?.runs {
+            battleship_runs
+                .entry(run.dataset.clone())
+                .or_default()
+                .push(run);
+        }
+    }
+
+    // Reassemble the per-(dataset, method) aggregates in the historical
+    // reporting order (profile-major, battleship first).
     let mut reports = Vec::new();
     let mut zeroer = BTreeMap::new();
     let mut full_d = BTreeMap::new();
-    for profile in em_synth::all_profiles() {
-        eprintln!("[fig5] preparing {} …", profile.name);
-        let prepared = prepare(&profile, args.scale, 0xDA7A)?;
-        for method in Method::all() {
-            eprintln!("[fig5]   running {} …", method.name());
-            let report = run_method(&prepared, method, &config, &alphas, &args.seeds)?;
-            reports.push(report);
+    for scenario in &scenarios {
+        let name = scenario.name();
+        let runs = battleship_runs.get(name).ok_or_else(|| {
+            em_core::EmError::InvalidConfig(format!("no battleship runs for `{name}`"))
+        })?;
+        reports.push(MultiSeedReport::aggregate(runs)?);
+        for method in [Method::Dal, Method::Dial, Method::Random] {
+            let cell = baseline_report.cell(name, method.name()).ok_or_else(|| {
+                em_core::EmError::InvalidConfig(format!(
+                    "no grid cell for ({name}, {})",
+                    method.name()
+                ))
+            })?;
+            reports.push(cell.aggregate.clone());
         }
-        eprintln!("[fig5]   running zeroer + full-d …");
-        let z = battleship::zeroer_f1(&prepared.dataset, &prepared.featurizer, 1)?;
-        zeroer.insert(profile.name.to_string(), z.f1 * 100.0);
-        let f = battleship::full_d_f1(&prepared.dataset, &prepared.features, &config.matcher)?;
-        full_d.insert(profile.name.to_string(), f.f1 * 100.0);
+        for (label, out) in [("zeroer", &mut zeroer), ("full-d", &mut full_d)] {
+            let cell = baseline_report.cell(name, label).ok_or_else(|| {
+                em_core::EmError::InvalidConfig(format!("no grid cell for ({name}, {label})"))
+            })?;
+            let f1 = cell.aggregate.final_f1().ok_or_else(|| {
+                em_core::EmError::EmptyInput(format!("({name}, {label}) baseline curve"))
+            })?;
+            out.insert(name.to_string(), f1);
+        }
     }
     Ok(Fig5Results {
         scale: args.scale,

@@ -1,0 +1,613 @@
+//! The compact binary snapshot codec substrate.
+//!
+//! Session checkpoints are dominated by float arrays (the matcher's
+//! flat parameters, tens of thousands of `f32`s), which JSON renders at
+//! ~2–4× their binary width and parses slowly. This module provides the
+//! shared little-endian wire layer every snapshot type builds its
+//! `to_bytes` / `from_bytes` on:
+//!
+//! * [`ByteWriter`] — primitive little-endian emitters plus
+//!   length-prefixed arrays and strings,
+//! * [`ByteReader`] — the mirror decoder; every read is bounds-checked
+//!   and returns a structured [`EmError::Codec`] (never panics, never
+//!   over-allocates on a corrupt length prefix),
+//! * [`write_frame`] / [`read_frame`] — the self-describing envelope:
+//!   a 4-byte magic, a format version byte, a length-prefixed payload
+//!   and a trailing FNV-1a 64 checksum over everything before it.
+//!
+//! The checksum makes corruption detection deterministic: FNV-1a's
+//! per-byte state transition is a bijection of the running state (xor
+//! with the byte, then multiplication by an odd prime mod 2⁶⁴), so any
+//! single flipped bit anywhere in the frame yields a different digest —
+//! the codec robustness proptests flip bits at every position and
+//! require a structured error each time.
+//!
+//! Floats are written as their IEEE-754 bit patterns, so a decoded
+//! value is *bit-identical* to the encoded one — the same contract the
+//! JSON path provides via shortest-round-trip formatting, pinned by the
+//! snapshot golden tests.
+
+use crate::error::{EmError, Result};
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a 64 over `bytes` — the frame checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A growable little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with `capacity` bytes pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer into its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f32` as its IEEE-754 bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append `Some(f64)` as `1 + bits`, `None` as `0`.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `u32` array.
+    pub fn put_u32s(&mut self, xs: &[u32]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_u32(x);
+        }
+    }
+
+    /// Append a length-prefixed `u64` array.
+    pub fn put_u64s(&mut self, xs: &[u64]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_u64(x);
+        }
+    }
+
+    /// Append a length-prefixed `usize` array (as `u64`s).
+    pub fn put_usizes(&mut self, xs: &[usize]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_usize(x);
+        }
+    }
+
+    /// Append a length-prefixed `f32` array (bit patterns).
+    pub fn put_f32s(&mut self, xs: &[f32]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_f32(x);
+        }
+    }
+
+    /// Append a length-prefixed opaque byte block (nested frames).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u64` as an LEB128 varint (1 byte per 7 bits, low
+    /// first) — the compact form for index-like values, which are
+    /// small far more often than not.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Append a varint-count-prefixed array of varint `usize`s (pair
+    /// indices, stamp vectors, layer widths, …).
+    pub fn put_varints(&mut self, xs: &[usize]) {
+        self.put_varint(xs.len() as u64);
+        for &x in xs {
+            self.put_varint(x as u64);
+        }
+    }
+}
+
+/// A bounds-checked little-endian byte cursor.
+///
+/// Every failure is a structured [`EmError::Codec`] naming the decode
+/// `context`; a corrupt length prefix can never cause a panic or an
+/// attacker-sized allocation (lengths are validated against the bytes
+/// actually remaining before any buffer is reserved).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`; `context` names the structure being
+    /// decoded in every error.
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
+        ByteReader {
+            bytes,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn err(&self, detail: impl Into<String>) -> EmError {
+        EmError::Codec(format!("{}: {}", self.context, detail.into()))
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(self.err(format!(
+                "truncated: needed {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` (stored as `u64`), rejecting values that cannot
+    /// index memory on this platform.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| self.err(format!("value {v} exceeds usize")))
+    }
+
+    /// Read an `f32` bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a bool byte (must be exactly 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.err(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Read an optional `f64` (tag byte then bits).
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.get_bool()? {
+            Some(self.get_f64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Read a length prefix for elements of `elem_size` bytes,
+    /// validating it against the bytes actually remaining.
+    fn get_len(&mut self, elem_size: usize) -> Result<usize> {
+        let n = self.get_usize()?;
+        if n.checked_mul(elem_size)
+            .is_none_or(|b| b > self.remaining())
+        {
+            return Err(self.err(format!(
+                "corrupt length prefix {n} (×{elem_size} B) with {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| self.err(format!("invalid UTF-8: {e}")))
+    }
+
+    /// Read a length-prefixed `u32` array.
+    pub fn get_u32s(&mut self) -> Result<Vec<u32>> {
+        let n = self.get_len(4)?;
+        (0..n).map(|_| self.get_u32()).collect()
+    }
+
+    /// Read a length-prefixed `u64` array.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a length-prefixed `usize` array.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_usize()).collect()
+    }
+
+    /// Read a length-prefixed `f32` array.
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>> {
+        let n = self.get_len(4)?;
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Read a length-prefixed opaque byte block (nested frames).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_len(1)?;
+        self.take(n)
+    }
+
+    /// Read an LEB128 varint (at most 10 bytes; a non-terminated run is
+    /// corruption).
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            let bits = (byte & 0x7F) as u64;
+            // 9 full bytes carry 63 bits; the 10th may only add bit 63.
+            if shift >= 64 || (shift == 63 && bits > 1) {
+                return Err(self.err("varint overruns 64 bits"));
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a varint as `usize`.
+    pub fn get_varint_usize(&mut self) -> Result<usize> {
+        let v = self.get_varint()?;
+        usize::try_from(v).map_err(|_| self.err(format!("varint {v} exceeds usize")))
+    }
+
+    /// Read a varint-count-prefixed array of varint `usize`s. Each
+    /// element is at least one byte, so the count is validated against
+    /// the bytes remaining before anything is allocated.
+    pub fn get_varints(&mut self) -> Result<Vec<usize>> {
+        let n = self.get_varint_usize()?;
+        if n > self.remaining() {
+            return Err(self.err(format!(
+                "corrupt varint count {n} with {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        (0..n).map(|_| self.get_varint_usize()).collect()
+    }
+
+    /// Require that every byte has been consumed (trailing garbage is
+    /// corruption, not slack).
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.err(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+/// Wrap `payload` in the standard frame:
+/// `magic(4) | version(1) | payload_len(u64 LE) | payload | fnv1a64(u64 LE)`
+/// where the checksum covers everything before it.
+pub fn write_frame(magic: [u8; 4], version: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 21);
+    out.extend_from_slice(&magic);
+    out.push(version);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Open a frame written by [`write_frame`], verifying magic, version,
+/// length and checksum, and return its payload slice.
+pub fn read_frame<'a>(
+    bytes: &'a [u8],
+    magic: [u8; 4],
+    version: u8,
+    context: &'static str,
+) -> Result<&'a [u8]> {
+    let err = |detail: String| EmError::Codec(format!("{context}: {detail}"));
+    let header = 4 + 1 + 8;
+    if bytes.len() < header + 8 {
+        return Err(err(format!(
+            "frame of {} bytes is shorter than the {}-byte envelope",
+            bytes.len(),
+            header + 8
+        )));
+    }
+    if bytes[..4] != magic {
+        return Err(err(format!(
+            "bad magic {:02x?} (expected {:02x?})",
+            &bytes[..4],
+            magic
+        )));
+    }
+    if bytes[4] != version {
+        return Err(err(format!(
+            "unsupported format version {} (expected {version})",
+            bytes[4]
+        )));
+    }
+    let payload_len = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
+    let expected_total = header
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8));
+    if expected_total != Some(bytes.len()) {
+        return Err(err(format!(
+            "length prefix {payload_len} disagrees with frame size {}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[..header + payload_len];
+    let stored = u64::from_le_bytes(
+        bytes[header + payload_len..]
+            .try_into()
+            .expect("8 checksum bytes"),
+    );
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    Ok(&bytes[header..header + payload_len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(42);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_opt_f64(Some(1.5e-300));
+        w.put_opt_f64(None);
+        w.put_str("snapshot ≠ checkpoint");
+        w.put_f32s(&[1.0, f32::MIN_POSITIVE, f32::INFINITY]);
+        w.put_u32s(&[1, 2, 3]);
+        w.put_u64s(&[u64::MAX]);
+        w.put_usizes(&[0, 9]);
+        w.put_bytes(b"nested");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(
+            r.get_opt_f64().unwrap().unwrap().to_bits(),
+            1.5e-300f64.to_bits()
+        );
+        assert_eq!(r.get_opt_f64().unwrap(), None);
+        assert_eq!(r.get_str().unwrap(), "snapshot ≠ checkpoint");
+        let f = r.get_f32s().unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[2], f32::INFINITY);
+        assert_eq!(r.get_u32s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64s().unwrap(), vec![u64::MAX]);
+        assert_eq!(r.get_usizes().unwrap(), vec![0, 9]);
+        assert_eq!(r.get_bytes().unwrap(), b"nested");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_structured_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u64(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..3], "trunc");
+        let e = r.get_u64().unwrap_err();
+        assert!(matches!(e, EmError::Codec(_)), "{e}");
+        assert!(e.to_string().contains("trunc"));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_overallocate() {
+        // A length prefix claiming u64::MAX elements must be rejected
+        // before any allocation happens.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes, "len").get_f32s().is_err());
+        assert!(ByteReader::new(&bytes, "len").get_str().is_err());
+        assert!(ByteReader::new(&bytes, "len").get_bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut r = ByteReader::new(&[1, 2], "tail");
+        r.get_u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn frame_round_trips_and_detects_every_single_bit_flip() {
+        let payload = b"the matcher params dominate snapshot size";
+        let frame = write_frame(*b"TEST", 3, payload);
+        assert_eq!(read_frame(&frame, *b"TEST", 3, "frame").unwrap(), payload);
+        // Wrong magic / version / truncation are structured errors.
+        assert!(read_frame(&frame, *b"NOPE", 3, "frame").is_err());
+        assert!(read_frame(&frame, *b"TEST", 4, "frame").is_err());
+        assert!(read_frame(&frame[..frame.len() - 1], *b"TEST", 3, "frame").is_err());
+        // Exhaustive single-bit corruption: every flip must be caught
+        // (FNV-1a's per-byte transition is bijective in the running
+        // state, so one flipped bit always changes the digest).
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    read_frame(&bad, *b"TEST", 3, "frame").is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn varints_round_trip_and_reject_overruns() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        w.put_varints(&[0, 300, 70_000]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "varint");
+        for &v in &values {
+            assert_eq!(r.get_varint().unwrap(), v);
+        }
+        assert_eq!(r.get_varints().unwrap(), vec![0, 300, 70_000]);
+        r.finish().unwrap();
+        // Small values really are small on the wire.
+        let mut w = ByteWriter::new();
+        w.put_varint(5);
+        assert_eq!(w.as_slice().len(), 1);
+        // A never-terminating continuation run is corruption, not a hang
+        // or a silent wrap.
+        let bad = [0xFFu8; 11];
+        assert!(ByteReader::new(&bad, "varint").get_varint().is_err());
+        // A 10th byte with payload above bit 63 is rejected.
+        let mut too_big = [0x80u8; 10];
+        too_big[9] = 0x02;
+        assert!(ByteReader::new(&too_big, "varint").get_varint().is_err());
+        // Corrupt counts cannot over-allocate.
+        let mut w = ByteWriter::new();
+        w.put_varint(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes, "varint").get_varints().is_err());
+    }
+
+    #[test]
+    fn fnv_is_the_reference_function() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

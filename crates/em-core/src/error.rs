@@ -36,6 +36,12 @@ pub enum EmError {
     /// Dataset-level consistency violation (dangling record ids, label
     /// count mismatch, overlapping splits, ...).
     InconsistentDataset(String),
+    /// A serialized snapshot frame failed to decode (truncation, bad
+    /// magic/version, checksum mismatch, corrupt length prefix, ...).
+    Codec(String),
+    /// A storage backend operation failed (I/O on a snapshot directory,
+    /// missing key, ...).
+    Storage(String),
 }
 
 impl fmt::Display for EmError {
@@ -58,6 +64,8 @@ impl fmt::Display for EmError {
             } => write!(f, "index {index} out of bounds in {context} (len {len})"),
             EmError::NoSolution(msg) => write!(f, "no solution: {msg}"),
             EmError::InconsistentDataset(msg) => write!(f, "inconsistent dataset: {msg}"),
+            EmError::Codec(msg) => write!(f, "snapshot codec: {msg}"),
+            EmError::Storage(msg) => write!(f, "snapshot storage: {msg}"),
         }
     }
 }

@@ -20,11 +20,16 @@
 //!   experiment in the workspace is reproducible from a single `u64` seed,
 //! * the labeling [`Oracle`] abstraction (perfect and noisy variants),
 //! * the stamped-set [`Membership`] structure for O(1)-reset membership
-//!   tests over dense id spaces (the protocol driver's hot set tests).
+//!   tests over dense id spaces (the protocol driver's hot set tests),
+//! * the **binary snapshot codec substrate** ([`codec`]): checksummed
+//!   little-endian frames every checkpointable type builds its
+//!   `to_bytes` / `from_bytes` on (the serving layer's compact
+//!   persistence format).
 //!
 //! Everything is dependency-light: the only third-party crate is `serde`
 //! (for experiment configs and reports).
 
+pub mod codec;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -37,6 +42,7 @@ pub mod rng;
 pub mod serialize;
 pub mod tokenize;
 
+pub use codec::{ByteReader, ByteWriter};
 pub use csv::{load_magellan_dir, parse_csv};
 pub use dataset::{Dataset, DatasetStats, Split, SplitRatios};
 pub use error::{EmError, Result};

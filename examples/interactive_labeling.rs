@@ -21,7 +21,7 @@ use std::io::BufRead;
 use battleship_em::al::ExperimentConfig;
 use battleship_em::api::{
     Label, MatchSession, PairIdx, Scenario, SessionConfig, SessionPhase, SessionSnapshot,
-    StrategySpec,
+    SnapshotCodec, StrategySpec,
 };
 use battleship_em::core::serialize_pair;
 use battleship_em::synth::DatasetProfile;
@@ -109,14 +109,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
                 // Checkpoint between batches: serialize, drop, restore.
                 // A labeling service would do exactly this around every
-                // human round-trip.
-                let json = serde_json::to_string(&session.snapshot()?)?;
+                // human round-trip — through the compact binary codec,
+                // which beats the JSON rendering severalfold once a
+                // trained matcher's parameters dominate the snapshot.
+                let snapshot = session.snapshot()?;
+                let json_len = snapshot.encoded_len(SnapshotCodec::Json)?;
+                let bytes = SnapshotCodec::Binary.encode(&snapshot)?;
                 drop(session);
-                let snapshot: SessionSnapshot = serde_json::from_str(&json)?;
-                session = MatchSession::restore(dataset, &art.features, &snapshot)?;
+                let restored: SessionSnapshot = SnapshotCodec::Binary.decode(&bytes)?;
+                session = MatchSession::restore(dataset, &art.features, &restored)?;
                 println!(
-                    "(checkpointed {} bytes and resumed; training on {} labels …)\n",
-                    json.len(),
+                    "(checkpointed {} bytes binary vs {} bytes JSON — {:.1}× smaller — \
+                     and resumed; training on {} labels …)\n",
+                    bytes.len(),
+                    json_len,
+                    json_len as f64 / bytes.len() as f64,
                     session.labels_used()
                 );
             }
