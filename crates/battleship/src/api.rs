@@ -15,9 +15,16 @@
 //!   matcher knobs, defaulting to the paper's §4.2 values) and the
 //!   grid-level [`GridConfig`].
 //! * **Datasets**: [`Scenario`] names a reproducible dataset recipe
-//!   (synthetic profile or Magellan CSV directory) and materializes it
-//!   into shared [`DatasetArtifacts`]; [`ArtifactCache`] deduplicates
-//!   materialization across runs.
+//!   (synthetic profile, streamed record pool, or Magellan CSV
+//!   directory) and materializes it into shared [`DatasetArtifacts`];
+//!   [`ArtifactCache`] deduplicates materialization across runs.
+//! * **Blocking**: a [`BlockingSpec`] on the scenario picks the
+//!   candidate-generation tier — [`BlockingSpec::Exhaustive`] (the
+//!   default, bit-identical to the pre-blocking pair sets), token
+//!   inverted-index, or banded-SimHash [`LshBlocking`] — and
+//!   [`Scenario::candidate_pool`] runs blocking alone for 10⁵+-record
+//!   pools where the full cross product must never exist. See
+//!   [`crate::blocking`].
 //! * **Reports**: [`RunReport`] / [`IterationRecord`] per run,
 //!   [`GridReport`] for engine grids.
 //! * **Batch execution**: [`ExperimentGrid`] fans dataset × strategy ×
@@ -72,10 +79,37 @@
 //! }
 //! assert!(session.report().final_f1().is_some());
 //! ```
+//!
+//! Blocking-scale pools skip the exhaustive pair matrix entirely: the
+//! LSH tier extracts the candidate pool straight from the raw tables.
+//!
+//! ```
+//! use battleship::api::{BlockingSpec, LshBlocking, Scenario};
+//! use em_synth::{blocking_recall, PoolProfile};
+//!
+//! let scenario = Scenario::pool(PoolProfile::products("api-pool", 2000), 7)
+//!     .with_blocking(BlockingSpec::Lsh(LshBlocking::default()));
+//! assert_eq!(scenario.name(), "api-pool+lsh8x32");
+//!
+//! // Blocking only: candidates + truth, no featurization, no O(n²).
+//! let pool = scenario.candidate_pool().unwrap();
+//! let recall = blocking_recall(&pool.blocking.candidates, &pool.true_matches);
+//! assert!(recall >= 0.95);
+//! assert!(pool.blocking.stats.reduction_ratio > 0.9);
+//!
+//! // Or materialize end-to-end: the blocked candidates become an
+//! // ordinary labeled dataset any session or grid can run on.
+//! let art = scenario.materialize().unwrap();
+//! assert_eq!(art.dataset.len(), pool.blocking.candidates.len());
+//! ```
 
+pub use crate::blocking::{
+    block_tables, BlockingOutput, BlockingSpec, BlockingStats, LshBlocking, MAX_EXHAUSTIVE_PAIRS,
+};
 pub use crate::config::{ALConfig, BattleshipParams, ExperimentConfig, GridConfig};
 pub use crate::engine::{
-    ArtifactCache, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource,
+    ArtifactCache, CandidatePool, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario,
+    ScenarioSource,
 };
 pub use crate::report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use crate::runner::{run_active_learning, run_closed_loop};

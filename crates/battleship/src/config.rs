@@ -57,8 +57,11 @@ pub struct BattleshipParams {
     /// Clusters larger than this route edge creation through the HNSW
     /// ANN index instead of the exact blocked Gram kernel (approximate
     /// but near-linear; §5.2 names approximate search as the scale-out
-    /// for this step). The default keeps every benchmark-sized cluster
-    /// exact.
+    /// for this step). The default is the measured exact→ANN
+    /// crossover from the blocking bench's single-cluster sweep
+    /// (`BENCH_blocking.json`, `ann_threshold_sweep`): exact still
+    /// wins at 8192 (2.5 s vs 4.5 s) and first loses at 16384
+    /// (17.7 s vs 12.9 s), so every smaller cluster stays exact.
     pub ann_cluster_threshold: usize,
     /// Weak-supervision scoring method.
     pub weak_method: WeakMethod,
@@ -77,7 +80,7 @@ impl Default for BattleshipParams {
             cluster_max_frac: 0.15,
             rho: 0.85,
             kselect_sample: 800,
-            ann_cluster_threshold: 4096,
+            ann_cluster_threshold: 16384,
             weak_method: WeakMethod::Spatial,
             centrality: CentralityMeasure::PageRank,
         }

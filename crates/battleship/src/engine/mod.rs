@@ -31,7 +31,7 @@ pub mod spec;
 pub mod worker;
 
 pub use artifacts::{ArtifactCache, DatasetArtifacts};
-pub use scenario::{Scenario, ScenarioSource};
+pub use scenario::{CandidatePool, Scenario, ScenarioSource};
 pub use spec::{CellKind, RunSpec};
 
 use std::collections::BTreeMap;

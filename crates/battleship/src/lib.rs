@@ -53,11 +53,16 @@
 //!   ([`runner::run_closed_loop`], the golden/bench reference),
 //! * [`report`] — multi-seed and grid aggregation, F1 curves, AUC
 //!   (Table 5),
+//! * [`blocking`] — the sub-quadratic candidate-generation tier
+//!   (exhaustive / token inverted-index / banded SimHash with exact
+//!   re-ranking) that scenarios run before featurization, unlocking
+//!   10⁵–10⁶-record pools,
 //! * [`api`] — the **documented public facade**: one import path for
 //!   sessions, strategies, scenarios, reports and the engine.
 
 pub mod api;
 pub mod baselines;
+pub mod blocking;
 pub mod budget;
 pub mod config;
 pub mod engine;
@@ -71,12 +76,16 @@ pub mod strategies;
 pub mod weak;
 
 pub use baselines::{full_d_f1, zeroer_f1};
+pub use blocking::{
+    block_tables, BlockingOutput, BlockingSpec, BlockingStats, LshBlocking, MAX_EXHAUSTIVE_PAIRS,
+};
 pub use budget::{distribute_budget, positive_budget};
 pub use config::{
     ALConfig, BattleshipParams, CentralityMeasure, ExperimentConfig, GridConfig, WeakMethod,
 };
 pub use engine::{
-    ArtifactCache, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource,
+    ArtifactCache, CandidatePool, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario,
+    ScenarioSource,
 };
 pub use report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use runner::{run_active_learning, run_closed_loop, ActiveLearningRun};

@@ -15,7 +15,11 @@ use crate::record::RecordId;
 pub type PairIdx = usize;
 
 /// A candidate tuple pair produced by blocking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered lexicographically by `(left, right)` so blocking outputs can
+/// be sorted and deduplicated deterministically regardless of the bucket
+/// or thread order that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CandidatePair {
     /// Record in the left table (`D1`).
     pub left: RecordId,
@@ -28,6 +32,13 @@ impl CandidatePair {
     #[inline]
     pub fn new(left: RecordId, right: RecordId) -> Self {
         CandidatePair { left, right }
+    }
+
+    /// The pair as a `(left, right)` id tuple — the key used by recall
+    /// and dedup bookkeeping in the blocking tier.
+    #[inline]
+    pub fn key(self) -> (u32, u32) {
+        (self.left.0, self.right.0)
     }
 }
 
@@ -144,6 +155,19 @@ mod tests {
         let n = Prediction::from_prob(0.1);
         assert!((m.confidence_in_label() - 0.9).abs() < 1e-6);
         assert!((n.confidence_in_label() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pair_ordering_is_left_major() {
+        let mut pairs = [
+            CandidatePair::new(RecordId(2), RecordId(0)),
+            CandidatePair::new(RecordId(0), RecordId(5)),
+            CandidatePair::new(RecordId(0), RecordId(1)),
+            CandidatePair::new(RecordId(1), RecordId(9)),
+        ];
+        pairs.sort();
+        let keys: Vec<_> = pairs.iter().map(|p| p.key()).collect();
+        assert_eq!(keys, vec![(0, 1), (0, 5), (1, 9), (2, 0)]);
     }
 
     #[test]

@@ -284,9 +284,12 @@ impl Default for BlockedConfig {
     fn default() -> Self {
         BlockedConfig {
             edge: EdgeConfig::default(),
-            // 4096² Gram entries = 64 MiB f32 — the point where the
-            // dense kernel's memory/time stops paying for exactness.
-            ann_threshold: 4096,
+            // Measured exact→ANN crossover (BENCH_blocking.json's
+            // single-cluster sweep): the dense kernel still beats HNSW
+            // at 8192 and first loses at 16384. The 16384² Gram is
+            // 1 GiB f32 per worker — lower the threshold on
+            // memory-tight many-core hosts.
+            ann_threshold: 16384,
             ann_seed: 0xA22_0E55,
         }
     }

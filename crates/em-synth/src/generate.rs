@@ -126,8 +126,9 @@ pub fn generate(profile: &DatasetProfile, rng: &mut Rng) -> Result<Dataset> {
     Dataset::new(profile.name, left, right, pairs, truth, split)
 }
 
-/// Render an entity and push a perturbed record into `table`.
-fn push_record(
+/// Render an entity and push a perturbed record into `table` (shared
+/// with the streamed record-pool generator in [`crate::pool`]).
+pub(crate) fn push_record(
     table: &mut Table,
     factory: &EntityFactory,
     entity: &Entity,

@@ -27,11 +27,15 @@ pub mod blocking;
 pub mod entity;
 pub mod generate;
 pub mod perturb;
+pub mod pool;
 pub mod profile;
 pub mod vocab;
 
-pub use blocking::{block_candidates, BlockingConfig};
+pub use blocking::{block_candidates, blocking_recall, BlockingConfig};
 pub use entity::{Domain, Entity, EntityFactory};
 pub use generate::generate;
 pub use perturb::{perturb_text, PerturbConfig};
-pub use profile::{all_profiles, DatasetProfile, SplitSpec};
+pub use pool::{
+    assemble_dataset, generate_pool, pool_profile, pool_profiles, PoolProfile, RecordPool,
+};
+pub use profile::{all_profiles, DatasetProfile, NoiseLevel, SplitSpec};

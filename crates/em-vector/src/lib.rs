@@ -43,6 +43,6 @@ pub use kernel::{
     top_k_batch, with_simd_tier, SimdTier,
 };
 pub use knn::{top_k, top_k_among, Neighbor};
-pub use lsh::{LshConfig, LshIndex};
+pub use lsh::{sample_planes, signature_of, signatures, LshConfig, LshIndex, MAX_SIGNATURE_BITS};
 pub use pca::Pca;
 pub use tsne::{Tsne, TsneConfig};

@@ -6,13 +6,26 @@
 //! the sign pattern of `n_bits` random hyperplane projections; candidates
 //! are the union of same-bucket points over `n_tables` tables, re-ranked
 //! exactly.
+//!
+//! Besides the table-based [`LshIndex`], the module exposes the raw
+//! signature machinery ([`sample_planes`] / [`signatures`]) consumed by
+//! the blocking tier (`battleship::blocking`), which buckets per-band
+//! signatures over record feature vectors: signatures are computed in
+//! parallel (rayon-chunked over the [`kernel::dot`](crate::kernel::dot)
+//! path), one batch per band.
 
 use std::collections::HashMap;
+
+use rayon::prelude::*;
 
 use em_core::{EmError, Result, Rng};
 
 use crate::embeddings::Embeddings;
 use crate::knn::Neighbor;
+
+/// Widest supported signature: bucket keys are `u64`, one bit per
+/// hyperplane.
+pub const MAX_SIGNATURE_BITS: usize = 64;
 
 /// LSH index parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,9 +51,9 @@ impl Default for LshConfig {
 
 impl LshConfig {
     fn validate(&self) -> Result<()> {
-        if self.n_bits == 0 || self.n_bits > 32 {
+        if self.n_bits == 0 || self.n_bits > MAX_SIGNATURE_BITS {
             return Err(EmError::InvalidConfig(format!(
-                "LSH n_bits must be in 1..=32, got {}",
+                "LSH n_bits must be in 1..={MAX_SIGNATURE_BITS}, got {}",
                 self.n_bits
             )));
         }
@@ -51,24 +64,60 @@ impl LshConfig {
     }
 }
 
+/// Sample `n_bits` hyperplane normals of dimension `dim` from `rng`,
+/// concatenated row-major (`n_bits * dim` floats).
+///
+/// Draw order is bit-major (all of plane 0, then plane 1, …), so a given
+/// `(seed, n_bits, dim)` always yields the same planes regardless of how
+/// the signatures are later computed.
+pub fn sample_planes(n_bits: usize, dim: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..n_bits * dim).map(|_| rng.normal() as f32).collect()
+}
+
+/// The sign signature of one vector against `n_bits` planes: bit `b` is
+/// set iff `dot(planes[b], v) >= 0`.
+#[inline]
+pub fn signature_of(v: &[f32], planes: &[f32], n_bits: usize) -> u64 {
+    debug_assert!(n_bits <= MAX_SIGNATURE_BITS);
+    let dim = v.len();
+    let mut sig = 0u64;
+    for b in 0..n_bits {
+        let plane = &planes[b * dim..(b + 1) * dim];
+        if crate::kernel::dot(plane, v) >= 0.0 {
+            sig |= 1u64 << b;
+        }
+    }
+    sig
+}
+
+/// Per-row bit signatures of every row of `data`, computed in parallel.
+///
+/// Rows are fanned out over rayon in contiguous chunks and reassembled
+/// in row order; each projection is one [`kernel::dot`](crate::kernel::dot)
+/// call, so the output is bit-identical for any worker-thread count.
+pub fn signatures(data: &Embeddings, planes: &[f32], n_bits: usize) -> Result<Vec<u64>> {
+    if n_bits == 0 || n_bits > MAX_SIGNATURE_BITS {
+        return Err(EmError::InvalidConfig(format!(
+            "signature bits must be in 1..={MAX_SIGNATURE_BITS}, got {n_bits}"
+        )));
+    }
+    if planes.len() != n_bits * data.dim() {
+        return Err(EmError::DimensionMismatch {
+            context: "LSH hyperplanes".into(),
+            expected: n_bits * data.dim(),
+            actual: planes.len(),
+        });
+    }
+    Ok((0..data.len())
+        .into_par_iter()
+        .map(|i| signature_of(data.row(i), planes, n_bits))
+        .collect())
+}
+
 struct LshTable {
     /// `n_bits` hyperplane normals, each of dimension `dim`, concatenated.
     planes: Vec<f32>,
-    buckets: HashMap<u32, Vec<usize>>,
-}
-
-impl LshTable {
-    fn signature(&self, v: &[f32], n_bits: usize) -> u32 {
-        let dim = v.len();
-        let mut sig = 0u32;
-        for b in 0..n_bits {
-            let plane = &self.planes[b * dim..(b + 1) * dim];
-            if crate::embeddings::dot(plane, v) >= 0.0 {
-                sig |= 1 << b;
-            }
-        }
-        sig
-    }
+    buckets: HashMap<u64, Vec<usize>>,
 }
 
 /// An immutable LSH index over a fixed set of embeddings.
@@ -89,18 +138,13 @@ impl LshIndex {
         let mut rng = Rng::seed_from_u64(config.seed);
         let mut tables = Vec::with_capacity(config.n_tables);
         for _ in 0..config.n_tables {
-            let planes: Vec<f32> = (0..config.n_bits * dim)
-                .map(|_| rng.normal() as f32)
-                .collect();
-            let mut table = LshTable {
-                planes,
-                buckets: HashMap::new(),
-            };
-            for i in 0..data.len() {
-                let sig = table.signature(data.row(i), config.n_bits);
-                table.buckets.entry(sig).or_default().push(i);
+            let planes = sample_planes(config.n_bits, dim, &mut rng);
+            let sigs = signatures(data, &planes, config.n_bits)?;
+            let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (i, &sig) in sigs.iter().enumerate() {
+                buckets.entry(sig).or_default().push(i);
             }
-            tables.push(table);
+            tables.push(LshTable { planes, buckets });
         }
         Ok(LshIndex {
             config,
@@ -121,7 +165,7 @@ impl LshIndex {
         }
         let mut out = Vec::new();
         for t in &self.tables {
-            let sig = t.signature(query, self.config.n_bits);
+            let sig = signature_of(query, &t.planes, self.config.n_bits);
             if let Some(bucket) = t.buckets.get(&sig) {
                 out.extend_from_slice(bucket);
             }
@@ -200,11 +244,67 @@ mod tests {
         assert!(LshIndex::build(
             &e,
             LshConfig {
-                n_bits: 40,
+                n_bits: 65,
                 ..Default::default()
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn full_width_64_bit_signatures_work() {
+        // The u64 bucket-key boundary: 64 planes must build, produce
+        // signatures that exercise the top bit range, and stay
+        // deterministic. (The former 32-bit cap was an artifact of the
+        // old `u32` key type.)
+        let e = clustered_data(20);
+        let cfg = LshConfig {
+            n_bits: 64,
+            n_tables: 2,
+            seed: 9,
+        };
+        let idx = LshIndex::build(&e, cfg).unwrap();
+        let a = idx.candidates(e.row(0)).unwrap();
+        let b = LshIndex::build(&e, cfg)
+            .unwrap()
+            .candidates(e.row(0))
+            .unwrap();
+        assert_eq!(a, b);
+        // A row is always its own candidate: identical signatures.
+        assert!(a.contains(&0));
+
+        // Bits above the old 32-bit cap must actually be populated.
+        let mut rng = Rng::seed_from_u64(9);
+        let planes = sample_planes(64, e.dim(), &mut rng);
+        let sigs = signatures(&e, &planes, 64).unwrap();
+        assert!(
+            sigs.iter().any(|&s| s >> 32 != 0),
+            "no signature used the high 32 bits"
+        );
+    }
+
+    #[test]
+    fn signatures_match_scalar_and_any_thread_count() {
+        let e = clustered_data(40);
+        let mut rng = Rng::seed_from_u64(3);
+        let planes = sample_planes(16, e.dim(), &mut rng);
+        let par = signatures(&e, &planes, 16).unwrap();
+        let serial = rayon::serial_scope(|| signatures(&e, &planes, 16).unwrap());
+        let scalar: Vec<u64> = (0..e.len())
+            .map(|i| signature_of(e.row(i), &planes, 16))
+            .collect();
+        assert_eq!(par, serial);
+        assert_eq!(par, scalar);
+    }
+
+    #[test]
+    fn signatures_validate_inputs() {
+        let e = clustered_data(4);
+        let planes = vec![0.0f32; 2 * e.dim()];
+        assert!(signatures(&e, &planes, 3).is_err(), "plane count mismatch");
+        assert!(signatures(&e, &planes, 0).is_err());
+        let wide = vec![0.0f32; 65 * e.dim()];
+        assert!(signatures(&e, &wide, 65).is_err());
     }
 
     #[test]

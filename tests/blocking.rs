@@ -1,0 +1,165 @@
+//! Integration tests for the sub-quadratic blocking tier: recall gates
+//! against exhaustive ground truth, determinism/thread-invariance
+//! properties, and the end-to-end path from a blocked record pool to a
+//! trained session.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use battleship_em::al::ExperimentConfig;
+use battleship_em::api::{
+    block_tables, BlockingSpec, LshBlocking, MatchSession, Scenario, SessionConfig, SessionPhase,
+    StrategySpec, MAX_EXHAUSTIVE_PAIRS,
+};
+use battleship_em::core::Rng;
+use battleship_em::synth::{
+    blocking_recall, generate_pool, BlockingConfig, DatasetProfile, PoolProfile,
+};
+
+const RECALL_GATE: f64 = 0.95;
+
+/// LSH and token blocking both clear the recall gate against the pool's
+/// ground-truth matches at a size where the exhaustive cross product is
+/// still co-computable, and both emit strict subsets of it.
+#[test]
+fn blocking_recall_clears_gate_vs_exhaustive() {
+    let profile = PoolProfile::products("it-recall", 3_000);
+    let pool = generate_pool(&profile, &mut Rng::seed_from_u64(0xB0CA)).unwrap();
+    assert!(pool.exhaustive_pairs() <= MAX_EXHAUSTIVE_PAIRS);
+
+    let exhaustive = block_tables(&pool.left, &pool.right, &BlockingSpec::Exhaustive).unwrap();
+    let exhaustive_set: HashSet<(u32, u32)> =
+        exhaustive.candidates.iter().map(|p| p.key()).collect();
+    assert_eq!(exhaustive.stats.reduction_ratio, 0.0);
+
+    for (name, spec) in [
+        ("lsh", BlockingSpec::Lsh(LshBlocking::default())),
+        ("token", BlockingSpec::Token(BlockingConfig::default())),
+    ] {
+        let out = block_tables(&pool.left, &pool.right, &spec).unwrap();
+        let recall = blocking_recall(&out.candidates, &pool.true_matches);
+        assert!(
+            recall >= RECALL_GATE,
+            "{name} recall {recall:.4} below gate {RECALL_GATE}"
+        );
+        assert!(
+            out.candidates
+                .iter()
+                .all(|p| exhaustive_set.contains(&p.key())),
+            "{name} emitted a pair outside the cross product"
+        );
+        assert!(
+            out.stats.reduction_ratio > 0.5,
+            "{name} reduction {:.4} — blocking did not prune",
+            out.stats.reduction_ratio
+        );
+    }
+}
+
+/// An exhaustive-spec scenario is bit-identical to the legacy
+/// (pre-blocking) materialization path on a synthetic profile.
+#[test]
+fn exhaustive_spec_matches_legacy_materialization() {
+    let legacy = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.03, 9);
+    let spec = legacy.clone().with_blocking(BlockingSpec::Exhaustive);
+    assert_eq!(legacy.name(), spec.name(), "Exhaustive must not rename");
+    let a = legacy.materialize().unwrap();
+    let b = spec.materialize().unwrap();
+    assert_eq!(a.dataset.pairs(), b.dataset.pairs());
+    assert_eq!(a.dataset.split(), b.dataset.split());
+    for i in 0..a.dataset.len() {
+        assert_eq!(a.dataset.ground_truth(i), b.dataset.ground_truth(i));
+        assert_eq!(a.features.row(i), b.features.row(i));
+    }
+}
+
+/// A blocked pool scenario materializes into ordinary artifacts that an
+/// interactive session can train on end to end.
+#[test]
+fn blocked_pool_drives_a_session_end_to_end() {
+    let scenario = Scenario::pool(PoolProfile::products("it-session", 1_500), 21)
+        .with_blocking(BlockingSpec::Lsh(LshBlocking::default()));
+    assert_eq!(scenario.name(), "it-session+lsh8x32");
+    let art = scenario.materialize().unwrap();
+    assert!(!art.dataset.is_empty(), "blocked pool produced no pairs");
+
+    let mut experiment = ExperimentConfig::low_resource(1, 10);
+    experiment.al.seed_size = 10;
+    experiment.matcher.epochs = 2;
+    experiment.battleship.kselect_sample = 64;
+    let mut session = MatchSession::new(
+        &art.dataset,
+        &art.features,
+        SessionConfig {
+            experiment,
+            strategy: StrategySpec::Random,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    loop {
+        match session.advance().unwrap() {
+            SessionPhase::AwaitingLabels => {
+                let answers: Vec<_> = session
+                    .next_query_batch()
+                    .into_iter()
+                    .map(|p| (p, art.dataset.ground_truth(p)))
+                    .collect();
+                session.submit_labels(&answers).unwrap();
+            }
+            SessionPhase::Done => break,
+            _ => {}
+        }
+    }
+    assert!(session.report().final_f1().is_some());
+}
+
+/// CSV-backed scenarios carry their own curated candidate lists and
+/// cannot be re-blocked; an oversized exhaustive pool refuses to
+/// materialize the cross product.
+#[test]
+fn invalid_blocking_combinations_error() {
+    let csv = Scenario::csv_dir("nowhere", "/does/not/exist")
+        .with_blocking(BlockingSpec::Lsh(LshBlocking::default()));
+    let err = csv.materialize().unwrap_err().to_string();
+    assert!(err.contains("re-block"), "unexpected error: {err}");
+
+    let big = Scenario::pool(PoolProfile::products("it-big", 100_000), 1);
+    let err = big.materialize().unwrap_err().to_string();
+    assert!(
+        err.contains("exhaustive") || err.contains("cap"),
+        "unexpected error: {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any pool seed and size, LSH candidate sets are sorted,
+    /// duplicate-free, deterministic across repeated runs, and
+    /// identical under the forced-serial scheduler (thread-count
+    /// invariance).
+    #[test]
+    fn lsh_candidates_are_deterministic_and_thread_invariant(
+        seed in 0u64..1_000,
+        n_records in 200usize..800,
+    ) {
+        let profile = PoolProfile::products("prop-pool", n_records);
+        let pool = generate_pool(&profile, &mut Rng::seed_from_u64(seed)).unwrap();
+        let spec = BlockingSpec::Lsh(LshBlocking::default());
+
+        let first = block_tables(&pool.left, &pool.right, &spec).unwrap();
+        let again = block_tables(&pool.left, &pool.right, &spec).unwrap();
+        let serial =
+            rayon::serial_scope(|| block_tables(&pool.left, &pool.right, &spec).unwrap());
+
+        prop_assert!(
+            first.candidates.windows(2).all(|w| w[0] < w[1]),
+            "candidates must be sorted and duplicate-free"
+        );
+        prop_assert_eq!(&first.candidates, &again.candidates);
+        prop_assert_eq!(&first.candidates, &serial.candidates);
+        prop_assert_eq!(first.stats.n_candidates, first.candidates.len());
+    }
+}
