@@ -35,7 +35,11 @@
 //!   over shared artifacts, persists them through a [`SnapshotCodec`]
 //!   (JSON or compact binary) into a [`SnapshotBackend`] (memory or
 //!   directory), steps every trainable session in parallel and recovers
-//!   the whole store bit-identically after a crash. See
+//!   the whole store bit-identically after a crash. Backend faults are
+//!   retried under a bounded [`RetryPolicy`]; recovery falls back past
+//!   torn or corrupt checkpoint frames (quarantining them) to the
+//!   newest decodable generation, and [`FaultyBackend`] +
+//!   [`FaultPlan`] inject reproducible chaos to prove it. See
 //!   [`crate::serve`].
 //!
 //! ```
@@ -114,7 +118,8 @@ pub use crate::engine::{
 pub use crate::report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use crate::runner::{run_active_learning, run_closed_loop};
 pub use crate::serve::{
-    DirBackend, MemoryBackend, SessionStatus, SessionStore, SnapshotBackend, SnapshotCodec,
+    DirBackend, Fault, FaultPlan, FaultStats, FaultyBackend, MemoryBackend, RecoveryReport,
+    RetryPolicy, SessionStatus, SessionStore, SnapshotBackend, SnapshotCodec,
 };
 pub use crate::session::{
     MatchSession, PendingSnapshot, SessionConfig, SessionPhase, SessionSnapshot, SNAPSHOT_VERSION,

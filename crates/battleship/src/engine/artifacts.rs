@@ -41,9 +41,20 @@ impl ArtifactCache {
         Self::default()
     }
 
+    /// The map lock, recovered from poisoning: every critical section
+    /// mutates through single `BTreeMap` calls that either complete or
+    /// leave the map untouched, so a panic elsewhere while holding the
+    /// lock cannot leave a torn entry behind — and a worker's panic
+    /// must never take the cache (and every session on it) down.
+    fn map(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<DatasetArtifacts>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of cached scenarios.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("artifact cache poisoned").len()
+        self.map().len()
     }
 
     /// Whether the cache is empty.
@@ -58,16 +69,11 @@ impl ArtifactCache {
     /// same scenario the first insert wins (both materializations are
     /// deterministic and identical, see `Scenario::materialize`).
     pub fn get_or_materialize(&self, scenario: &Scenario) -> Result<Arc<DatasetArtifacts>> {
-        if let Some(found) = self
-            .inner
-            .lock()
-            .expect("artifact cache poisoned")
-            .get(scenario.name())
-        {
+        if let Some(found) = self.map().get(scenario.name()) {
             return Ok(found.clone());
         }
         let fresh = Arc::new(scenario.materialize()?);
-        let mut cache = self.inner.lock().expect("artifact cache poisoned");
+        let mut cache = self.map();
         Ok(cache
             .entry(scenario.name().to_string())
             .or_insert(fresh)

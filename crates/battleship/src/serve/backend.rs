@@ -8,17 +8,27 @@
 //! * [`MemoryBackend`] — a mutexed map; survives store drops (hand the
 //!   same backend to a new store), not process exits. The unit-test and
 //!   bench backend.
-//! * [`DirBackend`] — one file per session under a directory, written
-//!   atomically (temp file + rename) so a crash mid-checkpoint never
-//!   leaves a half-written snapshot under the live key.
+//! * [`DirBackend`] — **generational** files per session under a
+//!   directory: every `put` writes a new frame atomically (temp file +
+//!   rename) and the last [`DirBackend::keep`] frames are retained, so
+//!   recovery can fall back past a torn or corrupt newest frame.
+//!   Frames that fail to decode are moved into `quarantine/` by
+//!   [`SnapshotBackend::quarantine`] instead of being deleted — they
+//!   are the post-mortem evidence.
 //!
 //! Backends store opaque bytes; the codec (and thus corruption
 //! detection) lives a layer above in
-//! [`SnapshotCodec`](super::SnapshotCodec).
+//! [`SnapshotCodec`](super::SnapshotCodec). The store walks
+//! [`SnapshotBackend::history`] newest→oldest when the newest frame is
+//! undecodable.
+//!
+//! No backend panics on a poisoned lock: a panicking thread elsewhere
+//! in the process must degrade that one operation, never take the whole
+//! persistence layer down.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use em_core::{EmError, Result};
 
@@ -27,15 +37,35 @@ use em_core::{EmError, Result};
 /// Implementations must be safe to call from concurrent store
 /// operations (`Send + Sync`); keys are session ids.
 pub trait SnapshotBackend: Send + Sync {
-    /// Persist `bytes` under `key`, replacing any previous value.
+    /// Persist `bytes` under `key` as the newest frame, superseding (not
+    /// necessarily destroying) any previous value.
     fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
-    /// Read the bytes under `key`, or `None` if the key has never been
-    /// written (I/O failures are `Err`, not `None`).
+    /// Read the newest frame under `key`, or `None` if the key has never
+    /// been written (I/O failures are `Err`, not `None`).
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
-    /// Remove `key` (idempotent; removing an absent key is `Ok`).
+    /// Remove every frame of `key` (idempotent; removing an absent key
+    /// is `Ok`).
     fn remove(&self, key: &str) -> Result<()>;
     /// All keys currently persisted, in sorted order.
     fn keys(&self) -> Result<Vec<String>>;
+
+    /// Every retained frame of `key`, newest first, as
+    /// `(generation, bytes)` pairs. Single-frame backends return at most
+    /// one entry with generation 0; the default forwards to
+    /// [`SnapshotBackend::get`].
+    fn history(&self, key: &str) -> Result<Vec<(u64, Vec<u8>)>> {
+        Ok(self
+            .get(key)?
+            .map(|bytes| vec![(0, bytes)])
+            .unwrap_or_default())
+    }
+
+    /// Move the given frame aside so recovery never reads it again
+    /// (called on frames that fail to decode). Backends without frame
+    /// storage may treat this as bookkeeping-only; it must be idempotent.
+    fn quarantine(&self, _key: &str, _generation: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Delegation through shared ownership: `Arc<B>` is a backend whenever
@@ -55,80 +85,152 @@ impl<B: SnapshotBackend + ?Sized> SnapshotBackend for std::sync::Arc<B> {
     fn keys(&self) -> Result<Vec<String>> {
         (**self).keys()
     }
+    fn history(&self, key: &str) -> Result<Vec<(u64, Vec<u8>)>> {
+        (**self).history(key)
+    }
+    fn quarantine(&self, key: &str, generation: u64) -> Result<()> {
+        (**self).quarantine(key, generation)
+    }
 }
 
-/// An in-memory backend: a mutexed `BTreeMap`.
-#[derive(Debug, Default)]
+/// Frames retained per key by default (newest included).
+const DEFAULT_KEEP: usize = 4;
+
+/// Per-key frame history: `(generation, bytes)` pairs, oldest first.
+type FrameMap = BTreeMap<String, VecDeque<(u64, Vec<u8>)>>;
+
+/// An in-memory backend: a mutexed map of per-key frame histories.
+#[derive(Debug)]
 pub struct MemoryBackend {
-    inner: Mutex<BTreeMap<String, Vec<u8>>>,
+    inner: Mutex<FrameMap>,
+    keep: usize,
+}
+
+impl Default for MemoryBackend {
+    fn default() -> Self {
+        Self::with_keep(DEFAULT_KEEP)
+    }
 }
 
 impl MemoryBackend {
-    /// An empty backend.
+    /// An empty backend retaining the default number of frames per key.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty backend retaining the last `keep` frames per key
+    /// (`keep` is clamped to at least 1).
+    pub fn with_keep(keep: usize) -> Self {
+        MemoryBackend {
+            inner: Mutex::new(BTreeMap::new()),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The map lock, recovered from poisoning. Every operation below
+    /// mutates the map through single `BTreeMap`/`VecDeque` calls that
+    /// either complete or leave the value untouched, so data behind a
+    /// poisoned lock is still consistent — recover it instead of
+    /// panicking the next caller (`into_inner`-style).
+    fn map(&self) -> MutexGuard<'_, FrameMap> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl SnapshotBackend for MemoryBackend {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
-        self.inner
-            .lock()
-            .expect("memory backend poisoned")
-            .insert(key.to_string(), bytes.to_vec());
+        let mut map = self.map();
+        let frames = map.entry(key.to_string()).or_default();
+        let gen = frames.back().map(|(g, _)| g + 1).unwrap_or(0);
+        frames.push_back((gen, bytes.to_vec()));
+        while frames.len() > self.keep {
+            frames.pop_front();
+        }
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
         Ok(self
-            .inner
-            .lock()
-            .expect("memory backend poisoned")
+            .map()
             .get(key)
-            .cloned())
+            .and_then(|frames| frames.back())
+            .map(|(_, bytes)| bytes.clone()))
     }
 
     fn remove(&self, key: &str) -> Result<()> {
-        self.inner
-            .lock()
-            .expect("memory backend poisoned")
-            .remove(key);
+        self.map().remove(key);
         Ok(())
     }
 
     fn keys(&self) -> Result<Vec<String>> {
         Ok(self
-            .inner
-            .lock()
-            .expect("memory backend poisoned")
-            .keys()
-            .cloned()
+            .map()
+            .iter()
+            .filter(|(_, frames)| !frames.is_empty())
+            .map(|(k, _)| k.clone())
             .collect())
+    }
+
+    fn history(&self, key: &str) -> Result<Vec<(u64, Vec<u8>)>> {
+        Ok(self
+            .map()
+            .get(key)
+            .map(|frames| frames.iter().rev().cloned().collect())
+            .unwrap_or_default())
+    }
+
+    fn quarantine(&self, key: &str, generation: u64) -> Result<()> {
+        if let Some(frames) = self.map().get_mut(key) {
+            frames.retain(|(g, _)| *g != generation);
+        }
+        Ok(())
     }
 }
 
 /// Extension of snapshot files written by [`DirBackend`].
 const SNAPSHOT_EXT: &str = "emsnap";
+/// Subdirectory corrupt frames are moved into.
+const QUARANTINE_DIR: &str = "quarantine";
 
-/// A directory-of-files backend: `<dir>/<key>.emsnap` per session.
+/// A directory-of-files backend with generational frames:
+/// `<dir>/<key>/g<generation>.emsnap` per checkpoint, newest `keep`
+/// retained.
 ///
 /// Writes go through a temp file and an atomic rename, so a crash
-/// mid-write leaves the previous snapshot intact. Keys are restricted
+/// mid-write leaves every committed frame intact (the orphaned temp
+/// file is swept on the next [`DirBackend::new`]). Keys are restricted
 /// to filename-safe characters (`[A-Za-z0-9._-]`) so a session id can
-/// never escape the directory.
+/// never escape the directory; `quarantine` is reserved for the corrupt
+/// frames moved aside by recovery.
 #[derive(Debug)]
 pub struct DirBackend {
     dir: PathBuf,
+    keep: usize,
+    /// Next generation per key, so each `put` is O(1) after the first.
+    next_gen: Mutex<BTreeMap<String, u64>>,
 }
 
 impl DirBackend {
-    /// Open (creating if needed) a snapshot directory.
+    /// Open (creating if needed) a snapshot directory with the default
+    /// retention, sweeping any orphaned temp files a crash left behind.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::with_generations(dir, DEFAULT_KEEP)
+    }
+
+    /// Open a snapshot directory retaining the last `keep` frames per
+    /// key (clamped to at least 1).
+    pub fn with_generations(dir: impl Into<PathBuf>, keep: usize) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| {
-            EmError::Storage(format!("creating snapshot dir {}: {e}", dir.display()))
+            EmError::storage_io(format!("creating snapshot dir {}", dir.display()), &e)
         })?;
-        Ok(DirBackend { dir })
+        let backend = DirBackend {
+            dir,
+            keep: keep.max(1),
+            next_gen: Mutex::new(BTreeMap::new()),
+        };
+        backend.sweep_orphaned_temp_files()?;
+        Ok(backend)
     }
 
     /// The backing directory.
@@ -136,75 +238,252 @@ impl DirBackend {
         &self.dir
     }
 
-    fn path_for(&self, key: &str) -> Result<PathBuf> {
+    /// Frames retained per key.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// File names currently in `quarantine/` (sorted) — the corrupt
+    /// frames recovery has moved aside.
+    pub fn quarantined(&self) -> Result<Vec<String>> {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        if !qdir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&qdir)
+            .map_err(|e| EmError::storage_io(format!("listing {}", qdir.display()), &e))?
+        {
+            let entry = entry
+                .map_err(|e| EmError::storage_io(format!("listing {}", qdir.display()), &e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Remove `.tmp` files orphaned by a crash between write and rename
+    /// — they were never committed, so deleting them is always safe.
+    fn sweep_orphaned_temp_files(&self) -> Result<()> {
+        let mut dirs = vec![self.dir.clone()];
+        for entry in std::fs::read_dir(&self.dir)
+            .map_err(|e| EmError::storage_io(format!("listing {}", self.dir.display()), &e))?
+        {
+            let entry = entry
+                .map_err(|e| EmError::storage_io(format!("listing {}", self.dir.display()), &e))?;
+            let path = entry.path();
+            if path.is_dir() && entry.file_name().to_str() != Some(QUARANTINE_DIR) {
+                dirs.push(path);
+            }
+        }
+        for dir in dirs {
+            for entry in std::fs::read_dir(&dir)
+                .map_err(|e| EmError::storage_io(format!("listing {}", dir.display()), &e))?
+            {
+                let entry = entry
+                    .map_err(|e| EmError::storage_io(format!("listing {}", dir.display()), &e))?;
+                let name = entry.file_name();
+                let is_tmp = name.to_str().is_some_and(|n| n.ends_with(".tmp"));
+                if is_tmp && entry.path().is_file() {
+                    std::fs::remove_file(entry.path()).map_err(|e| {
+                        EmError::storage_io(
+                            format!("sweeping orphan {}", entry.path().display()),
+                            &e,
+                        )
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn key_dir(&self, key: &str) -> Result<PathBuf> {
         if key.is_empty()
+            || key == QUARANTINE_DIR
             || !key
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
             || key.starts_with('.')
         {
             return Err(EmError::Storage(format!(
-                "session key `{key}` is not filename-safe ([A-Za-z0-9._-], not dot-leading)"
+                "session key `{key}` is not filename-safe \
+                 ([A-Za-z0-9._-], not dot-leading, not `{QUARANTINE_DIR}`)"
             )));
         }
-        Ok(self.dir.join(format!("{key}.{SNAPSHOT_EXT}")))
+        Ok(self.dir.join(key))
+    }
+
+    fn frame_name(generation: u64) -> String {
+        format!("g{generation:016x}.{SNAPSHOT_EXT}")
+    }
+
+    /// Parse `g<16-hex>.emsnap` back into a generation.
+    fn parse_frame_name(name: &str) -> Option<u64> {
+        let hex = name
+            .strip_prefix('g')?
+            .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok()
+    }
+
+    /// Generations present for `key`, ascending. Missing dir ⇒ empty.
+    fn generations(&self, key: &str) -> Result<Vec<u64>> {
+        let dir = self.key_dir(key)?;
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(EmError::storage_io(
+                    format!("listing {}", dir.display()),
+                    &e,
+                ))
+            }
+        };
+        let mut gens = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| EmError::storage_io(format!("listing {}", dir.display()), &e))?;
+            if let Some(gen) = entry.file_name().to_str().and_then(Self::parse_frame_name) {
+                gens.push(gen);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
     }
 }
 
 impl SnapshotBackend for DirBackend {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
-        let path = self.path_for(key)?;
-        let tmp = self.dir.join(format!(".{key}.{SNAPSHOT_EXT}.tmp"));
+        let dir = self.key_dir(key)?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EmError::storage_io(format!("creating {}", dir.display()), &e))?;
+        let gen = {
+            let mut next = self.next_gen.lock().unwrap_or_else(PoisonError::into_inner);
+            let gen = match next.get(key) {
+                Some(&g) => g,
+                None => self.generations(key)?.last().map(|g| g + 1).unwrap_or(0),
+            };
+            next.insert(key.to_string(), gen + 1);
+            gen
+        };
+        let path = dir.join(Self::frame_name(gen));
+        let tmp = dir.join(format!(".{}.tmp", Self::frame_name(gen)));
         std::fs::write(&tmp, bytes)
             .and_then(|()| std::fs::rename(&tmp, &path))
-            .map_err(|e| EmError::Storage(format!("writing snapshot {}: {e}", path.display())))
+            .map_err(|e| EmError::storage_io(format!("writing snapshot {}", path.display()), &e))?;
+        // Prune past the retention window, oldest first.
+        let gens = self.generations(key)?;
+        if gens.len() > self.keep {
+            for old in &gens[..gens.len() - self.keep] {
+                let old_path = dir.join(Self::frame_name(*old));
+                match std::fs::remove_file(&old_path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => {
+                        return Err(EmError::storage_io(
+                            format!("pruning old frame {}", old_path.display()),
+                            &e,
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
-        let path = self.path_for(key)?;
+        let dir = self.key_dir(key)?;
+        let Some(&newest) = self.generations(key)?.last() else {
+            return Ok(None);
+        };
+        let path = dir.join(Self::frame_name(newest));
         match std::fs::read(&path) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(EmError::Storage(format!(
-                "reading snapshot {}: {e}",
-                path.display()
-            ))),
+            Err(e) => Err(EmError::storage_io(
+                format!("reading snapshot {}", path.display()),
+                &e,
+            )),
         }
     }
 
     fn remove(&self, key: &str) -> Result<()> {
-        let path = self.path_for(key)?;
-        match std::fs::remove_file(&path) {
+        let dir = self.key_dir(key)?;
+        self.next_gen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
+        match std::fs::remove_dir_all(&dir) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(EmError::Storage(format!(
-                "removing snapshot {}: {e}",
-                path.display()
-            ))),
+            Err(e) => Err(EmError::storage_io(
+                format!("removing snapshots {}", dir.display()),
+                &e,
+            )),
         }
     }
 
     fn keys(&self) -> Result<Vec<String>> {
-        let entries = std::fs::read_dir(&self.dir).map_err(|e| {
-            EmError::Storage(format!("listing snapshot dir {}: {e}", self.dir.display()))
-        })?;
-        let suffix = format!(".{SNAPSHOT_EXT}");
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| EmError::storage_io(format!("listing {}", self.dir.display()), &e))?;
         let mut keys = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|e| {
-                EmError::Storage(format!("listing snapshot dir {}: {e}", self.dir.display()))
-            })?;
+            let entry = entry
+                .map_err(|e| EmError::storage_io(format!("listing {}", self.dir.display()), &e))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if name.starts_with('.') {
-                continue; // in-flight temp files
+            if name == QUARANTINE_DIR || name.starts_with('.') {
+                continue;
             }
-            if let Some(key) = name.strip_suffix(&suffix) {
-                keys.push(key.to_string());
+            if !self.generations(name)?.is_empty() {
+                keys.push(name.to_string());
             }
         }
         keys.sort_unstable();
         Ok(keys)
+    }
+
+    fn history(&self, key: &str) -> Result<Vec<(u64, Vec<u8>)>> {
+        let dir = self.key_dir(key)?;
+        let mut frames = Vec::new();
+        for gen in self.generations(key)?.into_iter().rev() {
+            let path = dir.join(Self::frame_name(gen));
+            match std::fs::read(&path) {
+                Ok(bytes) => frames.push((gen, bytes)),
+                // Pruned concurrently — older than anything we care about.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(EmError::storage_io(
+                        format!("reading snapshot {}", path.display()),
+                        &e,
+                    ))
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    fn quarantine(&self, key: &str, generation: u64) -> Result<()> {
+        let src = self.key_dir(key)?.join(Self::frame_name(generation));
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir)
+            .map_err(|e| EmError::storage_io(format!("creating {}", qdir.display()), &e))?;
+        let dst = qdir.join(format!("{key}.{}", Self::frame_name(generation)));
+        match std::fs::rename(&src, &dst) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()), // idempotent
+            Err(e) => Err(EmError::storage_io(
+                format!("quarantining {}", src.display()),
+                &e,
+            )),
+        }
     }
 }
 
@@ -215,36 +494,152 @@ mod tests {
     fn exercise(backend: &dyn SnapshotBackend) {
         assert_eq!(backend.keys().unwrap(), Vec::<String>::new());
         assert_eq!(backend.get("a").unwrap(), None);
+        assert_eq!(backend.history("a").unwrap(), vec![]);
         backend.put("a", b"one").unwrap();
         backend.put("b", b"two").unwrap();
-        backend.put("a", b"three").unwrap(); // overwrite
+        backend.put("a", b"three").unwrap(); // supersede
         assert_eq!(backend.get("a").unwrap().unwrap(), b"three");
         assert_eq!(backend.keys().unwrap(), vec!["a", "b"]);
+        // History is newest first and retains the superseded frame.
+        let history = backend.history("a").unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].1, b"three");
+        assert_eq!(history[1].1, b"one");
+        assert!(history[0].0 > history[1].0, "generations not descending");
         backend.remove("a").unwrap();
         backend.remove("a").unwrap(); // idempotent
         assert_eq!(backend.get("a").unwrap(), None);
         assert_eq!(backend.keys().unwrap(), vec!["b"]);
     }
 
+    fn retention(backend: &dyn SnapshotBackend, keep: usize) {
+        for i in 0..10u8 {
+            backend.put("k", &[i]).unwrap();
+        }
+        let history = backend.history("k").unwrap();
+        assert_eq!(history.len(), keep, "retention window not enforced");
+        assert_eq!(history[0].1, vec![9], "newest frame wrong");
+        assert_eq!(backend.get("k").unwrap().unwrap(), vec![9]);
+    }
+
     #[test]
     fn memory_backend_contract() {
         exercise(&MemoryBackend::new());
+        retention(&MemoryBackend::new(), DEFAULT_KEEP);
+    }
+
+    #[test]
+    fn memory_backend_recovers_from_poisoned_lock() {
+        let backend = MemoryBackend::new();
+        backend.put("before", b"ok").unwrap();
+        // Poison the mutex: panic while holding the lock (as a panicking
+        // serve-layer thread would).
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = backend.inner.lock().unwrap();
+            panic!("worker thread dies mid-operation");
+        }));
+        assert!(poisoned.is_err());
+        assert!(backend.inner.lock().is_err(), "lock not actually poisoned");
+        // Every subsequent op still succeeds — the store degrades one
+        // operation, never the whole backend.
+        assert_eq!(backend.get("before").unwrap().unwrap(), b"ok");
+        backend.put("after", b"also ok").unwrap();
+        assert_eq!(backend.keys().unwrap(), vec!["after", "before"]);
+        backend.remove("before").unwrap();
+        assert_eq!(backend.keys().unwrap(), vec!["after"]);
+    }
+
+    #[test]
+    fn memory_backend_quarantine_hides_a_generation() {
+        let backend = MemoryBackend::new();
+        backend.put("k", b"good-old").unwrap();
+        backend.put("k", b"bad-new").unwrap();
+        let newest_gen = backend.history("k").unwrap()[0].0;
+        backend.quarantine("k", newest_gen).unwrap();
+        assert_eq!(backend.get("k").unwrap().unwrap(), b"good-old");
+        backend.quarantine("k", newest_gen).unwrap(); // idempotent
+        assert_eq!(backend.history("k").unwrap().len(), 1);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("emsnap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
     fn dir_backend_contract_and_key_safety() {
-        let dir = std::env::temp_dir().join(format!("emsnap-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("contract");
         let backend = DirBackend::new(&dir).unwrap();
         exercise(&backend);
+        retention(&DirBackend::new(dir.join("ret")).unwrap(), DEFAULT_KEEP);
         // Unsafe keys cannot touch the filesystem.
-        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte"] {
+        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte", "quarantine"] {
             assert!(backend.put(bad, b"x").is_err(), "key {bad:?} accepted");
         }
         // A second backend over the same directory sees the data.
         let reopened = DirBackend::new(&dir).unwrap();
         assert_eq!(reopened.keys().unwrap(), vec!["b"]);
         assert_eq!(reopened.get("b").unwrap().unwrap(), b"two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_backend_quarantines_frames_into_subdir() {
+        let dir = temp_dir("quarantine");
+        let backend = DirBackend::new(&dir).unwrap();
+        backend.put("k", b"good").unwrap();
+        backend.put("k", b"corrupt").unwrap();
+        let newest = backend.history("k").unwrap()[0].0;
+        backend.quarantine("k", newest).unwrap();
+        // The frame is gone from the live history but preserved on disk.
+        assert_eq!(backend.get("k").unwrap().unwrap(), b"good");
+        let quarantined = backend.quarantined().unwrap();
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].starts_with("k."), "{quarantined:?}");
+        backend.quarantine("k", newest).unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_backend_new_sweeps_orphaned_temp_files() {
+        let dir = temp_dir("sweep");
+        {
+            let backend = DirBackend::new(&dir).unwrap();
+            backend.put("real", b"committed").unwrap();
+        }
+        // Plant orphans a crash between write and rename would leave:
+        // one inside a key directory, one at the top level.
+        let planted_inner = dir.join("real").join(".g00000000000000ff.emsnap.tmp");
+        let planted_top = dir.join(".stray.tmp");
+        std::fs::write(&planted_inner, b"half-written").unwrap();
+        std::fs::write(&planted_top, b"half-written").unwrap();
+
+        let backend = DirBackend::new(&dir).unwrap();
+        assert!(!planted_inner.exists(), "inner orphan not swept");
+        assert!(!planted_top.exists(), "top-level orphan not swept");
+        // Committed data is untouched.
+        assert_eq!(backend.get("real").unwrap().unwrap(), b"committed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_backend_generations_survive_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let backend = DirBackend::new(&dir).unwrap();
+            backend.put("k", b"v0").unwrap();
+            backend.put("k", b"v1").unwrap();
+        }
+        let backend = DirBackend::new(&dir).unwrap();
+        let history = backend.history("k").unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].1, b"v1");
+        // New puts continue the generation sequence past the old ones.
+        backend.put("k", b"v2").unwrap();
+        let history = backend.history("k").unwrap();
+        assert_eq!(history[0].1, b"v2");
+        assert!(history[0].0 > history[1].0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,17 @@
 //!   ([`SessionSnapshot::to_bytes`](crate::session::SessionSnapshot::to_bytes)),
 //!   both restoring bit-identically.
 //! * [`SnapshotBackend`] — where encoded snapshots live:
-//!   [`MemoryBackend`] or the atomic-rename [`DirBackend`].
+//!   [`MemoryBackend`] or the atomic-rename [`DirBackend`], both keeping
+//!   a bounded history of checkpoint *generations* per key so recovery
+//!   can fall back past a torn or corrupt newest frame.
+//! * [`RetryPolicy`] — bounded exponential backoff with seeded jitter
+//!   around every backend call the store issues; transient faults
+//!   ([`em_core::EmError::is_transient`]) retry, hard faults surface.
+//! * [`FaultyBackend`] — the fault-injection harness: wraps any backend
+//!   and, driven by a seeded [`FaultPlan`], injects transient errors,
+//!   torn writes, crash-before-commit, silent bit corruption and
+//!   latency — the chaos bench and the fault-tolerance tests prove the
+//!   store rides all of it out bit-identically.
 //!
 //! Artifacts are shared, never copied: every session of a scenario
 //! holds an `Arc` into one [`DatasetArtifacts`](crate::engine)
@@ -28,8 +38,12 @@
 
 mod backend;
 mod codec;
+mod fault;
+mod retry;
 mod store;
 
 pub use backend::{DirBackend, MemoryBackend, SnapshotBackend};
 pub use codec::SnapshotCodec;
-pub use store::{SessionStatus, SessionStore};
+pub use fault::{Fault, FaultPlan, FaultStats, FaultyBackend};
+pub use retry::RetryPolicy;
+pub use store::{RecoveryReport, SessionStatus, SessionStore};

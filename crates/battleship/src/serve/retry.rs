@@ -1,0 +1,200 @@
+//! Bounded, deterministic retry for transient backend faults.
+//!
+//! Every backend operation the [`SessionStore`](super::SessionStore)
+//! issues goes through a [`RetryPolicy`]: an error classified
+//! [`EmError::is_transient`] is retried with exponential backoff and
+//! seeded jitter, every other error surfaces immediately. Three bounds
+//! keep a flaky backend from wedging the serve path:
+//!
+//! * **attempt cap** — at most [`RetryPolicy::max_attempts`] tries;
+//! * **per-delay cap** — no single backoff exceeds
+//!   [`RetryPolicy::max_delay_micros`];
+//! * **total budget** — the *sum* of all sleeps never exceeds
+//!   [`RetryPolicy::total_budget_micros`] (the schedule is truncated,
+//!   not clipped, when the budget runs out).
+//!
+//! Jitter is drawn from the workspace [`Rng`] seeded with
+//! [`RetryPolicy::jitter_seed`], so the complete backoff schedule is a
+//! pure function of the policy — the proptests in
+//! `tests/fault_tolerance.rs` pin determinism and the three bounds.
+
+use em_core::{EmError, Result, Rng};
+
+/// How (and how long) to retry a transient backend fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts, the first one included. `1` disables retry.
+    pub max_attempts: usize,
+    /// Backoff before the first retry, in microseconds; doubles per
+    /// retry until [`RetryPolicy::max_delay_micros`].
+    pub base_delay_micros: u64,
+    /// Upper bound on any single backoff, in microseconds.
+    pub max_delay_micros: u64,
+    /// Upper bound on the *sum* of all backoffs, in microseconds.
+    pub total_budget_micros: u64,
+    /// Seed for the multiplicative jitter (each delay is scaled into
+    /// `[½·d, d]`). Same seed ⇒ same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Up to 8 attempts, 250 µs first backoff, 20 ms per-delay cap,
+    /// 100 ms total budget — enough to ride out bursts of transient
+    /// faults without ever stalling a request noticeably.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay_micros: 250,
+            max_delay_micros: 20_000,
+            total_budget_micros: 100_000,
+            jitter_seed: 0x7E57,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every error surfaces immediately).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_micros: 0,
+            max_delay_micros: 0,
+            total_budget_micros: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The same policy under a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The deterministic backoff schedule, in microseconds: one entry
+    /// per possible retry (so at most `max_attempts − 1`), truncated
+    /// where the cumulative sum would exceed the total budget.
+    ///
+    /// `schedule()[i]` is slept between attempt `i+1` and attempt `i+2`.
+    pub fn schedule(&self) -> Vec<u64> {
+        let mut rng = Rng::seed_from_u64(self.jitter_seed);
+        let mut delays = Vec::new();
+        let mut spent: u64 = 0;
+        let mut base = self.base_delay_micros.min(self.max_delay_micros);
+        for _ in 1..self.max_attempts {
+            // Jitter scales into [½·base, base] — bounded above by the
+            // un-jittered exponential curve, so caps still hold.
+            let jittered = (base as f64 * (0.5 + 0.5 * rng.f64())).round() as u64;
+            if spent.saturating_add(jittered) > self.total_budget_micros {
+                break;
+            }
+            spent += jittered;
+            delays.push(jittered);
+            base = base.saturating_mul(2).min(self.max_delay_micros);
+        }
+        delays
+    }
+
+    /// Run `op`, retrying transient errors along [`RetryPolicy::schedule`].
+    ///
+    /// Non-transient errors surface immediately; a transient error that
+    /// survives the whole schedule is returned as-is (still transient,
+    /// so callers can distinguish "backend is down" from a hard fault).
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let schedule = self.schedule();
+        let mut last: Option<EmError> = None;
+        for (attempt, delay) in std::iter::once(&0u64).chain(schedule.iter()).enumerate() {
+            if attempt > 0 && *delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(*delay));
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            EmError::Transient("retry ran zero attempts (max_attempts = 0)".into())
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let a = p.schedule();
+        let b = p.schedule();
+        assert_eq!(a, b, "same policy produced different schedules");
+        assert!(a.len() < p.max_attempts);
+        assert!(a.iter().all(|&d| d <= p.max_delay_micros));
+        assert!(a.iter().sum::<u64>() <= p.total_budget_micros);
+        // A different seed perturbs the jitter.
+        let c = p.clone().with_seed(99).schedule();
+        assert_ne!(a, c, "jitter seed had no effect");
+    }
+
+    #[test]
+    fn transient_errors_are_retried_then_succeed() {
+        let p = RetryPolicy {
+            base_delay_micros: 1,
+            max_delay_micros: 10,
+            total_budget_micros: 100,
+            ..RetryPolicy::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let out = p.run(|| {
+            if calls.fetch_add(1, Ordering::SeqCst) < 3 {
+                Err(EmError::Transient("blip".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn permanent_errors_surface_immediately() {
+        let p = RetryPolicy::default();
+        let calls = AtomicUsize::new(0);
+        let out: Result<()> = p.run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(EmError::Storage("disk gone".into()))
+        });
+        assert!(matches!(out, Err(EmError::Storage(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "permanent error retried");
+    }
+
+    #[test]
+    fn exhausted_schedule_returns_last_transient() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay_micros: 1,
+            max_delay_micros: 2,
+            total_budget_micros: 10,
+            jitter_seed: 5,
+        };
+        let calls = AtomicUsize::new(0);
+        let out: Result<()> = p.run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(EmError::Transient("still down".into()))
+        });
+        assert!(matches!(out, Err(EmError::Transient(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 1 + p.schedule().len());
+    }
+
+    #[test]
+    fn none_policy_tries_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out: Result<()> = RetryPolicy::none().run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(EmError::Transient("blip".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

@@ -11,11 +11,11 @@
 //!   │   scenarios: name → Scenario │   └────────────┬──────────────┘
 //!   │   cache: ArtifactCache       │                ▼
 //!   └──────────────┬───────────────┘   ┌───────────────────────────┐
-//!                  │ Arc<DatasetArtifacts>  │  SnapshotBackend     │
-//!                  ▼ (one per scenario,     │  (memory | directory)│
-//!   ┌──────────────────────────────┐ shared └───────────────────────┘
-//!   │ MatchSession  MatchSession … │ by every session of the
-//!   └──────────────────────────────┘ scenario)
+//!                  │ Arc<DatasetArtifacts>  │  RetryPolicy         │
+//!                  ▼ (one per scenario,     │  → SnapshotBackend   │
+//!   ┌──────────────────────────────┐ shared │  (memory | directory)│
+//!   │ MatchSession  MatchSession … │ by every └─────────────────────┘
+//!   └──────────────────────────────┘ session of the scenario)
 //! ```
 //!
 //! Design decisions, in order of importance:
@@ -34,26 +34,36 @@
 //!   detached by `evict`/`delete` is marked under its own lock, and
 //!   any operation that finds the mark retries against the map instead
 //!   of mutating the orphan (see [`SessionStore::with_cell`]).
-//! * **Eviction is checkpoint-then-drop.** [`SessionStore::evict`]
-//!   *always* persists the session (half-labeled batch included) before
-//!   releasing its memory; any later operation on the id transparently
-//!   reloads it from the backend. Evicting is therefore a pure
-//!   memory/latency trade, never a correctness event — the regression
-//!   test drives evict→reload→finish against the uninterrupted run.
+//! * **No lock poisoning is fatal.** A panicking worker must cost at
+//!   most its own session, never the store. The map/registry locks are
+//!   recovered `into_inner`-style (their maps are consistent after any
+//!   single panicked call); a *session* mutex poisoned mid-step means
+//!   the session's in-memory state is suspect, so the store discards it
+//!   and rebuilds from the last checkpoint — or tombstones the id with
+//!   a structured error when no checkpoint exists.
+//! * **Backend faults are retried, then surfaced.** Every backend call
+//!   goes through the store's [`RetryPolicy`]: transient faults
+//!   ([`EmError::is_transient`]) are retried under bounded exponential
+//!   backoff with seeded jitter; hard faults surface immediately.
+//! * **Recovery trusts no single frame.** Reload and [`recover`]
+//!   (crash recovery) walk [`SnapshotBackend::history`] newest→oldest,
+//!   quarantining frames that fail to decode and restoring from the
+//!   newest decodable one — a torn or corrupt last checkpoint costs one
+//!   checkpoint interval, not the session.
+//! * **Memory is bounded.** With
+//!   [`SessionStore::with_max_resident`], admission past the cap
+//!   evicts the least-recently-touched session (checkpoint-then-drop,
+//!   so eviction is still never a correctness event).
 //! * **Stepping is fanned out.** [`SessionStore::step_ready_sessions`]
 //!   advances every session whose next `advance()` does real work
 //!   (training or the initial seed draw) across rayon workers. Each
 //!   session owns its rng and touches only its own state, so the fan-out
 //!   is deterministic per session and the combined outcome is
 //!   bit-identical to stepping serially.
-//! * **Crash recovery is a reload.** [`SessionStore::recover`] lists
-//!   the backend, decodes every snapshot, re-resolves artifacts through
-//!   the scenario registry and resumes each session exactly where its
-//!   last checkpoint left it — pinned bit-identical by the
-//!   crash-recovery golden test.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rayon::prelude::*;
 
@@ -66,6 +76,17 @@ use crate::session::{MatchSession, SessionConfig, SessionPhase};
 
 use super::backend::SnapshotBackend;
 use super::codec::SnapshotCodec;
+use super::retry::RetryPolicy;
+
+/// Lock with `into_inner` poison recovery, for the store-level maps.
+///
+/// Safe here because every critical section below mutates its map
+/// through single `BTreeMap` calls that either complete or leave the
+/// map untouched — a panic elsewhere while holding the lock cannot
+/// leave a torn value behind.
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A live session pinned to the artifacts it borrows.
 ///
@@ -90,6 +111,10 @@ struct SessionCell {
     /// on the next reload); [`SessionStore::with_cell`] retries against
     /// the map instead.
     detached: bool,
+    /// Logical timestamp of the last store operation that touched this
+    /// session (drawn from the store's monotone clock) — the LRU key
+    /// for admission-control eviction.
+    last_touch: u64,
 }
 
 // SAFETY: a `SessionCell` is always built through `SessionCell::open` /
@@ -129,6 +154,7 @@ impl SessionCell {
             artifacts,
             scenario,
             detached: false,
+            last_touch: 0,
         })
     }
 
@@ -144,6 +170,7 @@ impl SessionCell {
             artifacts,
             scenario,
             detached: false,
+            last_touch: 0,
         })
     }
 }
@@ -165,6 +192,30 @@ pub struct SessionStatus {
     pub iterations: usize,
 }
 
+/// What [`SessionStore::recover`] found in the backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions restored into memory, in key order.
+    pub recovered: Vec<String>,
+    /// Corrupt frames moved aside as `(session id, generation)` —
+    /// recovery fell back past each of these to an older checkpoint.
+    pub quarantined: Vec<(String, u64)>,
+    /// Sessions whose *every* persisted frame was corrupt: nothing to
+    /// restore from. Their frames are quarantined for post-mortem and
+    /// the ids report structured errors until recreated or deleted.
+    pub lost: Vec<String>,
+}
+
+/// Outcome of one backend reload attempt (internal).
+enum Reload {
+    /// The live (or just-installed) cell.
+    Loaded(Arc<Mutex<SessionCell>>),
+    /// The backend holds no frames for this key.
+    Missing,
+    /// Every persisted frame failed to decode (all quarantined).
+    AllCorrupt(usize),
+}
+
 /// A keyed store of live [`MatchSession`]s over shared artifacts.
 ///
 /// See the [module docs](self) for the data-flow picture. All methods
@@ -173,14 +224,23 @@ pub struct SessionStatus {
 pub struct SessionStore {
     backend: Box<dyn SnapshotBackend>,
     codec: SnapshotCodec,
+    retry: RetryPolicy,
+    max_resident: Option<usize>,
     cache: Arc<ArtifactCache>,
     scenarios: Mutex<BTreeMap<String, Scenario>>,
     sessions: Mutex<BTreeMap<String, Arc<Mutex<SessionCell>>>>,
+    /// Sessions tombstoned with a structured reason (poisoned with no
+    /// checkpoint, all frames corrupt): operations on these ids fail
+    /// fast with the reason instead of "unknown id".
+    lost: Mutex<BTreeMap<String, String>>,
+    /// Monotone logical clock stamping `SessionCell::last_touch`.
+    clock: AtomicU64,
 }
 
 impl SessionStore {
-    /// A store persisting through `backend` with the given codec and a
-    /// private artifact cache.
+    /// A store persisting through `backend` with the given codec, a
+    /// private artifact cache, the default [`RetryPolicy`] and no
+    /// resident cap.
     pub fn new(backend: Box<dyn SnapshotBackend>, codec: SnapshotCodec) -> Self {
         Self::with_cache(backend, codec, Arc::new(ArtifactCache::new()))
     }
@@ -196,10 +256,29 @@ impl SessionStore {
         SessionStore {
             backend,
             codec,
+            retry: RetryPolicy::default(),
+            max_resident: None,
             cache,
             scenarios: Mutex::new(BTreeMap::new()),
             sessions: Mutex::new(BTreeMap::new()),
+            lost: Mutex::new(BTreeMap::new()),
+            clock: AtomicU64::new(1),
         }
+    }
+
+    /// Replace the retry policy backend operations run under
+    /// (builder-style; [`RetryPolicy::none`] disables retry).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Cap resident sessions at `max` (clamped to at least 1):
+    /// admitting a session past the cap evicts the least-recently
+    /// touched one (checkpoint-then-drop, transparently reloadable).
+    pub fn with_max_resident(mut self, max: usize) -> Self {
+        self.max_resident = Some(max.max(1));
+        self
     }
 
     /// The codec snapshots are persisted under.
@@ -207,43 +286,69 @@ impl SessionStore {
         self.codec
     }
 
+    /// The retry policy backend operations run under.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    // ---- retry-wrapped backend operations -------------------------------
+
+    fn backend_put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.retry.run(|| self.backend.put(key, bytes))
+    }
+
+    fn backend_get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        self.retry.run(|| self.backend.get(key))
+    }
+
+    fn backend_remove(&self, key: &str) -> Result<()> {
+        self.retry.run(|| self.backend.remove(key))
+    }
+
+    fn backend_keys(&self) -> Result<Vec<String>> {
+        self.retry.run(|| self.backend.keys())
+    }
+
+    fn backend_history(&self, key: &str) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.retry.run(|| self.backend.history(key))
+    }
+
+    fn backend_quarantine(&self, key: &str, generation: u64) -> Result<()> {
+        self.retry.run(|| self.backend.quarantine(key, generation))
+    }
+
+    // ---------------------------------------------------------------------
+
     /// Register a scenario sessions can be created on (and recovered
     /// into). Re-registering the same name replaces the recipe; the
     /// artifact cache still dedupes by name.
     pub fn register_scenario(&self, scenario: Scenario) {
-        self.scenarios
-            .lock()
-            .expect("scenario registry poisoned")
-            .insert(scenario.name().to_string(), scenario);
+        locked(&self.scenarios).insert(scenario.name().to_string(), scenario);
     }
 
     /// Ids of the sessions currently live in memory (evicted sessions
     /// are not listed; they reload on first use).
     pub fn resident_ids(&self) -> Vec<String> {
-        self.sessions
-            .lock()
-            .expect("session map poisoned")
-            .keys()
-            .cloned()
-            .collect()
+        locked(&self.sessions).keys().cloned().collect()
     }
 
     /// Number of sessions live in memory.
     pub fn resident_len(&self) -> usize {
-        self.sessions.lock().expect("session map poisoned").len()
+        locked(&self.sessions).len()
+    }
+
+    /// Ids tombstoned with a structured loss reason (poisoned with no
+    /// checkpoint, every frame corrupt), in key order.
+    pub fn lost_ids(&self) -> Vec<String> {
+        locked(&self.lost).keys().cloned().collect()
     }
 
     fn scenario_named(&self, name: &str) -> Result<Scenario> {
-        self.scenarios
-            .lock()
-            .expect("scenario registry poisoned")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| {
-                EmError::InvalidConfig(format!(
-                    "scenario `{name}` is not registered with this store"
-                ))
-            })
+        locked(&self.scenarios).get(name).cloned().ok_or_else(|| {
+            EmError::InvalidConfig(format!(
+                "scenario `{name}` is not registered with this store"
+            ))
+        })
     }
 
     /// Open a new session under `id` on a registered scenario.
@@ -252,64 +357,184 @@ impl SessionStore {
     /// thousandth session of a scenario costs loop-state only. Errors
     /// if `id` already exists (in memory *or* in the backend: a crashed
     /// session must be recovered or deleted, not silently recreated).
+    /// Creating over a tombstoned (lost) id is allowed and clears the
+    /// tombstone — the old state is unrecoverable by definition.
     pub fn create(&self, id: &str, scenario_name: &str, config: SessionConfig) -> Result<()> {
         let scenario = self.scenario_named(scenario_name)?;
-        if self.backend.get(id)?.is_some() {
+        if self.backend_get(id)?.is_some() {
             return Err(EmError::InvalidConfig(format!(
                 "session `{id}` already has a persisted snapshot; recover or delete it first"
             )));
         }
         let artifacts = self.cache.get_or_materialize(&scenario)?;
-        let cell = SessionCell::open(artifacts, scenario_name.to_string(), config)?;
-        let mut sessions = self.sessions.lock().expect("session map poisoned");
-        if sessions.contains_key(id) {
-            return Err(EmError::InvalidConfig(format!(
-                "session `{id}` already exists"
-            )));
+        let mut cell = SessionCell::open(artifacts, scenario_name.to_string(), config)?;
+        cell.last_touch = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut sessions = locked(&self.sessions);
+            if sessions.contains_key(id) {
+                return Err(EmError::InvalidConfig(format!(
+                    "session `{id}` already exists"
+                )));
+            }
+            sessions.insert(id.to_string(), Arc::new(Mutex::new(cell)));
         }
-        sessions.insert(id.to_string(), Arc::new(Mutex::new(cell)));
+        locked(&self.lost).remove(id);
+        self.enforce_admission(id)?;
         Ok(())
     }
 
-    /// Fetch the live cell for `id`, transparently reloading an evicted
-    /// session from the backend.
-    fn cell(&self, id: &str) -> Result<Arc<Mutex<SessionCell>>> {
-        if let Some(cell) = self
-            .sessions
-            .lock()
-            .expect("session map poisoned")
-            .get(id)
-            .cloned()
-        {
-            return Ok(cell);
+    /// Evict least-recently-touched sessions until the resident count
+    /// is within `max_resident` again (`keep` is never the victim).
+    fn enforce_admission(&self, keep: &str) -> Result<()> {
+        let Some(cap) = self.max_resident else {
+            return Ok(());
+        };
+        loop {
+            let victim = {
+                let sessions = locked(&self.sessions);
+                if sessions.len() <= cap {
+                    return Ok(());
+                }
+                let mut lru: Option<(String, u64)> = None;
+                for (vid, cell) in sessions.iter() {
+                    if vid == keep {
+                        continue;
+                    }
+                    // A busy or poisoned cell is a bad eviction victim;
+                    // skip it — some other session will be idle.
+                    let Ok(guard) = cell.try_lock() else { continue };
+                    if guard.detached {
+                        continue;
+                    }
+                    if lru
+                        .as_ref()
+                        .map(|(_, t)| guard.last_touch < *t)
+                        .unwrap_or(true)
+                    {
+                        lru = Some((vid.clone(), guard.last_touch));
+                    }
+                }
+                lru
+            };
+            match victim {
+                Some((vid, _)) => self.evict(&vid)?,
+                // Everything else is mid-operation: over the cap is the
+                // lesser evil versus blocking admission on a lock.
+                None => return Ok(()),
+            }
         }
-        // Cache miss: reload from the backend (the evict path's mirror).
+    }
+
+    /// Reload `id` from the backend, walking the frame history newest →
+    /// oldest and quarantining frames that fail to decode. Corrupt
+    /// generations discovered on the way are appended to `quarantined`.
+    fn reload(&self, id: &str, quarantined: &mut Vec<(String, u64)>) -> Result<Reload> {
         // Decode and restore outside every lock — this is the expensive
         // part — then re-validate under the map lock before inserting.
-        let bytes = self.backend.get(id)?.ok_or_else(|| {
-            EmError::InvalidConfig(format!("no session `{id}` (in memory or persisted)"))
-        })?;
-        let snapshot = self.codec.decode(&bytes)?;
+        let frames = self.backend_history(id)?;
+        if frames.is_empty() {
+            return Ok(Reload::Missing);
+        }
+        let total = frames.len();
+        let mut snapshot = None;
+        for (generation, bytes) in frames {
+            match self.codec.decode(&bytes) {
+                Ok(snap) => {
+                    snapshot = Some(snap);
+                    break;
+                }
+                Err(EmError::Codec(_)) => {
+                    // Torn or corrupt frame: move it aside and fall back
+                    // to the previous checkpoint.
+                    self.backend_quarantine(id, generation)?;
+                    quarantined.push((id.to_string(), generation));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        let Some(snapshot) = snapshot else {
+            locked(&self.lost).insert(
+                id.to_string(),
+                format!("all {total} persisted frames were corrupt (quarantined)"),
+            );
+            return Ok(Reload::AllCorrupt(total));
+        };
         let scenario = self.scenario_named(&snapshot.dataset)?;
         let artifacts = self.cache.get_or_materialize(&scenario)?;
-        let cell = SessionCell::restore(artifacts, snapshot.dataset.clone(), &snapshot)?;
-        let mut sessions = self.sessions.lock().expect("session map poisoned");
-        // A concurrent reload may have won; keep the first one.
-        if let Some(existing) = sessions.get(id) {
-            return Ok(existing.clone());
+        let mut cell = SessionCell::restore(artifacts, snapshot.dataset.clone(), &snapshot)?;
+        cell.last_touch = self.clock.fetch_add(1, Ordering::Relaxed);
+        let installed = {
+            let mut sessions = locked(&self.sessions);
+            // A concurrent reload may have won; keep the first one.
+            if let Some(existing) = sessions.get(id) {
+                return Ok(Reload::Loaded(existing.clone()));
+            }
+            // A concurrent `delete` may have removed the persisted
+            // snapshot after this reload read it; inserting anyway would
+            // resurrect the deleted session. `delete` removes from the
+            // backend while holding the map lock, so this re-check is
+            // race-free.
+            if self.retry.run(|| self.backend.get(id))?.is_none() {
+                return Ok(Reload::Missing);
+            }
+            let cell = Arc::new(Mutex::new(cell));
+            sessions.insert(id.to_string(), cell.clone());
+            cell
+        };
+        locked(&self.lost).remove(id);
+        self.enforce_admission(id)?;
+        Ok(Reload::Loaded(installed))
+    }
+
+    /// Fetch the live cell for `id`, transparently reloading an evicted
+    /// session from the backend (falling back past corrupt frames).
+    fn cell(&self, id: &str) -> Result<Arc<Mutex<SessionCell>>> {
+        if let Some(cell) = locked(&self.sessions).get(id).cloned() {
+            return Ok(cell);
         }
-        // A concurrent `delete` may have removed the persisted snapshot
-        // after this reload read it; inserting anyway would resurrect
-        // the deleted session. `delete` removes from the backend while
-        // holding the map lock, so this re-check is race-free.
-        if self.backend.get(id)?.is_none() {
-            return Err(EmError::InvalidConfig(format!(
-                "no session `{id}` (deleted during reload)"
-            )));
+        let mut quarantined = Vec::new();
+        match self.reload(id, &mut quarantined)? {
+            Reload::Loaded(cell) => Ok(cell),
+            Reload::Missing => Err(EmError::InvalidConfig(format!(
+                "no session `{id}` (in memory or persisted)"
+            ))),
+            Reload::AllCorrupt(total) => Err(EmError::Storage(format!(
+                "session `{id}` lost: all {total} persisted frames were corrupt (quarantined)"
+            ))),
         }
-        let cell = Arc::new(Mutex::new(cell));
-        sessions.insert(id.to_string(), cell.clone());
-        Ok(cell)
+    }
+
+    /// Discard a cell whose mutex was poisoned by a panicking operation:
+    /// tombstone the orphan, unlink it from the map, and verify a
+    /// checkpoint exists to rebuild from. Errors (and records the loss)
+    /// when there is none.
+    fn heal_poisoned(
+        &self,
+        id: &str,
+        cell: &Arc<Mutex<SessionCell>>,
+        poisoned: PoisonError<MutexGuard<'_, SessionCell>>,
+    ) -> Result<()> {
+        // The in-memory state may be mid-mutation; never serve it again.
+        let mut guard = poisoned.into_inner();
+        guard.detached = true;
+        drop(guard);
+        {
+            let mut sessions = locked(&self.sessions);
+            if let Some(entry) = sessions.get(id) {
+                if Arc::ptr_eq(entry, cell) {
+                    sessions.remove(id);
+                }
+            }
+        }
+        if self.backend_history(id)?.is_empty() {
+            let reason = "session mutex poisoned by a panicking operation and no checkpoint exists"
+                .to_string();
+            locked(&self.lost).insert(id.to_string(), reason.clone());
+            return Err(EmError::Storage(format!("session `{id}` lost: {reason}")));
+        }
+        // A checkpoint exists: the caller's retry loop will rebuild from
+        // it through the ordinary reload path.
+        Ok(())
     }
 
     /// Run `f` on session `id`'s locked cell.
@@ -320,17 +545,34 @@ impl SessionStore {
     /// orphan would silently lose the mutation on the next reload, so
     /// detached cells are never touched — the loop retries against the
     /// map, which either serves the live replacement (reloaded from the
-    /// checkpoint the evict wrote) or reports the id gone.
+    /// checkpoint the evict wrote) or reports the id gone. A *poisoned*
+    /// cell is healed the same way: discarded and rebuilt from its last
+    /// checkpoint (or tombstoned with a structured error if none
+    /// exists).
     fn with_cell<R>(&self, id: &str, f: impl FnOnce(&mut SessionCell) -> Result<R>) -> Result<R> {
+        let mut f = Some(f);
         loop {
-            let cell = self.cell(id)?;
-            let mut guard = cell.lock().expect("session poisoned");
-            if guard.detached {
-                drop(guard);
-                std::thread::yield_now();
-                continue;
+            if let Some(reason) = locked(&self.lost).get(id) {
+                return Err(EmError::Storage(format!("session `{id}` lost: {reason}")));
             }
-            return f(&mut guard);
+            let cell = self.cell(id)?;
+            let lock_outcome = cell.lock();
+            match lock_outcome {
+                Ok(mut guard) => {
+                    if guard.detached {
+                        drop(guard);
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    guard.last_touch = self.clock.fetch_add(1, Ordering::Relaxed);
+                    let f = f.take().expect("with_cell closure consumed twice");
+                    return f(&mut guard);
+                }
+                Err(poisoned) => {
+                    self.heal_poisoned(id, &cell, poisoned)?;
+                    continue;
+                }
+            }
         }
     }
 
@@ -385,15 +627,17 @@ impl SessionStore {
     fn checkpoint_cell(&self, id: &str, cell: &SessionCell) -> Result<usize> {
         let snapshot = cell.session.snapshot()?;
         let bytes = self.codec.encode(&snapshot)?;
-        self.backend.put(id, &bytes)?;
+        self.backend_put(id, &bytes)?;
         Ok(bytes.len())
     }
 
     /// Checkpoint every resident session; returns `(id, bytes)` pairs
-    /// in id order.
+    /// in id order. Sessions whose mutex was poisoned are healed
+    /// (rebuilt from their last checkpoint — which is therefore already
+    /// persisted) and skipped.
     pub fn checkpoint_all(&self) -> Result<Vec<(String, usize)>> {
         let resident: Vec<(String, Arc<Mutex<SessionCell>>)> = {
-            let sessions = self.sessions.lock().expect("session map poisoned");
+            let sessions = locked(&self.sessions);
             sessions
                 .iter()
                 .map(|(id, c)| (id.clone(), c.clone()))
@@ -401,12 +645,23 @@ impl SessionStore {
         };
         let mut out = Vec::with_capacity(resident.len());
         for (id, cell) in resident {
-            let cell = cell.lock().expect("session poisoned");
-            if cell.detached {
-                // Evicted concurrently — the evict already persisted it.
-                continue;
+            match cell.lock() {
+                Ok(cell) => {
+                    if cell.detached {
+                        // Evicted concurrently — the evict already
+                        // persisted it.
+                        continue;
+                    }
+                    out.push((id.clone(), self.checkpoint_cell(&id, &cell)?));
+                }
+                Err(poisoned) => {
+                    // Heal; its last checkpoint already is the freshest
+                    // trustworthy state, so there is nothing to persist.
+                    // A tombstoned loss is deliberate, not an error of
+                    // checkpoint_all.
+                    let _ = self.heal_poisoned(&id, &cell, poisoned);
+                }
             }
-            out.push((id.clone(), self.checkpoint_cell(&id, &cell)?));
         }
         Ok(out)
     }
@@ -432,55 +687,71 @@ impl SessionStore {
             cell.detached = true;
             Ok(())
         })?;
-        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        let mut sessions = locked(&self.sessions);
         // Only remove the tombstoned cell; a concurrent reload may
         // already have installed a fresh (live) replacement.
         if let Some(entry) = sessions.get(id) {
-            if entry.lock().expect("session poisoned").detached {
+            let is_detached = match entry.lock() {
+                Ok(guard) => guard.detached,
+                // Poisoned: its state is suspect either way; unlink it
+                // (its checkpoint from above is the source of truth).
+                Err(poisoned) => {
+                    let mut guard = poisoned.into_inner();
+                    guard.detached = true;
+                    true
+                }
+            };
+            if is_detached {
                 sessions.remove(id);
             }
         }
         Ok(())
     }
 
-    /// Permanently remove session `id` from memory and the backend.
+    /// Permanently remove session `id` from memory and the backend
+    /// (clears a loss tombstone too).
     pub fn delete(&self, id: &str) -> Result<()> {
         // Tombstone any resident cell (so racing operations holding its
         // Arc fail over to the map instead of mutating an orphan) and
         // remove the persisted snapshot while still holding the map
         // lock — `cell`'s reload path re-checks the backend under this
         // lock, so a reload in flight cannot resurrect the session.
-        let mut sessions = self.sessions.lock().expect("session map poisoned");
+        let mut sessions = locked(&self.sessions);
         if let Some(entry) = sessions.remove(id) {
-            entry.lock().expect("session poisoned").detached = true;
+            entry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .detached = true;
         }
-        self.backend.remove(id)
+        locked(&self.lost).remove(id);
+        self.backend_remove(id)
     }
 
     /// Reload every persisted session from the backend — the crash
-    /// recovery path. Returns the recovered ids in order.
+    /// recovery path.
     ///
-    /// Each snapshot is decoded, its scenario re-resolved through the
-    /// registry (artifacts come from the shared cache, materialized at
-    /// most once per scenario) and the session resumed exactly where
-    /// its last checkpoint left it. Sessions already resident are left
-    /// untouched — their in-memory state is newer than or equal to the
-    /// persisted one.
-    pub fn recover(&self) -> Result<Vec<String>> {
-        let mut recovered = Vec::new();
-        for id in self.backend.keys()? {
-            let already_resident = self
-                .sessions
-                .lock()
-                .expect("session map poisoned")
-                .contains_key(&id);
+    /// Each session's frame history is walked newest→oldest: frames
+    /// that fail to decode are quarantined and recovery falls back to
+    /// the previous checkpoint, so one torn or corrupt frame never
+    /// fails the store. A session with *no* decodable frame is recorded
+    /// in [`RecoveryReport::lost`] (and tombstoned with a structured
+    /// error) instead of aborting recovery of the others. Sessions
+    /// already resident are left untouched — their in-memory state is
+    /// newer than or equal to the persisted one.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        for id in self.backend_keys()? {
+            let already_resident = locked(&self.sessions).contains_key(&id);
             if already_resident {
                 continue;
             }
-            self.cell(&id)?;
-            recovered.push(id);
+            match self.reload(&id, &mut report.quarantined)? {
+                Reload::Loaded(_) => report.recovered.push(id),
+                Reload::Missing => {} // deleted concurrently
+                Reload::AllCorrupt(_) => report.lost.push(id),
+            }
         }
-        Ok(recovered)
+        Ok(report)
     }
 
     /// Advance every session whose current phase has work to do
@@ -491,7 +762,9 @@ impl SessionStore {
     /// rng, pool, matcher), so the fan-out is deterministic per session
     /// and bit-identical to stepping the same sessions serially — the
     /// serve bench's golden check pins this. Returns `(id, new phase)`
-    /// in id order for the sessions that were stepped.
+    /// in id order for the sessions that were stepped. A session that
+    /// panics mid-step poisons only its own lock; the next operation on
+    /// it heals it from its last checkpoint.
     pub fn step_ready_sessions(&self) -> Result<Vec<(String, SessionPhase)>> {
         // The map lock is held only to clone the resident (id, Arc)
         // list — never across a cell lock, so a session mid-training
@@ -499,7 +772,7 @@ impl SessionStore {
         // checked inside each worker under that session's own lock
         // (the only place the check can be race-free anyway).
         let resident: Vec<(String, Arc<Mutex<SessionCell>>)> = {
-            let sessions = self.sessions.lock().expect("session map poisoned");
+            let sessions = locked(&self.sessions);
             sessions
                 .iter()
                 .map(|(id, cell)| (id.clone(), cell.clone()))
@@ -508,7 +781,12 @@ impl SessionStore {
         let outcomes: Vec<Result<Option<(String, SessionPhase)>>> = resident
             .par_iter()
             .map(|(id, cell)| {
-                let mut cell = cell.lock().expect("session poisoned");
+                let mut cell = match cell.lock() {
+                    Ok(cell) => cell,
+                    // A previous step panicked on this session: skip it
+                    // this round; the serial pass below heals it.
+                    Err(_) => return Ok(None),
+                };
                 if cell.detached
                     || !matches!(
                         cell.session.phase(),
@@ -521,6 +799,14 @@ impl SessionStore {
                 Ok(Some((id.clone(), phase)))
             })
             .collect();
+        // Heal any poisoned sessions found during the fan-out (serially,
+        // so healing cannot race itself). Tombstoned losses are
+        // deliberate and must not fail the step round.
+        for (id, cell) in &resident {
+            if let Err(poisoned) = cell.lock() {
+                let _ = self.heal_poisoned(id, cell, poisoned);
+            }
+        }
         let mut stepped = Vec::new();
         for outcome in outcomes {
             if let Some(entry) = outcome? {
@@ -536,6 +822,7 @@ impl std::fmt::Debug for SessionStore {
         f.debug_struct("SessionStore")
             .field("codec", &self.codec)
             .field("resident", &self.resident_len())
+            .field("max_resident", &self.max_resident)
             .finish_non_exhaustive()
     }
 }
@@ -543,6 +830,7 @@ impl std::fmt::Debug for SessionStore {
 #[cfg(test)]
 mod tests {
     use super::super::backend::MemoryBackend;
+    use super::super::fault::{Fault, FaultPlan, FaultyBackend};
     use super::*;
     use crate::config::ExperimentConfig;
     use crate::strategies::StrategySpec;
@@ -653,5 +941,203 @@ mod tests {
         assert!(store.advance("nope").is_err());
         assert!(store.checkpoint("nope").is_err());
         assert!(store.evict("nope").is_err());
+    }
+
+    #[test]
+    fn poisoned_session_is_rebuilt_from_its_checkpoint() {
+        let (store, scenario) = store_with_scenario();
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 9))
+            .unwrap();
+        store.advance("s").unwrap(); // seed batch out
+        let before = store.get("s").unwrap();
+        store.checkpoint("s").unwrap();
+
+        // A worker panics while holding the session lock.
+        let cell = store.cell("s").unwrap();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cell.lock().unwrap();
+            panic!("worker dies mid-step");
+        }));
+        assert!(panicked.is_err());
+        assert!(cell.lock().is_err(), "cell lock not actually poisoned");
+
+        // The next operation transparently heals from the checkpoint…
+        let after = store.get("s").unwrap();
+        assert_eq!(after, before, "healed session diverged from checkpoint");
+        assert!(store.lost_ids().is_empty());
+        // …and the session still finishes normally.
+        drive(&store, "s");
+        assert_eq!(store.get("s").unwrap().phase, SessionPhase::Done);
+    }
+
+    #[test]
+    fn poisoned_session_without_checkpoint_is_tombstoned() {
+        let (store, scenario) = store_with_scenario();
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 9))
+            .unwrap();
+        // No checkpoint ever written; poison the cell.
+        let cell = store.cell("s").unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cell.lock().unwrap();
+            panic!("worker dies before any checkpoint");
+        }));
+
+        // Structured loss, not a panic and not "unknown id".
+        let err = store.get("s").unwrap_err();
+        assert!(
+            matches!(&err, EmError::Storage(msg) if msg.contains("lost")),
+            "unexpected error {err}"
+        );
+        assert_eq!(store.lost_ids(), vec!["s"]);
+        // Every subsequent op fails the same structured way…
+        assert!(store.advance("s").is_err());
+        // …the rest of the store still works…
+        store
+            .create(
+                "other",
+                scenario.name(),
+                quick_config(StrategySpec::Random, 10),
+            )
+            .unwrap();
+        drive(&store, "other");
+        // …and creating over the tombstone clears it.
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 11))
+            .unwrap();
+        assert!(store.lost_ids().is_empty());
+        drive(&store, "s");
+    }
+
+    #[test]
+    fn max_resident_evicts_least_recently_touched() {
+        let scenario = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let store = SessionStore::new(Box::new(MemoryBackend::new()), SnapshotCodec::Binary)
+            .with_max_resident(2);
+        store.register_scenario(scenario.clone());
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            store
+                .create(
+                    id,
+                    scenario.name(),
+                    quick_config(StrategySpec::Random, i as u64),
+                )
+                .unwrap();
+        }
+        // `a` was touched least recently → evicted by `c`'s admission.
+        assert_eq!(store.resident_ids(), vec!["b", "c"]);
+        // It is still transparently reachable (reloads, evicting `b`).
+        assert_eq!(store.get("a").unwrap().phase, SessionPhase::SeedDraw);
+        assert_eq!(store.resident_len(), 2);
+        assert!(store.resident_ids().contains(&"a".to_string()));
+        // Touch order, not insert order, decides the victim.
+        store.get("c").unwrap();
+        store
+            .create("d", scenario.name(), quick_config(StrategySpec::Random, 9))
+            .unwrap();
+        assert_eq!(store.resident_ids(), vec!["c", "d"]);
+        // Nothing was lost: every session still drives to Done.
+        for id in ["a", "b", "c", "d"] {
+            drive(&store, id);
+        }
+    }
+
+    #[test]
+    fn transient_backend_faults_are_retried_through() {
+        let scenario = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let backend = Arc::new(FaultyBackend::new(
+            MemoryBackend::new(),
+            FaultPlan::transient(0xFA11, 0.3),
+        ));
+        let store = SessionStore::new(Box::new(backend.clone()), SnapshotCodec::Binary)
+            .with_retry_policy(RetryPolicy {
+                base_delay_micros: 10,
+                max_delay_micros: 100,
+                total_budget_micros: 10_000,
+                ..RetryPolicy::default()
+            });
+        store.register_scenario(scenario.clone());
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 3))
+            .unwrap();
+        store.advance("s").unwrap();
+        for _ in 0..10 {
+            store.checkpoint("s").unwrap();
+        }
+        store.evict("s").unwrap();
+        drive(&store, "s");
+        assert!(
+            backend.stats().transient > 0,
+            "the fault plan injected nothing — test is vacuous"
+        );
+    }
+
+    #[test]
+    fn corrupt_newest_frame_falls_back_to_previous_generation() {
+        let scenario = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let backend = Arc::new(FaultyBackend::new(MemoryBackend::new(), FaultPlan::none(1)));
+        let store = SessionStore::new(Box::new(backend.clone()), SnapshotCodec::Binary);
+        store.register_scenario(scenario.clone());
+        store
+            .create("s", scenario.name(), quick_config(StrategySpec::Random, 3))
+            .unwrap();
+        store.advance("s").unwrap();
+        store.checkpoint("s").unwrap(); // generation 1: good
+        let at_gen1 = store.get("s").unwrap();
+
+        // Mutate past generation 1, then persist the newer state through
+        // a frame that is silently corrupted on its way to the backend.
+        let batch = store.next_query_batch("s").unwrap();
+        let artifacts = store.artifacts("s").unwrap();
+        let answers: Vec<(PairIdx, Label)> = batch
+            .iter()
+            .map(|&p| (p, artifacts.dataset.ground_truth(p)))
+            .collect();
+        store.submit_labels("s", &answers).unwrap();
+        backend.force_on_put(Fault::Corrupt);
+        store.checkpoint("s").unwrap(); // generation 2: corrupt at rest
+
+        // A fresh store over the same backend (a restart) must
+        // quarantine the corrupt newest frame and restore generation 1.
+        let fresh = SessionStore::new(Box::new(backend.clone()), SnapshotCodec::Binary);
+        fresh.register_scenario(scenario.clone());
+        let report = fresh.recover().unwrap();
+        assert_eq!(report.recovered, vec!["s"]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.lost.is_empty());
+        let after = fresh.get("s").unwrap();
+        assert_eq!(after, at_gen1, "fallback restored the wrong generation");
+        drive(&fresh, "s");
+    }
+
+    #[test]
+    fn all_frames_corrupt_is_a_structured_loss_not_a_store_failure() {
+        let scenario = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 5);
+        let backend = Arc::new(MemoryBackend::new());
+        let store = SessionStore::new(Box::new(backend.clone()), SnapshotCodec::Binary);
+        store.register_scenario(scenario.clone());
+        // One healthy session, one whose every frame is garbage.
+        store
+            .create("ok", scenario.name(), quick_config(StrategySpec::Random, 1))
+            .unwrap();
+        store.checkpoint("ok").unwrap();
+        backend.put("junk", b"not a snapshot at all").unwrap();
+        backend.put("junk", b"still not a snapshot").unwrap();
+
+        // recover(): the healthy session comes back, the junk key is a
+        // structured loss, recovery itself succeeds.
+        let fresh = SessionStore::new(Box::new(backend.clone()), SnapshotCodec::Binary);
+        fresh.register_scenario(scenario.clone());
+        let report = fresh.recover().unwrap();
+        assert_eq!(report.recovered, vec!["ok"]);
+        assert_eq!(report.lost, vec!["junk"]);
+        assert_eq!(report.quarantined.len(), 2);
+        let err = fresh.get("junk").unwrap_err();
+        assert!(
+            matches!(&err, EmError::Storage(msg) if msg.contains("lost")),
+            "unexpected error {err}"
+        );
+        drive(&fresh, "ok");
     }
 }

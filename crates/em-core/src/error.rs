@@ -42,6 +42,11 @@ pub enum EmError {
     /// A storage backend operation failed (I/O on a snapshot directory,
     /// missing key, ...).
     Storage(String),
+    /// A fault that a bounded retry is expected to clear: an interrupted
+    /// syscall, a timeout, an injected fault from a chaos harness.
+    /// Permanent failures use [`EmError::Storage`] instead; the split is
+    /// what retry policies dispatch on (see [`EmError::is_transient`]).
+    Transient(String),
 }
 
 impl fmt::Display for EmError {
@@ -66,6 +71,32 @@ impl fmt::Display for EmError {
             EmError::InconsistentDataset(msg) => write!(f, "inconsistent dataset: {msg}"),
             EmError::Codec(msg) => write!(f, "snapshot codec: {msg}"),
             EmError::Storage(msg) => write!(f, "snapshot storage: {msg}"),
+            EmError::Transient(msg) => write!(f, "transient fault: {msg}"),
+        }
+    }
+}
+
+impl EmError {
+    /// Whether a bounded retry is expected to clear this error.
+    ///
+    /// Retry loops (e.g. the serve layer's `RetryPolicy`) re-attempt an
+    /// operation only while this returns `true`; every other error is
+    /// surfaced immediately — retrying a checksum mismatch or a bad
+    /// configuration would only hide the bug.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EmError::Transient(_))
+    }
+
+    /// Classify an I/O error from a storage backend: interruptions and
+    /// timeouts become [`EmError::Transient`] (a retry is expected to
+    /// clear them), everything else [`EmError::Storage`].
+    pub fn storage_io(context: impl std::fmt::Display, err: &std::io::Error) -> EmError {
+        use std::io::ErrorKind;
+        match err.kind() {
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                EmError::Transient(format!("{context}: {err}"))
+            }
+            _ => EmError::Storage(format!("{context}: {err}")),
         }
     }
 }
@@ -102,6 +133,22 @@ mod tests {
             EmError::EmptyInput("pairs".into()),
             EmError::EmptyInput("records".into())
         );
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(EmError::Transient("blip".into()).is_transient());
+        for e in [
+            EmError::Storage("disk gone".into()),
+            EmError::Codec("bad checksum".into()),
+            EmError::InvalidConfig("nope".into()),
+        ] {
+            assert!(!e.is_transient(), "{e} misclassified as transient");
+        }
+        let interrupted = std::io::Error::from(std::io::ErrorKind::Interrupted);
+        assert!(EmError::storage_io("write x", &interrupted).is_transient());
+        let denied = std::io::Error::from(std::io::ErrorKind::PermissionDenied);
+        assert!(!EmError::storage_io("write x", &denied).is_transient());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! `cargo run --release --example interactive_labeling < /dev/null`
 //! completes unattended.
 //!
-//! Between batches the session is checkpointed to JSON and restored —
-//! the persistence cycle a labeling server would run — to show that
-//! resuming changes nothing.
+//! Between batches the session is checkpointed and restored — the
+//! persistence cycle a labeling server would run — to show that
+//! resuming changes nothing. The checkpoint travels through a
+//! [`FaultyBackend`] that injects transient faults on a fifth of the
+//! operations, retried under the serve layer's [`RetryPolicy`]: the
+//! same fault-tolerance stack a production store runs, visible in one
+//! process.
 //!
 //! ```sh
 //! cargo run --release --example interactive_labeling
@@ -20,8 +24,8 @@ use std::io::BufRead;
 
 use battleship_em::al::ExperimentConfig;
 use battleship_em::api::{
-    Label, MatchSession, PairIdx, Scenario, SessionConfig, SessionPhase, SessionSnapshot,
-    SnapshotCodec, StrategySpec,
+    FaultPlan, FaultyBackend, Label, MatchSession, MemoryBackend, PairIdx, RetryPolicy, Scenario,
+    SessionConfig, SessionPhase, SessionSnapshot, SnapshotBackend, SnapshotCodec, StrategySpec,
 };
 use battleship_em::core::serialize_pair;
 use battleship_em::synth::DatasetProfile;
@@ -62,6 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stdin = std::io::stdin().lock();
     let mut auto = false;
     let mut batch_no = 0usize;
+
+    // Checkpoints persist through a backend that fails transiently on
+    // 20 % of operations; the retry policy rides the faults out.
+    let backend = FaultyBackend::new(MemoryBackend::new(), FaultPlan::transient(0xFA11, 0.2));
+    let retry = RetryPolicy::default();
 
     println!(
         "interactive entity matching on `{}` ({} candidate pairs)\n",
@@ -107,7 +116,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 session.submit_labels(&answers)?;
 
-                // Checkpoint between batches: serialize, drop, restore.
+                // Checkpoint between batches: serialize, write through
+                // the fault-injecting backend, drop, read back, restore.
                 // A labeling service would do exactly this around every
                 // human round-trip — through the compact binary codec,
                 // which beats the JSON rendering severalfold once a
@@ -115,12 +125,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let snapshot = session.snapshot()?;
                 let json_len = snapshot.encoded_len(SnapshotCodec::Json)?;
                 let bytes = SnapshotCodec::Binary.encode(&snapshot)?;
+                retry.run(|| backend.put("interactive", &bytes))?;
                 drop(session);
-                let restored: SessionSnapshot = SnapshotCodec::Binary.decode(&bytes)?;
+                let stored = retry
+                    .run(|| backend.get("interactive"))?
+                    .expect("checkpoint vanished from the backend");
+                let restored: SessionSnapshot = SnapshotCodec::Binary.decode(&stored)?;
                 session = MatchSession::restore(dataset, &art.features, &restored)?;
                 println!(
                     "(checkpointed {} bytes binary vs {} bytes JSON — {:.1}× smaller — \
-                     and resumed; training on {} labels …)\n",
+                     through the faulty backend and resumed; training on {} labels …)\n",
                     bytes.len(),
                     json_len,
                     json_len as f64 / bytes.len() as f64,
@@ -132,8 +146,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    let stats = backend.stats();
     let report = session.into_report();
-    println!("run complete:");
+    println!(
+        "run complete ({} transient backend faults ridden out over {} ops):",
+        stats.transient, stats.ops
+    );
     for it in &report.iterations {
         println!(
             "  iteration {}: {:>3} labels → test F1 {:>5.1}%",

@@ -193,8 +193,10 @@ fn store_crash_recovery_reproduces_every_report() {
         SnapshotCodec::Binary,
     );
     store.register_scenario(scenario());
-    let recovered = store.recover().unwrap();
-    assert_eq!(recovered.len(), plan.len());
+    let recovery = store.recover().unwrap();
+    assert_eq!(recovery.recovered.len(), plan.len());
+    assert!(recovery.quarantined.is_empty());
+    assert!(recovery.lost.is_empty());
     for (id, spec, seed) in &plan {
         assert_eq!(
             store.get(id).unwrap().phase,
