@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use em_core::{EmError, Result};
 use em_matcher::MatcherConfig;
+use em_vector::AnnPolicy;
 
 /// Which centrality measure ranks nodes within a connected component.
 ///
@@ -125,6 +126,14 @@ impl BattleshipParams {
             ));
         }
         Ok(())
+    }
+
+    /// The [`AnnPolicy`] this parameter set induces: the serialized
+    /// `ann_cluster_threshold` sets the crossover, everything else takes
+    /// the policy defaults, and `EM_ANN_*` env vars override both (the
+    /// operator knob for forcing exact or ANN without editing configs).
+    pub fn ann_policy(&self) -> AnnPolicy {
+        AnnPolicy::with_threshold(self.ann_cluster_threshold).env_overridden()
     }
 }
 

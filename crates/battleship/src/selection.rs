@@ -194,7 +194,7 @@ mod tests {
                 cluster_min_frac: 0.05,
                 cluster_max_frac: 0.5,
                 kselect_sample: 64,
-                ann_threshold: 4096,
+                ann: em_vector::AnnPolicy::with_threshold(4096),
                 seed,
             },
         )

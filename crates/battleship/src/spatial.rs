@@ -18,7 +18,7 @@ use em_graph::{
     build_graph, build_graph_blocked, connected_components, BlockedConfig, DotSim, EdgeConfig,
     NodeKind, PairGraph,
 };
-use em_vector::Embeddings;
+use em_vector::{AnnPolicy, Embeddings};
 
 /// Parameters of the spatial pipeline (a projection of
 /// [`crate::BattleshipParams`]).
@@ -34,9 +34,11 @@ pub struct SpatialParams {
     pub cluster_max_frac: f64,
     /// Sample cap for the k-selection sweep.
     pub kselect_sample: usize,
-    /// Clusters larger than this route edge creation through the HNSW
-    /// ANN index (see [`em_graph::build_graph_blocked`]).
-    pub ann_threshold: usize,
+    /// Exact ↔ ANN routing for every stage with an HNSW variant: edge
+    /// creation ([`em_graph::build_graph_blocked`]), the k-selection
+    /// silhouette fallback and the constrained assignment step all
+    /// consult this one policy.
+    pub ann: AnnPolicy,
     /// Seed for clustering and sweep sampling.
     pub seed: u64,
 }
@@ -49,7 +51,7 @@ impl From<(&crate::config::BattleshipParams, u64)> for SpatialParams {
             cluster_min_frac: p.cluster_min_frac,
             cluster_max_frac: p.cluster_max_frac,
             kselect_sample: p.kselect_sample,
-            ann_threshold: p.ann_cluster_threshold,
+            ann: p.ann_policy(),
             seed,
         }
     }
@@ -141,14 +143,14 @@ impl SpatialIndex {
             kinds,
             confidences,
             &members,
-            &BlockedConfig {
-                edge: EdgeConfig {
+            &BlockedConfig::from_policy(
+                EdgeConfig {
                     q: params.q,
                     extra_ratio: params.extra_ratio,
                 },
-                ann_threshold: params.ann_threshold,
-                ann_seed: params.seed ^ 0xA22_0E55,
-            },
+                &params.ann,
+                params.seed ^ 0xA22_0E55,
+            ),
         )?;
         let components = connected_components(&graph);
 
@@ -260,6 +262,7 @@ impl SpatialIndex {
             kmeans_iters: 6,
             silhouette_sample: 256,
             seed: params.seed,
+            ann: params.ann,
             ..Default::default()
         }
     }
@@ -280,6 +283,7 @@ impl SpatialIndex {
         if config.max_size * k < n {
             config.max_size = n.div_ceil(k);
         }
+        config.ann = params.ann;
         Ok(config)
     }
 
@@ -313,7 +317,7 @@ mod tests {
             cluster_min_frac: 0.05,
             cluster_max_frac: 0.15,
             kselect_sample: 400,
-            ann_threshold: 4096,
+            ann: AnnPolicy::with_threshold(4096),
             seed,
         }
     }

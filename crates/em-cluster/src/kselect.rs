@@ -8,11 +8,11 @@
 use rayon::prelude::*;
 
 use em_core::{EmError, Result};
-use em_vector::Embeddings;
+use em_vector::{AnnPolicy, Embeddings};
 
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::kneedle::kneedle_decreasing;
-use crate::silhouette::silhouette_score;
+use crate::silhouette::{build_silhouette_cache, silhouette_score, silhouette_score_ann};
 
 /// Configuration for the `k` sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +30,10 @@ pub struct KSelectConfig {
     pub silhouette_sample: usize,
     /// Seed for all sweep randomness.
     pub seed: u64,
+    /// Exact ↔ ANN routing for the silhouette fallback: pools larger
+    /// than `ann.threshold` score candidates with the HNSW-backed
+    /// estimator instead of the `O(sample · n)` exact structure.
+    pub ann: AnnPolicy,
 }
 
 impl Default for KSelectConfig {
@@ -41,6 +45,7 @@ impl Default for KSelectConfig {
             kmeans_iters: 15,
             silhouette_sample: 512,
             seed: 0x5E1EC7,
+            ann: AnnPolicy::default(),
         }
     }
 }
@@ -51,8 +56,11 @@ impl Default for KSelectConfig {
 pub enum KSelectionMethod {
     /// Kneedle found a knee on the mean-SSE curve.
     Kneedle,
-    /// Kneedle failed; maximum silhouette was used.
+    /// Kneedle failed; maximum exact silhouette was used.
     Silhouette,
+    /// Kneedle failed; maximum ANN-estimated silhouette was used
+    /// (pool size above the [`AnnPolicy`] threshold).
+    SilhouetteAnn,
 }
 
 /// Outcome of [`select_k`].
@@ -125,17 +133,38 @@ pub fn select_k(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> 
 
     // Fallback: maximize silhouette. Scores for the candidate
     // clusterings are computed in parallel; the argmax scan stays
-    // serial in k order (strict `>`, ties to the smaller k).
+    // serial in k order (strict `>`, ties to the smaller k). Above the
+    // ANN-policy threshold the HNSW-backed estimator replaces the exact
+    // O(sample · n) score: its cache (scoring sample + neighbour lists)
+    // is clustering-independent, so one build serves the whole sweep.
+    let use_ann = config.ann.use_ann(n);
+    let cache = if use_ann {
+        Some(build_silhouette_cache(
+            data,
+            config.silhouette_sample,
+            config.seed,
+            &config.ann,
+        )?)
+    } else {
+        None
+    };
     let scores: Vec<Result<f64>> = (0..clusterings.len())
         .into_par_iter()
-        .map(|i| {
-            silhouette_score(
+        .map(|i| match &cache {
+            Some(cache) => silhouette_score_ann(
+                data,
+                &clusterings[i].assignment,
+                config.k_min + i,
+                &clusterings[i].centroids,
+                cache,
+            ),
+            None => silhouette_score(
                 data,
                 &clusterings[i].assignment,
                 config.k_min + i,
                 config.silhouette_sample,
                 config.seed,
-            )
+            ),
         })
         .collect();
     let mut best_k = config.k_min;
@@ -149,7 +178,11 @@ pub fn select_k(data: &Embeddings, config: KSelectConfig) -> Result<KSelection> 
     }
     Ok(KSelection {
         k: best_k,
-        method: KSelectionMethod::Silhouette,
+        method: if use_ann {
+            KSelectionMethod::SilhouetteAnn
+        } else {
+            KSelectionMethod::Silhouette
+        },
         sse_curve: curve,
     })
 }
@@ -246,6 +279,64 @@ mod tests {
         let data = blobs(25, 3, 0.5, 5);
         let a = select_k(&data, KSelectConfig::default()).unwrap();
         let b = select_k(&data, KSelectConfig::default()).unwrap();
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.method, b.method);
+    }
+
+    /// Forcing the ANN route (threshold 0, huge sensitivity so kneedle
+    /// abstains) must pick a k within ±1 of the exact fallback and
+    /// report the routed method.
+    #[test]
+    fn ann_fallback_tracks_exact_within_one() {
+        let data = blobs(60, 4, 0.5, 6);
+        let exact_cfg = KSelectConfig {
+            sensitivity: 1e9,
+            ann: AnnPolicy::never(),
+            ..Default::default()
+        };
+        let exact = select_k(&data, exact_cfg).unwrap();
+        assert_eq!(exact.method, KSelectionMethod::Silhouette);
+        let ann_cfg = KSelectConfig {
+            ann: AnnPolicy::always(),
+            ..exact_cfg
+        };
+        let ann = select_k(&data, ann_cfg).unwrap();
+        assert_eq!(ann.method, KSelectionMethod::SilhouetteAnn);
+        assert!(
+            ann.k.abs_diff(exact.k) <= 1,
+            "ann k={} vs exact k={}",
+            ann.k,
+            exact.k
+        );
+        // The SSE sweep itself is routing-independent.
+        assert_eq!(ann.sse_curve.len(), exact.sse_curve.len());
+        for (a, e) in ann.sse_curve.iter().zip(&exact.sse_curve) {
+            assert_eq!(a.1.to_bits(), e.1.to_bits());
+        }
+    }
+
+    /// Below the threshold the ANN field is inert: the default policy
+    /// (crossover 16384) must leave small-pool selection bit-identical
+    /// to an explicit never() policy.
+    #[test]
+    fn below_threshold_ignores_ann_policy() {
+        let data = blobs(30, 3, 0.6, 7);
+        let a = select_k(
+            &data,
+            KSelectConfig {
+                ann: AnnPolicy::default(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = select_k(
+            &data,
+            KSelectConfig {
+                ann: AnnPolicy::never(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a.k, b.k);
         assert_eq!(a.method, b.method);
     }

@@ -533,6 +533,7 @@ mod tests {
                 max_iters: 10,
                 seed: 5,
                 mode: Default::default(),
+                ann: Default::default(),
             },
         )
         .unwrap();

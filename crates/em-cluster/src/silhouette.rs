@@ -10,7 +10,7 @@ use rayon::prelude::*;
 
 use em_core::{EmError, Result, Rng};
 use em_vector::kernel::sq_dist;
-use em_vector::Embeddings;
+use em_vector::{AnnPolicy, Embeddings, Hnsw};
 
 /// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
 ///
@@ -115,6 +115,205 @@ pub fn silhouette_score(
     })
 }
 
+/// Reusable inputs for the ANN silhouette estimator: the scoring sample
+/// plus each sampled point's approximate nearest neighbours.
+///
+/// Neither depends on any particular clustering, so one cache serves
+/// every candidate `k` of a selection sweep. The neighbours come from an
+/// HNSW index built over a seeded reference subsample of at most
+/// [`AnnPolicy::sample_cap`] points — per the BENCH_blocking.json sweep
+/// that build stays well under a second, while the exact silhouette
+/// rebuilds an `O(sample · n)` distance structure per candidate `k`.
+pub struct SilhouetteCache {
+    /// Scoring points (global indices); same derivation as the exact
+    /// path's sample so the two estimators rank comparably.
+    sample: Vec<usize>,
+    /// `neighbors[s]` = global indices of `sample[s]`'s ANN neighbours
+    /// (members of the reference subsample, self excluded).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl SilhouetteCache {
+    /// Number of scoring points.
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+/// Build the shared scoring-sample + ANN-neighbour cache for
+/// [`silhouette_score_ann`].
+pub fn build_silhouette_cache(
+    data: &Embeddings,
+    sample_cap: usize,
+    seed: u64,
+    ann: &AnnPolicy,
+) -> Result<SilhouetteCache> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("silhouette cache data".into()));
+    }
+    if sample_cap == 0 {
+        return Err(EmError::InvalidConfig("sample_cap must be > 0".into()));
+    }
+    ann.validate()?;
+
+    let sample: Vec<usize> = if n <= sample_cap {
+        (0..n).collect()
+    } else {
+        Rng::seed_from_u64(seed).sample_indices(n, sample_cap)
+    };
+    let reference: Vec<usize> = if n <= ann.sample_cap {
+        (0..n).collect()
+    } else {
+        Rng::seed_from_u64(seed ^ 0xA55_5117).sample_indices(n, ann.sample_cap)
+    };
+    let index = Hnsw::build(
+        &data.gather(&reference)?,
+        ann.hnsw_seeded(seed ^ 0x5117_4E4E),
+    )?;
+
+    // Queries are independent; collect preserves sample order.
+    let neighbors: Vec<Vec<usize>> = sample
+        .par_iter()
+        .map(|&i| -> Result<Vec<usize>> {
+            let found = index.search(data.row(i), ann.top_m, None)?;
+            Ok(found
+                .into_iter()
+                .map(|nb| reference[nb.index])
+                .filter(|&g| g != i)
+                .collect())
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Result<_>>()?;
+
+    Ok(SilhouetteCache { sample, neighbors })
+}
+
+/// ANN-backed silhouette estimate for one clustering, in `[-1, 1]`.
+///
+/// Replaces the exact score's per-point scan over all `n` points with
+/// centroid-moment distance estimates: the mean distance from point `x`
+/// to the members of cluster `c` is approximated by
+/// `sqrt(‖x − μ_c‖² + msd_c)` where `msd_c` is the cluster's mean
+/// squared distance to its centroid (exact in expectation for the
+/// squared distance; the square root upper-bounds the mean uniformly
+/// across clusters, so the argmax over `k` is preserved in practice).
+/// The cached HNSW neighbours shortlist which competing clusters are
+/// evaluated for `b(i)` — clusters owning none of `i`'s neighbours can't
+/// plausibly be its nearest neighbour cluster. Total cost per candidate
+/// `k` is `O(n·d)` (one msd pass) plus `O(sample · top_m · d)`.
+pub fn silhouette_score_ann(
+    data: &Embeddings,
+    assignment: &[usize],
+    k: usize,
+    centroids: &Embeddings,
+    cache: &SilhouetteCache,
+) -> Result<f64> {
+    let n = data.len();
+    if n == 0 {
+        return Err(EmError::EmptyInput("silhouette data".into()));
+    }
+    if assignment.len() != n {
+        return Err(EmError::DimensionMismatch {
+            context: "silhouette assignment".into(),
+            expected: n,
+            actual: assignment.len(),
+        });
+    }
+    if k < 2 {
+        return Err(EmError::InvalidConfig(
+            "silhouette needs at least 2 clusters".into(),
+        ));
+    }
+    if centroids.len() < k || centroids.dim() != data.dim() {
+        return Err(EmError::InvalidConfig(format!(
+            "silhouette centroids {}×{} don't cover k={k} × dim {}",
+            centroids.len(),
+            centroids.dim(),
+            data.dim()
+        )));
+    }
+    if let Some(&bad) = assignment.iter().find(|&&c| c >= k) {
+        return Err(EmError::IndexOutOfBounds {
+            context: "silhouette cluster id".into(),
+            index: bad,
+            len: k,
+        });
+    }
+
+    let mut cluster_sizes = vec![0usize; k];
+    for &c in assignment {
+        cluster_sizes[c] += 1;
+    }
+
+    // Cluster second moments, one parallel pass over all points.
+    let point_sq: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| sq_dist(data.row(i), centroids.row(assignment[i])) as f64)
+        .collect();
+    let mut msd = vec![0.0f64; k];
+    for i in 0..n {
+        msd[assignment[i]] += point_sq[i];
+    }
+    for c in 0..k {
+        if cluster_sizes[c] > 0 {
+            msd[c] /= cluster_sizes[c] as f64;
+        }
+    }
+
+    let est = |i: usize, c: usize| -> f64 {
+        let d2 = sq_dist(data.row(i), centroids.row(c)) as f64;
+        (d2 + msd[c]).max(0.0).sqrt()
+    };
+
+    let coefficients: Vec<f64> = (0..cache.sample.len())
+        .into_par_iter()
+        .map(|s| {
+            let i = cache.sample[s];
+            let own = assignment[i];
+            if cluster_sizes[own] <= 1 {
+                return 0.0;
+            }
+            let a = est(i, own);
+            // Shortlist competing clusters via the cached neighbours;
+            // fall back to the full scan when they all share i's cluster.
+            let mut b = f64::INFINITY;
+            let mut shortlisted = false;
+            for &g in &cache.neighbors[s] {
+                let c = assignment[g];
+                if c != own {
+                    shortlisted = true;
+                    b = b.min(est(i, c));
+                }
+            }
+            if !shortlisted {
+                for (c, &size) in cluster_sizes.iter().enumerate().take(k) {
+                    if c == own || size == 0 {
+                        continue;
+                    }
+                    b = b.min(est(i, c));
+                }
+            }
+            if !b.is_finite() {
+                return 0.0;
+            }
+            let denom = a.max(b);
+            if denom > 0.0 {
+                (b - a) / denom
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let total: f64 = coefficients.iter().sum();
+    Ok(if coefficients.is_empty() {
+        0.0
+    } else {
+        total / coefficients.len() as f64
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +394,75 @@ mod tests {
         assert!(silhouette_score(&data, &labels, 2, 0, 0).is_err());
         let bad = vec![7usize; 10];
         assert!(silhouette_score(&data, &bad, 2, 10, 0).is_err());
+    }
+
+    fn centroids_of(data: &Embeddings, labels: &[usize], k: usize) -> Embeddings {
+        let dim = data.dim();
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in labels.iter().enumerate() {
+            counts[c] += 1;
+            for (acc, &x) in sums[c].iter_mut().zip(data.row(i)) {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for x in &mut sums[c] {
+                    *x /= counts[c] as f32;
+                }
+            }
+        }
+        Embeddings::from_rows(&sums).unwrap()
+    }
+
+    #[test]
+    fn ann_estimate_tracks_exact_on_blobs() {
+        let (data, labels) = blobs(80, &[[0.0, 0.0], [12.0, 0.0], [6.0, 10.0]], 0.8, 8);
+        let cents = centroids_of(&data, &labels, 3);
+        let cache = build_silhouette_cache(&data, 1000, 0, &AnnPolicy::default()).unwrap();
+        let ann = silhouette_score_ann(&data, &labels, 3, &cents, &cache).unwrap();
+        let exact = silhouette_score(&data, &labels, 3, 1000, 0).unwrap();
+        assert!(
+            (ann - exact).abs() < 0.15,
+            "ann {ann} vs exact {exact} diverged"
+        );
+    }
+
+    #[test]
+    fn ann_estimate_preserves_ranking_between_clusterings() {
+        // The estimator only has to rank clusterings the way the exact
+        // score does — that is what the k-selection argmax consumes.
+        let (data, labels) = blobs(60, &[[0.0, 0.0], [10.0, 0.0], [5.0, 9.0]], 0.6, 9);
+        let merged: Vec<usize> = labels.iter().map(|&c| if c == 2 { 1 } else { c }).collect();
+        let cache = build_silhouette_cache(&data, 1000, 0, &AnnPolicy::default()).unwrap();
+        let good =
+            silhouette_score_ann(&data, &labels, 3, &centroids_of(&data, &labels, 3), &cache)
+                .unwrap();
+        let bad = silhouette_score_ann(&data, &merged, 2, &centroids_of(&data, &merged, 2), &cache)
+            .unwrap();
+        assert!(good > bad, "good {good} <= bad {bad}");
+    }
+
+    #[test]
+    fn ann_singletons_contribute_zero() {
+        let data =
+            Embeddings::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![10.1, 0.0]]).unwrap();
+        let labels = [0usize, 1, 1];
+        let cents = centroids_of(&data, &labels, 2);
+        let cache = build_silhouette_cache(&data, 10, 0, &AnnPolicy::default()).unwrap();
+        let s = silhouette_score_ann(&data, &labels, 2, &cents, &cache).unwrap();
+        assert!((s - 2.0 / 3.0).abs() < 0.1, "score {s}");
+    }
+
+    #[test]
+    fn ann_validates_inputs() {
+        let (data, labels) = blobs(5, &[[0.0, 0.0], [5.0, 5.0]], 0.3, 10);
+        let cents = centroids_of(&data, &labels, 2);
+        let cache = build_silhouette_cache(&data, 10, 0, &AnnPolicy::default()).unwrap();
+        assert!(silhouette_score_ann(&data, &labels[..4], 2, &cents, &cache).is_err());
+        assert!(silhouette_score_ann(&data, &labels, 1, &cents, &cache).is_err());
+        assert!(silhouette_score_ann(&data, &labels, 3, &cents, &cache).is_err());
+        assert!(build_silhouette_cache(&data, 0, 0, &AnnPolicy::default()).is_err());
     }
 }

@@ -295,6 +295,19 @@ impl Default for BlockedConfig {
     }
 }
 
+impl BlockedConfig {
+    /// Derive the blocked builder's routing from a shared
+    /// [`em_vector::AnnPolicy`] — the crossover threshold comes from the
+    /// policy so every ANN-capable stage of a pipeline flips together.
+    pub fn from_policy(edge: EdgeConfig, policy: &em_vector::AnnPolicy, ann_seed: u64) -> Self {
+        BlockedConfig {
+            edge,
+            ann_threshold: policy.threshold,
+            ann_seed,
+        }
+    }
+}
+
 /// Blocked, parallel edge creation over pre-normalized rows.
 ///
 /// Semantics are identical to [`build_graph`] with

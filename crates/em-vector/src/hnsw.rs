@@ -15,12 +15,87 @@
 //!   the closest candidates,
 //! * search descends greedily and finishes with a beam of width `ef`.
 
-use std::collections::HashSet;
+use std::collections::BinaryHeap;
 
 use em_core::{EmError, Result, Rng};
 
 use crate::embeddings::{dot, normalize, Embeddings};
 use crate::knn::Neighbor;
+
+/// Frontier entry for the beam search: max-heap by similarity, index as
+/// a deterministic tie-break so the expansion order is a total order.
+#[derive(Clone, Copy)]
+struct Cand {
+    sim: f32,
+    idx: usize,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.sim.to_bits() == other.sim.to_bits() && self.idx == other.idx
+    }
+}
+impl Eq for Cand {}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable search scratch: an epoch-stamped visited set, the frontier
+/// heap and the normalized-query buffer.
+///
+/// A single query allocates nothing once the scratch is warm, which is
+/// what makes per-point shortlist queries viable in hot loops — the
+/// `HashSet` + two growing `Vec`s the old beam search allocated per
+/// call cost more than the distance evaluations on small indexes (e.g.
+/// an index over a few hundred K-Means centroids). Hold one per worker
+/// thread and pass it to [`Hnsw::search_with`]; [`Hnsw::search`] keeps
+/// the allocate-per-call convenience behaviour.
+#[derive(Default)]
+pub struct HnswScratch {
+    /// `stamp[i] == epoch` ⇔ node `i` visited by the current query.
+    stamp: Vec<u32>,
+    epoch: u32,
+    frontier: BinaryHeap<Cand>,
+    /// Result beam: min-heap (worst on top) of the best `ef` seen.
+    beam: BinaryHeap<std::cmp::Reverse<Cand>>,
+    qbuf: Vec<f32>,
+}
+
+impl HnswScratch {
+    /// Start a new query over an index of `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrapped: stale stamps could alias the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.frontier.clear();
+        self.beam.clear();
+    }
+
+    /// Mark `i` visited; `true` iff this is its first visit this query.
+    fn visit(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+}
 
 /// HNSW construction/search parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +122,7 @@ impl Default for HnswConfig {
 }
 
 impl HnswConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.m < 2 {
             return Err(EmError::InvalidConfig("HNSW m must be >= 2".into()));
         }
@@ -79,6 +154,9 @@ pub struct Hnsw {
     entry: Option<usize>,
     max_level: usize,
     rng: Rng,
+    /// Scratch reused across inserts (construction runs one beam search
+    /// per layer per node).
+    scratch: HnswScratch,
 }
 
 impl Hnsw {
@@ -96,6 +174,7 @@ impl Hnsw {
             nodes: Vec::new(),
             entry: None,
             max_level: 0,
+            scratch: HnswScratch::default(),
         })
     }
 
@@ -158,52 +237,61 @@ impl Hnsw {
     }
 
     /// Beam search on `layer`: returns up to `ef` candidates sorted by
-    /// descending similarity.
-    fn search_layer(&self, q: &[f32], entry: usize, ef: usize, layer: usize) -> Vec<Neighbor> {
-        let mut visited: HashSet<usize> = HashSet::new();
-        visited.insert(entry);
-        // `results` kept sorted descending by similarity.
-        let mut results = vec![Neighbor {
-            index: entry,
-            similarity: self.similarity(entry, q),
-        }];
-        // Frontier of candidates to expand, sorted descending: simple
-        // vector with pop-from-front keeps the code clear; ef is small.
-        let mut frontier = results.clone();
-        while let Some(cand) = frontier.pop() {
-            let worst = results.last().map(|n| n.similarity).unwrap_or(f32::MIN);
-            if results.len() >= ef && cand.similarity < worst {
+    /// descending similarity. The visited set and both heaps live in
+    /// `scratch`, so a query allocates only its result vector. The
+    /// result beam is a min-heap — acceptance and eviction are
+    /// `O(log ef)` instead of the `O(ef)` memmove a sorted vector pays
+    /// per accepted candidate, which dominated small-index queries.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry: usize,
+        ef: usize,
+        layer: usize,
+        scratch: &mut HnswScratch,
+    ) -> Vec<Neighbor> {
+        scratch.begin(self.nodes.len());
+        scratch.visit(entry);
+        let e = Cand {
+            sim: self.similarity(entry, q),
+            idx: entry,
+        };
+        scratch.beam.push(std::cmp::Reverse(e));
+        scratch.frontier.push(e);
+        while let Some(cand) = scratch.frontier.pop() {
+            let worst = scratch.beam.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+            if scratch.beam.len() >= ef && cand.sim < worst {
                 break;
             }
-            for &nb in &self.nodes[cand.index].links[layer] {
-                if !visited.insert(nb) {
+            for &nb in &self.nodes[cand.idx].links[layer] {
+                if !scratch.visit(nb) {
                     continue;
                 }
                 let s = self.similarity(nb, q);
-                let worst = results.last().map(|n| n.similarity).unwrap_or(f32::MIN);
-                if results.len() < ef || s > worst {
-                    let hit = Neighbor {
-                        index: nb,
-                        similarity: s,
-                    };
-                    let pos = results
-                        .iter()
-                        .position(|r| s > r.similarity)
-                        .unwrap_or(results.len());
-                    results.insert(pos, hit);
-                    if results.len() > ef {
-                        results.pop();
+                let worst = scratch.beam.peek().map(|r| r.0.sim).unwrap_or(f32::MIN);
+                if scratch.beam.len() < ef || s > worst {
+                    let hit = Cand { sim: s, idx: nb };
+                    scratch.beam.push(std::cmp::Reverse(hit));
+                    if scratch.beam.len() > ef {
+                        scratch.beam.pop();
                     }
-                    // Insert into frontier keeping *ascending* order so
-                    // `pop()` yields the best candidate.
-                    let fpos = frontier
-                        .iter()
-                        .position(|r| s < r.similarity)
-                        .unwrap_or(frontier.len());
-                    frontier.insert(fpos, hit);
+                    scratch.frontier.push(hit);
                 }
             }
         }
+        let mut results: Vec<Neighbor> = scratch
+            .beam
+            .drain()
+            .map(|r| Neighbor {
+                index: r.0.idx,
+                similarity: r.0.sim,
+            })
+            .collect();
+        results.sort_unstable_by(|a, b| {
+            b.similarity
+                .total_cmp(&a.similarity)
+                .then_with(|| a.index.cmp(&b.index))
+        });
         results
     }
 
@@ -238,8 +326,12 @@ impl Hnsw {
         }
 
         // Connect on each layer from min(level, max_level) down to 0.
+        // The scratch is moved out for the duration so the beam search
+        // can borrow `self` immutably.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for layer in (0..=level.min(self.max_level)).rev() {
-            let candidates = self.search_layer(&vn, entry, self.config.ef_construction, layer);
+            let candidates =
+                self.search_layer(&vn, entry, self.config.ef_construction, layer, &mut scratch);
             let cap = if layer == 0 {
                 self.config.m * 2
             } else {
@@ -272,6 +364,7 @@ impl Hnsw {
                 entry = best.index;
             }
         }
+        self.scratch = scratch;
 
         if level > self.max_level {
             self.max_level = level;
@@ -281,7 +374,23 @@ impl Hnsw {
     }
 
     /// Approximate top-`k` most-cosine-similar indexed vectors to `query`.
+    ///
+    /// Allocates fresh scratch per call; loops issuing many queries
+    /// should hold an [`HnswScratch`] and use [`Hnsw::search_with`].
     pub fn search(&self, query: &[f32], k: usize, exclude: Option<usize>) -> Result<Vec<Neighbor>> {
+        let mut scratch = HnswScratch::default();
+        self.search_with(query, k, exclude, &mut scratch)
+    }
+
+    /// [`Hnsw::search`] with caller-owned scratch: zero allocations per
+    /// query beyond the returned hits once the scratch is warm.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: Option<usize>,
+        scratch: &mut HnswScratch,
+    ) -> Result<Vec<Neighbor>> {
         if query.len() != self.dim {
             return Err(EmError::DimensionMismatch {
                 context: "HNSW search".into(),
@@ -292,13 +401,16 @@ impl Hnsw {
         let Some(mut entry) = self.entry else {
             return Ok(Vec::new());
         };
-        let mut q = query.to_vec();
+        let mut q = std::mem::take(&mut scratch.qbuf);
+        q.clear();
+        q.extend_from_slice(query);
         normalize(&mut q);
         for layer in (1..=self.max_level).rev() {
             entry = self.greedy_closest(&q, entry, layer);
         }
         let ef = self.config.ef_search.max(k);
-        let mut hits = self.search_layer(&q, entry, ef, 0);
+        let mut hits = self.search_layer(&q, entry, ef, 0, scratch);
+        scratch.qbuf = q;
         hits.retain(|n| exclude != Some(n.index));
         hits.truncate(k);
         Ok(hits)

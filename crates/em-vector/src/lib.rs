@@ -22,6 +22,10 @@
 //! * [`lsh`] — random-hyperplane locality-sensitive hashing, and
 //! * [`hnsw`] — a hierarchical navigable small world index; LSH and HNSW
 //!   implement the approximate-search future work the paper names in §5.2,
+//! * [`policy`] — the [`AnnPolicy`] exact ↔ HNSW routing policy shared by
+//!   every stage that has both an exact kernel and an ANN variant
+//!   (graph edges, k-selection, constrained assignment), with the
+//!   crossover default cited from the measured BENCH_blocking.json sweep,
 //! * [`pca`] — principal component analysis by power iteration (used to
 //!   initialize t-SNE, as is standard practice),
 //! * [`tsne`] — exact O(n²) t-SNE with perplexity calibration and early
@@ -34,10 +38,11 @@ pub mod kernel;
 pub mod knn;
 pub mod lsh;
 pub mod pca;
+pub mod policy;
 pub mod tsne;
 
 pub use embeddings::{cosine, dot, norm, normalize, Embeddings};
-pub use hnsw::{Hnsw, HnswConfig};
+pub use hnsw::{Hnsw, HnswConfig, HnswScratch};
 pub use kernel::{
     gemm, gemm_bias_relu, gram_block, gram_packed, pack_rows, simd_tier, sq_dist, sq_dist_batch,
     top_k_batch, with_simd_tier, SimdTier,
@@ -45,4 +50,5 @@ pub use kernel::{
 pub use knn::{top_k, top_k_among, Neighbor};
 pub use lsh::{sample_planes, signature_of, signatures, LshConfig, LshIndex, MAX_SIGNATURE_BITS};
 pub use pca::Pca;
+pub use policy::{AnnPolicy, DEFAULT_ANN_THRESHOLD};
 pub use tsne::{Tsne, TsneConfig};

@@ -7,7 +7,7 @@ use battleship_em::al::{distribute_budget, positive_budget};
 use battleship_em::cluster::{constrained_kmeans, ConstrainedConfig};
 use battleship_em::core::{jaccard, tokenize, BinaryConfusion, F1Curve, Label, Rng, TokenSet};
 use battleship_em::graph::{binary_entropy, connected_components, NodeKind, PairGraph};
-use battleship_em::vector::{cosine, Embeddings};
+use battleship_em::vector::{cosine, AnnPolicy, Embeddings};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -209,6 +209,7 @@ proptest! {
                 max_iters: 8,
                 seed,
                 mode: Default::default(),
+                ann: Default::default(),
             },
         )
         .unwrap();
@@ -216,5 +217,86 @@ proptest! {
         for &s in &res.sizes {
             prop_assert!((min_size..=max_size).contains(&s), "size {}", s);
         }
+    }
+
+    /// ANN-assisted constrained assignment honours min/max capacity
+    /// bounds for arbitrary feasible configs, including true shortlists
+    /// (`top_m < k`) where the repair pass must work from the shortlist
+    /// plus on-demand distances.
+    #[test]
+    fn ann_constrained_respects_bounds(
+        seed in any::<u64>(),
+        k in 2usize..12,
+        top_m in 1usize..6,
+        min_size in 0usize..6,
+    ) {
+        let n = 96usize;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let max_size = 60usize;
+        prop_assume!(k * min_size <= n && k * max_size >= n);
+        let mut ann = AnnPolicy::always();
+        ann.top_m = top_m;
+        let res = constrained_kmeans(
+            &data,
+            ConstrainedConfig {
+                k,
+                min_size,
+                max_size,
+                max_iters: 6,
+                seed,
+                mode: Default::default(),
+                ann,
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(res.sizes.iter().sum::<usize>(), n);
+        for &s in &res.sizes {
+            prop_assert!((min_size..=max_size).contains(&s), "size {}", s);
+        }
+    }
+
+    /// Golden: below the ANN-policy threshold the routed path is the
+    /// exact path — bit-identical assignment and SSE for any seed. A
+    /// full-coverage shortlist (`top_m >= k`) must also reproduce the
+    /// exact result bit-for-bit.
+    #[test]
+    fn ann_below_threshold_bit_identical_to_exact(seed in any::<u64>(), k in 2usize..6) {
+        let n = 60usize;
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.normal() as f32, rng.normal() as f32])
+            .collect();
+        let data = Embeddings::from_rows(&rows).unwrap();
+        let base = ConstrainedConfig {
+            k,
+            min_size: 4,
+            max_size: 40,
+            max_iters: 6,
+            seed,
+            mode: Default::default(),
+            ann: AnnPolicy::never(),
+        };
+        prop_assume!(k * base.min_size <= n && k * base.max_size >= n);
+        let exact = constrained_kmeans(&data, base).unwrap();
+        // Default policy: n = 60 is far below the 16384 crossover.
+        let routed = constrained_kmeans(
+            &data,
+            ConstrainedConfig { ann: AnnPolicy::default(), ..base },
+        )
+        .unwrap();
+        prop_assert_eq!(&exact.assignment, &routed.assignment);
+        prop_assert_eq!(exact.sse.to_bits(), routed.sse.to_bits());
+        // Forced ANN with a full-coverage shortlist (top_m 16 >= k).
+        let full = constrained_kmeans(
+            &data,
+            ConstrainedConfig { ann: AnnPolicy::always(), ..base },
+        )
+        .unwrap();
+        prop_assert_eq!(&exact.assignment, &full.assignment);
+        prop_assert_eq!(exact.sse.to_bits(), full.sse.to_bits());
     }
 }
