@@ -122,6 +122,7 @@ impl ExperimentGrid {
     /// scenarios under different configurations.
     pub fn run_with_cache(&self, cache: &ArtifactCache) -> Result<GridReport> {
         self.validate()?;
+        // em-lint: allow(wall-clock) -- fills GridReport.wall_secs; canonical() zeroes it
         let t0 = Instant::now();
 
         // Phase 1: materialize every scenario's shared artifacts, in

@@ -238,6 +238,7 @@ pub(crate) fn execute_run_closed(
         seed: rng.next_u64(),
         ..config.matcher.clone()
     };
+    // em-lint: allow(wall-clock) -- fills a RunReport timing field; canonical() zeroes it
     let t0 = Instant::now();
     let (mut matcher, metrics) = run.train_and_eval(&train, &train_labels, &[], &matcher_config)?;
     let train_secs = t0.elapsed().as_secs_f64();
@@ -259,6 +260,7 @@ pub(crate) fn execute_run_closed(
             break;
         }
         // Predict over pool and train with the current model.
+        // em-lint: allow(wall-clock) -- fills a RunReport timing field; canonical() zeroes it
         let t_select = Instant::now();
         let pool_out = matcher.predict(features, &pool)?;
         let train_out = matcher.predict(features, &train)?;
@@ -321,6 +323,7 @@ pub(crate) fn execute_run_closed(
             seed: rng.next_u64(),
             ..config.matcher.clone()
         };
+        // em-lint: allow(wall-clock) -- fills a RunReport timing field; canonical() zeroes it
         let t_train = Instant::now();
         let (next_matcher, metrics) =
             run.train_and_eval(&train, &train_labels, &selection.weak, &matcher_config)?;
@@ -386,6 +389,7 @@ pub(crate) fn execute_spec(
     artifacts: &DatasetArtifacts,
     config: &ExperimentConfig,
 ) -> Result<(RunReport, f64)> {
+    // em-lint: allow(wall-clock) -- cell wall-clock for the engine's LPT accounting; canonical() zeroes it
     let t0 = Instant::now();
     let report = match spec.kind {
         CellKind::Active(strategy_spec) => {

@@ -134,6 +134,10 @@ impl SessionCell {
     /// for at least as long as the session (drop order), the artifacts
     /// are immutable, and an `Arc`'s pointee never moves.
     fn project(artifacts: &Arc<DatasetArtifacts>) -> (&'static Dataset, &'static Embeddings) {
+        // SAFETY: per the contract above — both pointers target the
+        // heap allocation `artifacts` owns; the cell holds that `Arc`
+        // at least as long as the session (field drop order), the
+        // artifacts are immutable, and an `Arc`'s pointee never moves.
         unsafe {
             (
                 &*(&artifacts.dataset as *const Dataset),
@@ -565,6 +569,7 @@ impl SessionStore {
                         continue;
                     }
                     guard.last_touch = self.clock.fetch_add(1, Ordering::Relaxed);
+                    // em-lint: allow(no-panic) -- loop invariant: `f` stays Some until the one take() on the return path
                     let f = f.take().expect("with_cell closure consumed twice");
                     return f(&mut guard);
                 }

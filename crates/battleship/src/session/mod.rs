@@ -158,6 +158,7 @@ impl PendingBatch {
     /// The received labels in batch order; only valid when complete.
     fn labels(&self) -> Vec<Label> {
         debug_assert!(self.is_complete());
+        // em-lint: allow(no-panic) -- guarded: every caller checks is_complete() first
         self.received.iter().map(|l| l.expect("complete")).collect()
     }
 }
@@ -482,10 +483,11 @@ impl<'a> MatchSession<'a> {
                 self.phase
             )));
         }
-        let batch = self
-            .pending
-            .as_mut()
-            .expect("AwaitingLabels always has a pending batch");
+        let Some(batch) = self.pending.as_mut() else {
+            return Err(EmError::Internal(
+                "phase is AwaitingLabels but no batch is pending".into(),
+            ));
+        };
         for &(pair, label) in labels {
             let Some(slots) = batch.positions.get(&pair) else {
                 return Err(EmError::InvalidConfig(format!(
@@ -505,20 +507,25 @@ impl<'a> MatchSession<'a> {
             batch.n_received += 1;
         }
         if batch.is_complete() {
-            self.complete_batch();
+            self.complete_batch()?;
         }
         Ok(self.phase)
     }
 
     /// Move a fully-labeled batch into the train set (batch order, the
     /// closed loop's oracle order) and arm the training step.
-    fn complete_batch(&mut self) {
-        let batch = self.pending.as_ref().expect("pending batch");
+    fn complete_batch(&mut self) -> Result<()> {
+        let Some(batch) = self.pending.as_ref() else {
+            return Err(EmError::Internal(
+                "complete_batch called with no batch pending".into(),
+            ));
+        };
         debug_assert!(batch.is_complete());
         let labels = batch.labels();
         self.train.extend_from_slice(&batch.pairs);
         self.train_labels.extend_from_slice(&labels);
         self.phase = SessionPhase::Training;
+        Ok(())
     }
 
     /// Drive the session to completion against an oracle — the closed
@@ -622,6 +629,7 @@ impl<'a> MatchSession<'a> {
             seed: self.rng.next_u64(),
             ..self.config.matcher.clone()
         };
+        // em-lint: allow(wall-clock) -- fills a RunReport timing field; canonical() zeroes it
         let t_train = Instant::now();
         let (matcher, metrics) = self.train_and_eval(&batch.weak, &matcher_config)?;
         let train_secs = t_train.elapsed().as_secs_f64();
@@ -659,7 +667,12 @@ impl<'a> MatchSession<'a> {
     /// Predict over pool and train, hand the strategy the
     /// representations, and emit its selections as the next query batch.
     fn select_next_batch(&mut self, iteration: usize) -> Result<()> {
-        let matcher = self.matcher.as_ref().expect("trained before selection");
+        let Some(matcher) = self.matcher.as_ref() else {
+            return Err(EmError::Internal(
+                "selection step reached before any training step".into(),
+            ));
+        };
+        // em-lint: allow(wall-clock) -- fills a RunReport timing field; canonical() zeroes it
         let t_select = Instant::now();
         let pool_out = matcher.predict(self.features, &self.pool)?;
         let train_out = matcher.predict(self.features, &self.train)?;
@@ -718,7 +731,7 @@ impl<'a> MatchSession<'a> {
         if empty {
             // Nothing to label (a strategy may legally select nothing);
             // the batch is trivially complete — train immediately.
-            self.complete_batch();
+            self.complete_batch()?;
         } else {
             self.phase = SessionPhase::AwaitingLabels;
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-bench
 //!
 //! The benchmark harness: one binary per table and figure of the paper's

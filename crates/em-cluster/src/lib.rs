@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-cluster
 //!
 //! Clustering substrate for the `battleship-em` workspace.

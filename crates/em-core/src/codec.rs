@@ -29,6 +29,23 @@
 
 use crate::error::{EmError, Result};
 
+/// Panic-free slice→array conversion. Every caller has already
+/// length-validated (via [`ByteReader::take`] or explicit frame
+/// bounds), but the codec's panic-freedom contract bans `expect` even
+/// for "impossible" mismatches: corrupt input must surface as a
+/// structured [`EmError::Codec`] the whole way down, never a panic.
+fn to_array<const N: usize>(b: &[u8]) -> Result<[u8; N]> {
+    if b.len() != N {
+        return Err(EmError::Codec(format!(
+            "internal length mismatch: expected {N} bytes, got {}",
+            b.len()
+        )));
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(b);
+    Ok(out)
+}
+
 /// FNV-1a 64 offset basis.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 /// FNV-1a 64 prime.
@@ -243,13 +260,13 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(to_array(b)?))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(to_array(b)?))
     }
 
     /// Read a `usize` (stored as `u64`), rejecting values that cannot
@@ -433,7 +450,7 @@ pub fn read_frame<'a>(
             bytes[4]
         )));
     }
-    let payload_len = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
+    let payload_len = u64::from_le_bytes(to_array(&bytes[5..13])?) as usize;
     let expected_total = header
         .checked_add(payload_len)
         .and_then(|n| n.checked_add(8));
@@ -444,11 +461,7 @@ pub fn read_frame<'a>(
         )));
     }
     let body = &bytes[..header + payload_len];
-    let stored = u64::from_le_bytes(
-        bytes[header + payload_len..]
-            .try_into()
-            .expect("8 checksum bytes"),
-    );
+    let stored = u64::from_le_bytes(to_array(&bytes[header + payload_len..])?);
     let computed = fnv1a64(body);
     if stored != computed {
         return Err(err(format!(

@@ -47,6 +47,12 @@ pub enum EmError {
     /// Permanent failures use [`EmError::Storage`] instead; the split is
     /// what retry policies dispatch on (see [`EmError::is_transient`]).
     Transient(String),
+    /// An internal invariant failed: state that is unreachable by
+    /// construction was observed anyway. The panic-free paths
+    /// (`serve/`, `session/`, the codec — enforced by `em-lint`'s
+    /// `no-panic` rule) return this instead of panicking; seeing one
+    /// is a bug in this workspace, not bad input.
+    Internal(String),
 }
 
 impl fmt::Display for EmError {
@@ -72,6 +78,7 @@ impl fmt::Display for EmError {
             EmError::Codec(msg) => write!(f, "snapshot codec: {msg}"),
             EmError::Storage(msg) => write!(f, "snapshot storage: {msg}"),
             EmError::Transient(msg) => write!(f, "transient fault: {msg}"),
+            EmError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

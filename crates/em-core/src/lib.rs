@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-core
 //!
 //! Core data model and shared utilities for the `battleship-em` workspace —

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-graph
 //!
 //! Pair graphs: the spatial data structure at the heart of the battleship

@@ -1,0 +1,315 @@
+//! Hand-rolled Rust lexer.
+//!
+//! `em-lint` deliberately ships no dependencies (see `Cargo.toml`), so
+//! instead of `syn` it carries a small token scanner that understands
+//! exactly as much Rust as the rules need: string literals (escaped,
+//! raw with arbitrary `#` fences, byte variants), char literals vs
+//! lifetimes, nested block comments, doc comments, identifiers,
+//! numbers, and punctuation — each token tagged with its 1-based source
+//! line. Everything the scanner does not model collapses to one-byte
+//! [`TokKind::Punct`] tokens, which keeps it total: lexing arbitrary
+//! byte soup never panics and never loses line synchronisation (there
+//! is a proptest for exactly that).
+
+/// Classification of a scanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// `"…"` or `b"…"` string literal, escapes resolved only for
+    /// scanning purposes (the raw source text is preserved).
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` raw string literal.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` char/byte literal.
+    Char,
+    /// `// …` comment, doc (`///`, `//!`) included.
+    LineComment,
+    /// `/* … */` comment, nesting handled; doc (`/** */`) included.
+    BlockComment,
+    /// Any other single byte (braces, operators, stray bytes).
+    Punct,
+}
+
+/// One scanned token: kind, 1-based line of its first byte, and the
+/// raw source text (lossily decoded for non-UTF-8 input).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+    /// Raw source text of the token.
+    pub text: String,
+}
+
+impl Token {
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex a source string. Convenience wrapper over [`lex_bytes`].
+pub fn lex(src: &str) -> Vec<Token> {
+    lex_bytes(src.as_bytes())
+}
+
+/// Lex arbitrary bytes. Total: never panics, regardless of input.
+pub fn lex_bytes(src: &[u8]) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.eat_while(|c| c != b'\n');
+                TokKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.eat_block_comment();
+                TokKind::BlockComment
+            }
+            b'"' => {
+                cur.eat_quoted(b'"');
+                TokKind::Str
+            }
+            b'r' if matches!(cur.peek(1), Some(b'"' | b'#')) => {
+                if let Some(k) = cur.try_eat_raw_string(1) {
+                    k
+                } else {
+                    // `r#ident` or a lone `r#` — an identifier.
+                    cur.bump();
+                    if cur.peek(0) == Some(b'#') {
+                        cur.bump();
+                    }
+                    cur.eat_while(is_ident_continue);
+                    TokKind::Ident
+                }
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                cur.eat_quoted(b'"');
+                TokKind::Str
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                cur.eat_quoted(b'\'');
+                TokKind::Char
+            }
+            b'b' if cur.peek(1) == Some(b'r') && matches!(cur.peek(2), Some(b'"' | b'#')) => {
+                if let Some(k) = cur.try_eat_raw_string(2) {
+                    k
+                } else {
+                    cur.eat_while(is_ident_continue);
+                    TokKind::Ident
+                }
+            }
+            b'\'' => cur.eat_char_or_lifetime(),
+            c if is_ident_start(c) => {
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                cur.eat_number();
+                TokKind::Num
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        let text = String::from_utf8_lossy(&src[start..cur.pos]).into_owned();
+        out.push(Token { kind, line, text });
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// `/* … */` with nesting; unterminated comments run to EOF.
+    fn eat_block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return, // unterminated: recover at EOF
+            }
+        }
+    }
+
+    /// A `"…"`/`'…'` body with `\` escapes; unterminated runs to EOF.
+    /// The opening quote has not been consumed yet.
+    fn eat_quoted(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            if b == b'\\' {
+                self.bump(); // escaped byte, whatever it is
+            } else if b == quote {
+                return;
+            }
+        }
+    }
+
+    /// Try `r"…"` / `r##"…"##` (or `br…` with `prefix_len == 2`)
+    /// starting at the current position. Returns `None` — consuming
+    /// nothing — when the `#` fence is not followed by `"` (that is a
+    /// raw identifier, not a raw string).
+    fn try_eat_raw_string(&mut self, prefix_len: usize) -> Option<TokKind> {
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) != Some(b'"') {
+            return None;
+        }
+        for _ in 0..prefix_len + hashes + 1 {
+            self.bump();
+        }
+        // Body ends at `"` followed by `hashes` `#` bytes.
+        while let Some(b) = self.bump() {
+            if b == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some(b'#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Some(TokKind::RawStr);
+                }
+            }
+        }
+        Some(TokKind::RawStr) // unterminated: recover at EOF
+    }
+
+    /// Disambiguate `'a'` (char), `'\n'` (escaped char) and `'a`
+    /// (lifetime). The opening `'` has not been consumed.
+    fn eat_char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.eat_quoted(b'\'');
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // `'ident` — char literal iff a `'` closes it right
+                // after the ident run (`'a'`), else a lifetime (`'a`).
+                let mut off = 2;
+                while self.peek(off).is_some_and(is_ident_continue) {
+                    off += 1;
+                }
+                if self.peek(off) == Some(b'\'') {
+                    for _ in 0..=off {
+                        self.bump();
+                    }
+                    TokKind::Char
+                } else {
+                    self.bump(); // `'`
+                    self.eat_while(is_ident_continue);
+                    TokKind::Lifetime
+                }
+            }
+            // `'(' `, `' '` … — char literal when a quote closes it.
+            Some(c) if c != b'\'' && self.peek(2) == Some(b'\'') => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokKind::Char
+            }
+            Some(c) if c != b'\'' => {
+                self.bump();
+                TokKind::Punct // stray quote: recover
+            }
+            _ => {
+                self.bump();
+                TokKind::Punct // `''` or EOF: recover
+            }
+        }
+    }
+
+    /// Numbers, loosely: digits, alphanumeric suffixes/radices and
+    /// underscores, plus `.` only when a digit follows (so `0..5`
+    /// leaves the range operator alone).
+    fn eat_number(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(b'.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    self.bump();
+                }
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                    self.bump();
+                }
+                // `1e-5` / `1E+5`: exponent sign right after e/E.
+                Some(b'+' | b'-')
+                    if self
+                        .src
+                        .get(self.pos.wrapping_sub(1))
+                        .is_some_and(|&p| p == b'e' || p == b'E')
+                        && self.peek(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+}

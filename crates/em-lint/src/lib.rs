@@ -1,0 +1,206 @@
+#![forbid(unsafe_code)]
+//! # em-lint — workspace-native static analysis
+//!
+//! The workspace's hardest-won guarantees are invisible to the type
+//! system: bit-identical reports across thread counts, panic-freedom
+//! in the serve path, documented contracts on every `unsafe` block.
+//! Tests pin those properties at *existing* call sites; this crate
+//! enforces them at every **future** call site, as a lint that walks
+//! the workspace source with a hand-rolled lexer (no `syn`, no
+//! registry — it must build before everything it lints).
+//!
+//! ## Rule catalog
+//!
+//! | rule | contract it enforces |
+//! |------|----------------------|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!` in `serve/`, `session/`, `em-core::codec` |
+//! | `map-iter` | no `HashMap`/`HashSet` iteration in report-feeding modules |
+//! | `wall-clock` | no `Instant::now`/`SystemTime` in report-feeding modules |
+//! | `env-read` | no `env::var` outside the config/bench/CLI allowlist |
+//! | `safety-comment` | every `unsafe` has an immediately-preceding `// SAFETY:` contract |
+//! | `forbid-unsafe` | unsafe-free crates declare `#![forbid(unsafe_code)]` |
+//! | `error-taxonomy` | no `Box<dyn Error>`/`Result<_, String>` in public APIs |
+//! | `allow-marker` | every allow marker parses and names a real rule |
+//!
+//! A finding is silenced — with an audit trail — by a marker on the
+//! same line or the line above:
+//!
+//! ```text
+//! // em-lint: allow(wall-clock) -- timing field; canonical() zeroes it
+//! let t0 = Instant::now();
+//! ```
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+pub mod walk;
+
+pub use config::LintConfig;
+pub use report::{Finding, LintReport};
+
+use rules::FileCtx;
+use scope::FileModel;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use walk::{crate_of, FileKind};
+
+/// Lint a whole workspace rooted at `root`. Reads every non-vendored
+/// `.rs` file, runs the rule catalog, resolves allow markers, and
+/// returns the findings sorted by (file, line, rule).
+pub fn run_workspace(root: &Path, config: &LintConfig) -> std::io::Result<LintReport> {
+    let files = walk::walk_workspace(root)?;
+    let mut findings = Vec::new();
+    // Crate name -> (has any unsafe, lib.rs forbids it, lib.rs path).
+    let mut crates: BTreeMap<String, (bool, bool, Option<String>)> = BTreeMap::new();
+
+    for file in &files {
+        let src = std::fs::read(&file.abs)?;
+        let tokens = lexer::lex_bytes(&src);
+        let model = FileModel::build(&tokens);
+        let ctx = FileCtx {
+            rel: &file.rel,
+            kind: file.kind,
+            tokens: &tokens,
+            model: &model,
+            config,
+        };
+
+        rules::panic_free::check(&ctx, &mut findings);
+        rules::determinism::check(&ctx, &mut findings);
+        rules::unsafe_hygiene::check(&ctx, &mut findings);
+        rules::error_taxonomy::check(&ctx, &mut findings);
+
+        let entry = crates
+            .entry(crate_of(&file.rel))
+            .or_insert((false, false, None));
+        entry.0 |= rules::unsafe_hygiene::file_has_unsafe(&ctx);
+        if file.kind == FileKind::Lib && file.rel.ends_with("src/lib.rs") {
+            entry.1 = rules::unsafe_hygiene::file_forbids_unsafe(&ctx);
+            entry.2 = Some(file.rel.clone());
+        }
+
+        // Malformed / unknown-rule markers are findings themselves.
+        for bad in &model.bad_markers {
+            findings.push(Finding {
+                rule: rules::ALLOW_MARKER,
+                file: file.rel.clone(),
+                line: bad.line,
+                message: format!("malformed allow marker: {}", bad.problem),
+                allow_reason: None,
+            });
+        }
+        for marker in &model.allows {
+            for r in &marker.rules {
+                if !rules::ALL_RULES.contains(&r.as_str()) {
+                    findings.push(Finding {
+                        rule: rules::ALLOW_MARKER,
+                        file: file.rel.clone(),
+                        line: marker.line,
+                        message: format!("allow marker names unknown rule `{r}`"),
+                        allow_reason: None,
+                    });
+                }
+            }
+        }
+
+        // Resolve markers for the findings this file just produced
+        // (markers never cross files).
+        for f in findings.iter_mut().filter(|f| f.file == file.rel) {
+            if let Some(m) = model.allow_for(f.rule, f.line) {
+                f.allow_reason = Some(m.reason.clone());
+            }
+        }
+    }
+
+    // Crate-level pass: unsafe-free crates must forbid unsafe_code.
+    for (name, (has_unsafe, forbids, lib)) in &crates {
+        let Some(lib) = lib else { continue };
+        if !has_unsafe && !forbids {
+            findings.push(Finding {
+                rule: rules::FORBID_UNSAFE,
+                file: lib.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{name}` has no unsafe code but its root does not \
+                     declare `#![forbid(unsafe_code)]`"
+                ),
+                allow_reason: None,
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(LintReport {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Lint a single in-memory source as if it lived at `rel` — the unit
+/// the fixture tests drive. Crate-level rules (`forbid-unsafe`) do not
+/// run here.
+pub fn lint_source(rel: &str, kind: FileKind, src: &[u8], config: &LintConfig) -> Vec<Finding> {
+    let tokens = lexer::lex_bytes(src);
+    let model = FileModel::build(&tokens);
+    let ctx = FileCtx {
+        rel,
+        kind,
+        tokens: &tokens,
+        model: &model,
+        config,
+    };
+    let mut findings = Vec::new();
+    rules::panic_free::check(&ctx, &mut findings);
+    rules::determinism::check(&ctx, &mut findings);
+    rules::unsafe_hygiene::check(&ctx, &mut findings);
+    rules::error_taxonomy::check(&ctx, &mut findings);
+    for bad in &model.bad_markers {
+        findings.push(Finding {
+            rule: rules::ALLOW_MARKER,
+            file: rel.to_string(),
+            line: bad.line,
+            message: format!("malformed allow marker: {}", bad.problem),
+            allow_reason: None,
+        });
+    }
+    for marker in &model.allows {
+        for r in &marker.rules {
+            if !rules::ALL_RULES.contains(&r.as_str()) {
+                findings.push(Finding {
+                    rule: rules::ALLOW_MARKER,
+                    file: rel.to_string(),
+                    line: marker.line,
+                    message: format!("allow marker names unknown rule `{r}`"),
+                    allow_reason: None,
+                });
+            }
+        }
+    }
+    for f in &mut findings {
+        if let Some(m) = model.allow_for(f.rule, f.line) {
+            f.allow_reason = Some(m.reason.clone());
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

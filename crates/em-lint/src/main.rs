@@ -1,0 +1,78 @@
+//! `em-lint` binary: lint the workspace, print human or JSON output.
+//!
+//! ```text
+//! em-lint [--root PATH] [--format human|json] [--show-allowed] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 active findings, 2 usage/I-O error.
+
+use em_lint::{find_workspace_root, run_workspace, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut show_allowed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "human" || v == "json" => format = v,
+                _ => return usage("--format must be `human` or `json`"),
+            },
+            "--show-allowed" => show_allowed = true,
+            "--list-rules" => {
+                for r in em_lint::rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "em-lint [--root PATH] [--format human|json] [--show-allowed] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (pass --root)"),
+    };
+
+    let report = match run_workspace(&root, &LintConfig::workspace_default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("em-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_human(show_allowed));
+    }
+    if report.active_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("em-lint: {msg}");
+    eprintln!("usage: em-lint [--root PATH] [--format human|json] [--show-allowed] [--list-rules]");
+    ExitCode::from(2)
+}

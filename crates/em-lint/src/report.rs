@@ -1,0 +1,143 @@
+//! Structured diagnostics and the two output formats (human, JSON).
+//!
+//! The JSON writer is hand-rolled: `em-lint` is dependency-free by
+//! design (it is CI's first job and must not sit behind anything it
+//! lints), and the report shape is flat enough that an escaper plus
+//! string concatenation is the whole cost.
+
+use std::fmt::Write as _;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule ID, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when an `em-lint: allow(...)` marker covers the
+    /// finding; allowed findings never fail the lint.
+    pub allow_reason: Option<String>,
+}
+
+impl Finding {
+    /// True when no allow marker covers this finding.
+    pub fn is_active(&self) -> bool {
+        self.allow_reason.is_none()
+    }
+}
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule) — allowed ones too.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Findings not covered by an allow marker.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_active())
+    }
+
+    /// Number of active (lint-failing) findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Render the human-readable report.
+    pub fn to_human(&self, show_allowed: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.allow_reason {
+                None => {
+                    let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+                Some(reason) if show_allowed => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: [{}] allowed: {} (reason: {})",
+                        f.file, f.line, f.rule, f.message, reason
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        let allowed = self.findings.len() - self.active_count();
+        let _ = writeln!(
+            out,
+            "em-lint: {} file(s) scanned, {} finding(s) ({} allowed)",
+            self.files_scanned,
+            self.active_count(),
+            allowed
+        );
+        out
+    }
+
+    /// Render the machine-readable JSON report (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"version\":1,\"root\":{},", json_str(&self.root));
+        let _ = write!(out, "\"files_scanned\":{},", self.files_scanned);
+        out.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"allowed\":{}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                !f.is_active(),
+            );
+            match &f.allow_reason {
+                Some(r) => {
+                    let _ = write!(out, ",\"allow_reason\":{}}}", json_str(r));
+                }
+                None => out.push_str(",\"allow_reason\":null}"),
+            }
+        }
+        out.push_str("],");
+        let active = self.active_count();
+        let _ = write!(
+            out,
+            "\"summary\":{{\"total\":{},\"active\":{},\"allowed\":{}}}",
+            self.findings.len(),
+            active,
+            self.findings.len() - active
+        );
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string literal with full escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

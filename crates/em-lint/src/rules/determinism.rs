@@ -1,0 +1,256 @@
+//! Determinism rules for report-feeding modules.
+//!
+//! The workspace promises bit-identical `RunReport`/`GridReport`s and
+//! snapshot bytes across thread counts and checkpoint boundaries
+//! (PR 3/5/8 golden-test it). Three things silently break that
+//! promise and are invisible to those tests at *new* call sites:
+//!
+//! - `map-iter` — `HashMap`/`HashSet` iteration order is randomized
+//!   per process (SipHash keys), so any iteration that feeds ordered
+//!   output must go through `BTreeMap` or an explicit sort;
+//! - `wall-clock` — `Instant::now`/`SystemTime` values differ per run
+//!   (sanctioned only for the timing fields `canonical()` zeroes);
+//! - `env-read` — `std::env::var` makes results depend on ambient
+//!   process state; config reads live in the allowlisted modules.
+
+use super::{FileCtx, ENV_READ, MAP_ITER, WALL_CLOCK};
+use crate::config::LintConfig;
+use crate::report::Finding;
+use crate::walk::FileKind;
+use std::collections::BTreeSet;
+
+/// Methods on a map/set that observe iteration order.
+const ORDER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Check one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    if LintConfig::in_scope(ctx.rel, &ctx.config.determinism_scopes) {
+        check_map_iter(ctx, out);
+        check_wall_clock(ctx, out);
+    }
+    if !LintConfig::in_scope(ctx.rel, &ctx.config.env_allowlist) {
+        check_env_read(ctx, out);
+    }
+}
+
+/// Track identifiers bound to `HashMap`/`HashSet` (by type ascription
+/// — covering `let`, fields and params — or by `HashMap::new()`-style
+/// initializers), then flag order-observing uses of those names.
+fn check_map_iter(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let tracked = collect_map_bindings(ctx);
+    if tracked.is_empty() {
+        return;
+    }
+    for k in 0..ctx.clen() {
+        if ctx.is_test(k) || !tracked.contains(ctx.ctext(k)) {
+            continue;
+        }
+        let name = ctx.ctext(k);
+        // Don't flag the *binding* occurrences themselves: a name
+        // directly followed by `:` (ascription/field) or preceded by
+        // `let`/`mut` with `=` ahead is a definition site.
+        if ctx.ctext(k + 1) == ":" {
+            continue;
+        }
+        // Step over one `[index]` group (`bands[i].iter()`).
+        let mut after = k + 1;
+        if ctx.ctext(after) == "[" {
+            let mut depth = 0i64;
+            while after < ctx.clen() {
+                match ctx.ctext(after) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            after += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                after += 1;
+            }
+        }
+        if ctx.ctext(after) == "." && ORDER_METHODS.contains(&ctx.ctext(after + 1)) {
+            let method = ctx.ctext(after + 1);
+            ctx.emit(
+                out,
+                MAP_ITER,
+                ctx.cline(k),
+                format!(
+                    "`{name}.{method}()` iterates a hash map/set in randomized \
+                     order inside a report-feeding module; use `BTreeMap`/\
+                     `BTreeSet` or sort before consuming"
+                ),
+            );
+            continue;
+        }
+        // `for x in name {` / `for x in &name {` — direct iteration.
+        if after == k + 1 && ctx.ctext(after) != "." && in_for_header(ctx, k) {
+            ctx.emit(
+                out,
+                MAP_ITER,
+                ctx.cline(k),
+                format!(
+                    "`for … in {name}` iterates a hash map/set in randomized \
+                     order inside a report-feeding module; use `BTreeMap`/\
+                     `BTreeSet` or sort before consuming"
+                ),
+            );
+        }
+    }
+}
+
+/// Names with a `HashMap`/`HashSet` type ascription or initializer.
+fn collect_map_bindings(ctx: &FileCtx) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for k in 0..ctx.clen() {
+        let t = ctx.ctext(k);
+        let is_name = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+        };
+        // `name : … HashMap< …` — let ascriptions, struct fields, fn
+        // params. Only the *outermost* type matters: `Vec<HashMap<…>>`
+        // iterates the Vec (deterministic), so it is not tracked.
+        if t == ":"
+            && is_name(ctx.ctext(k.wrapping_sub(1)))
+            && ctx.ctext(k + 1) != ":"
+            && head_is_map(ctx, k + 1)
+        {
+            tracked.insert(ctx.ctext(k.wrapping_sub(1)).to_string());
+        }
+        // `let [mut] name = … HashMap::new()/with_capacity/from…`
+        if t == "let" {
+            let mut n = k + 1;
+            if ctx.ctext(n) == "mut" {
+                n += 1;
+            }
+            let name = ctx.ctext(n);
+            if is_name(name) && ctx.ctext(n + 1) == "=" && head_is_map(ctx, n + 2) {
+                tracked.insert(name.to_string());
+            }
+        }
+    }
+    tracked
+}
+
+/// Does the type (or initializer expression) starting at code token
+/// `j` have `HashMap`/`HashSet` as its outermost constructor? Skips
+/// `&`/`mut`/lifetimes, `std::collections::`-style path prefixes, and
+/// the transparent wrappers (`Arc`, `Rc`, `Box`, `Option`) through
+/// which auto-deref still exposes map iteration.
+fn head_is_map(ctx: &FileCtx, mut j: usize) -> bool {
+    for _ in 0..12 {
+        match ctx.ctext(j) {
+            "&" | "mut" => j += 1,
+            t if t.starts_with('\'') => j += 1, // lifetime
+            "Arc" | "Rc" | "Box" | "Option" if ctx.ctext(j + 1) == "<" => j += 2,
+            "HashMap" | "HashSet" => return true,
+            t if !t.is_empty()
+                && t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && ctx.ctext(j + 1) == ":"
+                && ctx.ctext(j + 2) == ":" =>
+            {
+                j += 3; // path segment `std::`, `collections::`
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Is code token `k` inside the header of a `for … in … {` loop —
+/// i.e. between a `for` and its body `{`, after the `in`?
+fn in_for_header(ctx: &FileCtx, k: usize) -> bool {
+    // Walk back a bounded distance looking for `for`, aborting at
+    // tokens that cannot appear in a loop header.
+    let mut saw_in = false;
+    let mut j = k;
+    for _ in 0..24 {
+        j = match j.checked_sub(1) {
+            Some(j) => j,
+            None => return false,
+        };
+        match ctx.ctext(j) {
+            "in" => saw_in = true,
+            "for" => return saw_in,
+            ";" | "{" | "}" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `Instant::now()` / `SystemTime::now()` / `SystemTime` mentions.
+fn check_wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for k in 0..ctx.clen() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        let t = ctx.ctext(k);
+        let flagged = match t {
+            "Instant" => ctx.ctext(k + 1) == ":" && ctx.ctext(k + 3) == "now",
+            // Any SystemTime use is wall-clock, not just `::now()`
+            // (UNIX_EPOCH arithmetic, serialized timestamps, …), but
+            // skip the `use std::time::SystemTime;` import itself.
+            "SystemTime" => ctx.ctext(k + 1) != ";",
+            _ => false,
+        };
+        if flagged {
+            ctx.emit(
+                out,
+                WALL_CLOCK,
+                ctx.cline(k),
+                format!(
+                    "`{t}` reads the wall clock inside a report-feeding module; \
+                     results must be reproducible — if this only fills a timing \
+                     field that `canonical()` zeroes, say so with an allow marker"
+                ),
+            );
+        }
+    }
+}
+
+/// `std::env::var` / `env::var` / `var_os` outside the allowlist.
+fn check_env_read(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for k in 0..ctx.clen() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        if ctx.ctext(k) == "env"
+            && ctx.ctext(k + 1) == ":"
+            && ctx.ctext(k + 2) == ":"
+            && (ctx.ctext(k + 3) == "var" || ctx.ctext(k + 3) == "var_os")
+        {
+            ctx.emit(
+                out,
+                ENV_READ,
+                ctx.cline(k),
+                "`env::var` read outside the config/bench/CLI allowlist makes \
+                 results depend on ambient process state"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `error-taxonomy`: the workspace has one error type (`EmError`) and
+//! every fallible public API returns it. `Box<dyn Error>` and stringly
+//! `Result<_, String>` escaping a `pub fn` erase the structure the
+//! serve layer dispatches on (`is_transient()`, codec-vs-storage).
+
+use super::{FileCtx, ERROR_TAXONOMY};
+use crate::report::Finding;
+use crate::walk::FileKind;
+
+/// Check one file: scan `pub fn` signatures' return types.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for k in 0..ctx.clen() {
+        if ctx.ctext(k) != "pub" || ctx.is_test(k) {
+            continue;
+        }
+        // `pub fn` / `pub unsafe fn` / `pub const fn` / `pub async fn`
+        // — but not `pub(crate) fn`, which is not public API.
+        let mut f = k + 1;
+        while matches!(ctx.ctext(f), "unsafe" | "const" | "async") {
+            f += 1;
+        }
+        if ctx.ctext(f) != "fn" {
+            continue;
+        }
+        // Find `->`, then scan the return type until the body `{`,
+        // a `;` (trait method), or a `where` clause.
+        let line = ctx.cline(f);
+        let Some(arrow) = find_arrow(ctx, f) else {
+            continue;
+        };
+        let mut ret = Vec::new();
+        for j in arrow..(arrow + 96).min(ctx.clen()) {
+            match ctx.ctext(j) {
+                "{" | ";" | "where" => break,
+                t => ret.push(t),
+            }
+        }
+        if contains_seq(&ret, &["Box", "<", "dyn"]) && ret.contains(&"Error") {
+            ctx.emit(
+                out,
+                ERROR_TAXONOMY,
+                line,
+                "public API returns `Box<dyn Error>`; use the workspace's \
+                 structured `EmError` so callers can dispatch on the variant"
+                    .to_string(),
+            );
+        } else if ret.contains(&"Result") && contains_seq(&ret, &[",", "String", ">"]) {
+            ctx.emit(
+                out,
+                ERROR_TAXONOMY,
+                line,
+                "public API returns a stringly `Result<_, String>`; use the \
+                 workspace's structured `EmError` instead"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Code-token index just after the `->` of this fn's signature, if it
+/// has a return type. Skips the balanced `(…)` parameter list first so
+/// closures with `->` inside default-arg positions don't confuse it.
+fn find_arrow(ctx: &FileCtx, fn_ix: usize) -> Option<usize> {
+    // Find the parameter list's `(`.
+    let mut j = fn_ix + 1;
+    while j < ctx.clen() && ctx.ctext(j) != "(" {
+        if matches!(ctx.ctext(j), "{" | ";") {
+            return None;
+        }
+        j += 1;
+    }
+    // Balance it.
+    let mut depth = 0i64;
+    while j < ctx.clen() {
+        match ctx.ctext(j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // `-` `>` right after the params.
+    if ctx.ctext(j + 1) == "-" && ctx.ctext(j + 2) == ">" {
+        Some(j + 3)
+    } else {
+        None
+    }
+}
+
+/// Is `needle` a contiguous subsequence of `hay`?
+fn contains_seq(hay: &[&str], needle: &[&str]) -> bool {
+    hay.windows(needle.len()).any(|w| w == needle)
+}

@@ -1,0 +1,105 @@
+//! The rule catalog. Each rule is a free function over a [`FileCtx`]
+//! pushing [`Finding`]s; the runner in `lib.rs` wires them together
+//! and resolves allow markers afterwards.
+
+pub mod determinism;
+pub mod error_taxonomy;
+pub mod panic_free;
+pub mod unsafe_hygiene;
+
+use crate::config::LintConfig;
+use crate::lexer::Token;
+use crate::report::Finding;
+use crate::scope::FileModel;
+use crate::walk::FileKind;
+
+/// `no-panic`: `unwrap`/`expect`/`panic!`-family forbidden in the
+/// panic-free scopes.
+pub const NO_PANIC: &str = "no-panic";
+/// `map-iter`: iteration over `HashMap`/`HashSet` in deterministic
+/// scopes (iteration order is randomized per process).
+pub const MAP_ITER: &str = "map-iter";
+/// `wall-clock`: `Instant::now`/`SystemTime` in deterministic scopes.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// `env-read`: `std::env::var` outside the config/bench/CLI allowlist.
+pub const ENV_READ: &str = "env-read";
+/// `safety-comment`: `unsafe` without an immediately-preceding
+/// `// SAFETY:` contract (or `# Safety` doc section).
+pub const SAFETY_COMMENT: &str = "safety-comment";
+/// `forbid-unsafe`: a crate with zero `unsafe` must say so with
+/// `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+/// `error-taxonomy`: no `Box<dyn Error>`/stringly `Result<_, String>`
+/// escaping a public API — the workspace has `EmError`.
+pub const ERROR_TAXONOMY: &str = "error-taxonomy";
+/// `allow-marker`: a marker that mentions `em-lint:` but fails to
+/// parse, or names a rule that does not exist.
+pub const ALLOW_MARKER: &str = "allow-marker";
+
+/// Every rule ID, for `--list-rules` and marker validation.
+pub const ALL_RULES: [&str; 8] = [
+    NO_PANIC,
+    MAP_ITER,
+    WALL_CLOCK,
+    ENV_READ,
+    SAFETY_COMMENT,
+    FORBID_UNSAFE,
+    ERROR_TAXONOMY,
+    ALLOW_MARKER,
+];
+
+/// Everything a per-file rule gets to look at.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// Target-kind classification.
+    pub kind: FileKind,
+    /// Full token stream (comments included).
+    pub tokens: &'a [Token],
+    /// Scope model (code indices, test spans, allow markers).
+    pub model: &'a FileModel,
+    /// Path scopes.
+    pub config: &'a LintConfig,
+}
+
+impl FileCtx<'_> {
+    /// Text of the `k`-th *code* token, or `""` past the end.
+    pub fn ctext(&self, k: usize) -> &str {
+        self.model
+            .code
+            .get(k)
+            .map(|&ix| self.tokens[ix].text.as_str())
+            .unwrap_or("")
+    }
+
+    /// Line of the `k`-th code token (0 past the end).
+    pub fn cline(&self, k: usize) -> u32 {
+        self.model
+            .code
+            .get(k)
+            .map(|&ix| self.tokens[ix].line)
+            .unwrap_or(0)
+    }
+
+    /// Number of code tokens.
+    pub fn clen(&self) -> usize {
+        self.model.code.len()
+    }
+
+    /// Is this code-token index inside a `#[cfg(test)]`/`#[test]`
+    /// region?
+    pub fn is_test(&self, k: usize) -> bool {
+        self.model.is_test_line(self.cline(k))
+    }
+
+    /// Push a finding for this file.
+    pub fn emit(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+        out.push(Finding {
+            rule,
+            file: self.rel.to_string(),
+            line,
+            message,
+            allow_reason: None,
+        });
+    }
+}

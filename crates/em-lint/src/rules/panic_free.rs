@@ -1,0 +1,82 @@
+//! `no-panic`: the serve/session/codec paths must not contain a
+//! reachable panic. PR 7 bought this property by hand (poisoned-lock
+//! recovery, length-validated codec reads); this rule keeps new call
+//! sites from spending it.
+
+use super::{FileCtx, NO_PANIC};
+use crate::config::LintConfig;
+use crate::report::Finding;
+use crate::walk::FileKind;
+
+/// Macros whose expansion is an unconditional panic.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Check one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib || !LintConfig::in_scope(ctx.rel, &ctx.config.panic_scopes) {
+        return;
+    }
+    for k in 0..ctx.clen() {
+        if ctx.is_test(k) {
+            continue;
+        }
+        let t = ctx.ctext(k);
+        // `.unwrap()` / `.expect(` — method position only, so local
+        // functions *named* unwrap and `unwrap_or{,_else,_default}`
+        // stay legal.
+        if (t == "unwrap" || t == "expect")
+            && ctx.ctext(k.wrapping_sub(1)) == "."
+            && ctx.ctext(k + 1) == "("
+        {
+            let target = if ctx.ctext(k.wrapping_sub(2)) == ")"
+                && find_call_head(ctx, k.wrapping_sub(2)) == Some("lock")
+            {
+                // The exact shape PR 7 eliminated: a poisoned mutex
+                // takes the whole serve path down.
+                format!("`.lock().{t}()` can panic on a poisoned lock")
+            } else {
+                format!("`.{t}()` can panic")
+            };
+            ctx.emit(
+                out,
+                NO_PANIC,
+                ctx.cline(k),
+                format!(
+                    "{target}; this path is panic-free — return an `EmError` \
+                     (or justify with `// em-lint: allow(no-panic) -- reason`)"
+                ),
+            );
+        }
+        // `panic!(…)` and friends.
+        if PANIC_MACROS.contains(&t) && ctx.ctext(k + 1) == "!" {
+            ctx.emit(
+                out,
+                NO_PANIC,
+                ctx.cline(k),
+                format!("`{t}!` in a panic-free path; return an `EmError` instead"),
+            );
+        }
+    }
+}
+
+/// For a `)` at code index `close`, walk back over the balanced paren
+/// group and return the method/function name just before it (the
+/// `lock` in `lock().unwrap()`).
+fn find_call_head<'a>(ctx: &'a FileCtx, close: usize) -> Option<&'a str> {
+    let mut depth = 0i64;
+    let mut k = close;
+    loop {
+        match ctx.ctext(k) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ctx.ctext(k.checked_sub(1)?));
+                }
+            }
+            "" => return None,
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+}

@@ -1,0 +1,152 @@
+//! Unsafe hygiene: every `unsafe` occurrence carries a written
+//! contract, and crates that need no `unsafe` at all say so in their
+//! crate root (`#![forbid(unsafe_code)]`), so a future `unsafe` block
+//! cannot slip into them without loosening the attribute in review.
+
+use super::{FileCtx, SAFETY_COMMENT};
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+
+/// Per-file half of the rule: flag `unsafe` tokens without an
+/// immediately-preceding `// SAFETY:` contract (a `# Safety` doc
+/// section on an `unsafe fn` counts — rustdoc's own convention).
+pub fn check(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        if has_adjacent_contract(ctx.tokens, i) || contract_through_attrs(ctx.tokens, i) {
+            continue;
+        }
+        let what = match ctx.tokens.get(i + 1).map(|t| t.text.as_str()) {
+            Some("impl") => "`unsafe impl`",
+            Some("fn") => "`unsafe fn`",
+            Some("trait") => "`unsafe trait`",
+            _ => "`unsafe` block",
+        };
+        ctx.emit(
+            out,
+            SAFETY_COMMENT,
+            tok.line,
+            format!(
+                "{what} without an immediately-preceding `// SAFETY:` comment \
+                 stating the contract that makes it sound"
+            ),
+        );
+    }
+}
+
+fn is_contract(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("# Safety")
+}
+
+/// Last source line a token touches (block comments span many).
+fn last_line(tok: &Token) -> u32 {
+    tok.line + tok.text.bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+/// A contract comment *block* ending on the `unsafe` token's own line
+/// or the line right above it (covers `Tier::Avx2 => unsafe { … }`
+/// match arms, where the comment sits above the whole arm). A block is
+/// a run of comment tokens adjacent in both the token stream and the
+/// line numbering — `// SAFETY: …` followed by its continuation lines
+/// counts as one contract even though each line is its own token.
+fn has_adjacent_contract(tokens: &[Token], unsafe_ix: usize) -> bool {
+    let line = tokens[unsafe_ix].line;
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_comment() {
+            i += 1;
+            continue;
+        }
+        let start = tokens[i].line;
+        let mut end = last_line(&tokens[i]);
+        let mut has = is_contract(&tokens[i].text);
+        while i + 1 < tokens.len() && tokens[i + 1].is_comment() && tokens[i + 1].line <= end + 1 {
+            i += 1;
+            end = last_line(&tokens[i]);
+            has |= is_contract(&tokens[i].text);
+        }
+        if has && start <= line && end + 1 >= line {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Walk backwards from the `unsafe` token over things legitimately
+/// between an item and its doc — attributes, visibility — requiring
+/// line contiguity, and accept a contract comment found on the way
+/// (covers `/// # Safety` docs above `#[target_feature] unsafe fn`).
+fn contract_through_attrs(tokens: &[Token], unsafe_ix: usize) -> bool {
+    let mut expect_line = tokens[unsafe_ix].line;
+    let mut i = unsafe_ix;
+    loop {
+        i = match i.checked_sub(1) {
+            Some(i) => i,
+            None => return false,
+        };
+        let tok = &tokens[i];
+        if last_line(tok) + 1 < expect_line {
+            return false; // blank-line gap: not "immediately preceding"
+        }
+        if tok.is_comment() {
+            if is_contract(&tok.text) {
+                return true;
+            }
+            expect_line = tok.line;
+            continue;
+        }
+        match tok.text.as_str() {
+            // Attribute `#[…]` / `#![…]`: hop from its `]` to its `#`.
+            "]" => {
+                let mut depth = 0i64;
+                loop {
+                    let t = &tokens[i];
+                    match t.text.as_str() {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i = match i.checked_sub(1) {
+                        Some(i) => i,
+                        None => return false,
+                    };
+                }
+                // Step over `#` (and `!` of an inner attribute).
+                while i > 0 && matches!(tokens[i - 1].text.as_str(), "#" | "!") {
+                    i -= 1;
+                }
+                expect_line = tokens[i].line;
+            }
+            // Visibility and qualifiers that precede `unsafe` in item
+            // position: `pub unsafe fn`, `pub(crate) const unsafe fn`.
+            "pub" | "crate" | "const" | "extern" | "(" | ")" => {
+                expect_line = tok.line;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Does this file contain any `unsafe` code token?
+pub fn file_has_unsafe(ctx: &FileCtx) -> bool {
+    (0..ctx.clen()).any(|k| ctx.ctext(k) == "unsafe")
+}
+
+/// Does this file carry `#![forbid(unsafe_code)]`?
+pub fn file_forbids_unsafe(ctx: &FileCtx) -> bool {
+    (0..ctx.clen()).any(|k| {
+        ctx.ctext(k) == "forbid"
+            && ctx.ctext(k + 1) == "("
+            && ctx.ctext(k + 2) == "unsafe_code"
+            && ctx.ctext(k + 3) == ")"
+            && ctx.ctext(k.wrapping_sub(1)) == "["
+    })
+}

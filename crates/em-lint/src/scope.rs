@@ -1,0 +1,272 @@
+//! File-level source model built on top of the token stream: which
+//! lines belong to `#[cfg(test)]` / `#[test]` items (brace-tracked),
+//! and which lines carry `em-lint: allow(...)` markers.
+
+use crate::lexer::Token;
+
+/// A parsed `// em-lint: allow(rule-id) -- reason` marker.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// Line of the comment's first byte.
+    pub line: u32,
+    /// Line of the comment's last byte (differs for block comments).
+    pub end_line: u32,
+    /// Rule IDs named inside `allow(…)` (comma-separated).
+    pub rules: Vec<String>,
+    /// Mandatory justification after `--`.
+    pub reason: String,
+}
+
+/// A malformed marker: mentions `em-lint:` but does not parse.
+#[derive(Debug, Clone)]
+pub struct BadMarker {
+    /// Line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Per-file source model consumed by the rules.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Indices into the token stream of non-comment tokens.
+    pub code: Vec<usize>,
+    /// Half-open, sorted line spans `[start, end]` covered by
+    /// `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Well-formed allow markers, in source order.
+    pub allows: Vec<AllowMarker>,
+    /// Markers that failed to parse (reported as findings).
+    pub bad_markers: Vec<BadMarker>,
+}
+
+impl FileModel {
+    /// Build the model from a lexed token stream.
+    pub fn build(tokens: &[Token]) -> Self {
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let mut model = FileModel {
+            code,
+            test_spans: Vec::new(),
+            allows: Vec::new(),
+            bad_markers: Vec::new(),
+        };
+        model.scan_markers(tokens);
+        model.scan_test_items(tokens);
+        model
+    }
+
+    /// True when `line` falls inside a test-gated item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// The allow marker (if any) covering a finding for `rule` at
+    /// `line`: a marker allows its own line(s) and the line right
+    /// after it ends (trailing-comment and line-above placements).
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowMarker> {
+        self.allows
+            .iter()
+            .find(|m| m.rules.iter().any(|r| r == rule) && m.line <= line && line <= m.end_line + 1)
+    }
+
+    fn scan_markers(&mut self, tokens: &[Token]) {
+        for tok in tokens {
+            // A marker is a comment whose *content* starts with
+            // `em-lint:` — prose that merely mentions the syntax
+            // (like this crate's own docs) is not a marker.
+            if !tok.is_comment() || !comment_content(&tok.text).starts_with("em-lint:") {
+                continue;
+            }
+            let end_line = tok.line + tok.text.bytes().filter(|&b| b == b'\n').count() as u32;
+            match parse_marker(&tok.text) {
+                Ok((rules, reason)) => self.allows.push(AllowMarker {
+                    line: tok.line,
+                    end_line,
+                    rules,
+                    reason,
+                }),
+                Err(problem) => self.bad_markers.push(BadMarker {
+                    line: tok.line,
+                    problem,
+                }),
+            }
+        }
+    }
+
+    /// Find `#[cfg(test)]` / `#[test]` attributes and mark the line
+    /// span of the item that follows (through its matching `}` for
+    /// braced items, or its `;` otherwise).
+    fn scan_test_items(&mut self, tokens: &[Token]) {
+        let code = &self.code;
+        let mut i = 0;
+        while i < code.len() {
+            if !is_attr_start(tokens, code, i) {
+                i += 1;
+                continue;
+            }
+            let (inner, after) = match attr_body(tokens, code, i) {
+                Some(x) => x,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if !is_test_attr(&inner) {
+                i = after;
+                continue;
+            }
+            let start_line = tokens[code[i]].line;
+            // Skip any further attributes between the test attr and
+            // the item itself.
+            let mut j = after;
+            while is_attr_start(tokens, code, j) {
+                match attr_body(tokens, code, j) {
+                    Some((_, nxt)) => j = nxt,
+                    None => break,
+                }
+            }
+            // Scan to the item's `{` (then match braces) or `;`.
+            let mut end_line = start_line;
+            while j < code.len() {
+                let t = &tokens[code[j]];
+                if t.text == ";" {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+                if t.text == "{" {
+                    let (close, line) = match_brace(tokens, code, j);
+                    end_line = line;
+                    j = close + 1;
+                    break;
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            self.test_spans.push((start_line, end_line));
+            i = j.max(after);
+        }
+        self.test_spans.sort_unstable();
+    }
+}
+
+/// Does code token `i` start an attribute (`#[` or `#![`)?
+fn is_attr_start(tokens: &[Token], code: &[usize], i: usize) -> bool {
+    let at = |k: usize| code.get(k).map(|&ix| tokens[ix].text.as_str());
+    at(i) == Some("#")
+        && (at(i + 1) == Some("[") || (at(i + 1) == Some("!") && at(i + 2) == Some("[")))
+}
+
+/// Collect an attribute's inner token texts; returns `(inner, index
+/// after the closing bracket)`. `i` must satisfy [`is_attr_start`].
+fn attr_body(tokens: &[Token], code: &[usize], i: usize) -> Option<(Vec<String>, usize)> {
+    let mut j = i + 1;
+    if code.get(j).map(|&ix| tokens[ix].text.as_str()) == Some("!") {
+        j += 1;
+    }
+    // j is at `[`
+    let mut depth = 0usize;
+    let mut inner = Vec::new();
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((inner, j + 1));
+                }
+            }
+            _ => {
+                if depth >= 1 {
+                    inner.push(t.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None // unterminated attribute
+}
+
+/// `#[test]`, `#[cfg(test)]`, and conjunctive forms like
+/// `#[cfg(all(test, …))]` gate test code; `#[cfg(not(test))]` does not.
+fn is_test_attr(inner: &[String]) -> bool {
+    match inner.first().map(String::as_str) {
+        Some("test") => inner.len() == 1,
+        Some("cfg") => inner.iter().any(|t| t == "test") && !inner.iter().any(|t| t == "not"),
+        _ => false,
+    }
+}
+
+/// From the `{` at code index `open`, return the index of its matching
+/// `}` and that token's line (EOF-recovering: last token if unmatched).
+fn match_brace(tokens: &[Token], code: &[usize], open: usize) -> (usize, u32) {
+    let mut depth = 0i64;
+    let mut j = open;
+    let mut last_line = tokens[code[open]].line;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        last_line = t.line;
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j, t.line);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (code.len().saturating_sub(1), last_line)
+}
+
+/// Strip comment fencing (`//`, `///`, `//!`, `/*`, `/**`, leading
+/// `*`) and whitespace off the front of a comment's text.
+fn comment_content(text: &str) -> &str {
+    text.trim_start_matches(['/', '!', '*', ' ', '\t'])
+}
+
+/// Parse `em-lint: allow(rule-a, rule-b) -- reason` out of a comment's
+/// text. Returns the rule list and the reason, or a description of the
+/// syntax problem.
+fn parse_marker(text: &str) -> Result<(Vec<String>, String), String> {
+    let Some(at) = text.find("em-lint:") else {
+        return Err("missing `em-lint:` prefix".into());
+    };
+    let rest = text[at + "em-lint:".len()..].trim_start();
+    let Some(body) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown directive `{}` (only `allow(rule) -- reason` is supported)",
+            rest.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".into());
+    };
+    let Some(close) = body.find(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in `allow()`".into());
+    }
+    let tail = body[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing `-- reason` (every allow must say why)".into());
+    };
+    // Block comments: strip the closing fence from the reason.
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err("empty reason after `--`".into());
+    }
+    Ok((rules, reason.to_string()))
+}

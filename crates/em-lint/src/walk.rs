@@ -1,0 +1,110 @@
+//! Workspace file discovery: find every `.rs` file that belongs to the
+//! workspace's own crates (vendored subsets and build output are not
+//! ours to lint) and classify it by target kind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What kind of target a source file belongs to. Rules use this to
+/// scope themselves (e.g. `env-read` waives CLI/bench/example code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/` outside `src/bin/`).
+    Lib,
+    /// Binary target (`src/bin/`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Criterion-style benches (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// A discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Target-kind classification.
+    pub kind: FileKind,
+}
+
+/// Directory names never descended into. `fixtures` holds lint test
+/// fixtures with *seeded violations* — linting them would be
+/// self-defeating.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", ".github", "fixtures"];
+
+/// Recursively collect the workspace's `.rs` files, sorted by relative
+/// path so every report and finding list is deterministic.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            let kind = classify(&rel);
+            out.push(SourceFile {
+                abs: path,
+                rel,
+                kind,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+fn classify(rel: &str) -> FileKind {
+    let has = |seg: &str| rel.split('/').any(|c| c == seg);
+    if rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else if has("tests") {
+        FileKind::Test
+    } else if has("benches") {
+        FileKind::Bench
+    } else if has("examples") {
+        FileKind::Example
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// The crate a file belongs to: `crates/<name>/…` maps to `<name>`,
+/// anything at the workspace top level maps to the root package.
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "<root>".to_string()
+}

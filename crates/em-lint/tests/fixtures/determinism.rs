@@ -1,0 +1,70 @@
+//! Fixture: the determinism rules (`map-iter`, `wall-clock`,
+//! `env-read`). Linted as if it lived under
+//! `crates/battleship/src/engine/` — a report-feeding module outside
+//! the env allowlist.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn map_method_iteration(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum() // ~FINDING(map-iter)
+}
+
+fn set_for_loop(s: HashSet<u32>) -> u32 {
+    let mut total = 0;
+    for v in s { // ~FINDING(map-iter)
+        total += v;
+    }
+    total
+}
+
+fn local_binding_by_initializer() -> Vec<u32> {
+    let mut scores = HashMap::new();
+    scores.insert(1u32, 2u32);
+    scores.into_values().collect() // ~FINDING(map-iter)
+}
+
+fn vec_of_maps_is_fine(bands: &[HashMap<u64, u32>]) -> usize {
+    bands.iter().count() // outer slice iterates in order: no finding
+}
+
+fn wrapped_map_still_counts(m: std::sync::Arc<HashMap<u32, u32>>) -> usize {
+    m.keys().count() // ~FINDING(map-iter)
+}
+
+fn sorted_use_is_fine(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied() // keyed access is deterministic
+}
+
+fn wall_clock() -> f64 {
+    let t0 = Instant::now(); // ~FINDING(wall-clock)
+    t0.elapsed().as_secs_f64()
+}
+
+fn allowed_wall_clock() -> Instant {
+    // em-lint: allow(wall-clock) -- fixture: timing field zeroed downstream
+    Instant::now() // ~ALLOWED(wall-clock)
+}
+
+fn system_time_nanos() -> u128 {
+    let now = std::time::SystemTime::now(); // ~FINDING(wall-clock)
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}
+
+fn env_read() -> Option<String> {
+    std::env::var("EM_FIXTURE").ok() // ~FINDING(env-read)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_observe_order_and_clocks() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.iter().count(), 0);
+        let _ = Instant::now();
+    }
+}

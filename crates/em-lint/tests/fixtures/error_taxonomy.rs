@@ -1,0 +1,36 @@
+//! Fixture: the `error-taxonomy` rule. Public APIs must return the
+//! structured workspace error, not `Box<dyn Error>` or a stringly
+//! `Result<_, String>`.
+
+pub fn boxed_error() -> Result<(), Box<dyn std::error::Error>> { // ~FINDING(error-taxonomy)
+    Ok(())
+}
+
+pub fn stringly() -> Result<u32, String> { // ~FINDING(error-taxonomy)
+    Ok(0)
+}
+
+pub async fn async_stringly(x: u32) -> Result<u32, String> { // ~FINDING(error-taxonomy)
+    Ok(x)
+}
+
+fn private_fns_may_box() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(())
+}
+
+pub(crate) fn crate_private_is_not_public_api() -> Result<u32, String> {
+    Ok(0)
+}
+
+pub fn string_payload_is_fine() -> Result<String, ()> {
+    Ok(String::new()) // `String` in the Ok position is not stringly
+}
+
+pub fn no_return_type(_x: u32) {}
+
+#[cfg(test)]
+mod tests {
+    pub fn helpers_in_test_code_are_exempt() -> Result<u32, String> {
+        Ok(1)
+    }
+}

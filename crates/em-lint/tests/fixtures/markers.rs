@@ -1,0 +1,22 @@
+//! Fixture: allow-marker hygiene (`allow-marker` rule). A marker that
+//! does not parse, or names a rule that does not exist, is itself a
+//! finding — silencing must leave an audit trail, not a typo.
+
+// em-lint: allow(no-panic) ~FINDING(allow-marker)
+fn marker_without_reason() {}
+
+// em-lint: allowing everything forever ~FINDING(allow-marker)
+fn marker_without_allow_clause() {}
+
+// em-lint: allow(not-a-real-rule) -- reason present, rule unknown ~FINDING(allow-marker)
+fn marker_with_unknown_rule() {}
+
+// em-lint: allow(wall-clock, env-read) -- one marker may name several rules
+fn well_formed_multi_rule_marker() {}
+
+// A comment that merely *mentions* em-lint: allow(...) syntax mid-prose
+// is not a marker; only comments that start with `em-lint:` parse.
+fn prose_mention_is_not_a_marker() {}
+
+/* em-lint: allow(no-panic) ~FINDING(allow-marker) */
+fn block_comment_markers_parse_too() {}

@@ -1,0 +1,64 @@
+//! Fixture: the `no-panic` rule. The harness lints this file as if it
+//! lived at `crates/battleship/src/serve/fixture.rs` (a panic scope)
+//! and diffs the findings against the tilde-tagged annotations on the
+//! offending lines.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // ~FINDING(no-panic)
+}
+
+fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present") // ~FINDING(no-panic)
+}
+
+fn bad_macro(x: u32) -> u32 {
+    match x {
+        0 => unreachable!("zero was filtered upstream"), // ~FINDING(no-panic)
+        n => n,
+    }
+}
+
+fn bad_lock(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // ~FINDING(no-panic)
+}
+
+fn justified(v: Option<u32>) -> u32 {
+    // em-lint: allow(no-panic) -- fixture: invariant documented here
+    v.unwrap() // ~ALLOWED(no-panic)
+}
+
+fn unwrap_or_is_legal(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+fn a_local_fn_named_unwrap_is_legal() -> u32 {
+    fn unwrap() -> u32 {
+        7
+    }
+    unwrap()
+}
+
+fn strings_do_not_count() -> &'static str {
+    "calling .unwrap() here would panic!() at runtime"
+}
+
+fn raw_strings_do_not_count() -> &'static str {
+    r#"x.unwrap() and a quoted ".expect(" too"#
+}
+
+/* block comments
+   /* even nested ones mentioning x.unwrap() */
+   do not count */
+fn comments_do_not_count() -> u32 {
+    0 // neither does .unwrap() in a line comment
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        Some(1u32).unwrap();
+        Some(2u32).expect("fixture");
+        panic!("tests may panic");
+    }
+}

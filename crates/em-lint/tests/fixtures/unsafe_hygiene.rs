@@ -1,0 +1,50 @@
+//! Fixture: the `safety-comment` rule. Linted at any path — the rule
+//! is not scope-gated; every `unsafe` in the workspace needs a
+//! contract.
+
+fn has_contract(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+fn missing_contract(p: *const u8) -> u8 {
+    unsafe { *p } // ~FINDING(safety-comment)
+}
+
+fn multiline_contract(p: *const u8) -> u8 {
+    // SAFETY: a contract may span several comment lines; the whole
+    // contiguous comment block counts as one contract, so the
+    // `unsafe` below is still "immediately preceded" by it.
+    unsafe { *p }
+}
+
+fn match_arm_contract(tier: u8, p: *const u8) -> u8 {
+    match tier {
+        // SAFETY: fixture — same shape as the SIMD dispatch arms.
+        1 => unsafe { *p },
+        _ => 0,
+    }
+}
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be non-null and valid for reads — rustdoc's own `# Safety`
+/// section is an accepted contract for an `unsafe fn`.
+pub unsafe fn doc_section_contract(p: *const u8) -> u8 {
+    *p
+}
+
+pub unsafe fn undocumented(p: *const u8) -> u8 { // ~FINDING(safety-comment)
+    *p
+}
+
+fn mentions_in_strings_are_not_unsafe() -> &'static str {
+    "the word unsafe inside a string is just a word"
+}
+
+// A line comment mentioning unsafe code is not an unsafe token either.
+fn mentions_in_comments_are_not_unsafe() -> u32 {
+    0
+}

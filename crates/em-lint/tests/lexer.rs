@@ -1,0 +1,128 @@
+//! Unit tests for the hand-rolled lexer: the tricky spans the rules
+//! depend on getting right — strings that mention forbidden syntax,
+//! raw strings with fences, nested comments, char-vs-lifetime, and
+//! line accounting across multi-line tokens.
+
+use em_lint::lexer::{lex, lex_bytes, TokKind};
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).into_iter().map(|t| t.kind).collect()
+}
+
+fn texts_of(src: &str, kind: TokKind) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn strings_hide_their_contents() {
+    let toks = lex(r#"let s = "x.unwrap() /* not a comment */ // nor this";"#);
+    assert!(toks.iter().all(|t| !t.is_comment()));
+    assert!(!toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    let strs = texts_of(r#"let s = "x.unwrap()";"#, TokKind::Str);
+    assert_eq!(strs, vec![r#""x.unwrap()""#.to_string()]);
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let toks = lex(r#"let s = "a \" b"; after"#);
+    assert_eq!(
+        texts_of(r#"let s = "a \" b"; after"#, TokKind::Str),
+        vec![r#""a \" b""#]
+    );
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "after"));
+}
+
+#[test]
+fn raw_strings_with_fences() {
+    let src = r###"let s = r##"quote " and fence "# inside"##; tail"###;
+    let raws = texts_of(src, TokKind::RawStr);
+    assert_eq!(raws, vec![r###"r##"quote " and fence "# inside"##"###]);
+    assert!(lex(src)
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "tail"));
+}
+
+#[test]
+fn byte_and_byte_raw_strings() {
+    assert_eq!(texts_of(r#"b"bytes""#, TokKind::Str), vec![r#"b"bytes""#]);
+    assert_eq!(
+        texts_of(r##"br#"raw bytes"#"##, TokKind::RawStr),
+        vec![r##"br#"raw bytes"#"##]
+    );
+    assert_eq!(texts_of("b'x'", TokKind::Char), vec!["b'x'"]);
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_raw_strings() {
+    let toks = lex("let r#type = 1;");
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+    assert!(toks.iter().all(|t| t.kind != TokKind::RawStr));
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let toks = lex("/* a /* nested b */ c */ fn x() {}");
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert_eq!(toks[0].text, "/* a /* nested b */ c */");
+    assert_eq!(toks[1].kind, TokKind::Ident);
+    assert_eq!(toks[1].text, "fn");
+}
+
+#[test]
+fn unterminated_comment_and_string_recover_at_eof() {
+    assert_eq!(kinds("/* never closed"), vec![TokKind::BlockComment]);
+    assert_eq!(kinds("\"never closed"), vec![TokKind::Str]);
+    assert_eq!(kinds("r#\"never closed"), vec![TokKind::RawStr]);
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    let src = "let c = 'a'; fn f<'long>(x: &'long str) -> Option<char> { Some('\\n') }";
+    let toks = lex(src);
+    assert_eq!(texts_of(src, TokKind::Char), vec!["'a'", "'\\n'"]);
+    assert_eq!(texts_of(src, TokKind::Lifetime), vec!["'long", "'long"]);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "str"));
+}
+
+#[test]
+fn numbers_do_not_swallow_range_operators() {
+    let src = "for i in 0..10 { let x = 1.5e-3 + 0xFF_u32; }";
+    assert_eq!(
+        texts_of(src, TokKind::Num),
+        vec!["0", "10", "1.5e-3", "0xFF_u32"]
+    );
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "let a = \"line one\nline two\";\n/* c\n   c */\nfn later() {}";
+    let toks = lex(src);
+    let fn_tok = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == "fn")
+        .expect("fn token");
+    assert_eq!(fn_tok.line, 5);
+}
+
+#[test]
+fn invalid_utf8_is_total_and_keeps_scanning() {
+    let mut bytes = vec![0xFF, 0xFE, b' '];
+    bytes.extend_from_slice(b"fn x() {}");
+    bytes.push(0x80);
+    let toks = lex_bytes(&bytes);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "fn"));
+}

@@ -1,0 +1,47 @@
+//! Property tests: the lexer and everything stacked on it are *total*.
+//! Linting runs over whatever bytes happen to be in the tree, so no
+//! input — valid Rust, truncated Rust, or raw byte soup — may panic it.
+
+use em_lint::lexer::{lex, lex_bytes};
+use em_lint::scope::FileModel;
+use em_lint::walk::FileKind;
+use em_lint::{lint_source, LintConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup lexes without panicking, line numbers stay
+    /// monotone and within the file, and the scope model builds on top.
+    #[test]
+    fn lexing_byte_soup_is_total(bytes in prop::collection::vec(0u8..=255, 0..2048)) {
+        let toks = lex_bytes(&bytes);
+        let max_line = bytes.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line numbers went backwards");
+            prop_assert!((1..=max_line).contains(&t.line), "line {} out of range", t.line);
+            prev = t.line;
+        }
+        let _ = FileModel::build(&toks);
+    }
+
+    /// Strings over the bytes the lexer special-cases (quotes, hashes,
+    /// slashes, stars, backslashes) — the adversarial subset for
+    /// delimiter handling.
+    #[test]
+    fn lexing_delimiter_soup_is_total(src in r#"[ \nbr"'#/\\*a0]{0,512}"#) {
+        let toks = lex(&src);
+        let _ = FileModel::build(&toks);
+    }
+
+    /// The whole per-file pipeline (lex → scope → every rule → marker
+    /// resolution) is panic-free on arbitrary input, even when the file
+    /// claims a path where all rules are in scope.
+    #[test]
+    fn lint_source_on_soup_is_total(bytes in prop::collection::vec(0u8..=255, 0..1024)) {
+        let config = LintConfig::workspace_default();
+        let _ = lint_source("crates/battleship/src/serve/soup.rs", FileKind::Lib, &bytes, &config);
+        let _ = lint_source("crates/battleship/src/session/soup.rs", FileKind::Lib, &bytes, &config);
+    }
+}

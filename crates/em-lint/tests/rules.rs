@@ -1,0 +1,168 @@
+//! Fixture-driven rule tests.
+//!
+//! Each fixture under `tests/fixtures/` is annotated inline: a line
+//! tagged `~FINDING(rule)` must produce exactly one *active* finding
+//! for that rule on that line, a line tagged `~ALLOWED(rule)` must
+//! produce a marker-silenced one, and every untagged line must stay
+//! clean. The harness diffs the full (line, rule) sets, so both false
+//! positives and false negatives fail loudly.
+
+use em_lint::walk::FileKind;
+use em_lint::{lint_source, LintConfig};
+use std::collections::BTreeSet;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("reading fixture {path}: {e}"))
+}
+
+/// Collect `(line, rule)` pairs for every `<tag>rule)` annotation.
+fn expectations(text: &str, tag: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find(tag) {
+            let after = &rest[at + tag.len()..];
+            let close = after.find(')').expect("unclosed expectation tag");
+            out.insert((i as u32 + 1, after[..close].to_string()));
+            rest = &after[close..];
+        }
+    }
+    out
+}
+
+/// Lint `name` as if it lived at `rel` and diff findings against the
+/// fixture's inline annotations.
+fn check_fixture(name: &str, rel: &str) {
+    let src = fixture(name);
+    let text = String::from_utf8_lossy(&src).into_owned();
+    let config = LintConfig::workspace_default();
+    let findings = lint_source(rel, FileKind::Lib, &src, &config);
+
+    let got = |allowed: bool| -> BTreeSet<(u32, String)> {
+        findings
+            .iter()
+            .filter(|f| f.allow_reason.is_some() == allowed)
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect()
+    };
+    assert_eq!(
+        got(false),
+        expectations(&text, "~FINDING("),
+        "active findings diverge from annotations in {name}"
+    );
+    assert_eq!(
+        got(true),
+        expectations(&text, "~ALLOWED("),
+        "allowed findings diverge from annotations in {name}"
+    );
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    check_fixture("panic_free.rs", "crates/battleship/src/serve/fixture.rs");
+}
+
+#[test]
+fn determinism_fixture() {
+    check_fixture("determinism.rs", "crates/battleship/src/engine/fixture.rs");
+}
+
+#[test]
+fn unsafe_hygiene_fixture() {
+    check_fixture("unsafe_hygiene.rs", "crates/em-vector/src/fixture.rs");
+}
+
+#[test]
+fn error_taxonomy_fixture() {
+    check_fixture("error_taxonomy.rs", "crates/em-core/src/fixture.rs");
+}
+
+#[test]
+fn allow_marker_fixture() {
+    check_fixture("markers.rs", "crates/em-matcher/src/fixture.rs");
+}
+
+#[test]
+fn panic_rule_is_scope_gated() {
+    // The same panic-ridden fixture outside serve/session/codec is
+    // clean: the rule encodes *where* panics are banned, not a style.
+    let src = fixture("panic_free.rs");
+    let findings = lint_source(
+        "crates/em-matcher/src/fixture.rs",
+        FileKind::Lib,
+        &src,
+        &LintConfig::workspace_default(),
+    );
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn determinism_rules_only_fire_in_report_feeding_scopes() {
+    // Under the bench allowlist nothing fires: env reads are
+    // sanctioned there and it is not a report-feeding module.
+    let src = fixture("determinism.rs");
+    let findings = lint_source(
+        "crates/em-bench/src/fixture.rs",
+        FileKind::Lib,
+        &src,
+        &LintConfig::workspace_default(),
+    );
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn integration_test_files_are_exempt_from_scoped_rules() {
+    let src = fixture("panic_free.rs");
+    let findings = lint_source(
+        "crates/battleship/src/serve/fixture.rs",
+        FileKind::Test,
+        &src,
+        &LintConfig::workspace_default(),
+    );
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn codec_is_a_panic_scope() {
+    let src = b"pub fn decode(v: Option<u32>) -> u32 { v.unwrap() }";
+    let findings = lint_source(
+        "crates/em-core/src/codec.rs",
+        FileKind::Lib,
+        src,
+        &LintConfig::workspace_default(),
+    );
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "no-panic");
+    assert_eq!(findings[0].line, 1);
+    assert!(findings[0].allow_reason.is_none());
+}
+
+#[test]
+fn json_report_escapes_and_parses() {
+    // The hand-rolled JSON writer must survive quotes/backslashes in
+    // messages and reasons; round-trip through the vendored serde_json.
+    let src = fixture("determinism.rs");
+    let findings = lint_source(
+        "crates/battleship/src/engine/fixture.rs",
+        FileKind::Lib,
+        &src,
+        &LintConfig::workspace_default(),
+    );
+    let report = em_lint::LintReport {
+        root: "/tmp/ws with \"quotes\" and \\backslash".into(),
+        files_scanned: 1,
+        findings,
+    };
+    let json = report.to_json();
+    let parsed: serde::Value = serde_json::from_str(&json).expect("report JSON must parse");
+    let top = parsed.as_object().expect("top-level JSON object");
+    let field = |k: &str| top.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    assert!(matches!(field("files_scanned"), Some(serde::Value::U64(1))));
+    assert!(field("findings")
+        .and_then(|v| v.as_array())
+        .is_some_and(|a| !a.is_empty()));
+    assert!(field("root")
+        .and_then(|v| v.as_str())
+        .is_some_and(|s| s.contains("\"quotes\"")));
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-matcher
 //!
 //! The neural matcher substrate — a laptop-scale stand-in for DITTO.

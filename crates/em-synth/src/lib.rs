@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # em-synth
 //!
 //! Synthetic entity-matching benchmark generator.

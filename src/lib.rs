@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # battleship-em
 //!
 //! A from-scratch Rust reproduction of *"The Battleship Approach to the
