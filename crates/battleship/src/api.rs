@@ -124,7 +124,9 @@ pub use crate::serve::{
 pub use crate::session::{
     MatchSession, PendingSnapshot, SessionConfig, SessionPhase, SessionSnapshot, SNAPSHOT_VERSION,
 };
-pub use crate::strategies::{Selection, SelectionContext, SelectionStrategy, StrategySpec};
+pub use crate::strategies::{
+    Selection, SelectionContext, SelectionScratch, SelectionStrategy, StrategySpec,
+};
 
 // The session API's labeling types come from `em-core`; re-export them
 // so interactive clients need only this module.

@@ -34,7 +34,7 @@ use crate::baselines::{full_d_f1, zeroer_f1};
 use crate::config::ExperimentConfig;
 use crate::report::{IterationRecord, RunReport};
 use crate::session::MatchSession;
-use crate::strategies::{SelectionContext, SelectionStrategy};
+use crate::strategies::{SelectionContext, SelectionScratch, SelectionStrategy};
 
 use super::artifacts::DatasetArtifacts;
 use super::spec::{CellKind, RunSpec};
@@ -220,8 +220,10 @@ pub(crate) fn execute_run_closed(
     }
 
     // One membership vector for every set test of the run (seed draw,
-    // pool checks, selection removal).
+    // pool checks, selection removal), and one selection scratch reused
+    // across iterations.
     let mut membership = Membership::new(dataset.len());
+    let mut scratch = SelectionScratch::new();
 
     let (mut train, mut train_labels) = run.draw_seed(
         &mut pool,
@@ -266,7 +268,7 @@ pub(crate) fn execute_run_closed(
         let train_out = matcher.predict(features, &train)?;
 
         let budget = config.al.budget.min(pool.len());
-        let ctx = SelectionContext {
+        let mut ctx = SelectionContext {
             dataset,
             features,
             pool: &pool,
@@ -278,8 +280,9 @@ pub(crate) fn execute_run_closed(
             budget,
             iteration,
             config,
+            scratch: &mut scratch,
         };
-        let selection = strategy.select(&ctx, &mut rng)?;
+        let selection = strategy.select(&mut ctx, &mut rng)?;
         let select_secs = t_select.elapsed().as_secs_f64();
 
         if selection.to_label.len() > budget {

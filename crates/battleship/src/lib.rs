@@ -84,8 +84,8 @@ pub use config::{
     ALConfig, BattleshipParams, CentralityMeasure, ExperimentConfig, GridConfig, WeakMethod,
 };
 pub use engine::{
-    ArtifactCache, CandidatePool, CellKind, DatasetArtifacts, ExperimentGrid, RunSpec, Scenario,
-    ScenarioSource,
+    cost_weight, lpt_assign, lpt_start_offsets, ArtifactCache, CandidatePool, CellKind, CostModel,
+    DatasetArtifacts, ExperimentGrid, RunSpec, Scenario, ScenarioSource, ScheduleMode,
 };
 pub use report::{GridCell, GridReport, IterationRecord, MultiSeedReport, RunReport};
 pub use runner::{run_active_learning, run_closed_loop, ActiveLearningRun};
@@ -96,5 +96,5 @@ pub use session::{MatchSession, SessionConfig, SessionPhase, SessionSnapshot};
 pub use spatial::{SpatialIndex, SpatialParams};
 pub use strategies::{
     BattleshipStrategy, DalStrategy, DialStrategy, RandomStrategy, SelectionContext,
-    SelectionStrategy, StrategySpec,
+    SelectionScratch, SelectionStrategy, StrategySpec,
 };

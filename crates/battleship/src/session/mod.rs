@@ -53,7 +53,7 @@ use em_vector::Embeddings;
 
 use crate::config::ExperimentConfig;
 use crate::report::{IterationRecord, RunReport};
-use crate::strategies::{SelectionContext, SelectionStrategy, StrategySpec};
+use crate::strategies::{SelectionContext, SelectionScratch, SelectionStrategy, StrategySpec};
 
 /// Everything needed to open a [`MatchSession`]: the per-run protocol
 /// configuration, the selection strategy, and the run seed.
@@ -260,6 +260,9 @@ pub struct MatchSession<'a> {
     iterations: Vec<IterationRecord>,
     phase: SessionPhase,
     pending: Option<PendingBatch>,
+    /// Reusable selection scratch (transient — cleared before every use,
+    /// never snapshotted).
+    scratch: SelectionScratch,
 }
 
 impl<'a> MatchSession<'a> {
@@ -353,6 +356,7 @@ impl<'a> MatchSession<'a> {
             iterations: Vec::new(),
             phase: SessionPhase::SeedDraw,
             pending: None,
+            scratch: SelectionScratch::new(),
         })
     }
 
@@ -678,7 +682,7 @@ impl<'a> MatchSession<'a> {
         let train_out = matcher.predict(self.features, &self.train)?;
 
         let budget = self.config.al.budget.min(self.pool.len());
-        let ctx = SelectionContext {
+        let mut ctx = SelectionContext {
             dataset: self.dataset,
             features: self.features,
             pool: &self.pool,
@@ -690,8 +694,9 @@ impl<'a> MatchSession<'a> {
             budget,
             iteration,
             config: &self.config,
+            scratch: &mut self.scratch,
         };
-        let selection = self.strategy.get().select(&ctx, &mut self.rng)?;
+        let selection = self.strategy.get().select(&mut ctx, &mut self.rng)?;
         let select_secs = t_select.elapsed().as_secs_f64();
 
         if selection.to_label.len() > budget {

@@ -2,7 +2,6 @@
 
 use em_core::{EmError, Result, Rng};
 use em_graph::NodeKind;
-use em_vector::Embeddings;
 
 use crate::budget::positive_budget;
 use crate::selection::select_side_with;
@@ -42,7 +41,7 @@ impl SelectionStrategy for BattleshipStrategy {
         "battleship".into()
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+    fn select(&mut self, ctx: &mut SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
         let params = &ctx.config.battleship;
         let n_pool = ctx.pool.len();
         if n_pool == 0 {
@@ -63,10 +62,13 @@ impl SelectionStrategy for BattleshipStrategy {
         // each build cloning and re-normalizing its input (per-row
         // normalization commutes with row gathering, so the per-side
         // graphs are identical to normalizing the gathered subsets).
+        // Storage comes from the session's scratch, so successive
+        // iterations reuse capacity instead of reallocating pool-sized
+        // buffers per call.
         let n_train = ctx.train.len();
-        let mut hetero_reprs = Embeddings::new(ctx.pool_reprs.dim())?;
-        let mut kinds = Vec::with_capacity(n_pool + n_train);
-        let mut confs = Vec::with_capacity(n_pool + n_train);
+        let (hetero_reprs, kinds, confs) = ctx.scratch.take(ctx.pool_reprs.dim())?;
+        kinds.reserve(n_pool + n_train);
+        confs.reserve(n_pool + n_train);
         for i in 0..n_pool {
             hetero_reprs.push(ctx.pool_reprs.row(i))?;
             kinds.push(if ctx.pool_preds[i].label.is_match() {
@@ -88,9 +90,9 @@ impl SelectionStrategy for BattleshipStrategy {
         hetero_reprs.normalize_rows();
         let spatial_seed = rng.next_u64();
         let hetero = SpatialIndex::build_normalized(
-            &hetero_reprs,
-            &kinds,
-            &confs,
+            hetero_reprs,
+            kinds,
+            confs,
             &SpatialParams::from((params, spatial_seed)),
         )?;
 

@@ -47,7 +47,7 @@ impl SelectionStrategy for DalStrategy {
         "dal".into()
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_>, _rng: &mut Rng) -> Result<Selection> {
+    fn select(&mut self, ctx: &mut SelectionContext<'_>, _rng: &mut Rng) -> Result<Selection> {
         let entropies: Vec<f64> = ctx
             .pool_preds
             .iter()

@@ -46,7 +46,7 @@ impl SelectionStrategy for DialStrategy {
         "dial".into()
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+    fn select(&mut self, ctx: &mut SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
         if ctx.pool.is_empty() {
             return Ok(Selection::default());
         }

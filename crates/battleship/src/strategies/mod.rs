@@ -12,6 +12,7 @@ pub use dial::DialStrategy;
 pub use random::RandomStrategy;
 
 use em_core::{Dataset, Label, PairIdx, Prediction, Result, Rng};
+use em_graph::NodeKind;
 use em_vector::Embeddings;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +70,53 @@ impl StrategySpec {
     }
 }
 
+/// Reusable per-session scratch for selection strategies.
+///
+/// The battleship strategy assembles a heterogeneous representation
+/// matrix (pool ∪ train rows) plus aligned node-kind and confidence
+/// vectors on **every** iteration; allocating them fresh each call made
+/// selection's allocator traffic scale with pool size × iterations. The
+/// session owns one `SelectionScratch` and threads it through the
+/// [`SelectionContext`], so each iteration reuses the previous one's
+/// capacity. Contents are transient — [`SelectionScratch::take`] clears
+/// before lending out — so selection results are bit-identical whether
+/// the scratch is fresh or dirty (pinned by a golden test), and the
+/// scratch is deliberately excluded from session snapshots.
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    hetero_reprs: Option<Embeddings>,
+    kinds: Vec<NodeKind>,
+    confs: Vec<f32>,
+}
+
+impl SelectionScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        SelectionScratch::default()
+    }
+
+    /// Borrow the scratch buffers, cleared and re-dimensioned to `dim`:
+    /// an empty representation matrix plus empty kind/confidence
+    /// vectors, all retaining prior capacity where possible (the matrix
+    /// reallocates only when `dim` changes).
+    pub fn take(
+        &mut self,
+        dim: usize,
+    ) -> Result<(&mut Embeddings, &mut Vec<NodeKind>, &mut Vec<f32>)> {
+        match &mut self.hetero_reprs {
+            Some(e) if e.dim() == dim => e.clear(),
+            slot => *slot = Some(Embeddings::new(dim)?),
+        }
+        self.kinds.clear();
+        self.confs.clear();
+        Ok((
+            self.hetero_reprs.as_mut().expect("slot filled above"),
+            &mut self.kinds,
+            &mut self.confs,
+        ))
+    }
+}
+
 /// Everything a strategy may consult when choosing pairs to label.
 ///
 /// All slices are aligned: `pool[i]` has prediction `pool_preds[i]` and
@@ -97,6 +145,9 @@ pub struct SelectionContext<'a> {
     pub iteration: usize,
     /// The experiment configuration.
     pub config: &'a ExperimentConfig,
+    /// Session-owned reusable scratch (cleared by the strategy before
+    /// use; never carries state between iterations).
+    pub scratch: &'a mut SelectionScratch,
 }
 
 /// A strategy's decision for one iteration.
@@ -116,8 +167,9 @@ pub trait SelectionStrategy {
     fn name(&self) -> String;
 
     /// Choose pairs to label (and optionally weak pseudo-labels) for one
-    /// iteration.
-    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection>;
+    /// iteration. The context is `&mut` only for its scratch buffers;
+    /// selection must stay a pure function of the read-only fields.
+    fn select(&mut self, ctx: &mut SelectionContext<'_>, rng: &mut Rng) -> Result<Selection>;
 }
 
 /// Split pool positions by the model's predicted side.
@@ -170,6 +222,79 @@ mod tests {
     fn spec_names_match_built_strategies() {
         for spec in StrategySpec::all() {
             assert_eq!(spec.build().name(), spec.name());
+        }
+    }
+
+    /// Golden (scratch satellite): battleship selection is bit-identical
+    /// whether the session scratch is brand-new, already used at the
+    /// same dimension, or left over from a different dimension — the
+    /// scratch is storage reuse only, never state.
+    #[test]
+    fn battleship_selection_is_identical_with_fresh_or_dirty_scratch() {
+        use crate::engine::Scenario;
+        use em_synth::DatasetProfile;
+
+        let art = Scenario::synthetic_scaled(DatasetProfile::amazon_google(), 0.04, 7)
+            .materialize()
+            .unwrap();
+        let split_train = art.dataset.split().train.clone();
+        let (train, pool) = split_train.split_at(20);
+        let train_labels = art.dataset.ground_truth_of(train);
+        // Deterministic synthetic "model outputs" over pool and train.
+        let dim = 16usize;
+        let reprs = |idxs: &[PairIdx]| {
+            let mut e = Embeddings::new(dim).unwrap();
+            for (k, &i) in idxs.iter().enumerate() {
+                let row: Vec<f32> = (0..dim)
+                    .map(|d| ((i * 31 + k * 17 + d * 7) % 97) as f32 / 97.0 - 0.5)
+                    .collect();
+                e.push(&row).unwrap();
+            }
+            e
+        };
+        let pool_reprs = reprs(pool);
+        let train_reprs = reprs(train);
+        let pool_preds: Vec<Prediction> = pool
+            .iter()
+            .map(|&i| Prediction::from_prob(((i * 37) % 100) as f32 / 100.0))
+            .collect();
+        let mut config = ExperimentConfig::default();
+        config.battleship.kselect_sample = 128;
+
+        let run = |scratch: &mut SelectionScratch| {
+            let mut strategy = BattleshipStrategy::new();
+            let mut rng = Rng::seed_from_u64(0xD1CE);
+            let mut ctx = SelectionContext {
+                dataset: &art.dataset,
+                features: &art.features,
+                pool,
+                train,
+                train_labels: &train_labels,
+                pool_preds: &pool_preds,
+                pool_reprs: &pool_reprs,
+                train_reprs: &train_reprs,
+                budget: 10,
+                iteration: 0,
+                config: &config,
+                scratch,
+            };
+            strategy.select(&mut ctx, &mut rng).unwrap()
+        };
+
+        let fresh = run(&mut SelectionScratch::new());
+        assert_eq!(fresh.to_label.len(), 10);
+        // Same-dimension reuse: select once to fill the buffers, then
+        // select again from the dirty scratch.
+        let mut reused = SelectionScratch::new();
+        let _ = run(&mut reused);
+        let same_dim = run(&mut reused);
+        // Cross-dimension reuse: the matrix was last used at another dim.
+        let mut cross = SelectionScratch::new();
+        let _ = cross.take(dim + 7).unwrap();
+        let other_dim = run(&mut cross);
+        for dirty in [&same_dim, &other_dim] {
+            assert_eq!(fresh.to_label, dirty.to_label);
+            assert_eq!(fresh.weak, dirty.weak);
         }
     }
 

@@ -22,7 +22,7 @@ impl SelectionStrategy for RandomStrategy {
         "random".into()
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
+    fn select(&mut self, ctx: &mut SelectionContext<'_>, rng: &mut Rng) -> Result<Selection> {
         let picks = rng.sample_indices(ctx.pool.len(), ctx.budget);
         let to_label: Vec<PairIdx> = picks.into_iter().map(|p| ctx.pool[p]).collect();
         Ok(Selection {

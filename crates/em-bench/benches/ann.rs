@@ -390,6 +390,7 @@ fn main() {
         scenario.name(),
         art.dataset.len(),
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[ann] wrote {out_path}"),
         Err(e) => eprintln!("[ann] warning: could not write {out_path}: {e}"),

@@ -304,6 +304,7 @@ fn main() {
         sweep_json.join(",\n"),
         crossover.map_or("null".to_string(), |c| c.to_string()),
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[blocking] wrote {out_path}"),
         Err(e) => eprintln!("[blocking] warning: could not write {out_path}: {e}"),

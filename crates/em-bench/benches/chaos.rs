@@ -283,6 +283,7 @@ fn main() {
         recovery.lost.len(),
         mismatched.len(),
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[chaos] wrote {out_path}"),
         Err(e) => eprintln!("[chaos] warning: could not write {out_path}: {e}"),

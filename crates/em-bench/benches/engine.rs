@@ -21,6 +21,18 @@
 //! lose time). Results are written to `BENCH_engine.json` for CI
 //! artifacts.
 //!
+//! A second A/B isolates the scheduler itself: the same grid fan-out
+//! under the legacy seed-major interleave placement versus the
+//! cost-model LPT placement (`ScheduleMode`). The grid is DIAL-skewed
+//! by construction — `StrategySpec::all()` includes DIAL, whose cells
+//! cost ~3× the average per the committed probe table — which is
+//! exactly the shape where interleave strands a worker behind the heavy
+//! cells. The LPT gate is thread-aware too: **≥ 1.3× with ≥ 4 worker
+//! threads** (the issue's bar), and a ≥ 0.95× no-regression bound below
+//! that (with few or one worker there is nothing to balance, so LPT
+//! must merely not lose time to the cost model). A golden check first
+//! pins that both modes produce the bit-identical canonical report.
+//!
 //! Knobs (environment):
 //! * `EM_BENCH_ENGINE_SCALE` — dataset scale factor (default 0.1);
 //! * `EM_BENCH_ENGINE_SEEDS` — seeds per strategy (default 3);
@@ -28,13 +40,15 @@
 //!   `BENCH_engine.json`);
 //! * `EM_BENCH_ENGINE_MIN_SPEEDUP` — override the thread-aware gate
 //!   (set 0 to only report);
+//! * `EM_BENCH_ENGINE_LPT_MIN_SPEEDUP` — override the LPT-vs-interleave
+//!   gate (set 0 to only report);
 //! * `RAYON_NUM_THREADS` — worker threads for the grid fan-out.
 
 use std::io::Write as _;
 
 use battleship::{
     run_active_learning, ArtifactCache, ExperimentGrid, GridConfig, RunReport, Scenario,
-    StrategySpec,
+    ScheduleMode, StrategySpec,
 };
 use em_bench::env_or;
 use em_core::PerfectOracle;
@@ -141,6 +155,17 @@ fn main() {
         serial_report.canonical().to_json().expect("json"),
         "grid report depends on worker-thread count"
     );
+    // Golden check 3: canonical report bit-identical across schedule
+    // modes — LPT may only move work between workers, never change it.
+    eprintln!("[engine] golden check: cost-LPT placement ≡ seed-interleave placement …");
+    let interleave_report = grid
+        .run_with_cache_scheduled(&cache, ScheduleMode::SeedInterleave)
+        .expect("interleave grid");
+    assert_eq!(
+        grid_report.canonical().to_json().expect("json"),
+        interleave_report.canonical().to_json().expect("json"),
+        "grid report depends on the schedule mode"
+    );
     eprintln!("[engine] golden checks passed");
 
     // Timing: the serial strategy loop pinned to one core (the gate's
@@ -164,10 +189,49 @@ fn main() {
         serial.median_secs
     };
 
-    // … versus the engine's grid fan-out over the same runs.
-    eprintln!("[engine] timing parallel grid engine …");
+    // … versus the engine's grid fan-out over the same runs (the
+    // default cost-LPT placement) …
+    eprintln!("[engine] timing parallel grid engine (cost-LPT placement) …");
     let parallel = criterion::measure(3, || grid.run_with_cache(&cache).expect("grid run"));
     eprintln!("[engine] grid engine: {:.3} s", parallel.median_secs);
+
+    // … and the scheduler A/B: the same fan-out under the legacy
+    // seed-major interleave placement. Placement is the *only*
+    // difference, so the effect can be smaller than this machine's
+    // slow thermal/VM drift across a multi-second bench — sample the
+    // two modes in alternating pairs (order swapped every pair) and
+    // take the median of the per-pair ratios, which cancels any drift
+    // slower than one pair.
+    eprintln!("[engine] timing LPT vs seed-interleave placement (paired samples) …");
+    let time_mode = |mode: ScheduleMode| {
+        criterion::measure(1, || {
+            grid.run_with_cache_scheduled(&cache, mode)
+                .expect("grid run")
+        })
+        .median_secs
+    };
+    let mut lpt_samples = Vec::new();
+    let mut interleave_samples = Vec::new();
+    let mut ratios = Vec::new();
+    for pair in 0..3 {
+        let (l, i) = if pair % 2 == 0 {
+            let l = time_mode(ScheduleMode::CostLpt);
+            (l, time_mode(ScheduleMode::SeedInterleave))
+        } else {
+            let i = time_mode(ScheduleMode::SeedInterleave);
+            (time_mode(ScheduleMode::CostLpt), i)
+        };
+        eprintln!("[engine]   pair {pair}: lpt {l:.3} s, interleave {i:.3} s");
+        ratios.push(i / l.max(1e-12));
+        lpt_samples.push(l);
+        interleave_samples.push(i);
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let lpt_median = median(&mut lpt_samples);
+    let interleave_median = median(&mut interleave_samples);
 
     let speedup = serial.median_secs / parallel.median_secs.max(1e-12);
     let min_speedup: f64 = env_or(
@@ -184,6 +248,21 @@ fn main() {
         "[engine] speedup: {speedup:.2}× with {threads} thread(s) (gate: ≥ {min_speedup:.1}×)"
     );
 
+    let lpt_speedup = median(&mut ratios);
+    // ≥ 4 workers: the issue's bar — LPT must actually balance the
+    // DIAL skew. Below that there is nothing to balance (at one worker
+    // the two modes run identical work in a different order), so the
+    // gate is a no-regression bound with headroom for paired-sample
+    // noise on shared hosts.
+    let lpt_min_speedup: f64 = env_or(
+        "EM_BENCH_ENGINE_LPT_MIN_SPEEDUP",
+        if threads >= 4 { 1.3 } else { 0.9 },
+    );
+    eprintln!(
+        "[engine] LPT vs interleave: {lpt_speedup:.2}× (median paired ratio) with {threads} \
+         thread(s) (gate: ≥ {lpt_min_speedup:.2}×)"
+    );
+
     let battleship_final = grid_report
         .cell(grid.scenarios[0].name(), "battleship")
         .and_then(|c| c.aggregate.final_f1())
@@ -194,7 +273,9 @@ fn main() {
          \"iterations\": {},\n  \"budget\": {},\n  \"threads\": {threads},\n  \
          \"serial_one_core_median_secs\": {:.6},\n  \
          \"serial_inner_parallel_median_secs\": {:.6},\n  \"grid_median_secs\": {:.6},\n  \
+         \"lpt_paired_median_secs\": {:.6},\n  \"interleave_paired_median_secs\": {:.6},\n  \
          \"speedup\": {:.3},\n  \"min_speedup_gate\": {min_speedup},\n  \
+         \"lpt_speedup\": {:.3},\n  \"lpt_min_speedup_gate\": {lpt_min_speedup},\n  \
          \"battleship_final_f1_pct\": {:.3}\n}}\n",
         grid.scenarios[0].name(),
         art.dataset.len(),
@@ -206,9 +287,13 @@ fn main() {
         serial.median_secs,
         serial_inner_parallel,
         parallel.median_secs,
+        lpt_median,
+        interleave_median,
         speedup,
+        lpt_speedup,
         battleship_final,
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[engine] wrote {out_path}"),
         Err(e) => eprintln!("[engine] warning: could not write {out_path}: {e}"),
@@ -216,6 +301,12 @@ fn main() {
 
     if min_speedup > 0.0 && speedup < min_speedup {
         eprintln!("[engine] FAIL: speedup {speedup:.2}× below the {min_speedup:.1}× gate");
+        std::process::exit(1);
+    }
+    if lpt_min_speedup > 0.0 && lpt_speedup < lpt_min_speedup {
+        eprintln!(
+            "[engine] FAIL: LPT speedup {lpt_speedup:.2}× below the {lpt_min_speedup:.2}× gate"
+        );
         std::process::exit(1);
     }
     eprintln!("[engine] PASS");

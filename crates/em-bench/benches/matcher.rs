@@ -251,6 +251,7 @@ fn main() {
         e2e_select_secs,
         final_f1,
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[matcher] wrote {out_path}"),
         Err(e) => eprintln!("[matcher] warning: could not write {out_path}: {e}"),

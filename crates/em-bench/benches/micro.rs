@@ -244,6 +244,51 @@ fn bench_matcher_step(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_tiers(c: &mut Criterion) {
+    use em_vector::{gemm, kernel, simd_tier, with_simd_tier, SimdTier};
+    let query = gaussian(1, 768, 8);
+    let rows = gaussian(8, 768, 9);
+    let a = gaussian(64, 96, 10);
+    let bm = gaussian(16, 96, 11);
+    let detected = simd_tier();
+    let mut group = c.benchmark_group("kernel_tiers");
+    for tier in [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512] {
+        // Don't time a silently clamped tier under the wrong label.
+        if detected < tier {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("dot_d768_r8", tier.name()),
+            &tier,
+            |b, &tier| {
+                b.iter(|| {
+                    with_simd_tier(tier, || {
+                        let mut acc = 0.0f32;
+                        for i in 0..8 {
+                            acc += kernel::dot(black_box(query.row(0)), rows.row(i));
+                        }
+                        acc
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gemm_64x16x96", tier.name()),
+            &tier,
+            |b, &tier| {
+                b.iter(|| {
+                    with_simd_tier(tier, || {
+                        let mut out = vec![0.0f32; 64 * 16];
+                        gemm(black_box(a.flat()), 64, bm.flat(), 16, 96, &mut out);
+                        out
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kmeans,
@@ -251,6 +296,7 @@ criterion_group!(
     bench_hnsw,
     bench_graph,
     bench_gmm,
-    bench_matcher_step
+    bench_matcher_step,
+    bench_kernel_tiers
 );
 criterion_main!(benches);

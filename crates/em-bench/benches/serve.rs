@@ -269,6 +269,7 @@ fn main() {
         speedup,
         ckpt_overhead_pct,
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[serve] wrote {out_path}"),
         Err(e) => eprintln!("[serve] warning: could not write {out_path}: {e}"),

@@ -144,6 +144,7 @@ fn main() {
         session.median_secs,
         overhead_pct,
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[session] wrote {out_path}"),
         Err(e) => eprintln!("[session] warning: could not write {out_path}: {e}"),

@@ -123,6 +123,7 @@ fn main() {
         fast.graph.n_edges(),
         fast.k,
     );
+    let json = em_bench::with_provenance(&json);
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("[spatial] wrote {out_path}"),
         Err(e) => eprintln!("[spatial] warning: could not write {out_path}: {e}"),

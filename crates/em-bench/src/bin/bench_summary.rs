@@ -1,0 +1,133 @@
+//! `bench-summary` — merge every per-bench `BENCH_*.json` artifact into
+//! a single `BENCH_summary.json` for CI upload and the README table.
+//!
+//! Each gated benchmark binary writes its own artifact (engine, kernel,
+//! matcher, serve, …). CI uploads them individually, but a reviewer
+//! comparing runs wants one file: this tool globs `BENCH_*.json` in a
+//! directory (default: the current directory), parses each, and emits a
+//! deterministic summary keyed by artifact stem, with the shared
+//! hardware provenance hoisted to the top level when every artifact
+//! agrees on it.
+//!
+//! Usage: `cargo run --release -p em-bench --bin bench-summary [dir]`
+//!
+//! The tool is deliberately forgiving: a missing directory yields an
+//! empty summary, and an unparseable artifact is recorded under its key
+//! as `{"error": …}` instead of sinking the merge — CI runs it with
+//! `if: always()`, so it must degrade, not fail, when a gated bench
+//! exited early.
+
+use std::io::Write as _;
+
+use serde::Value;
+
+/// Remove and return an object's entry by key, preserving order.
+fn remove_key(v: &mut Value, key: &str) -> Option<Value> {
+    if let Value::Object(entries) = v {
+        let pos = entries.iter().position(|(k, _)| k == key)?;
+        return Some(entries.remove(pos).1);
+    }
+    None
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let dir = dir.trim_end_matches('/').to_string();
+    let out_path = format!("{dir}/BENCH_summary.json");
+
+    // Deterministic order: sorted filenames, so the summary bytes only
+    // change when an artifact does.
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_summary.json"
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("[bench-summary] warning: cannot read {dir}: {e}");
+            Vec::new()
+        }
+    };
+    names.sort();
+
+    let mut benches: Vec<(String, Value)> = Vec::new();
+    let mut provenances: Vec<Value> = Vec::new();
+    for name in &names {
+        let key = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let path = format!("{dir}/{name}");
+        let value = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Value>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(mut v) => {
+                if let Some(p) = remove_key(&mut v, "provenance") {
+                    provenances.push(p);
+                }
+                v
+            }
+            Err(e) => {
+                eprintln!("[bench-summary] warning: {name}: {e}");
+                Value::Object(vec![("error".to_string(), Value::String(e))])
+            }
+        };
+        benches.push((key, value));
+    }
+
+    // Hoist the provenance only when every artifact was produced on the
+    // same hardware/thread configuration; a mixed bag stays per-bench
+    // (re-attached so nothing is lost).
+    let unified = !provenances.is_empty() && provenances.iter().all(|p| *p == provenances[0]);
+    if !unified {
+        let mut iter = provenances.drain(..);
+        for (_, v) in &mut benches {
+            let had_one = v
+                .as_object()
+                .is_some_and(|o| !o.iter().any(|(k, _)| k == "error"));
+            if had_one {
+                if let (Value::Object(entries), Some(p)) = (&mut *v, iter.next()) {
+                    entries.push(("provenance".to_string(), p));
+                }
+            }
+        }
+    } else {
+        provenances.truncate(1);
+    }
+
+    let mut summary: Vec<(String, Value)> = vec![
+        (
+            "summary".to_string(),
+            Value::String("merged bench artifacts".to_string()),
+        ),
+        ("artifacts".to_string(), Value::U64(names.len() as u64)),
+    ];
+    if let Some(p) = provenances.pop() {
+        summary.push(("provenance".to_string(), p));
+    }
+    summary.push(("benches".to_string(), Value::Object(benches)));
+
+    let rendered = match serde_json::to_string_pretty(&Value::Object(summary)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[bench-summary] error: serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    match std::fs::File::create(&out_path).and_then(|mut f| {
+        f.write_all(rendered.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+    }) {
+        Ok(()) => eprintln!(
+            "[bench-summary] wrote {out_path} ({} artifact(s))",
+            names.len()
+        ),
+        Err(e) => {
+            eprintln!("[bench-summary] error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

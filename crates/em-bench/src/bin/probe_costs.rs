@@ -1,0 +1,106 @@
+//! Cost-model calibration probe: measures the per-cell wall-clock of
+//! every grid cell kind, per scenario scale — the measurement behind
+//! the committed probe table in
+//! `battleship::engine::schedule::CostModel`.
+//!
+//! Each cell kind runs as its own single-kind grid (so the engine's
+//! per-cell timing, `GridCell::mean_run_secs`, isolates it), pinned to
+//! one core under `rayon::serial_scope` so the numbers are per-core
+//! costs — exactly what an LPT bin accumulates. Costs are reported
+//! normalized to the `random` strategy at the same scale, which is the
+//! unit the probe table stores.
+//!
+//! Knobs (environment):
+//! * `EM_PROBE_SCALES` — comma-separated dataset scale factors
+//!   (default `0.05,0.1`);
+//! * `EM_PROBE_SEEDS`  — seeds per cell (default 3).
+//!
+//! Run with: `cargo run --release -p em-bench --bin probe_costs`
+
+use battleship::{ArtifactCache, ExperimentGrid, GridConfig, Scenario, StrategySpec};
+use em_bench::env_or;
+use em_synth::DatasetProfile;
+
+fn probe_grid(
+    scale: f64,
+    n_seeds: usize,
+    strategies: Vec<StrategySpec>,
+    baselines: bool,
+) -> ExperimentGrid {
+    let mut config = GridConfig {
+        master_seed: 0xC057,
+        n_seeds,
+        include_baselines: baselines,
+        ..GridConfig::default()
+    };
+    // The engine bench's cell shape (budget/iterations/epochs), so the
+    // probe measures the same per-cell work the bench schedules.
+    config.experiment.al.budget = 40;
+    config.experiment.al.seed_size = 40;
+    config.experiment.al.weak_budget = 40;
+    config.experiment.al.iterations = 2;
+    config.experiment.matcher.epochs = 10;
+    config.experiment.battleship.kselect_sample = 256;
+    ExperimentGrid::new(
+        vec![Scenario::synthetic_scaled(
+            DatasetProfile::amazon_google(),
+            scale,
+            0xDA7A,
+        )],
+        strategies,
+        config,
+    )
+}
+
+fn main() {
+    let scales: Vec<f64> = env_or("EM_PROBE_SCALES", "0.05,0.1".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let n_seeds: usize = env_or("EM_PROBE_SEEDS", 3);
+
+    println!("cell-kind cost probe (one core, {n_seeds} seed(s) per cell)");
+    println!(
+        "{:<10} {:>8} {:<12} {:>14} {:>12}",
+        "scale", "pairs", "cell", "mean_run_secs", "vs random"
+    );
+    for &scale in &scales {
+        let cache = ArtifactCache::new();
+        let mut rows: Vec<(String, usize, f64)> = Vec::new();
+        let mut pairs = 0usize;
+        for spec in StrategySpec::all() {
+            let grid = probe_grid(scale, n_seeds, vec![spec], false);
+            pairs = cache
+                .get_or_materialize(&grid.scenarios[0])
+                .map(|a| a.dataset.len())
+                .unwrap_or(0);
+            let report = rayon::serial_scope(|| grid.run_with_cache(&cache)).expect("probe grid");
+            let cell = &report.cells[0];
+            rows.push((spec.name().to_string(), pairs, cell.mean_run_secs));
+        }
+        {
+            let grid = probe_grid(scale, n_seeds, vec![], true);
+            let report =
+                rayon::serial_scope(|| grid.run_with_cache(&cache)).expect("probe baselines");
+            for cell in &report.cells {
+                rows.push((cell.strategy().to_string(), pairs, cell.mean_run_secs));
+            }
+        }
+        let random_secs = rows
+            .iter()
+            .find(|(name, _, _)| name == "random")
+            .map(|&(_, _, s)| s)
+            .unwrap_or(1.0)
+            .max(1e-9);
+        for (name, pairs, secs) in &rows {
+            println!(
+                "{:<10} {:>8} {:<12} {:>14.4} {:>12.2}",
+                scale,
+                pairs,
+                name,
+                secs,
+                secs / random_secs
+            );
+        }
+    }
+}

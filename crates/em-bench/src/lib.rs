@@ -184,6 +184,96 @@ impl BenchArgs {
     }
 }
 
+/// CPU feature flags relevant to the kernel tiers, as detected at run
+/// time on the benchmarking host.
+pub fn cpu_feature_flags() -> Vec<&'static str> {
+    let mut flags = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, detected) in [
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("avx512bw", std::arch::is_x86_feature_detected!("avx512bw")),
+            ("avx512vl", std::arch::is_x86_feature_detected!("avx512vl")),
+        ] {
+            if detected {
+                flags.push(name);
+            }
+        }
+    }
+    flags
+}
+
+/// Hardware/runtime provenance of a benchmark artifact: the SIMD tier
+/// the kernels actually dispatched to, the detected CPU feature flags,
+/// and the rayon worker-thread count. Recorded into every
+/// `BENCH_*.json` so a committed number can always be traced to the
+/// hardware that produced it (an AVX-512 speedup measured on an AVX2
+/// host would otherwise be indistinguishable from a regression).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Dispatched SIMD tier name (`portable` / `avx2` / `avx512`).
+    pub simd_tier: String,
+    /// Detected kernel-relevant CPU feature flags.
+    pub cpu_features: Vec<String>,
+    /// Rayon worker threads at measurement time.
+    pub threads: usize,
+    /// Target architecture the bench ran on.
+    pub arch: String,
+}
+
+impl Provenance {
+    /// Detect the current host's provenance.
+    pub fn detect() -> Self {
+        Provenance {
+            simd_tier: em_vector::simd_tier().name().to_string(),
+            cpu_features: cpu_feature_flags().iter().map(|s| s.to_string()).collect(),
+            threads: if rayon::in_serial_mode() {
+                1
+            } else {
+                rayon::current_num_threads()
+            },
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    /// The provenance as a `"provenance": {…}` JSON object member, for
+    /// the hand-assembled bench artifacts.
+    pub fn json_fragment(&self) -> String {
+        let features: Vec<String> = self
+            .cpu_features
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect();
+        format!(
+            "\"provenance\": {{\"simd_tier\": \"{}\", \"cpu_features\": [{}], \
+             \"threads\": {}, \"arch\": \"{}\"}}",
+            self.simd_tier,
+            features.join(", "),
+            self.threads,
+            self.arch
+        )
+    }
+}
+
+/// Inject the detected [`Provenance`] into a hand-assembled JSON object
+/// string, as a `"provenance"` member before the closing brace. Returns
+/// the input unchanged if it does not end in an object.
+pub fn with_provenance(json: &str) -> String {
+    match json.rfind('}') {
+        Some(pos) => {
+            let head = json[..pos].trim_end().trim_end_matches(',');
+            format!(
+                "{head},\n  {}\n{}",
+                Provenance::detect().json_fragment(),
+                &json[pos..]
+            )
+        }
+        None => json.to_string(),
+    }
+}
+
 /// A generated dataset with its precomputed features, shared across
 /// strategies and seeds.
 pub struct PreparedDataset {

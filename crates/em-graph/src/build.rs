@@ -903,6 +903,13 @@ pub(crate) mod tests {
     /// scalar generic builder over `DotSim` — same edge set, same
     /// weights, same adjacency order (which downstream certainty /
     /// PageRank sums depend on).
+    ///
+    /// Pinned to the AVX2 tier family (in a serial scope, since the
+    /// override is thread-local and the blocked builder fans out):
+    /// Portable and AVX2 share the bit contract with the scalar
+    /// `em_vector::dot` path, while the AVX-512 tier is
+    /// tolerance-bounded and may differ by ULPs — its agreement is
+    /// gated by the workspace `simd_tolerance` suite instead.
     #[test]
     fn blocked_builder_is_bit_identical_to_scalar() {
         let (e, kinds, confs) = random_pool(173, 23, 42);
@@ -912,17 +919,21 @@ pub(crate) mod tests {
             extra_ratio: 0.05,
         };
         let scalar = build_graph(&DotSim::new(&e), &kinds, &confs, &clusters, config).unwrap();
-        let blocked = build_graph_blocked(
-            &e,
-            &kinds,
-            &confs,
-            &clusters,
-            &BlockedConfig {
-                edge: config,
-                ann_threshold: usize::MAX,
-                ..Default::default()
-            },
-        )
+        let blocked = rayon::serial_scope(|| {
+            em_vector::with_simd_tier(em_vector::SimdTier::Avx2, || {
+                build_graph_blocked(
+                    &e,
+                    &kinds,
+                    &confs,
+                    &clusters,
+                    &BlockedConfig {
+                        edge: config,
+                        ann_threshold: usize::MAX,
+                        ..Default::default()
+                    },
+                )
+            })
+        })
         .unwrap();
         assert_eq!(scalar.n_edges(), blocked.n_edges());
         for v in 0..scalar.len() {

@@ -147,6 +147,14 @@ impl Embeddings {
         self.data.is_empty()
     }
 
+    /// Drop every stored vector, keeping the allocation (and `dim`) for
+    /// reuse — the backing store for per-session scratch matrices that
+    /// are rebuilt every iteration at roughly the same size.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Append one vector.
     pub fn push(&mut self, v: &[f32]) -> Result<()> {
         if v.len() != self.dim {

@@ -26,7 +26,7 @@
 //! # Dispatch tiers
 //!
 //! Every inner product goes through one runtime-dispatched [`dot`]
-//! kernel with two tiers, decided **once** at startup (cached in a
+//! kernel with three tiers, decided **once** at startup (cached in a
 //! `OnceLock`) via `std::is_x86_feature_detected!`:
 //!
 //! * [`SimdTier::Portable`] — the 16-lane autovectorizing form shared
@@ -34,31 +34,70 @@
 //! * [`SimdTier::Avx2`] — explicit AVX2 intrinsics (selected when the
 //!   CPU reports `avx2` **and** `fma`): the same 16 lanes held in two
 //!   256-bit accumulators, multiply-then-add per lane.
+//! * [`SimdTier::Avx512`] — explicit AVX-512 intrinsics (selected when
+//!   the CPU reports `avx512f`): 64 lanes per unrolled step in four
+//!   512-bit accumulator chains updated with **single-rounding FMA**
+//!   (`vfmadd`).
 //!
-//! `EM_SIMD_TIER=portable` forces the fallback (e.g. to A/B the tiers on
-//! one machine); [`with_simd_tier`] overrides the tier on the current
+//! `EM_SIMD_TIER=portable|avx2|avx512` pins the tier (e.g. to A/B the
+//! tiers on one machine) — a request the hardware cannot run is clamped
+//! to the best available tier, and an unknown value is ignored (the
+//! structured parse error behind both behaviours is [`SimdTier::parse`],
+//! so config surfaces can reject bad values without ever crashing the
+//! dispatch). [`with_simd_tier`] overrides the tier on the current
 //! thread for golden tests.
 //!
-//! # Reduction-order contract
+//! # Reduction-order contract (Portable ≡ AVX2)
 //!
-//! All tiers compute **bit-identical** results: 16 fixed accumulator
-//! lanes (lane `l` accumulates elements `16·c + l`), lanes reduced in
-//! ascending order, scalar remainder folded last. The AVX2 tier encodes
-//! exactly that shape — and deliberately performs *separate* multiply
-//! and add (no `fmadd` contraction: FMA's single rounding would diverge
-//! from the portable lanes; AVX-512 with an FMA inner loop behind a
-//! tolerance-gated — not bit-gated — comparison is the recorded next
-//! step in ROADMAP.md). Blocked kernels ([`gemm`], [`gram_packed`], …)
-//! evaluate each output entry as exactly one [`dot`] call (plus, for the
-//! fused variant, one bias add after the reduction), so blocking and
-//! parallelism only reorder *which entries* are computed when, never the
-//! arithmetic within an entry. The golden tests in this module and the
-//! matcher's GEMM-vs-scalar tests assert exactly that.
+//! The portable and AVX2 tiers compute **bit-identical** results: 16
+//! fixed accumulator lanes (lane `l` accumulates elements `16·c + l`),
+//! lanes reduced in ascending order, scalar remainder folded last. The
+//! AVX2 tier encodes exactly that shape — and deliberately performs
+//! *separate* multiply and add (no `fmadd` contraction: FMA's single
+//! rounding would diverge from the portable lanes). Blocked kernels
+//! ([`gemm`], [`gram_packed`], …) evaluate each output entry as exactly
+//! one [`dot`] call (plus, for the fused variant, one bias add after the
+//! reduction), so blocking and parallelism only reorder *which entries*
+//! are computed when, never the arithmetic within an entry. The golden
+//! tests in this module and the matcher's GEMM-vs-scalar tests assert
+//! exactly that.
+//!
+//! # Tolerance contract (AVX-512)
+//!
+//! The AVX-512 tier trades the bit-identity contract for FMA throughput:
+//! each `a·b` product is folded into its accumulator lane with a single
+//! rounding, so results differ from the portable lanes in the low bits.
+//! What it keeps is *determinism* and a *proven error bound*:
+//!
+//! * **Deterministic**: 32 fixed accumulator lanes (lane `l` accumulates
+//!   elements `32·c + l` via `vfmaddps`), the two 512-bit accumulators
+//!   added lane-wise, that vector reduced by a fixed explicit tree
+//!   (quarters `q01 = q0+q1`, `q23 = q2+q3`, `q = q01+q23`, then the
+//!   four lanes of `q` in ascending order), scalar remainder folded last
+//!   with `f32::mul_add`. Every step is spelled out in source — no
+//!   compiler-chosen reassociation — so results are bit-stable across
+//!   runs, threads and builds *within* the tier.
+//! * **Bounded**: both the portable and the AVX-512 sums satisfy the
+//!   standard forward bound `|fl(aᵀb) − aᵀb| ≤ γ(n)·Σ|aᵢbᵢ|` with
+//!   `γ(n) = n·ε/(1−n·ε)`, `ε = 2⁻²⁴` (FMA only *tightens* the
+//!   per-term rounding), so the tiers differ by at most `2γ(n)·Σ|aᵢbᵢ|`.
+//!   `tests/simd_tolerance.rs` pins this bound against an `f64`
+//!   reference, asserts argmax/top-k stability whenever the winner's
+//!   margin exceeds the bound, and gates the end-to-end ΔF1 of a grid
+//!   run across tiers — the conditions under which AVX-512 is allowed
+//!   as a detected default.
+//!
+//! Within the AVX-512 tier the blocked kernels keep the same per-entry
+//! shape as everywhere else: each output entry is exactly one
+//! [`dot`]-recipe evaluation, so `gemm`/`gram` entries are bit-identical
+//! to standalone `dot` calls *on the same tier*.
 
 use std::cell::Cell;
 use std::sync::OnceLock;
 
 use rayon::prelude::*;
+
+use em_core::{EmError, Result};
 
 use crate::embeddings::{dot as portable_dot, Embeddings};
 use crate::knn::{Neighbor, TopBuffer};
@@ -66,6 +105,9 @@ use crate::knn::{Neighbor, TopBuffer};
 // --- Runtime ISA dispatch. -----------------------------------------------
 
 /// Instruction-set tier the dispatched kernels run on.
+///
+/// Ordered by capability: clamping a requested tier to the hardware is
+/// `tier.min(detected)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SimdTier {
     /// 16-lane portable form (LLVM autovectorizes it on any target).
@@ -74,31 +116,68 @@ pub enum SimdTier {
     /// `avx2` and `fma`. Bit-identical to [`SimdTier::Portable`] (see
     /// the module-level reduction-order contract).
     Avx2,
+    /// Explicit AVX-512 intrinsics with single-rounding FMA; selected
+    /// when the CPU reports `avx512f`. **Not** bit-identical to the
+    /// lower tiers — see the module-level tolerance contract.
+    Avx512,
 }
 
 impl SimdTier {
-    /// Stable display name (`"portable"` / `"avx2"`).
+    /// Stable display name (`"portable"` / `"avx2"` / `"avx512"`).
     pub fn name(self) -> &'static str {
         match self {
             SimdTier::Portable => "portable",
             SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
         }
+    }
+
+    /// Parse a tier name (the `EM_SIMD_TIER` vocabulary), case
+    /// insensitively. An unknown name is a structured
+    /// [`EmError::InvalidConfig`] — dispatch itself never fails on it
+    /// (it falls back to the detected best), but config surfaces use
+    /// this to reject bad values instead of silently ignoring them.
+    pub fn parse(value: &str) -> Result<SimdTier> {
+        let v = value.trim();
+        for tier in [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512] {
+            if v.eq_ignore_ascii_case(tier.name()) {
+                return Ok(tier);
+            }
+        }
+        Err(EmError::InvalidConfig(format!(
+            "unknown SIMD tier `{value}` (expected portable, avx2 or avx512)"
+        )))
     }
 }
 
-/// Detect the best available tier. `EM_SIMD_TIER=portable` forces the
-/// fallback; any other value (or none) means "best detected".
-fn detect_tier() -> SimdTier {
-    if std::env::var("EM_SIMD_TIER").is_ok_and(|v| v.eq_ignore_ascii_case("portable")) {
-        return SimdTier::Portable;
-    }
+/// The best tier the hardware supports (no env override applied).
+fn detect_best() -> SimdTier {
     #[cfg(target_arch = "x86_64")]
     {
+        if std::is_x86_feature_detected!("avx512f") {
+            return SimdTier::Avx512;
+        }
         if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
             return SimdTier::Avx2;
         }
     }
     SimdTier::Portable
+}
+
+/// Detect the dispatch tier: the best available one, clamped down by a
+/// parseable `EM_SIMD_TIER` request. A request the hardware cannot run
+/// clamps to the best available tier; an unparseable value is ignored —
+/// detection never fails (callers that want the structured parse error
+/// go through [`SimdTier::parse`] directly).
+fn detect_tier() -> SimdTier {
+    let best = detect_best();
+    match std::env::var("EM_SIMD_TIER") {
+        Ok(v) => match SimdTier::parse(&v) {
+            Ok(requested) => requested.min(best),
+            Err(_) => best,
+        },
+        Err(_) => best,
+    }
 }
 
 thread_local! {
@@ -241,12 +320,239 @@ unsafe fn dot4_avx2(a: &[f32], b: &[f32], b_off: usize, out: &mut [f32]) {
     }
 }
 
+/// Fixed-tree reduction of one 512-bit accumulator — the AVX-512 tiers'
+/// one reduction shape (see the module-level tolerance contract):
+/// quarters `q01 = q0 + q1`, `q23 = q2 + q3`, `q = q01 + q23` as 128-bit
+/// vector adds, then the four lanes of `q` in ascending order. Spelled
+/// out so the association is fixed in source, not chosen by the
+/// compiler (`_mm512_reduce_add_ps` lowers to an unordered LLVM
+/// reduction).
+///
+/// # Safety
+/// Requires the `avx512f` CPU feature (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn reduce_add_avx512(v: std::arch::x86_64::__m512) -> f32 {
+    use std::arch::x86_64::*;
+    let q0 = _mm512_extractf32x4_ps::<0>(v);
+    let q1 = _mm512_extractf32x4_ps::<1>(v);
+    let q2 = _mm512_extractf32x4_ps::<2>(v);
+    let q3 = _mm512_extractf32x4_ps::<3>(v);
+    let q = _mm_add_ps(_mm_add_ps(q0, q1), _mm_add_ps(q2, q3));
+    let mut lanes = [0.0f32; 4];
+    _mm_storeu_ps(lanes.as_mut_ptr(), q);
+    ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+}
+
+/// AVX-512 dot product: 64 fixed lanes per unrolled step in **four**
+/// 512-bit accumulators (four independent FMA chains — two are not
+/// enough to hide the ~4-cycle FMA latency, which left the two-chain
+/// version no faster than the latency-friendlier mul+add AVX2 tier),
+/// an odd trailing 32-lane step folded into the first two chains, each
+/// product folded in with a **single-rounding FMA**, then the fixed
+/// pairwise combine `(acc0+acc1) + (acc2+acc3)` into the
+/// [`reduce_add_avx512`] tree with the scalar remainder folded last
+/// (also via `mul_add`). Deterministic, but *not* bit-identical to the
+/// lower tiers — covered by the tolerance contract, not the bit
+/// contract.
+///
+/// # Safety
+/// Requires the `avx512f` CPU feature (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_avx512(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let chunks = n / 32;
+    let pairs = chunks / 2;
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut acc2 = _mm512_setzero_ps();
+    let mut acc3 = _mm512_setzero_ps();
+    for p in 0..pairs {
+        let base = p * 64;
+        acc0 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base)),
+            _mm512_loadu_ps(pb.add(base)),
+            acc0,
+        );
+        acc1 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base + 16)),
+            _mm512_loadu_ps(pb.add(base + 16)),
+            acc1,
+        );
+        acc2 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base + 32)),
+            _mm512_loadu_ps(pb.add(base + 32)),
+            acc2,
+        );
+        acc3 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base + 48)),
+            _mm512_loadu_ps(pb.add(base + 48)),
+            acc3,
+        );
+    }
+    if chunks % 2 == 1 {
+        let base = pairs * 64;
+        acc0 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base)),
+            _mm512_loadu_ps(pb.add(base)),
+            acc0,
+        );
+        acc1 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(base + 16)),
+            _mm512_loadu_ps(pb.add(base + 16)),
+            acc1,
+        );
+    }
+    let combined = _mm512_add_ps(_mm512_add_ps(acc0, acc1), _mm512_add_ps(acc2, acc3));
+    let mut sum = reduce_add_avx512(combined);
+    for i in chunks * 32..n {
+        sum = a[i].mul_add(b[i], sum);
+    }
+    sum
+}
+
+/// Four dot products of one left row against four consecutive packed
+/// right rows — the AVX-512 GEMM micro-kernel. Each output is computed
+/// with **exactly** the [`dot_avx512`] recipe (its own four-accumulator
+/// group over 64-lane unrolled steps, the odd 32-lane step into the
+/// group's first two chains, FMA per lane, the fixed pairwise combine
+/// and reduction tree, sequential `mul_add` remainder), so every result
+/// is bit-identical to a standalone `dot` call *on this tier*; grouping
+/// only shares the loads of `a`.
+///
+/// # Safety
+/// Requires the `avx512f` CPU feature (guaranteed by dispatch); `b` must
+/// hold four consecutive rows of `a.len()` starting at `b_off`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+// The remainder loop indexes `a` in lockstep with raw row pointers; the
+// indexed form keeps that correspondence visible.
+#[allow(clippy::needless_range_loop)]
+unsafe fn dot4_avx512(a: &[f32], b: &[f32], b_off: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let chunks = k / 32;
+    let pairs = chunks / 2;
+    let pa = a.as_ptr();
+    let pb0 = b.as_ptr().add(b_off);
+    let pb1 = pb0.add(k);
+    let pb2 = pb1.add(k);
+    let pb3 = pb2.add(k);
+    let rows = [pb0, pb1, pb2, pb3];
+    // acc[4j..4j + 4] is row j's accumulator group, in dot_avx512's
+    // chain order.
+    let mut acc = [_mm512_setzero_ps(); 16];
+    for p in 0..pairs {
+        let base = p * 64;
+        let a0 = _mm512_loadu_ps(pa.add(base));
+        let a1 = _mm512_loadu_ps(pa.add(base + 16));
+        let a2 = _mm512_loadu_ps(pa.add(base + 32));
+        let a3 = _mm512_loadu_ps(pa.add(base + 48));
+        for (j, row) in rows.iter().enumerate() {
+            acc[4 * j] = _mm512_fmadd_ps(a0, _mm512_loadu_ps(row.add(base)), acc[4 * j]);
+            acc[4 * j + 1] =
+                _mm512_fmadd_ps(a1, _mm512_loadu_ps(row.add(base + 16)), acc[4 * j + 1]);
+            acc[4 * j + 2] =
+                _mm512_fmadd_ps(a2, _mm512_loadu_ps(row.add(base + 32)), acc[4 * j + 2]);
+            acc[4 * j + 3] =
+                _mm512_fmadd_ps(a3, _mm512_loadu_ps(row.add(base + 48)), acc[4 * j + 3]);
+        }
+    }
+    if chunks % 2 == 1 {
+        let base = pairs * 64;
+        let a0 = _mm512_loadu_ps(pa.add(base));
+        let a1 = _mm512_loadu_ps(pa.add(base + 16));
+        for (j, row) in rows.iter().enumerate() {
+            acc[4 * j] = _mm512_fmadd_ps(a0, _mm512_loadu_ps(row.add(base)), acc[4 * j]);
+            acc[4 * j + 1] =
+                _mm512_fmadd_ps(a1, _mm512_loadu_ps(row.add(base + 16)), acc[4 * j + 1]);
+        }
+    }
+    for (j, row) in rows.iter().enumerate() {
+        let combined = _mm512_add_ps(
+            _mm512_add_ps(acc[4 * j], acc[4 * j + 1]),
+            _mm512_add_ps(acc[4 * j + 2], acc[4 * j + 3]),
+        );
+        let mut sum = reduce_add_avx512(combined);
+        for i in chunks * 32..k {
+            sum = a[i].mul_add(*row.add(i), sum);
+        }
+        out[j] = sum;
+    }
+}
+
+/// AVX-512 squared Euclidean distance: the [`dot_avx512`] shape (four
+/// FMA chains over 64-lane unrolled steps, odd 32-lane step into the
+/// first two chains, fixed pairwise combine + reduction tree) with
+/// `d = aᵢ − bᵢ` and `d·d` folded in by FMA. Same tolerance contract as
+/// the dot kernel; **not** bit-identical to [`sq_dist`]'s portable
+/// lanes.
+///
+/// # Safety
+/// Requires the `avx512f` CPU feature (guaranteed by dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn sq_dist_avx512(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let chunks = n / 32;
+    let pairs = chunks / 2;
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut acc2 = _mm512_setzero_ps();
+    let mut acc3 = _mm512_setzero_ps();
+    for p in 0..pairs {
+        let base = p * 64;
+        let d0 = _mm512_sub_ps(_mm512_loadu_ps(pa.add(base)), _mm512_loadu_ps(pb.add(base)));
+        let d1 = _mm512_sub_ps(
+            _mm512_loadu_ps(pa.add(base + 16)),
+            _mm512_loadu_ps(pb.add(base + 16)),
+        );
+        let d2 = _mm512_sub_ps(
+            _mm512_loadu_ps(pa.add(base + 32)),
+            _mm512_loadu_ps(pb.add(base + 32)),
+        );
+        let d3 = _mm512_sub_ps(
+            _mm512_loadu_ps(pa.add(base + 48)),
+            _mm512_loadu_ps(pb.add(base + 48)),
+        );
+        acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm512_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm512_fmadd_ps(d3, d3, acc3);
+    }
+    if chunks % 2 == 1 {
+        let base = pairs * 64;
+        let d0 = _mm512_sub_ps(_mm512_loadu_ps(pa.add(base)), _mm512_loadu_ps(pb.add(base)));
+        let d1 = _mm512_sub_ps(
+            _mm512_loadu_ps(pa.add(base + 16)),
+            _mm512_loadu_ps(pb.add(base + 16)),
+        );
+        acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+    }
+    let combined = _mm512_add_ps(_mm512_add_ps(acc0, acc1), _mm512_add_ps(acc2, acc3));
+    let mut sum = reduce_add_avx512(combined);
+    for i in chunks * 32..n {
+        let d = a[i] - b[i];
+        sum = d.mul_add(d, sum);
+    }
+    sum
+}
+
 /// Fill `out[j - j0]` with `dot(a, b_j)` for `j` in `j0..j1` over packed
 /// rows of width `k` — the inner loop of every GEMM tile. On the AVX2
-/// tier, groups of four consecutive rows go through the [`dot4_avx2`]
-/// micro-kernel (bit-identical to per-entry dots; the grouping only
-/// amortizes loads and calls), with per-entry dots on the remainder and
-/// on the portable tier.
+/// and AVX-512 tiers, groups of four consecutive rows go through the
+/// [`dot4_avx2`] / [`dot4_avx512`] micro-kernels (bit-identical to
+/// per-entry dots on the same tier; the grouping only amortizes loads
+/// and calls), with per-entry dots on the remainder and on the portable
+/// tier.
 #[inline]
 fn dot_row_with_tier(
     tier: SimdTier,
@@ -269,6 +575,17 @@ fn dot_row_with_tier(
             j += 4;
         }
     }
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx512 {
+        while j + 4 <= j1 {
+            // SAFETY: the Avx512 tier is only ever produced by
+            // `detect_best` (or clamped to it), which checks `avx512f`
+            // at runtime; rows j..j+4 lie inside `b` by the
+            // debug-asserted bound.
+            unsafe { dot4_avx512(a, b, j * k, &mut out[j - j0..j - j0 + 4]) };
+            j += 4;
+        }
+    }
     for jj in j..j1 {
         out[jj - j0] = dot_with_tier(tier, a, &b[jj * k..(jj + 1) * k]);
     }
@@ -285,16 +602,21 @@ pub fn dot_with_tier(tier: SimdTier, a: &[f32], b: &[f32]) -> f32 {
     match tier {
         SimdTier::Portable => portable_dot(a, b),
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: the Avx2 tier is only ever produced by `detect_tier`
+        // SAFETY: the Avx2 tier is only ever produced by `detect_best`
         // (or clamped to it), which checks `avx2` at runtime.
         SimdTier::Avx2 => unsafe { dot_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the Avx512 tier is only ever produced by `detect_best`
+        // (or clamped to it), which checks `avx512f` at runtime.
+        SimdTier::Avx512 => unsafe { dot_avx512(a, b) },
         #[cfg(not(target_arch = "x86_64"))]
-        SimdTier::Avx2 => portable_dot(a, b),
+        SimdTier::Avx2 | SimdTier::Avx512 => portable_dot(a, b),
     }
 }
 
 /// Runtime-dispatched dot product — the one inner-product kernel every
-/// blocked path evaluates (bit-identical on every tier).
+/// blocked path evaluates (bit-identical between the Portable and Avx2
+/// tiers; tolerance-bounded on Avx512 — see the module docs).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     dot_with_tier(simd_tier(), a, b)
@@ -524,7 +846,7 @@ pub fn top_k_batch(
         .collect()
 }
 
-/// Vectorizable squared Euclidean distance (16 accumulator lanes).
+/// Portable squared Euclidean distance (16 accumulator lanes).
 ///
 /// The seed's [`crate::embeddings::sq_euclidean`] carries one
 /// loop-borne accumulator — a ~4-cycle dependency per element that also
@@ -533,8 +855,7 @@ pub fn top_k_batch(
 /// with `sq_euclidean` (different summation association); the
 /// clustering paths use one or the other consistently, never a mix.
 #[inline]
-pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+fn sq_dist_portable(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = [0.0f32; 16];
     let ca = a.chunks_exact(16);
     let cb = b.chunks_exact(16);
@@ -556,6 +877,35 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Squared Euclidean distance on an explicit tier. The Portable and
+/// Avx2 tiers share the autovectorized 16-lane form (the bit contract
+/// holds between them by construction); the Avx512 tier runs the FMA
+/// kernel under the tolerance contract.
+#[inline]
+pub fn sq_dist_with_tier(tier: SimdTier, a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if tier == SimdTier::Avx512 {
+        // Hard assert: the AVX-512 path reads `a.len()` elements of `b`
+        // through raw pointers, so a length mismatch must panic here
+        // rather than read out of bounds in release builds.
+        assert_eq!(a.len(), b.len());
+        // SAFETY: the Avx512 tier is only ever produced by `detect_best`
+        // (or clamped to it), which checks `avx512f` at runtime; lengths
+        // are equal per the assert above.
+        return unsafe { sq_dist_avx512(a, b) };
+    }
+    let _ = tier;
+    debug_assert_eq!(a.len(), b.len());
+    sq_dist_portable(a, b)
+}
+
+/// Runtime-dispatched squared Euclidean distance — see
+/// [`sq_dist_with_tier`] for the per-tier contracts.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    sq_dist_with_tier(simd_tier(), a, b)
+}
+
 /// Squared distances from every row of `points` (packed, `n × dim`) to
 /// every row of `centers` (packed, `k × dim`), parallel over points.
 ///
@@ -565,18 +915,40 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 pub fn sq_dist_batch(points: &[f32], n: usize, centers: &[f32], k: usize, dim: usize) -> Vec<f32> {
     debug_assert_eq!(points.len(), n * dim);
     debug_assert_eq!(centers.len(), k * dim);
+    // One dispatch decision for the whole batch; the captured value also
+    // pins any `with_simd_tier` override across the worker threads.
+    let tier = simd_tier();
     (0..n)
         .into_par_iter()
         .map(|i| {
             let p = &points[i * dim..(i + 1) * dim];
             let mut row = Vec::with_capacity(k);
             for c in 0..k {
-                row.push(sq_dist(p, &centers[c * dim..(c + 1) * dim]));
+                row.push(sq_dist_with_tier(tier, p, &centers[c * dim..(c + 1) * dim]));
             }
             row
         })
         .collect::<Vec<Vec<f32>>>()
         .concat()
+}
+
+/// Distance in units-in-the-last-place between two finite `f32`s — the
+/// metric of the AVX-512 tolerance harness. Implemented over the
+/// monotone mapping of IEEE-754 bit patterns onto a signed integer
+/// line, so the result counts representable values between `a` and `b`
+/// (0 means bit-identical; +0.0 and −0.0 are 1 apart).
+pub fn ulp_diff(a: f32, b: f32) -> u64 {
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            // Negative floats order by descending magnitude; map them
+            // below the positives (−0.0 → −1) preserving order.
+            -((bits & 0x7FFF_FFFF) as i64) - 1
+        } else {
+            bits as i64
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
 }
 
 #[cfg(test)]
@@ -811,6 +1183,147 @@ mod tests {
         });
         assert!(caught.is_err());
         assert_eq!(simd_tier(), outer);
+    }
+
+    #[test]
+    fn simd_tier_parse_vocabulary() {
+        assert_eq!(SimdTier::parse("portable").unwrap(), SimdTier::Portable);
+        assert_eq!(SimdTier::parse("AVX2").unwrap(), SimdTier::Avx2);
+        assert_eq!(SimdTier::parse(" avx512 ").unwrap(), SimdTier::Avx512);
+        // Unknown names are structured errors, never panics.
+        for bad in ["avx1024", "", "sse", "portable2"] {
+            match SimdTier::parse(bad) {
+                Err(em_core::EmError::InvalidConfig(msg)) => {
+                    assert!(msg.contains("SIMD tier"), "message for `{bad}`: {msg}")
+                }
+                other => panic!("parse(`{bad}`) should be InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_request_clamps_to_hardware() {
+        // Requesting the top tier is always safe: `with_simd_tier`
+        // clamps to the detection, so on non-AVX-512 hosts this runs the
+        // best lower tier instead of faulting.
+        let a: Vec<f32> = (0..67).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32).cos()).collect();
+        with_simd_tier(SimdTier::Avx512, || {
+            assert!(simd_tier() <= detect_best());
+            let _ = dot(&a, &b);
+        });
+    }
+
+    /// Forward-error budget for an `n`-term f32 dot product against an
+    /// f64 reference: `γ(n)·Σ|aᵢbᵢ|` with a small safety factor.
+    fn dot_error_budget(a: &[f32], b: &[f32]) -> f64 {
+        let n = a.len().max(2) as f64;
+        let eps = 2.0_f64.powi(-24);
+        let gamma = n * eps / (1.0 - n * eps);
+        let mag: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (f64::from(x) * f64::from(y)).abs())
+            .sum();
+        2.0 * gamma * mag.max(f64::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn every_tier_is_within_the_dot_error_budget() {
+        let mut rng = Rng::seed_from_u64(71);
+        for len in [1usize, 15, 16, 31, 32, 33, 64, 127, 128, 384] {
+            let a: Vec<f32> = (0..len).map(|_| rng.normal() as f32).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal() as f32).collect();
+            let reference: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| f64::from(x) * f64::from(y))
+                .sum();
+            let budget = dot_error_budget(&a, &b);
+            for tier in [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512] {
+                let got = with_simd_tier(tier, || dot(&a, &b));
+                assert!(
+                    (f64::from(got) - reference).abs() <= budget,
+                    "tier {} len {len}: {got} vs {reference} (budget {budget:e})",
+                    tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_gemm_entries_match_standalone_dot_on_the_same_tier() {
+        // The within-tier contract: blocked kernels evaluate each entry
+        // as exactly one dot call of their tier, AVX-512 included.
+        let data = gaussian(90, 45, 13);
+        let a_rows: Vec<usize> = (0..53).collect();
+        let b_rows: Vec<usize> = (53..90).collect();
+        let a = pack_rows(&data, &a_rows);
+        let b = pack_rows(&data, &b_rows);
+        with_simd_tier(SimdTier::Avx512, || {
+            let mut out = vec![0.0f32; a_rows.len() * b_rows.len()];
+            gemm(&a, a_rows.len(), &b, b_rows.len(), 45, &mut out);
+            for (i, &r) in a_rows.iter().enumerate() {
+                for (j, &c) in b_rows.iter().enumerate() {
+                    assert_eq!(
+                        out[i * b_rows.len() + j].to_bits(),
+                        dot(data.row(r), data.row(c)).to_bits(),
+                        "entry ({i},{j})"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn avx512_sq_dist_within_budget_and_batch_consistent() {
+        let data = gaussian(30, 70, 14);
+        with_simd_tier(SimdTier::Avx512, || {
+            for i in 0..30 {
+                for j in 0..30 {
+                    let got = f64::from(sq_dist(data.row(i), data.row(j)));
+                    let reference: f64 = data
+                        .row(i)
+                        .iter()
+                        .zip(data.row(j))
+                        .map(|(&x, &y)| {
+                            let d = f64::from(x) - f64::from(y);
+                            d * d
+                        })
+                        .sum();
+                    assert!(
+                        (got - reference).abs() <= 1e-4 * (1.0 + reference),
+                        "({i},{j}): {got} vs {reference}"
+                    );
+                }
+            }
+            // The batched form hoists the tier once and must agree
+            // bit-for-bit with the pointwise kernel on that tier.
+            let pts: Vec<usize> = (0..20).collect();
+            let ctr: Vec<usize> = (20..27).collect();
+            let p = pack_rows(&data, &pts);
+            let c = pack_rows(&data, &ctr);
+            let out = sq_dist_batch(&p, 20, &c, 7, 70);
+            for i in 0..20 {
+                for k in 0..7 {
+                    let expected = sq_dist(data.row(pts[i]), data.row(ctr[k]));
+                    assert_eq!(out[i * 7 + k].to_bits(), expected.to_bits());
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ulp_diff_counts_representable_steps() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(0.0, -0.0), 1);
+        assert_eq!(ulp_diff(-1.0, -1.0), 0);
+        let a = -1.0f32;
+        let next_toward_zero = f32::from_bits(a.to_bits() - 1);
+        assert_eq!(ulp_diff(a, next_toward_zero), 1);
+        // Symmetric.
+        assert_eq!(ulp_diff(3.5, 3.25), ulp_diff(3.25, 3.5));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use embeddings::{cosine, dot, norm, normalize, Embeddings};
 pub use hnsw::{Hnsw, HnswConfig, HnswScratch};
 pub use kernel::{
     gemm, gemm_bias_relu, gram_block, gram_packed, pack_rows, simd_tier, sq_dist, sq_dist_batch,
-    top_k_batch, with_simd_tier, SimdTier,
+    sq_dist_with_tier, top_k_batch, ulp_diff, with_simd_tier, SimdTier,
 };
 pub use knn::{top_k, top_k_among, Neighbor};
 pub use lsh::{sample_planes, signature_of, signatures, LshConfig, LshIndex, MAX_SIGNATURE_BITS};

@@ -323,7 +323,7 @@ fn duplicate_pairs_in_a_batch_complete() {
         }
         fn select(
             &mut self,
-            ctx: &SelectionContext<'_>,
+            ctx: &mut SelectionContext<'_>,
             _rng: &mut Rng,
         ) -> battleship_em::core::Result<Selection> {
             Ok(Selection {

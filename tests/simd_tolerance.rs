@@ -1,0 +1,274 @@
+//! The AVX-512 tolerance contract, enforced end to end.
+//!
+//! Portable and AVX2 are bit-identical by construction (same lane
+//! structure, no FMA — the kernel's reduction-order contract). AVX-512
+//! is allowed to differ: its kernels use single-rounding FMA, so each
+//! dot product may deviate from the portable bits — but only within the
+//! standard floating-point error budget. This suite is the gate that
+//! permits AVX-512 as the *detected default* tier:
+//!
+//! 1. a golden harness bounding every kernel's deviation from the
+//!    portable tier by `2·γ(n)·Σ|aᵢbᵢ|` (γ(n) = n·ε/(1−n·ε), ε = 2⁻²⁴:
+//!    each tier's error vs the exact sum is ≤ γ(n)·Σ|aᵢbᵢ|, Higham
+//!    eq. 3.5, so two tiers differ by at most twice that), plus an ULP
+//!    sanity bound on well-conditioned inputs;
+//! 2. an argmax-stability proptest: whenever a score gap exceeds the
+//!    combined error budget, every tier picks the same argmax — labels
+//!    and top-k winners cannot flip across tiers outside provably
+//!    ambiguous (FP-tie) cases;
+//! 3. an end-to-end ΔF1 gate: a pinned tiny grid run under the AVX-512
+//!    tier must reproduce the portable tier's final F1 within a small
+//!    tolerance on every cell.
+//!
+//! On hosts without AVX-512 the override clamps to the best available
+//! tier, so every check degenerates to comparing a tier with itself and
+//! the suite stays green — the contract is enforced exactly where the
+//! new code paths actually run.
+
+use proptest::prelude::*;
+
+use battleship_em::al::{ExperimentConfig, ExperimentGrid, GridConfig, Scenario, StrategySpec};
+use battleship_em::synth::DatasetProfile;
+use battleship_em::vector::{
+    gemm, gemm_bias_relu, kernel, sq_dist, ulp_diff, with_simd_tier, SimdTier,
+};
+
+const TIERS: [SimdTier; 3] = [SimdTier::Portable, SimdTier::Avx2, SimdTier::Avx512];
+
+/// `2·γ(n)·Σ|aᵢbᵢ|` — the maximum distance between two correctly
+/// implemented summation orders of the same dot product.
+fn dot_budget(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().max(1) as f64;
+    let eps = (f32::EPSILON as f64) / 2.0;
+    let gamma = n * eps / (1.0 - n * eps);
+    let sum_abs: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 * y as f64).abs())
+        .sum();
+    (2.0 * gamma * sum_abs) as f32
+}
+
+/// Deterministic pseudorandom `f32` in [-1, 1) (xorshift; no ambient
+/// randomness so the golden harness is reproducible).
+fn lcg(state: &mut u64) -> f32 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    ((*state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+}
+
+fn fill(state: &mut u64, n: usize) -> Vec<f32> {
+    (0..n).map(|_| lcg(state)).collect()
+}
+
+/// Golden harness: every tier's `dot` and `sq_dist` stay within the
+/// error budget of the portable tier, across lengths covering all
+/// vector-width remainder cases (32-lane AVX-512 chunks, 16-lane AVX2
+/// chunks, scalar tails).
+#[test]
+fn dot_and_sq_dist_match_portable_within_budget() {
+    let mut state = 0x5EED_CAFE_u64;
+    for len in (1..=130).chain([192, 255, 256, 300, 384]) {
+        let a = fill(&mut state, len);
+        let b = fill(&mut state, len);
+        let reference = with_simd_tier(SimdTier::Portable, || kernel::dot(&a, &b));
+        let budget = dot_budget(&a, &b);
+        for tier in TIERS {
+            let got = with_simd_tier(tier, || kernel::dot(&a, &b));
+            assert!(
+                (got - reference).abs() <= budget,
+                "dot len={len} tier={:?}: {got} vs {reference} (budget {budget})",
+                tier
+            );
+            // ULP sanity on well-conditioned results: when there is no
+            // catastrophic cancellation, the tiers land within a few
+            // hundred representable steps of each other.
+            if reference.abs() > budget * 8.0 {
+                assert!(
+                    ulp_diff(got, reference) <= 512,
+                    "dot len={len} tier={:?}: {} ULPs apart",
+                    tier,
+                    ulp_diff(got, reference)
+                );
+            }
+            let sq_ref = with_simd_tier(SimdTier::Portable, || sq_dist(&a, &b));
+            let sq = with_simd_tier(tier, || sq_dist(&a, &b));
+            // d·d terms are the squared differences; budget with the
+            // difference vector as both operands.
+            let d: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+            assert!(
+                (sq - sq_ref).abs() <= dot_budget(&d, &d),
+                "sq_dist len={len} tier={:?}: {sq} vs {sq_ref}",
+                tier
+            );
+        }
+    }
+}
+
+/// Golden harness: blocked GEMM (and the fused bias+ReLU variant) stay
+/// within the per-entry budget of the portable tier — including the
+/// AVX-512 4-row micro-kernel and its remainder rows/columns.
+#[test]
+fn gemm_matches_portable_within_budget() {
+    let mut state = 0xB10C_7E57_u64;
+    for (m, n, k) in [
+        (1, 1, 7),
+        (3, 5, 33),
+        (6, 9, 64),
+        (5, 70, 96),
+        (17, 13, 129),
+    ] {
+        let a = fill(&mut state, m * k);
+        let b = fill(&mut state, n * k);
+        let bias = fill(&mut state, n);
+        let mut reference = vec![0.0f32; m * n];
+        with_simd_tier(SimdTier::Portable, || gemm(&a, m, &b, n, k, &mut reference));
+        for tier in TIERS {
+            let mut out = vec![0.0f32; m * n];
+            with_simd_tier(tier, || gemm(&a, m, &b, n, k, &mut out));
+            for i in 0..m {
+                for j in 0..n {
+                    let budget = dot_budget(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    let (got, want) = (out[i * n + j], reference[i * n + j]);
+                    assert!(
+                        (got - want).abs() <= budget,
+                        "gemm ({m}x{n}x{k}) entry ({i},{j}) tier={:?}: {got} vs {want}",
+                        tier
+                    );
+                }
+            }
+            // Fused bias+ReLU adds the bias after the reduction on every
+            // tier, so the same per-entry budget holds (plus one add's
+            // rounding, absorbed by the slack of the 2γ bound).
+            let mut fused = vec![0.0f32; m * n];
+            with_simd_tier(tier, || {
+                gemm_bias_relu(&a, m, &b, n, k, &bias, true, &mut fused)
+            });
+            for i in 0..m {
+                for j in 0..n {
+                    let budget = dot_budget(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                    let want = (reference[i * n + j] + bias[j]).max(0.0);
+                    assert!(
+                        (fused[i * n + j] - want).abs() <= budget + f32::EPSILON * want.abs(),
+                        "gemm_bias_relu ({m}x{n}x{k}) entry ({i},{j}) tier={:?}",
+                        tier
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Argmax stability across tiers: when the top-2 score gap exceeds
+    /// the combined error budget of both rows, every tier agrees on the
+    /// winning row. (Within the budget the scores are FP-ties — no
+    /// correct implementation can promise an order there.)
+    #[test]
+    fn argmax_never_flips_across_tiers_outside_fp_ties(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1.0f32..1.0, 24), 2..24),
+        query in prop::collection::vec(-1.0f32..1.0, 24),
+    ) {
+        let score = |tier: SimdTier| -> Vec<f32> {
+            with_simd_tier(tier, || rows.iter().map(|r| kernel::dot(&query, r)).collect())
+        };
+        let reference = score(SimdTier::Portable);
+        let argmax = |s: &[f32]| {
+            let mut best = 0;
+            for i in 1..s.len() {
+                if s[i] > s[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let best = argmax(&reference);
+        let mut runner_up = f32::NEG_INFINITY;
+        let mut runner_idx = best;
+        for (i, &s) in reference.iter().enumerate() {
+            if i != best && s > runner_up {
+                runner_up = s;
+                runner_idx = i;
+            }
+        }
+        let gap = reference[best] - runner_up;
+        let combined_budget =
+            dot_budget(&query, &rows[best]) + dot_budget(&query, &rows[runner_idx]);
+        prop_assume!(gap > combined_budget);
+        for tier in TIERS {
+            prop_assert_eq!(
+                argmax(&score(tier)), best,
+                "tier {:?} flipped the argmax across a gap of {} (budget {})",
+                tier, gap, combined_budget
+            );
+        }
+    }
+
+    /// `EM_SIMD_TIER` parsing is total: arbitrary strings either name a
+    /// tier or produce a structured `InvalidConfig` error — never a
+    /// panic, so a typo in the environment can only fall back, not crash.
+    #[test]
+    fn simd_tier_parse_is_total(input in "[a-zA-Z0-9 ._-]{0,16}") {
+        match SimdTier::parse(&input) {
+            Ok(tier) => {
+                prop_assert!(input.trim().eq_ignore_ascii_case(tier.name()));
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(msg.contains("SIMD tier"), "unstructured error: {}", msg);
+            }
+        }
+    }
+}
+
+/// End-to-end ΔF1 gate: the pinned tiny grid's final F1 per cell under
+/// the AVX-512 tier must match the portable tier within half an F1
+/// point. This is the check that makes AVX-512 admissible as the
+/// detected default — bounded kernels are necessary, but only an
+/// end-to-end run shows the deviation doesn't amplify through training.
+#[test]
+fn end_to_end_f1_is_stable_across_tiers() {
+    let mut experiment = ExperimentConfig::default();
+    experiment.al.budget = 20;
+    experiment.al.iterations = 2;
+    experiment.al.seed_size = 20;
+    experiment.al.weak_budget = 20;
+    experiment.matcher.epochs = 6;
+    experiment.battleship.kselect_sample = 128;
+    let grid = ExperimentGrid::new(
+        vec![Scenario::synthetic_scaled(
+            DatasetProfile::amazon_google(),
+            0.04,
+            5,
+        )],
+        vec![StrategySpec::Random, StrategySpec::Battleship],
+        GridConfig {
+            experiment,
+            master_seed: 0x0B17_5EED,
+            n_seeds: 1,
+            include_baselines: false,
+        },
+    );
+    // Serial scope: the tier override is thread-local and must govern
+    // the whole run, not just the coordinating thread.
+    let run = |tier: SimdTier| {
+        rayon::serial_scope(|| with_simd_tier(tier, || grid.run())).expect("grid run")
+    };
+    let portable = run(SimdTier::Portable);
+    let avx512 = run(SimdTier::Avx512);
+    for (p, v) in portable.cells.iter().zip(&avx512.cells) {
+        let (pf, vf) = (
+            p.aggregate.mean_curve.last().expect("curve").1,
+            v.aggregate.mean_curve.last().expect("curve").1,
+        );
+        assert!(
+            (pf - vf).abs() <= 0.5,
+            "cell {} final F1 diverged across tiers: portable {pf} vs avx512 {vf}",
+            p.strategy()
+        );
+    }
+}
